@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestChaseDerivesEquality(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "R(k*:T1, a:T2)",
+		"-q", "V(K, A, B) :- R(K, A), R(K2, B), K = K2.")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "derived: A = B") {
+		t.Errorf("missing derived equality:\n%s", out)
+	}
+	if !strings.Contains(out, "chased canonical database") {
+		t.Errorf("missing database dump:\n%s", out)
+	}
+}
+
+func TestChaseNoDerivation(t *testing.T) {
+	code, out := runCLI(t, "-s", "R(k*:T1, a:T2)", "-q", "V(K, A) :- R(K, A).")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "no new equalities derived") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestChaseFailureExitCode(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "R(k*:T1, a:T1)",
+		"-q", "V(K) :- R(K, A), R(K2, B), K = K2, A = T1:1, B = T1:2.")
+	if code != 1 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "chase FAILED") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestViewFDMode(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "R(k*:T1, a:T2)",
+		"-q", "V(X, Y) :- R(X, Y).",
+		"-fd", "0->1")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Failing FD: exit 1.
+	code, _ = runCLI(t,
+		"-s", "R(k*:T1, a:T2)",
+		"-q", "V(X, Y) :- R(X, Y).",
+		"-fd", "1->0")
+	if code != 1 {
+		t.Fatalf("failing FD exit = %d", code)
+	}
+}
+
+func TestChaseErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-s", "R(k*:T1)"},
+		{"-s", "bogus((", "-q", "V(X) :- R(X)."},
+		{"-s", "R(k*:T1)", "-q", "broken"},
+		{"-s", "R(k*:T1)", "-q", "V(X) :- Z(X)."},
+		{"-s", "R(k*:T1)", "-q", "V(X) :- R(X).", "-fd", "nonsense"},
+		{"-s", "R(k*:T1)", "-q", "V(X) :- R(X).", "-fd", "0->9"},
+		{"-s", "R(k*:T1)", "-q", "V(X) :- R(X).", "-fd", "x->0"},
+	}
+	for i, args := range cases {
+		if code, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("case %d: exit = %d, want 2", i, code)
+		}
+	}
+}

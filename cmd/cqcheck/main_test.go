@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestContainmentOutput(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "E(src:T1, dst:T1)",
+		"-q1", "V(X) :- E(X, Y), E(Y2, Z), Y = Y2.",
+		"-q2", "V(X) :- E(X, Y).")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	for _, want := range []string{"q1 ⊑ q2: true", "q2 ⊑ q1: false", "equivalent: false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWitnessFlag(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "E(src:T1, dst:T1)",
+		"-q1", "V(X) :- E(X, Y), E(Y2, Z), Y = Y2.",
+		"-q2", "V(X) :- E(X, Y).",
+		"-witness")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "certificate q1 ⊑ q2") {
+		t.Errorf("missing certificate:\n%s", out)
+	}
+}
+
+func TestMinimizeFlag(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "E(src:T1, dst:T1)",
+		"-q1", "Q(X, Y) :- E(X, Y), E(A, B), X = A, Y = B.",
+		"-minimize")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "core of q1 (1 of 2 atoms)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestKeysFlag(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "R(k*:T1, a:T1)",
+		"-q1", "V(K, A, B) :- R(K, A), R(K2, B), K = K2.",
+		"-q2", "V(K, A, A) :- R(K, A).",
+		"-keys")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "equivalent: true") {
+		t.Errorf("key reasoning failed:\n%s", out)
+	}
+}
+
+func TestSQLFlag(t *testing.T) {
+	code, out := runCLI(t,
+		"-s", "E(src:T1, dst:T1)",
+		"-q1", "V(X) :- E(X, Y).",
+		"-sql")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "SELECT DISTINCT") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestDataFileEvaluation(t *testing.T) {
+	dir := t.TempDir()
+	df := filepath.Join(dir, "data.txt")
+	os.WriteFile(df, []byte("E(T1:1, T1:2)\nE(T1:2, T1:3)\n"), 0o644)
+	code, out := runCLI(t,
+		"-s", "E(src:T1, dst:T1)",
+		"-q1", "V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.",
+		"-d", df)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "(T1:1, T1:3)") {
+		t.Errorf("expected the 2-path answer:\n%s", out)
+	}
+}
+
+func TestSchemaFromFile(t *testing.T) {
+	dir := t.TempDir()
+	sf := filepath.Join(dir, "schema.txt")
+	os.WriteFile(sf, []byte("E(src:T1, dst:T1)\n"), 0o644)
+	code, out := runCLI(t, "-s", "@"+sf, "-q1", "V(X) :- E(X, Y).")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "well-formed") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-s", "E(src:T1, dst:T1)"},
+		{"-s", "bogus((", "-q1", "V(X) :- E(X, Y)."},
+		{"-s", "E(src:T1, dst:T1)", "-q1", "broken"},
+		{"-s", "E(src:T1, dst:T1)", "-q1", "V(X) :- Z(X)."},
+		{"-s", "@/nonexistent", "-q1", "V(X) :- E(X, Y)."},
+		{"-s", "E(src:T1, dst:T1)", "-q1", "V(X) :- E(X, Y).", "-q2", "broken"},
+		{"-s", "E(src:T1, dst:T1)", "-q1", "V(X) :- E(X, Y).", "-d", "/nonexistent"},
+	}
+	for i, args := range cases {
+		if code, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("case %d: exit = %d, want 2", i, code)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command keyedeq-bench regenerates every table and figure of the
+// reproduction's evaluation suite (DESIGN.md §4, EXPERIMENTS.md): the
+// empirical validations of Theorems 9 and 13 and Lemmas 1-12, and the
+// scaling studies of containment, the chase, mapping composition, the
+// equivalence decision procedures, and FD reasoning.
+//
+// Usage:
+//
+//	keyedeq-bench            # quick suite (seconds)
+//	keyedeq-bench -full      # full suite (stresses the exponential corners)
+//	keyedeq-bench -only T3   # one experiment by ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"keyedeq/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("keyedeq-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run the full-size suite")
+	only := fs.String("only", "", "run only the experiment with this ID (e.g. T3, F1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := exp.Config{Quick: !*full}
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Fprintf(stdout, "keyedeq evaluation suite (%s mode)\n", mode)
+	fmt.Fprintf(stdout, "start: %s\n\n", time.Now().Format(time.RFC3339))
+
+	start := time.Now()
+	tables := exp.All(cfg)
+	ran := 0
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		fmt.Fprintln(stdout, t)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(stderr, "keyedeq-bench: no experiment %q\n", *only)
+		return 2
+	}
+	fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}

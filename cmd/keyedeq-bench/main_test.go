@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestOnlyOneExperiment(t *testing.T) {
+	code, out := runCLI(t, "-only", "T10")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "T10:") {
+		t.Errorf("missing T10 table:\n%s", out)
+	}
+	if strings.Contains(out, "T3:") {
+		t.Errorf("unexpected other tables:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, out := runCLI(t, "-only", "T99")
+	if code != 2 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+}
+
+func TestQuickSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run; skipped in -short")
+	}
+	code, out := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, id := range []string{"T1:", "T2:", "T3:", "T4:", "T5:", "T6:", "T7:", "T8:", "T9:", "T10:", "F1:", "F2:", "F3:"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("missing table %s", id)
+		}
+	}
+	if !strings.Contains(out, "total wall time") {
+		t.Error("missing footer")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _ := runCLI(t, "-nope"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}

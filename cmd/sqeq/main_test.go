@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestEquivalentInline(t *testing.T) {
+	code, out, _ := runCLI(t, "-e", "r(a*:T1, b:T2)", "-e2", "s(x:T2, y*:T1)")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "equivalent") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestNotEquivalentExitCode(t *testing.T) {
+	code, out, _ := runCLI(t, "-e", "r(a*:T1)", "-e2", "s(x*:T2)")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "not equivalent") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestWitnessAndVerify(t *testing.T) {
+	code, out, _ := runCLI(t, "-witness", "-verify",
+		"-e", "r(a*:T1, b:T2)", "-e2", "s(x:T2, y*:T1)")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"witness α", "witness β", "symbolic verification (validity + β∘α = id): true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSearchFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "-search", "-e", "r(a*:T1)", "-e2", "s(y*:T1)")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "bounded mapping search: equivalent=true") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestSchemaFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "s1.txt")
+	f2 := filepath.Join(dir, "s2.txt")
+	os.WriteFile(f1, []byte("r(a*:T1, b:T2)\n"), 0o644)
+	os.WriteFile(f2, []byte("p(x:T2, y*:T1)\n"), 0o644)
+	code, out, _ := runCLI(t, f1, f2)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("missing schemas should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-e", "bogus((", "-e2", "r(a*:T1)"); code != 2 {
+		t.Error("bad schema should exit 2")
+	}
+	if code, _, _ := runCLI(t, "/nonexistent/file", "/nonexistent/file2"); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-badflag"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}
+
+func TestUserSuppliedPair(t *testing.T) {
+	dir := t.TempDir()
+	alpha := filepath.Join(dir, "alpha.txt")
+	beta := filepath.Join(dir, "beta.txt")
+	os.WriteFile(alpha, []byte("p(Y, X) :- r(X, Y).\n"), 0o644)
+	os.WriteFile(beta, []byte("r(Y, X) :- p(X, Y).\n"), 0o644)
+	code, out, _ := runCLI(t,
+		"-e", "r(a*:T1, b:T2)", "-e2", "p(x:T2, y*:T1)",
+		"-alpha", alpha, "-beta", beta)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "β∘α = id): true") {
+		t.Errorf("output:\n%s", out)
+	}
+	// A lossy pair must be rejected with exit 1.
+	os.WriteFile(alpha, []byte("p(T2:1, X) :- r(X, Y).\n"), 0o644)
+	os.WriteFile(beta, []byte("r(Y, T2:1) :- p(X, Y).\n"), 0o644)
+	code, out, _ = runCLI(t,
+		"-e", "r(a*:T1, b:T2)", "-e2", "p(x:T2, y*:T1)",
+		"-alpha", alpha, "-beta", beta)
+	if code != 1 {
+		t.Fatalf("lossy pair exit = %d: %s", code, out)
+	}
+	// -alpha without -beta is a usage error.
+	if code, _, _ := runCLI(t, "-e", "r(a*:T1)", "-e2", "p(y*:T1)", "-alpha", alpha); code != 2 {
+		t.Error("missing -beta should exit 2")
+	}
+	// Unreadable/unparsable mapping files.
+	if code, _, _ := runCLI(t, "-e", "r(a*:T1)", "-e2", "p(y*:T1)",
+		"-alpha", "/nonexistent", "-beta", beta); code != 2 {
+		t.Error("missing alpha file should exit 2")
+	}
+	os.WriteFile(alpha, []byte("zz(X) :- r(X).\n"), 0o644)
+	os.WriteFile(beta, []byte("r(X) :- p(X).\n"), 0o644)
+	if code, _, _ := runCLI(t, "-e", "r(a*:T1)", "-e2", "p(y*:T1)",
+		"-alpha", alpha, "-beta", beta); code != 2 {
+		t.Error("bad alpha mapping should exit 2")
+	}
+}

@@ -1,0 +1,94 @@
+package keyedeq_test
+
+import (
+	"fmt"
+
+	"keyedeq"
+)
+
+// The headline operation: Theorem 13's equivalence decision.
+func ExampleEquivalent() {
+	s1 := keyedeq.MustParseSchema("employee(ss*:T1, name:T2)")
+	s2 := keyedeq.MustParseSchema("person(pname:T2, id*:T1)")
+	s3 := keyedeq.MustParseSchema("employee(ss*:T1, name:T2, extra:T2)")
+	fmt.Println(keyedeq.Equivalent(s1, s2))
+	fmt.Println(keyedeq.Equivalent(s1, s3))
+	// Output:
+	// true
+	// false
+}
+
+// Witness mappings are constructed from the isomorphism and verified
+// symbolically.
+func ExampleEquivalentWithWitness() {
+	s1 := keyedeq.MustParseSchema("r(a*:T1, b:T2)")
+	s2 := keyedeq.MustParseSchema("s(x:T2, y*:T1)")
+	w, ok, _ := keyedeq.EquivalentWithWitness(s1, s2)
+	fmt.Println(ok)
+	fmt.Println(w.Alpha)
+	good, _ := keyedeq.VerifyDominance(w.Alpha, w.Beta)
+	fmt.Println(good)
+	// Output:
+	// true
+	// s(X1, X0) :- r(X0, X1).
+	// true
+}
+
+// Conjunctive queries run over database instances.
+func ExampleEvalQuery() {
+	s := keyedeq.MustParseSchema("E(src:T1, dst:T1)")
+	d := keyedeq.NewDatabase(s)
+	d.MustInsert("E", keyedeq.Value{Type: 1, N: 1}, keyedeq.Value{Type: 1, N: 2})
+	d.MustInsert("E", keyedeq.Value{Type: 1, N: 2}, keyedeq.Value{Type: 1, N: 3})
+	q := keyedeq.MustParseQuery("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	out, _ := keyedeq.EvalQuery(q, d)
+	fmt.Println(out)
+	// Output:
+	// V {(T1:1, T1:3)}
+}
+
+// Containment is the Chandra–Merlin homomorphism test; under key
+// dependencies the canonical database is chased first.
+func ExampleContained() {
+	s := keyedeq.MustParseSchema("E(src:T1, dst:T1)")
+	twoPath := keyedeq.MustParseQuery("V(X) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	edge := keyedeq.MustParseQuery("V(X) :- E(X, Y).")
+	ok, _ := keyedeq.Contained(twoPath, edge, s)
+	fmt.Println(ok)
+	ok, _ = keyedeq.Contained(edge, twoPath, s)
+	fmt.Println(ok)
+	// Output:
+	// true
+	// false
+}
+
+// Minimization computes the core of a query.
+func ExampleMinimizeQuery() {
+	s := keyedeq.MustParseSchema("E(src:T1, dst:T1)")
+	q := keyedeq.MustParseQuery("Q(X, Y) :- E(X, Y), E(A, B), X = A, Y = B.")
+	core, _ := keyedeq.MinimizeQuery(q, s, nil)
+	fmt.Println(len(q.Body), "->", len(core.Body))
+	// Output:
+	// 2 -> 1
+}
+
+// Queries render as SQL for interoperability.
+func ExampleQueryToSQL() {
+	s := keyedeq.MustParseSchema("emp(ss:T1, dep:T2)\ndept(id:T2, name:T3)")
+	q := keyedeq.MustParseQuery("V(X, N) :- emp(X, D), dept(D2, N), D = D2.")
+	sql, _ := keyedeq.QueryToSQL(q, s)
+	fmt.Println(sql)
+	// Output:
+	// SELECT DISTINCT t0.ss AS c0, t1.name AS c1
+	// FROM emp AS t0, dept AS t1
+	// WHERE t0.dep = t1.id;
+}
+
+// κ(S) projects a keyed schema onto its keys (Theorem 9's construction).
+func ExampleKappa() {
+	s := keyedeq.MustParseSchema("r(k*:T1, a:T2, k2*:T3)")
+	k, _ := keyedeq.Kappa(s)
+	fmt.Println(k)
+	// Output:
+	// r(k:T1, k2:T3)
+}

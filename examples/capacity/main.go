@@ -1,0 +1,58 @@
+// Capacity: why the paper rejects bijection-based schema equivalence.
+//
+// One proposed notion of equivalence (discussed and dismissed in the
+// paper's introduction) considers schemas equivalent when a bijection
+// exists between their instance sets — i.e. when they admit equally many
+// instances.  This program counts instances exactly over finite domains
+// and exhibits keyed schemas with identical counts at EVERY domain size
+// that are nevertheless not conjunctive query equivalent: counting
+// cannot see attribute types, queries can.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"keyedeq"
+	"keyedeq/internal/capacity"
+)
+
+func main() {
+	pairs := []struct {
+		name   string
+		s1, s2 string
+	}{
+		{"type-swapped keys", "r(a*:T1)", "r(a*:T2)"},
+		{"isomorphic", "r(a*:T1, b:T2)", "s(x:T2, y*:T1)"},
+		{"extra attribute", "r(a*:T1)", "r(a*:T1, b:T1)"},
+		{"key widened", "r(a*:T1, b:T1)", "r(a*:T1, b*:T1)"},
+	}
+	fmt.Println("instance counts over uniform finite domains (exact):")
+	fmt.Println()
+	for _, p := range pairs {
+		s1 := keyedeq.MustParseSchema(p.s1)
+		s2 := keyedeq.MustParseSchema(p.s2)
+		fmt.Printf("%s:\n  %-24s vs  %s\n", p.name, p.s1, p.s2)
+		for n := 1; n <= 4; n++ {
+			d := capacity.Uniform(n, s1, s2)
+			c1, err := capacity.CountInstances(s1, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c2, err := capacity.CountInstances(s2, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := "≠"
+			if c1.Cmp(c2) == 0 {
+				marker = "="
+			}
+			fmt.Printf("  domain %d: %12s %s %-12s\n", n, c1, marker, c2)
+		}
+		fmt.Printf("  conjunctive query equivalent (Theorem 13): %v\n\n",
+			keyedeq.Equivalent(s1, s2))
+	}
+	fmt.Println("the 'type-swapped keys' pair has equal counts at every size, yet")
+	fmt.Println("no pair of conjunctive mappings round-trips between them: counting")
+	fmt.Println("instances is blind to exactly the structure queries must preserve.")
+}

@@ -1,0 +1,95 @@
+// Containment: conjunctive query containment, equivalence, minimization,
+// ij-saturation and the receives analysis — the paper's §2 machinery on
+// its own worked examples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"keyedeq"
+)
+
+func main() {
+	gs := keyedeq.MustParseSchema("E(src:T1, dst:T1)")
+
+	// Classical containment: "has an outgoing 2-path" ⊑ "has an
+	// outgoing edge", but not conversely.
+	twoPath := keyedeq.MustParseQuery("V(X) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	edge := keyedeq.MustParseQuery("V(X) :- E(X, Y).")
+	c1, err := keyedeq.Contained(twoPath, edge, gs)
+	show("2-path ⊑ edge", c1, err)
+	c2, err := keyedeq.Contained(edge, twoPath, gs)
+	show("edge ⊑ 2-path", c2, err)
+
+	// The paper's ij-saturation example: three copies of R fully merged.
+	sat := keyedeq.MustParseQuery(
+		"Q(X, Y) :- E(X, Y), E(A, B), E(C, D), X = A, X = C, Y = B, Y = D.")
+	fmt.Println("\nij-saturated:", keyedeq.IJSaturated(sat))
+	prod, err := keyedeq.ToProduct(sat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Lemma 1 product query:", prod)
+	eq, err := keyedeq.EquivalentQueries(sat, prod, gs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equivalent to the original:", eq)
+
+	// The unsaturated variant from the paper (Y = D, B = D missing) is
+	// not saturated; Saturate completes it.
+	unsat := keyedeq.MustParseQuery(
+		"Q(X, Y) :- E(X, Y), E(A, B), E(C, D), X = A, X = C, A = C, Y = B.")
+	fmt.Println("\npaper's unsaturated example saturated?", keyedeq.IJSaturated(unsat))
+	completed, err := keyedeq.Saturate(unsat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after Saturate:", keyedeq.IJSaturated(completed))
+
+	// Minimization: the saturated query's core is a single atom.
+	core, err := keyedeq.MinimizeQuery(sat, gs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncore of the saturated query (%d -> %d atoms): %s\n",
+		len(sat.Body), len(core.Body), core)
+
+	// Containment under key dependencies: the chase enables containments
+	// that fail without them.
+	ks := keyedeq.MustParseSchema("R(k*:T1, a:T1)")
+	deps := keyedeq.KeyFDs(ks)
+	q1 := keyedeq.MustParseQuery("V(K, A, B) :- R(K, A), R(K2, B), K = K2.")
+	q2 := keyedeq.MustParseQuery("V(K, A, A) :- R(K, A).")
+	plain, err := keyedeq.Contained(q1, q2, ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	under, _, err := keyedeq.ContainedUnder(q1, q2, ks, deps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshared-key join ⊑ single atom: without keys %v, under keys %v\n",
+		plain, under)
+
+	// The receives analysis on the paper's own example:
+	// R(X,Y,Z) :- P(X,Y), Q(T,Z), Y = T.
+	_ = keyedeq.MustParseSchema("P(a:T1, b:T2)\nQv(c:T2, d:T3)")
+	q := keyedeq.MustParseQuery("R(X, Y, Z) :- P(X, Y), Qv(T, Z), Y = T.")
+	fmt.Println("\nreceives analysis of", q)
+	for i, rec := range keyedeq.Receives(q) {
+		fmt.Printf("  head %d receives: %v", i, rec.Attrs)
+		if rec.HasConst {
+			fmt.Printf(" and constant %s", rec.Const)
+		}
+		fmt.Println()
+	}
+}
+
+func show(name string, ok bool, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %v\n", name, ok)
+}

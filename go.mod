@@ -1,0 +1,3 @@
+module keyedeq
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package acyclic implements α-acyclicity of conjunctive queries (the
+// GYO ear-removal reduction and join-tree construction) and Yannakakis'
+// semijoin algorithm: acyclic queries evaluate with a full reducer —
+// two semijoin passes over a join tree — after which the backtracking
+// join never explores a dead end.  Cyclic queries fall back to plain
+// evaluation.
+//
+// The hypergraph of a query has one hyperedge per body atom whose
+// vertices are the equality classes of its variables; classes bound to
+// constants act as selections and are excluded from the hypergraph
+// (they are applied when building the per-atom relations).
+package acyclic
+
+import (
+	"fmt"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+)
+
+// JoinTree is the output of a successful GYO reduction: Parent[i] is the
+// atom index that absorbed atom i as an ear (-1 for the root), and Order
+// lists atom indices in removal order (leaves first).
+type JoinTree struct {
+	Parent []int
+	Order  []int
+}
+
+// Root returns the root atom index.
+func (jt *JoinTree) Root() int {
+	for i, p := range jt.Parent {
+		if p == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// hyperedges builds the per-atom vertex sets (equality-class
+// representatives, excluding constant-bound classes).
+func hyperedges(q *cq.Query) ([]map[cq.Var]bool, *cq.EqClasses) {
+	eq := cq.NewEqClasses(q)
+	edges := make([]map[cq.Var]bool, len(q.Body))
+	for i, a := range q.Body {
+		edges[i] = map[cq.Var]bool{}
+		for _, v := range a.Vars {
+			if _, bound := eq.Const(v); bound {
+				continue
+			}
+			edges[i][eq.Find(v)] = true
+		}
+	}
+	return edges, eq
+}
+
+// BuildJoinTree runs the GYO reduction.  ok=false means the query is
+// cyclic (no join tree exists).
+func BuildJoinTree(q *cq.Query) (*JoinTree, bool) {
+	n := len(q.Body)
+	if n == 0 {
+		return nil, false
+	}
+	edges, _ := hyperedges(q)
+	removed := make([]bool, n)
+	jt := &JoinTree{Parent: make([]int, n)}
+	for i := range jt.Parent {
+		jt.Parent[i] = -1
+	}
+	remaining := n
+	for remaining > 1 {
+		progress := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if removed[i] {
+				continue
+			}
+			// Vertices of i shared with any other remaining edge.
+			shared := map[cq.Var]bool{}
+			for v := range edges[i] {
+				for j := 0; j < n; j++ {
+					if j == i || removed[j] {
+						continue
+					}
+					if edges[j][v] {
+						shared[v] = true
+						break
+					}
+				}
+			}
+			// i is an ear if some other remaining edge contains all of
+			// i's shared vertices.
+			for j := 0; j < n; j++ {
+				if j == i || removed[j] {
+					continue
+				}
+				contains := true
+				for v := range shared {
+					if !edges[j][v] {
+						contains = false
+						break
+					}
+				}
+				if contains {
+					removed[i] = true
+					jt.Parent[i] = j
+					jt.Order = append(jt.Order, i)
+					remaining--
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	// The last remaining atom is the root.
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			jt.Order = append(jt.Order, i)
+			break
+		}
+	}
+	return jt, true
+}
+
+// IsAcyclic reports whether q is α-acyclic.
+func IsAcyclic(q *cq.Query) bool {
+	_, ok := BuildJoinTree(q)
+	return ok
+}
+
+// Stats reports the work Yannakakis evaluation did.
+type Stats struct {
+	// Acyclic records whether the semijoin path was taken.
+	Acyclic bool
+	// Semijoins counts semijoin applications (two per edge when acyclic).
+	Semijoins int
+	// Pruned counts tuples removed by the full reducer.
+	Pruned int
+	// Nodes is the final join's search-tree size.
+	Nodes int64
+}
+
+// Eval evaluates q over d with Yannakakis' algorithm when q is acyclic
+// (full reducer, then the backtracking join over the reduced relations),
+// and falls back to plain evaluation otherwise.  The answer always
+// equals cq.Eval's.
+func Eval(q *cq.Query, d *instance.Database) (*instance.Relation, Stats, error) {
+	var stats Stats
+	jt, ok := BuildJoinTree(q)
+	if !ok {
+		rel, es, err := cq.EvalWithStats(q, d)
+		stats.Nodes = es.Nodes
+		return rel, stats, err
+	}
+	stats.Acyclic = true
+
+	// Build per-atom local relations: selections (constant-bound
+	// classes) and intra-atom equalities applied.
+	eq := cq.NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		// Empty answer with the right scheme.
+		rel, _, err := cq.EvalWithStats(q, d)
+		return rel, stats, err
+	}
+	local := make([]*instance.Relation, len(q.Body))
+	for i, a := range q.Body {
+		base := d.Relation(a.Rel)
+		if base == nil {
+			return nil, stats, fmt.Errorf("acyclic: no relation %q", a.Rel)
+		}
+		filtered := instance.NewRelation(base.Scheme)
+		for _, t := range base.Tuples() {
+			if localTupleOK(a, t, eq) {
+				filtered.MustInsert(t)
+			}
+		}
+		local[i] = filtered
+	}
+
+	// Full reducer: leaves-to-root then root-to-leaves semijoins along
+	// the join tree.
+	for _, i := range jt.Order {
+		p := jt.Parent[i]
+		if p < 0 {
+			continue
+		}
+		n := semijoin(local[p], q.Body[p], local[i], q.Body[i], eq)
+		stats.Semijoins++
+		stats.Pruned += n
+	}
+	for k := len(jt.Order) - 1; k >= 0; k-- {
+		i := jt.Order[k]
+		p := jt.Parent[i]
+		if p < 0 {
+			continue
+		}
+		n := semijoin(local[i], q.Body[i], local[p], q.Body[p], eq)
+		stats.Semijoins++
+		stats.Pruned += n
+	}
+
+	// Final join over the reduced relations: rebuild as a derived
+	// database with one relation per atom so atoms of the same relation
+	// keep their individual reductions.
+	derivedSchema := &schema.Schema{}
+	derived := &cq.Query{HeadRel: q.HeadRel, Head: q.Head, Eqs: q.Eqs}
+	dbOut := &instance.Database{}
+	for i, a := range q.Body {
+		name := fmt.Sprintf("atom%d", i)
+		scheme := local[i].Scheme.Clone()
+		scheme.Name = name
+		derivedSchema.Relations = append(derivedSchema.Relations, scheme)
+		derived.Body = append(derived.Body, cq.Atom{Rel: name, Vars: a.Vars})
+	}
+	dbOut.Schema = derivedSchema
+	for i := range q.Body {
+		rel := instance.NewRelation(derivedSchema.Relations[i])
+		for _, t := range local[i].Tuples() {
+			rel.MustInsert(t)
+		}
+		dbOut.Relations = append(dbOut.Relations, rel)
+	}
+	rel, es, err := cq.EvalWithStats(derived, dbOut)
+	stats.Nodes = es.Nodes
+	return rel, stats, err
+}
+
+// localTupleOK applies the atom's own conditions: constant-bound classes
+// and positions whose classes coincide within the atom.
+func localTupleOK(a cq.Atom, t instance.Tuple, eq *cq.EqClasses) bool {
+	for p, v := range a.Vars {
+		if c, ok := eq.Const(v); ok && t[p] != c {
+			return false
+		}
+		for p2 := p + 1; p2 < len(a.Vars); p2++ {
+			if eq.Same(v, a.Vars[p2]) && t[p] != t[p2] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// semijoin filters target (atom ta) by source (atom sa): keep target
+// tuples whose shared-class projection appears in source.  Returns the
+// number of tuples removed.
+func semijoin(target *instance.Relation, ta cq.Atom, source *instance.Relation, sa cq.Atom, eq *cq.EqClasses) int {
+	// Shared classes and their first positions in each atom.
+	type sharing struct{ tp, sp int }
+	var sh []sharing
+	for tp, tv := range ta.Vars {
+		for sp, sv := range sa.Vars {
+			if eq.Same(tv, sv) {
+				sh = append(sh, sharing{tp, sp})
+				break
+			}
+		}
+	}
+	if len(sh) == 0 {
+		// No shared classes: semijoin only removes everything when the
+		// source is empty (a cross product with an empty relation).
+		if source.Len() == 0 {
+			n := target.Len()
+			for _, t := range target.Tuples() {
+				target.Delete(t)
+			}
+			return n
+		}
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, s := range source.Tuples() {
+		key := ""
+		for _, x := range sh {
+			key += s[x.sp].String() + "|"
+		}
+		seen[key] = true
+	}
+	removed := 0
+	for _, t := range target.Tuples() {
+		key := ""
+		for _, x := range sh {
+			key += t[x.tp].String() + "|"
+		}
+		if !seen[key] {
+			target.Delete(t)
+			removed++
+		}
+	}
+	return removed
+}

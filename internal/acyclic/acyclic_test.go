@@ -1,0 +1,182 @@
+package acyclic
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func TestIsAcyclicShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *cq.Query
+		want bool
+	}{
+		{"single atom", cq.MustParse("V(X) :- E(X, Y)."), true},
+		{"chain-4", gen.ChainQuery(4), true},
+		{"star-4", gen.StarQuery(4), true},
+		{"clique-3 (triangle)", gen.CliqueQuery(3), false},
+		{"cross product", cq.MustParse("V(X, A) :- E(X, Y), F(A, B)."), true},
+		// The 2-cycle E(x,y), E(y,x) IS α-acyclic: both hyperedges have
+		// the same vertex set {x, y}, so one absorbs the other.
+		{"2-cycle", cq.MustParse("V(X) :- E(X, Y), E(A, B), Y = A, B = X."), true},
+		{"clique-4", gen.CliqueQuery(4), false},
+	}
+	for _, tt := range cases {
+		if got := IsAcyclic(tt.q); got != tt.want {
+			t.Errorf("%s: IsAcyclic = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestJoinTreeShape(t *testing.T) {
+	q := gen.ChainQuery(4)
+	jt, ok := BuildJoinTree(q)
+	if !ok {
+		t.Fatal("chain should be acyclic")
+	}
+	if len(jt.Order) != 4 {
+		t.Fatalf("Order = %v", jt.Order)
+	}
+	roots := 0
+	for _, p := range jt.Parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("expected one root, parents = %v", jt.Parent)
+	}
+	if jt.Root() < 0 {
+		t.Error("Root not found")
+	}
+}
+
+func TestEvalMatchesPlainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries := []*cq.Query{
+		gen.ChainQuery(2),
+		gen.ChainQuery(4),
+		gen.StarQuery(3),
+		gen.CliqueQuery(3), // cyclic: fallback path
+		cq.MustParse("V(X) :- E(X, Y), Y = T1:2."),
+		cq.MustParse("V(X, X) :- E(X, Y), X = Y."),
+	}
+	for trial := 0; trial < 40; trial++ {
+		d := gen.RandomGraph(rng, 5, rng.Intn(12))
+		for _, q := range queries {
+			plain, err := cq.Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yann, _, err := Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plain.Equal(yann) {
+				t.Fatalf("Yannakakis disagrees on %s over %s:\n%s vs %s", q, d, plain, yann)
+			}
+		}
+	}
+}
+
+func TestFullReducerPrunes(t *testing.T) {
+	// A long chain query over a graph with many dead-end edges: the
+	// reducer must prune them, and the final join must visit few nodes.
+	d := instance.NewDatabase(gen.GraphSchema())
+	v := func(n int64) value.Value { return value.Value{Type: 1, N: n} }
+	// One genuine 4-path 1->2->3->4->5 plus 50 dead-end edges from node 1.
+	for i := int64(1); i <= 4; i++ {
+		d.MustInsert("E", v(i), v(i+1))
+	}
+	for i := int64(100); i < 150; i++ {
+		d.MustInsert("E", v(1), v(i))
+	}
+	q := gen.ChainQuery(4)
+	out, stats, err := Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Acyclic {
+		t.Fatal("chain should take the acyclic path")
+	}
+	if out.Len() != 1 {
+		t.Fatalf("answers = %s", out)
+	}
+	if stats.Pruned < 50 {
+		t.Errorf("expected dead ends pruned, Pruned = %d", stats.Pruned)
+	}
+	// Compare against plain eval's work on the same instance.
+	_, plainStats, err := cq.EvalWithStats(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes >= plainStats.Nodes {
+		t.Errorf("Yannakakis nodes %d should beat plain %d", stats.Nodes, plainStats.Nodes)
+	}
+}
+
+func TestEvalUnsatisfiable(t *testing.T) {
+	d := gen.PathGraph(3)
+	q := cq.MustParse("V(X) :- E(X, Y), Y = T1:1, Y = T1:2.")
+	out, _, err := Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("unsatisfiable query returned %s", out)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d := gen.PathGraph(2)
+	if _, _, err := Eval(cq.MustParse("V(X) :- Z(X)."), d); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestSelfJoinReducedIndependently(t *testing.T) {
+	// Two atoms over the SAME relation with different selections must be
+	// reduced independently (the per-atom derived relations).
+	s := schema.MustParse("E(src:T1, dst:T1)")
+	d := instance.NewDatabase(s)
+	v := func(n int64) value.Value { return value.Value{Type: 1, N: n} }
+	d.MustInsert("E", v(1), v(2))
+	d.MustInsert("E", v(2), v(3))
+	q := cq.MustParse("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2, X = T1:1.")
+	out, stats, err := Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Acyclic {
+		t.Error("selection chain should be acyclic")
+	}
+	if out.Len() != 1 || !out.Has(instance.Tuple{v(1), v(3)}) {
+		t.Errorf("answers = %s", out)
+	}
+}
+
+// Randomized agreement on chain variants with redundancy.
+func TestEvalAgreementFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		q := gen.RandomChainVariant(rng, 1+rng.Intn(3), rng.Intn(2))
+		d := gen.RandomGraph(rng, 4, rng.Intn(10))
+		plain, err := cq.Eval(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yann, _, err := Eval(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Equal(yann) {
+			t.Fatalf("disagreement on %s over %s", q, d)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package bag implements bag (multiset) semantics for the paper's
+// conjunctive queries: the multiplicity of an answer tuple is the number
+// of satisfying assignments of the body variables.  Under bag semantics,
+// equivalence of conjunctive queries is far more rigid than under set
+// semantics — by the Chaudhuri–Vardi theorem it coincides with query
+// isomorphism — which mirrors, one level down, the paper's Theorem 13
+// rigidity for schemas.  BagEquivalent decides it by normalizing away the
+// equality lists and searching for an atom-and-variable bijection.
+package bag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+// Counts is a multiset of answer tuples: rendered tuple -> multiplicity.
+type Counts map[string]int
+
+// Equal reports multiset equality.
+func (c Counts) Equal(d Counts) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for k, n := range c {
+		if d[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the multiset deterministically.
+func (c Counts) String() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s×%d", k, c[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Eval evaluates q over d under bag semantics: each answer tuple carries
+// the number of distinct body-variable assignments deriving it.
+func Eval(q *cq.Query, d *instance.Database) (Counts, error) {
+	out := Counts{}
+	if len(q.Body) == 0 {
+		return nil, fmt.Errorf("bag: empty body")
+	}
+	eq := cq.NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return out, nil
+	}
+	rels := make([]*instance.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r := d.Relation(a.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("bag: no relation %q", a.Rel)
+		}
+		rels[i] = r
+	}
+	binding := make(map[cq.Var]value.Value)
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			if c, ok := eq.Const(v); ok {
+				binding[eq.Find(v)] = c
+			}
+		}
+	}
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == len(q.Body) {
+			parts := make([]string, len(q.Head))
+			for p, term := range q.Head {
+				if term.IsConst {
+					parts[p] = term.Const.String()
+				} else {
+					parts[p] = binding[eq.Find(term.Var)].String()
+				}
+			}
+			out["("+strings.Join(parts, ", ")+")"]++
+			return
+		}
+		a := q.Body[i]
+		for _, t := range rels[i].Tuples() {
+			var added []cq.Var
+			ok := true
+			for p, v := range a.Vars {
+				root := eq.Find(v)
+				if bv, bound := binding[root]; bound {
+					if bv != t[p] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[root] = t[p]
+				added = append(added, root)
+			}
+			if ok {
+				recurse(i + 1)
+			}
+			for _, r := range added {
+				delete(binding, r)
+			}
+		}
+	}
+	recurse(0)
+	return out, nil
+}
+
+// normAtom is an atom with its placeholders collapsed to equality-class
+// representatives or constants.
+type normAtom struct {
+	rel   string
+	terms []cq.Term
+}
+
+// normalize collapses q's equality list: every variable is replaced by
+// its class representative (or bound constant), yielding atoms that may
+// repeat terms, plus the collapsed head.
+func normalize(q *cq.Query) ([]normAtom, []cq.Term) {
+	eq := cq.NewEqClasses(q)
+	termOf := func(v cq.Var) cq.Term {
+		if c, ok := eq.Const(v); ok {
+			return cq.C(c)
+		}
+		return cq.Term{Var: eq.Find(v)}
+	}
+	atoms := make([]normAtom, len(q.Body))
+	for i, a := range q.Body {
+		na := normAtom{rel: a.Rel, terms: make([]cq.Term, len(a.Vars))}
+		for p, v := range a.Vars {
+			na.terms[p] = termOf(v)
+		}
+		atoms[i] = na
+	}
+	head := make([]cq.Term, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsConst {
+			head[i] = t
+		} else {
+			head[i] = termOf(t.Var)
+		}
+	}
+	return atoms, head
+}
+
+// BagEquivalent decides bag equivalence of two conjunctive queries by
+// the Chaudhuri–Vardi criterion: the normalized queries must be
+// isomorphic — a bijection between atoms together with a bijection
+// between variables carrying one onto the other, constants fixed, heads
+// matching position-wise.
+func BagEquivalent(q1, q2 *cq.Query) bool {
+	a1, h1 := normalize(q1)
+	a2, h2 := normalize(q2)
+	if len(a1) != len(a2) || len(h1) != len(h2) {
+		return false
+	}
+	// Backtracking search for the atom bijection with a consistent
+	// variable bijection.
+	fwd := map[cq.Var]cq.Var{} // q1 var -> q2 var
+	bwd := map[cq.Var]cq.Var{}
+	used := make([]bool, len(a2))
+
+	matchTerm := func(t1, t2 cq.Term) (undo func(), ok bool) {
+		noop := func() {}
+		switch {
+		case t1.IsConst != t2.IsConst:
+			return noop, false
+		case t1.IsConst:
+			return noop, t1.Const == t2.Const
+		default:
+			if m, seen := fwd[t1.Var]; seen {
+				return noop, m == t2.Var
+			}
+			if _, seen := bwd[t2.Var]; seen {
+				return noop, false
+			}
+			fwd[t1.Var] = t2.Var
+			bwd[t2.Var] = t1.Var
+			v1, v2 := t1.Var, t2.Var
+			return func() {
+				delete(fwd, v1)
+				delete(bwd, v2)
+			}, true
+		}
+	}
+	matchTerms := func(ts1, ts2 []cq.Term) (undo func(), ok bool) {
+		var undos []func()
+		undoAll := func() {
+			for i := len(undos) - 1; i >= 0; i-- {
+				undos[i]()
+			}
+		}
+		if len(ts1) != len(ts2) {
+			return undoAll, false
+		}
+		for p := range ts1 {
+			u, ok := matchTerm(ts1[p], ts2[p])
+			undos = append(undos, u)
+			if !ok {
+				return undoAll, false
+			}
+		}
+		return undoAll, true
+	}
+
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(a1) {
+			// Heads must correspond under the bijection.
+			undo, ok := matchTerms(h1, h2)
+			defer undo()
+			return ok
+		}
+		for j := range a2 {
+			if used[j] || a2[j].rel != a1[i].rel {
+				continue
+			}
+			undo, ok := matchTerms(a1[i].terms, a2[j].terms)
+			if ok {
+				used[j] = true
+				if match(i + 1) {
+					return true
+				}
+				used[j] = false
+			}
+			undo()
+		}
+		return false
+	}
+	return match(0)
+}

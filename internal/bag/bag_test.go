@@ -1,0 +1,195 @@
+package bag
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+func v(n int64) value.Value { return value.Value{Type: 1, N: n} }
+
+func TestEvalMultiplicities(t *testing.T) {
+	d := instance.NewDatabase(gen.GraphSchema())
+	// Node 1 has two out-edges.
+	d.MustInsert("E", v(1), v(2))
+	d.MustInsert("E", v(1), v(3))
+	q := cq.MustParse("V(X) :- E(X, Y).")
+	c, err := Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c["(T1:1)"] != 2 {
+		t.Errorf("multiplicity = %d, want 2 (%s)", c["(T1:1)"], c)
+	}
+	// Squaring: the folded self-join has multiplicity outdeg².
+	q2 := cq.MustParse("V(X) :- E(X, Y), E(A, B), X = A.")
+	c2, err := Eval(q2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2["(T1:1)"] != 4 {
+		t.Errorf("squared multiplicity = %d, want 4 (%s)", c2["(T1:1)"], c2)
+	}
+}
+
+func TestEvalAgreesWithSetSemanticsOnSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	queries := []*cq.Query{
+		cq.MustParse("V(X) :- E(X, Y)."),
+		cq.MustParse("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2."),
+		cq.MustParse("V(X) :- E(X, Y), X = Y."),
+	}
+	for trial := 0; trial < 30; trial++ {
+		d := gen.RandomGraph(rng, 4, rng.Intn(8))
+		for _, q := range queries {
+			bagC, err := Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			setA, err := cq.Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Support of the bag = the set answer.
+			if len(bagC) != setA.Len() {
+				t.Fatalf("support %d vs set %d for %s on %s\n%s\n%s",
+					len(bagC), setA.Len(), q, d, bagC, setA)
+			}
+			for _, tp := range setA.Tuples() {
+				if bagC[tp.String()] < 1 {
+					t.Fatalf("set answer %s missing from bag %s", tp, bagC)
+				}
+			}
+		}
+	}
+}
+
+func TestBagEquivalentRenamingAndReordering(t *testing.T) {
+	q1 := cq.MustParse("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	q2 := cq.MustParse("V(A, C) :- E(B2, C), E(A, B), B = B2.") // atoms swapped, renamed
+	if !BagEquivalent(q1, q2) {
+		t.Error("alpha-renamed/reordered queries should be bag equivalent")
+	}
+	if !BagEquivalent(q1, q1) {
+		t.Error("reflexivity broken")
+	}
+}
+
+// The signature case: set-equivalent but NOT bag-equivalent (the folded
+// duplicate atom squares multiplicities).
+func TestSetEquivalentNotBagEquivalent(t *testing.T) {
+	gs := gen.GraphSchema()
+	q1 := cq.MustParse("V(X) :- E(X, Y).")
+	q2 := cq.MustParse("V(X) :- E(X, Y), E(A, B), X = A.")
+	setEq, err := containment.Equivalent(q1, q2, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setEq {
+		t.Fatal("fixture should be set-equivalent")
+	}
+	if BagEquivalent(q1, q2) {
+		t.Error("should NOT be bag equivalent")
+	}
+	// And the multiplicities really differ on a concrete instance.
+	d := instance.NewDatabase(gs)
+	d.MustInsert("E", v(1), v(2))
+	d.MustInsert("E", v(1), v(3))
+	c1, _ := Eval(q1, d)
+	c2, _ := Eval(q2, d)
+	if c1.Equal(c2) {
+		t.Errorf("multiplicities should differ: %s vs %s", c1, c2)
+	}
+}
+
+func TestBagEquivalentRespectsConstants(t *testing.T) {
+	q1 := cq.MustParse("V(X) :- E(X, Y), Y = T1:5.")
+	q2 := cq.MustParse("V(A) :- E(A, B), B = T1:5.")
+	q3 := cq.MustParse("V(A) :- E(A, B), B = T1:6.")
+	if !BagEquivalent(q1, q2) {
+		t.Error("same-constant queries should be bag equivalent")
+	}
+	if BagEquivalent(q1, q3) {
+		t.Error("different constants should not be bag equivalent")
+	}
+}
+
+func TestBagEquivalentHeadsMatter(t *testing.T) {
+	q1 := cq.MustParse("V(X) :- E(X, Y).")
+	q2 := cq.MustParse("V(Y) :- E(X, Y).")
+	if BagEquivalent(q1, q2) {
+		t.Error("src vs dst projections should not be bag equivalent")
+	}
+}
+
+func TestBagEquivalentColumnSelection(t *testing.T) {
+	// X = Y collapses the atom to a repeated term; only queries with the
+	// same collapse are equivalent.
+	q1 := cq.MustParse("V(X) :- E(X, Y), X = Y.")
+	q2 := cq.MustParse("V(A) :- E(A, B), A = B.")
+	q3 := cq.MustParse("V(A) :- E(A, B).")
+	if !BagEquivalent(q1, q2) {
+		t.Error("loop queries should be bag equivalent")
+	}
+	if BagEquivalent(q1, q3) {
+		t.Error("loop vs plain edge should differ")
+	}
+}
+
+// Soundness: BagEquivalent implies equal multiplicity vectors on random
+// instances.
+func TestBagEquivalentSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pairs := [][2]*cq.Query{
+		{
+			cq.MustParse("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2."),
+			cq.MustParse("V(A, C) :- E(B2, C), E(A, B), B = B2."),
+		},
+		{
+			cq.MustParse("V(X) :- E(X, Y), X = Y."),
+			cq.MustParse("V(A) :- E(A, B), B = A."),
+		},
+	}
+	for _, p := range pairs {
+		if !BagEquivalent(p[0], p[1]) {
+			t.Fatal("fixture should be bag equivalent")
+		}
+		for trial := 0; trial < 25; trial++ {
+			d := gen.RandomGraph(rng, 4, rng.Intn(8))
+			c1, err := Eval(p[0], d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Eval(p[1], d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c1.Equal(c2) {
+				t.Fatalf("bag-equivalent queries with different counts:\n%s vs %s", c1, c2)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d := gen.PathGraph(2)
+	if _, err := Eval(cq.MustParse("V(X) :- Z(X)."), d); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := Eval(&cq.Query{Head: []cq.Term{{Var: "X"}}}, d); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	c := Counts{"(T1:2)": 1, "(T1:1)": 3}
+	s := c.String()
+	if s != "{(T1:1)×3, (T1:2)×1}" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,126 @@
+// Package capacity implements instance counting over finite domains —
+// the "information capacity" view of schema equivalence the paper's
+// introduction discusses and rejects: two schemas are
+// cardinality-equivalent when they admit equally many instances, i.e.
+// when a bijection exists between their instance sets [Miller et al.,
+// Rosenthal & Reiner].  The paper points out this notion degenerates
+// (over an infinite domain all schemas are equivalent), and this package
+// makes the degeneracy concrete: Demonstrate returns keyed schemas that
+// are cardinality-equivalent for every domain size yet not conjunctive
+// query equivalent.
+//
+// Counting is exact (math/big):
+//
+//   - an unkeyed relation over a tuple space of size P admits 2^P
+//     instances (any subset);
+//
+//   - a keyed relation with key space K and non-key space N admits
+//     (N+1)^K instances (each key value is absent or maps to one of the
+//     N non-key combinations);
+//
+//   - a schema's count is the product over its relations.
+package capacity
+
+import (
+	"fmt"
+	"math/big"
+
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// DomainSizes assigns each attribute type a finite domain size.  The
+// zero value is usable with Uniform.
+type DomainSizes map[value.Type]int
+
+// Uniform assigns size n to every type used by the schemas.
+func Uniform(n int, ss ...*schema.Schema) DomainSizes {
+	d := DomainSizes{}
+	for _, s := range ss {
+		for _, t := range s.Types() {
+			d[t] = n
+		}
+	}
+	return d
+}
+
+// CountRelation returns the number of instances of one relation scheme
+// over the given domain sizes.
+func CountRelation(r *schema.Relation, d DomainSizes) (*big.Int, error) {
+	keySpace := big.NewInt(1)
+	nonKeySpace := big.NewInt(1)
+	for p, a := range r.Attrs {
+		n, ok := d[a.Type]
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("capacity: no domain size for %v", a.Type)
+		}
+		size := big.NewInt(int64(n))
+		if r.IsKeyPos(p) {
+			keySpace.Mul(keySpace, size)
+		} else {
+			nonKeySpace.Mul(nonKeySpace, size)
+		}
+	}
+	if !r.Keyed() {
+		// 2^(keySpace*nonKeySpace); keySpace is the full tuple space
+		// here because no positions are keys.
+		exp := new(big.Int).Mul(keySpace, nonKeySpace)
+		if !exp.IsInt64() {
+			return nil, fmt.Errorf("capacity: tuple space too large")
+		}
+		return new(big.Int).Exp(big.NewInt(2), exp, nil), nil
+	}
+	// (N+1)^K.
+	base := new(big.Int).Add(nonKeySpace, big.NewInt(1))
+	if !keySpace.IsInt64() {
+		return nil, fmt.Errorf("capacity: key space too large")
+	}
+	return new(big.Int).Exp(base, keySpace, nil), nil
+}
+
+// CountInstances returns the number of key-satisfying instances of s
+// over the given domain sizes.
+func CountInstances(s *schema.Schema, d DomainSizes) (*big.Int, error) {
+	total := big.NewInt(1)
+	for _, r := range s.Relations {
+		c, err := CountRelation(r, d)
+		if err != nil {
+			return nil, err
+		}
+		total.Mul(total, c)
+	}
+	return total, nil
+}
+
+// CardinalityEquivalent reports whether s1 and s2 admit equally many
+// instances for every uniform domain size 1..maxSize.  This is the
+// finite-domain shadow of the bijection-based equivalence the paper's
+// introduction criticizes.
+func CardinalityEquivalent(s1, s2 *schema.Schema, maxSize int) (bool, error) {
+	for n := 1; n <= maxSize; n++ {
+		d := Uniform(n, s1, s2)
+		c1, err := CountInstances(s1, d)
+		if err != nil {
+			return false, err
+		}
+		c2, err := CountInstances(s2, d)
+		if err != nil {
+			return false, err
+		}
+		if c1.Cmp(c2) != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Demonstrate returns a pair of keyed schemas that are
+// cardinality-equivalent at every uniform domain size but NOT conjunctive
+// query equivalent (they differ on attribute types, which counting over
+// same-size domains cannot see) — the concrete witness for the paper's
+// §1 argument that bijection-based equivalence is too weak.
+func Demonstrate() (*schema.Schema, *schema.Schema) {
+	s1 := schema.MustParse("r(a*:T1)")
+	s2 := schema.MustParse("r(a*:T2)")
+	return s1, s2
+}

@@ -1,0 +1,171 @@
+package capacity
+
+import (
+	"math/big"
+	"testing"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func count(t *testing.T, text string, n int) *big.Int {
+	t.Helper()
+	s := schema.MustParse(text)
+	c, err := CountInstances(s, Uniform(n, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClosedForms(t *testing.T) {
+	tests := []struct {
+		schema string
+		n      int
+		want   int64
+	}{
+		// Unkeyed single attribute, domain 3: subsets of 3 values = 8.
+		{"r(a:T1)", 3, 8},
+		// Unkeyed binary, domain 2: subsets of 4 tuples = 16.
+		{"r(a:T1, b:T1)", 2, 16},
+		// Keyed single attribute: key present or absent per value = 2^3.
+		{"r(a*:T1)", 3, 8},
+		// Keyed with one non-key, domain 2: (2+1)^2 = 9.
+		{"r(k*:T1, a:T1)", 2, 9},
+		// Composite key, no non-keys: every subset of the 4 key pairs = 2^4.
+		{"r(k1*:T1, k2*:T1)", 2, 16},
+		// Two relations multiply: 8 * 8.
+		{"r(a*:T1)\ns(b*:T1)", 3, 64},
+		// Mixed types with uniform sizes.
+		{"r(k*:T1, a:T2, b:T3)", 2, 25}, // (2*2+1)^2
+	}
+	for _, tt := range tests {
+		got := count(t, tt.schema, tt.n)
+		if got.Cmp(big.NewInt(tt.want)) != 0 {
+			t.Errorf("Count(%q, n=%d) = %s, want %d", tt.schema, tt.n, got, tt.want)
+		}
+	}
+}
+
+// Brute force: enumerate every instance of a tiny relation and count the
+// key-satisfying ones; must match the closed form.
+func TestClosedFormAgainstEnumeration(t *testing.T) {
+	cases := []string{
+		"r(a*:T1)",
+		"r(a:T1)",
+		"r(k*:T1, a:T1)",
+		"r(a:T1, b:T1)",
+		"r(k1*:T1, k2*:T1)",
+		"r(k*:T1, a:T1, b:T1)",
+	}
+	for _, text := range cases {
+		for n := 1; n <= 2; n++ {
+			s := schema.MustParse(text)
+			r := s.Relations[0]
+			// Enumerate all tuples over the domain.
+			var tuples []instance.Tuple
+			var build func(pos int, cur instance.Tuple)
+			build = func(pos int, cur instance.Tuple) {
+				if pos == r.Arity() {
+					tuples = append(tuples, cur.Clone())
+					return
+				}
+				for v := 1; v <= n; v++ {
+					build(pos+1, append(cur, value.Value{Type: r.Attrs[pos].Type, N: int64(v)}))
+				}
+			}
+			build(0, nil)
+			// Count subsets that satisfy the key.
+			total := 0
+			for mask := 0; mask < 1<<uint(len(tuples)); mask++ {
+				inst := instance.NewRelation(r)
+				for i, tp := range tuples {
+					if mask&(1<<uint(i)) != 0 {
+						inst.MustInsert(tp)
+					}
+				}
+				if inst.SatisfiesKey() {
+					total++
+				}
+			}
+			got := count(t, text, n)
+			if got.Cmp(big.NewInt(int64(total))) != 0 {
+				t.Errorf("%q n=%d: closed form %s, enumeration %d", text, n, got, total)
+			}
+		}
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	s := schema.MustParse("r(a*:T1)")
+	if _, err := CountInstances(s, DomainSizes{}); err == nil {
+		t.Error("missing domain size accepted")
+	}
+	if _, err := CountInstances(s, DomainSizes{1: -1}); err == nil {
+		t.Error("negative domain size accepted")
+	}
+}
+
+func TestCardinalityEquivalentDegenerate(t *testing.T) {
+	// The demonstration pair: equal counts at every size, yet not CQ
+	// equivalent (different key types).
+	s1, s2 := Demonstrate()
+	eq, err := CardinalityEquivalent(s1, s2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("demonstration pair should be cardinality-equivalent")
+	}
+	if schema.Isomorphic(s1, s2) {
+		t.Error("demonstration pair should NOT be isomorphic (≠ CQ equivalent)")
+	}
+}
+
+func TestCardinalityDistinguishesSizes(t *testing.T) {
+	// Schemas with genuinely different capacity are told apart.
+	s1 := schema.MustParse("r(a*:T1)")
+	s2 := schema.MustParse("r(a*:T1, b:T1)")
+	eq, err := CardinalityEquivalent(s1, s2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("different-arity schemas should differ in capacity")
+	}
+}
+
+func TestIsomorphicImpliesCardinalityEquivalent(t *testing.T) {
+	// The sound direction: CQ-equivalent (isomorphic) schemas always
+	// have equal counts.
+	pairs := [][2]string{
+		{"r(a*:T1, b:T2)", "s(x:T2, y*:T1)"},
+		{"r(a*:T1)\ns(b*:T2)", "u(p*:T2)\nv(q*:T1)"},
+	}
+	for _, p := range pairs {
+		s1 := schema.MustParse(p[0])
+		s2 := schema.MustParse(p[1])
+		if !schema.Isomorphic(s1, s2) {
+			t.Fatalf("fixture should be isomorphic: %q vs %q", p[0], p[1])
+		}
+		eq, err := CardinalityEquivalent(s1, s2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("isomorphic schemas with unequal counts: %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := schema.MustParse("r(a*:T1, b:T7)")
+	d := Uniform(3, s)
+	if d[1] != 3 || d[7] != 3 {
+		t.Errorf("Uniform = %v", d)
+	}
+	if len(d) != 2 {
+		t.Errorf("Uniform sized %d", len(d))
+	}
+}

@@ -1,0 +1,315 @@
+// Package chase implements the classical chase with equality-generating
+// dependencies (EGDs) — here, key and functional dependencies — over
+// tableaux of labeled nulls and constants.
+//
+// The chase is the workhorse behind two decision procedures the paper's
+// setting needs:
+//
+//   - conjunctive query containment under key dependencies (freeze the
+//     candidate container's body, chase it with the key EGDs, then search
+//     for a homomorphism), and
+//
+//   - the "view FD" test deciding whether a functional dependency holds on
+//     every answer of a conjunctive query over key-satisfying instances
+//     (two frozen copies, unify the X cells, chase, check the Y cells) —
+//     which is exactly what deciding the paper's *valid* query mappings
+//     requires.
+package chase
+
+import (
+	"fmt"
+
+	"keyedeq/internal/fd"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Term identifies a tableau term: a labeled null or a constant, managed by
+// the Tableau that created it.
+type Term int
+
+// Tableau is a set of rows over a schema whose cells are terms (labeled
+// nulls or constants) with a union-find equating them.  The zero Tableau
+// is not usable; call NewTableau.
+type Tableau struct {
+	Schema *schema.Schema
+	rows   []row
+
+	parent []int
+	rank   []int
+	// For roots: optional constant binding and the term's type.
+	constOf map[int]value.Value
+	// interned maps each constant to its canonical term so equal
+	// constants always share a class (required for correct grouping
+	// during the chase).
+	interned map[value.Value]Term
+	typeOf   []value.Type
+	failed   bool
+}
+
+type row struct {
+	rel   int // index into Schema.Relations
+	cells []Term
+}
+
+// NewTableau returns an empty tableau over s.
+func NewTableau(s *schema.Schema) *Tableau {
+	return &Tableau{
+		Schema:   s,
+		constOf:  make(map[int]value.Value),
+		interned: make(map[value.Value]Term),
+	}
+}
+
+// NewNull creates a fresh labeled null of the given attribute type.
+func (t *Tableau) NewNull(typ value.Type) Term {
+	id := len(t.parent)
+	t.parent = append(t.parent, id)
+	t.rank = append(t.rank, 0)
+	t.typeOf = append(t.typeOf, typ)
+	return Term(id)
+}
+
+// NewConst returns the canonical term bound to the constant v: calling it
+// twice with the same constant yields terms in the same class, so the
+// chase's grouping sees equal constants as equal.
+func (t *Tableau) NewConst(v value.Value) Term {
+	if tm, ok := t.interned[v]; ok {
+		return tm
+	}
+	id := t.NewNull(v.Type)
+	t.constOf[int(id)] = v
+	t.interned[v] = id
+	return id
+}
+
+// AddRow appends a row for the named relation.  Cell count must match the
+// scheme's arity and cell types its attribute types.
+func (t *Tableau) AddRow(rel string, cells []Term) error {
+	ri := t.Schema.RelationIndex(rel)
+	if ri < 0 {
+		return fmt.Errorf("chase: no relation %q", rel)
+	}
+	r := t.Schema.Relations[ri]
+	if len(cells) != r.Arity() {
+		return fmt.Errorf("chase: row for %q has %d cells, want %d", rel, len(cells), r.Arity())
+	}
+	for i, c := range cells {
+		if int(c) < 0 || int(c) >= len(t.parent) {
+			return fmt.Errorf("chase: unknown term %d", c)
+		}
+		if t.typeOf[c] != r.Attrs[i].Type {
+			return fmt.Errorf("chase: cell %d of %q has type %v, want %v", i, rel, t.typeOf[c], r.Attrs[i].Type)
+		}
+	}
+	t.rows = append(t.rows, row{rel: ri, cells: append([]Term(nil), cells...)})
+	return nil
+}
+
+// find returns the union-find representative of term id.
+func (t *Tableau) find(id int) int {
+	for t.parent[id] != id {
+		t.parent[id] = t.parent[t.parent[id]]
+		id = t.parent[id]
+	}
+	return id
+}
+
+// Same reports whether two terms have been equated.
+func (t *Tableau) Same(a, b Term) bool { return t.find(int(a)) == t.find(int(b)) }
+
+// ConstOf returns the constant a term's class is bound to, if any.
+func (t *Tableau) ConstOf(a Term) (value.Value, bool) {
+	v, ok := t.constOf[t.find(int(a))]
+	return v, ok
+}
+
+// Failed reports whether some assertion equated two distinct constants
+// (a failing chase).
+func (t *Tableau) Failed() bool { return t.failed }
+
+// Assert equates two terms.  Equating distinct constants marks the
+// tableau failed; equating terms of different attribute types is an
+// error (it cannot arise from well-typed queries).
+func (t *Tableau) Assert(a, b Term) error {
+	ra, rb := t.find(int(a)), t.find(int(b))
+	if ra == rb {
+		return nil
+	}
+	if t.typeOf[ra] != t.typeOf[rb] {
+		return fmt.Errorf("chase: equating terms of types %v and %v", t.typeOf[ra], t.typeOf[rb])
+	}
+	ca, hasA := t.constOf[ra]
+	cb, hasB := t.constOf[rb]
+	if t.rank[ra] < t.rank[rb] {
+		ra, rb = rb, ra
+	}
+	t.parent[rb] = ra
+	if t.rank[ra] == t.rank[rb] {
+		t.rank[ra]++
+	}
+	switch {
+	case hasA && hasB:
+		if ca != cb {
+			t.failed = true
+		}
+		t.constOf[ra] = ca
+		delete(t.constOf, rb)
+	case hasB:
+		t.constOf[ra] = cb
+		delete(t.constOf, rb)
+	case hasA:
+		t.constOf[ra] = ca
+	}
+	return nil
+}
+
+// Stats reports work done by a chase run.
+type Stats struct {
+	// Iterations is the number of full passes over the dependencies.
+	Iterations int
+	// Merges is the number of union operations applied.
+	Merges int
+}
+
+// Run chases the tableau with the given schema-level dependencies until
+// fixpoint.  Every dependency must have all attributes within a single
+// relation (EGD form); cross-relation dependencies are rejected.  On a
+// failing chase the tableau's Failed flag is set and Run returns normally
+// (failure is a result, not an error).
+func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
+	type egd struct {
+		rel  int
+		x, y []int
+	}
+	egds := make([]egd, 0, len(deps))
+	for _, d := range deps {
+		rel, ok := d.SameRelation()
+		if !ok {
+			return Stats{}, fmt.Errorf("chase: dependency %s spans relations; only EGDs over one relation are supported", d)
+		}
+		ri := t.Schema.RelationIndex(rel)
+		if ri < 0 {
+			return Stats{}, fmt.Errorf("chase: dependency %s over unknown relation", d)
+		}
+		e := egd{rel: ri}
+		arity := t.Schema.Relations[ri].Arity()
+		for _, a := range d.X {
+			if a.Pos < 0 || a.Pos >= arity {
+				return Stats{}, fmt.Errorf("chase: dependency %s position out of range", d)
+			}
+			e.x = append(e.x, a.Pos)
+		}
+		for _, a := range d.Y {
+			if a.Pos < 0 || a.Pos >= arity {
+				return Stats{}, fmt.Errorf("chase: dependency %s position out of range", d)
+			}
+			e.y = append(e.y, a.Pos)
+		}
+		egds = append(egds, e)
+	}
+
+	var stats Stats
+	for {
+		stats.Iterations++
+		changed := false
+		for _, e := range egds {
+			// Group rows of e.rel by the representatives of their X cells.
+			groups := make(map[string]row)
+			for _, r := range t.rows {
+				if r.rel != e.rel {
+					continue
+				}
+				key := t.projKey(r, e.x)
+				first, ok := groups[key]
+				if !ok {
+					groups[key] = r
+					continue
+				}
+				for _, p := range e.y {
+					if !t.Same(first.cells[p], r.cells[p]) {
+						if err := t.Assert(first.cells[p], r.cells[p]); err != nil {
+							return stats, err
+						}
+						stats.Merges++
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed || t.failed {
+			return stats, nil
+		}
+	}
+}
+
+// projKey renders the representatives of the projected cells as a map key.
+func (t *Tableau) projKey(r row, positions []int) string {
+	b := make([]byte, 0, len(positions)*4)
+	for _, p := range positions {
+		rep := t.find(int(r.cells[p]))
+		b = appendInt(b, rep)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// ToDatabase converts the (chased) tableau to a concrete database
+// instance: every term class bound to a constant becomes that constant;
+// every unbound class gets a fresh distinct value from alloc.  The
+// returned map resolves each term to its value.  It fails on a failed
+// tableau.
+func (t *Tableau) ToDatabase(alloc *value.Allocator) (*instance.Database, map[Term]value.Value, error) {
+	if t.failed {
+		return nil, nil, fmt.Errorf("chase: tableau failed; no database exists")
+	}
+	for _, v := range t.constOf {
+		alloc.Reserve(v)
+	}
+	valOf := make(map[int]value.Value)
+	resolve := func(id int) value.Value {
+		rep := t.find(id)
+		if v, ok := valOf[rep]; ok {
+			return v
+		}
+		v, ok := t.constOf[rep]
+		if !ok {
+			v = alloc.Fresh(t.typeOf[rep])
+		}
+		valOf[rep] = v
+		return v
+	}
+	d := instance.NewDatabase(t.Schema)
+	for _, r := range t.rows {
+		tup := make(instance.Tuple, len(r.cells))
+		for i, c := range r.cells {
+			tup[i] = resolve(int(c))
+		}
+		if err := d.Relations[r.rel].Insert(tup); err != nil {
+			return nil, nil, err
+		}
+	}
+	all := make(map[Term]value.Value, len(t.parent))
+	for id := range t.parent {
+		all[Term(id)] = resolve(id)
+	}
+	return d, all, nil
+}
+
+// RowCount returns the number of rows (before deduplication).
+func (t *Tableau) RowCount() int { return len(t.rows) }

@@ -1,0 +1,237 @@
+// Package containment decides conjunctive query containment and
+// equivalence — the Chandra–Merlin homomorphism test — both over all
+// instances and over instances satisfying key/functional dependencies
+// (via the chase), plus query minimization (core computation).
+//
+// q ⊑ q' (q contained in q') means q(d) ⊆ q'(d) for every database d; the
+// paper's query equivalence is mutual containment.  The classical test:
+// freeze q into its canonical database, evaluate q' over it, and look for
+// q's frozen head among the answers.  Under dependencies, chase the
+// canonical database first; a failing chase means q returns no answers on
+// any dependency-satisfying database, so containment holds vacuously.
+package containment
+
+import (
+	"fmt"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Stats describes the work a containment check did.
+type Stats struct {
+	// Nodes is the homomorphism search tree size.
+	Nodes int64
+	// ChaseIterations counts chase passes (zero without dependencies).
+	ChaseIterations int
+	// ChaseFailed records that the chase detected unsatisfiability.
+	ChaseFailed bool
+}
+
+// Contained reports whether q1 ⊑ q2 over all instances of s.
+func Contained(q1, q2 *cq.Query, s *schema.Schema) (bool, error) {
+	ok, _, err := ContainedUnder(q1, q2, s, nil)
+	return ok, err
+}
+
+// ContainedUnder reports whether q1 ⊑ q2 over all instances of s
+// satisfying deps (single-relation EGDs, e.g. fd.KeyFDs(s)).
+func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
+	var stats Stats
+	if err := checkComparable(q1, q2, s); err != nil {
+		return false, stats, err
+	}
+	// Freeze q1 into its canonical database.
+	tb := chase.NewTableau(s)
+	vars, err := chase.Freeze(tb, q1)
+	if err != nil {
+		return false, stats, err
+	}
+	head, err := chase.HeadTerms(tb, q1, vars)
+	if err != nil {
+		return false, stats, err
+	}
+	if len(deps) > 0 {
+		cs, err := tb.Run(deps)
+		if err != nil {
+			return false, stats, err
+		}
+		stats.ChaseIterations = cs.Iterations
+	}
+	if tb.Failed() {
+		// q1 is empty on every deps-satisfying database.
+		stats.ChaseFailed = true
+		return true, stats, nil
+	}
+	var alloc value.Allocator
+	for _, c := range q1.Constants() {
+		alloc.Reserve(c)
+	}
+	for _, c := range q2.Constants() {
+		alloc.Reserve(c)
+	}
+	db, valOf, err := tb.ToDatabase(&alloc)
+	if err != nil {
+		return false, stats, err
+	}
+	want := make(instance.Tuple, len(head))
+	for i, h := range head {
+		want[i] = valOf[h]
+	}
+	ok, es, err := cq.HasAnswer(q2, db, want)
+	stats.Nodes = es.Nodes
+	return ok, stats, err
+}
+
+// Equivalent reports whether q1 ≡ q2 over all instances of s.
+func Equivalent(q1, q2 *cq.Query, s *schema.Schema) (bool, error) {
+	ok, _, err := EquivalentUnder(q1, q2, s, nil)
+	return ok, err
+}
+
+// EquivalentUnder reports mutual containment under deps.
+func EquivalentUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
+	ok, st1, err := ContainedUnder(q1, q2, s, deps)
+	if err != nil || !ok {
+		return false, st1, err
+	}
+	ok, st2, err := ContainedUnder(q2, q1, s, deps)
+	st := Stats{
+		Nodes:           st1.Nodes + st2.Nodes,
+		ChaseIterations: st1.ChaseIterations + st2.ChaseIterations,
+		ChaseFailed:     st1.ChaseFailed || st2.ChaseFailed,
+	}
+	return ok, st, err
+}
+
+// checkComparable validates both queries and requires equal head types.
+func checkComparable(q1, q2 *cq.Query, s *schema.Schema) error {
+	if err := q1.Validate(s); err != nil {
+		return fmt.Errorf("containment: left query: %v", err)
+	}
+	if err := q2.Validate(s); err != nil {
+		return fmt.Errorf("containment: right query: %v", err)
+	}
+	t1, err := q1.HeadType(s)
+	if err != nil {
+		return err
+	}
+	t2, err := q2.HeadType(s)
+	if err != nil {
+		return err
+	}
+	if len(t1) != len(t2) {
+		return fmt.Errorf("containment: arity %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			return fmt.Errorf("containment: head position %d has type %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	return nil
+}
+
+// Minimize computes a core of q over s: an equivalent query with a
+// minimal set of body atoms, obtained by repeatedly deleting atoms whose
+// deletion preserves equivalence.  Deps, when non-nil, minimizes under the
+// dependencies instead.
+func Minimize(q *cq.Query, s *schema.Schema, deps []fd.FD) (*cq.Query, error) {
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	cur := q.Clone()
+	if len(deps) > 0 {
+		// Make dependency-forced equalities explicit first, so that
+		// atom removal can remap head variables through them.
+		chased, unsat, err := chase.ChaseQuery(s, deps, q)
+		if err != nil {
+			return nil, err
+		}
+		if !unsat {
+			cur = chased
+		}
+	}
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			if len(cur.Body) == 1 {
+				break
+			}
+			cand, ok := removeAtom(cur, i)
+			if !ok {
+				continue
+			}
+			if err := cand.Validate(s); err != nil {
+				continue
+			}
+			eq, _, err := EquivalentUnder(cand, cur, s, deps)
+			if err != nil {
+				return nil, err
+			}
+			if eq {
+				cur = cand
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}
+
+// removeAtom builds q without body atom i, remapping head variables and
+// equalities so the equality classes restricted to the remaining
+// variables are preserved.  It reports ok=false when a head variable's
+// class has no remaining member (the atom is not removable).
+func removeAtom(q *cq.Query, i int) (*cq.Query, bool) {
+	eq := cq.NewEqClasses(q)
+	remaining := make(map[cq.Var]bool)
+	out := &cq.Query{HeadRel: q.HeadRel}
+	for j, a := range q.Body {
+		if j == i {
+			continue
+		}
+		out.Body = append(out.Body, cq.Atom{Rel: a.Rel, Vars: append([]cq.Var(nil), a.Vars...)})
+		for _, v := range a.Vars {
+			remaining[v] = true
+		}
+	}
+	// Group remaining variables by class.
+	classes := make(map[cq.Var][]cq.Var)
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			if remaining[v] {
+				root := eq.Find(v)
+				classes[root] = append(classes[root], v)
+			}
+		}
+	}
+	// Head terms: map each variable to a remaining member of its class.
+	for _, t := range q.Head {
+		if t.IsConst {
+			out.Head = append(out.Head, t)
+			continue
+		}
+		members := classes[eq.Find(t.Var)]
+		if len(members) == 0 {
+			return nil, false
+		}
+		out.Head = append(out.Head, cq.Term{Var: members[0]})
+	}
+	// Equalities: chain the remaining members of each class, and re-bind
+	// class constants.
+	for root, members := range classes {
+		for k := 1; k < len(members); k++ {
+			out.Eqs = append(out.Eqs, cq.Equality{Left: members[0], Right: cq.Term{Var: members[k]}})
+		}
+		if c, ok := eq.Const(root); ok {
+			out.Eqs = append(out.Eqs, cq.Equality{Left: members[0], Right: cq.C(c)})
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,137 @@
+package containment
+
+import (
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Differential validation of the Chandra–Merlin test: for a pool of small
+// queries over E(T1, T1), compare Contained against the ground truth
+// computed by enumerating EVERY graph over a 2-node domain (2^4 = 16
+// instances).  Soundness needs all instances to agree; completeness needs
+// this exhaustive slice to expose a counterexample whenever containment
+// fails — which it does for the pool below, because each non-containment
+// among these queries has a witness graph with ≤2 nodes (checked by the
+// homomorphism counterexamples being 2-node graphs: an edge, a loop, two
+// loops, etc.).  Together with the randomized soundness fuzz this pins
+// the implementation from both sides.
+func TestContainmentDifferentialExhaustive(t *testing.T) {
+	s := schema.MustParse("E(src:T1, dst:T1)")
+	pool := []*cq.Query{
+		cq.MustParse("V(X) :- E(X, Y)."),                        // out-edge
+		cq.MustParse("V(Y) :- E(X, Y)."),                        // in-edge
+		cq.MustParse("V(X) :- E(X, Y), X = Y."),                 // self-loop
+		cq.MustParse("V(X) :- E(X, Y), E(Y2, Z), Y = Y2."),      // 2-path start
+		cq.MustParse("V(Z) :- E(X, Y), E(Y2, Z), Y = Y2."),      // 2-path end
+		cq.MustParse("V(X) :- E(X, Y), E(A, B), Y = A, B = X."), // on a 2-cycle
+		cq.MustParse("V(X) :- E(X, Y), E(A, B)."),               // out-edge + any edge
+	}
+	// Enumerate all graphs on nodes {1, 2}: subsets of 4 possible edges.
+	type edge struct{ a, b int64 }
+	edges := []edge{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	var dbs []*instance.Database
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		d := instance.NewDatabase(s)
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				d.MustInsert("E", value.Value{Type: 1, N: e.a}, value.Value{Type: 1, N: e.b})
+			}
+		}
+		dbs = append(dbs, d)
+	}
+	for i, q1 := range pool {
+		for j, q2 := range pool {
+			claim, err := Contained(q1, q2, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := true
+			for _, d := range dbs {
+				a1, err := cq.Eval(q1, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a2, err := cq.Eval(q2, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !a1.SubsetOf(a2) {
+					truth = false
+					break
+				}
+			}
+			if claim && !truth {
+				t.Errorf("UNSOUND: pool[%d] ⊑ pool[%d] claimed, instance refutes\nq1: %s\nq2: %s",
+					i, j, q1, q2)
+			}
+			if !claim && truth {
+				// The exhaustive slice found no counterexample.  For
+				// this pool every genuine non-containment has a ≤2-node
+				// witness, so this indicates incompleteness.
+				t.Errorf("INCOMPLETE(?): pool[%d] ⋢ pool[%d] claimed but no 2-node counterexample\nq1: %s\nq2: %s",
+					i, j, q1, q2)
+			}
+		}
+	}
+}
+
+// The same differential check under a key dependency: enumerate all
+// key-satisfying instances of R(k*, a) over a 2-element domain.
+func TestContainmentUnderKeysDifferential(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T1)")
+	deps := fd.KeyFDs(s)
+	pool := []*cq.Query{
+		cq.MustParse("V(K, A) :- R(K, A)."),
+		cq.MustParse("V(A, K) :- R(K, A)."),
+		cq.MustParse("V(K, A) :- R(K, A), R(K2, B), K = K2."),
+		cq.MustParse("V(K, B) :- R(K, A), R(K2, B), K = K2."),
+		cq.MustParse("V(K, K) :- R(K, A)."),
+		cq.MustParse("V(K, A) :- R(K, A), K = A."),
+	}
+	// All key-satisfying instances: each key 1,2 absent or mapped to a
+	// value in {1,2}: 3^2 = 9 instances.
+	var dbs []*instance.Database
+	for v1 := 0; v1 <= 2; v1++ {
+		for v2 := 0; v2 <= 2; v2++ {
+			d := instance.NewDatabase(s)
+			if v1 > 0 {
+				d.MustInsert("R", value.Value{Type: 1, N: 1}, value.Value{Type: 1, N: int64(v1)})
+			}
+			if v2 > 0 {
+				d.MustInsert("R", value.Value{Type: 1, N: 2}, value.Value{Type: 1, N: int64(v2)})
+			}
+			if !d.SatisfiesKeys() {
+				t.Fatal("generator broke keys")
+			}
+			dbs = append(dbs, d)
+		}
+	}
+	for i, q1 := range pool {
+		for j, q2 := range pool {
+			claim, _, err := ContainedUnder(q1, q2, s, deps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := true
+			for _, d := range dbs {
+				a1, _ := cq.Eval(q1, d)
+				a2, _ := cq.Eval(q2, d)
+				if !a1.SubsetOf(a2) {
+					truth = false
+					break
+				}
+			}
+			if claim && !truth {
+				t.Errorf("UNSOUND under keys: pool[%d] ⊑ pool[%d]\nq1: %s\nq2: %s", i, j, q1, q2)
+			}
+			if !claim && truth {
+				t.Errorf("INCOMPLETE(?) under keys: pool[%d] ⋢ pool[%d]\nq1: %s\nq2: %s", i, j, q1, q2)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package containment
+
+import (
+	"keyedeq/internal/chase"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Containment under a full dependency theory: EGDs (keys/FDs) plus TGDs
+// (inclusion dependencies).  For a terminating chase — guaranteed when
+// the TGD set is weakly acyclic — the classical result applies: q1 ⊑ q2
+// over all theory-satisfying instances iff q2 retrieves q1's frozen head
+// from the chased canonical database of q1.
+
+// DefaultTGDRounds bounds the TGD chase; weakly acyclic sets terminate
+// long before any sensible bound.
+const DefaultTGDRounds = 64
+
+// ContainedUnderTheory reports whether q1 ⊑ q2 over every instance of s
+// satisfying both the egds and the tgds.
+func ContainedUnderTheory(q1, q2 *cq.Query, s *schema.Schema, egds []fd.FD, tgds []chase.TGD, maxRounds int) (bool, Stats, error) {
+	var stats Stats
+	if maxRounds <= 0 {
+		maxRounds = DefaultTGDRounds
+	}
+	if err := checkComparable(q1, q2, s); err != nil {
+		return false, stats, err
+	}
+	tb := chase.NewTableau(s)
+	vars, err := chase.Freeze(tb, q1)
+	if err != nil {
+		return false, stats, err
+	}
+	head, err := chase.HeadTerms(tb, q1, vars)
+	if err != nil {
+		return false, stats, err
+	}
+	cs, err := tb.RunWithTGDs(egds, tgds, maxRounds)
+	if err != nil {
+		return false, stats, err
+	}
+	stats.ChaseIterations = cs.Iterations
+	if tb.Failed() {
+		stats.ChaseFailed = true
+		return true, stats, nil
+	}
+	var alloc value.Allocator
+	for _, c := range q1.Constants() {
+		alloc.Reserve(c)
+	}
+	for _, c := range q2.Constants() {
+		alloc.Reserve(c)
+	}
+	db, valOf, err := tb.ToDatabase(&alloc)
+	if err != nil {
+		return false, stats, err
+	}
+	want := make(instance.Tuple, len(head))
+	for i, h := range head {
+		want[i] = valOf[h]
+	}
+	ok, es, err := cq.HasAnswer(q2, db, want)
+	stats.Nodes = es.Nodes
+	return ok, stats, err
+}
+
+// EquivalentUnderTheory reports mutual containment under the theory.
+func EquivalentUnderTheory(q1, q2 *cq.Query, s *schema.Schema, egds []fd.FD, tgds []chase.TGD, maxRounds int) (bool, Stats, error) {
+	ok, st1, err := ContainedUnderTheory(q1, q2, s, egds, tgds, maxRounds)
+	if err != nil || !ok {
+		return false, st1, err
+	}
+	ok, st2, err := ContainedUnderTheory(q2, q1, s, egds, tgds, maxRounds)
+	st := Stats{
+		Nodes:           st1.Nodes + st2.Nodes,
+		ChaseIterations: st1.ChaseIterations + st2.ChaseIterations,
+		ChaseFailed:     st1.ChaseFailed || st2.ChaseFailed,
+	}
+	return ok, st, err
+}

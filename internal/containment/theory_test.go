@@ -1,0 +1,107 @@
+package containment
+
+import (
+	"testing"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/schema"
+)
+
+func indTGD(s *schema.Schema, fromRel string, fromPos int, toRel string, toPos int) chase.TGD {
+	l := s.Relation(fromRel)
+	r := s.Relation(toRel)
+	body := chase.TGDAtom{Rel: fromRel, Vars: make([]string, l.Arity())}
+	for p := range body.Vars {
+		body.Vars[p] = "b" + string(rune('0'+p))
+	}
+	head := chase.TGDAtom{Rel: toRel, Vars: make([]string, r.Arity())}
+	for p := range head.Vars {
+		head.Vars[p] = "e" + string(rune('0'+p))
+	}
+	head.Vars[toPos] = body.Vars[fromPos]
+	return chase.TGD{Body: []chase.TGDAtom{body}, Head: []chase.TGDAtom{head}}
+}
+
+func TestContainedUnderTheoryIND(t *testing.T) {
+	s := schema.MustParse("R(a:T1)\nS(b:T1, c:T2)")
+	tgds := []chase.TGD{indTGD(s, "R", 0, "S", 0)}
+	q1 := cq.MustParse("V(X) :- R(X).")
+	q2 := cq.MustParse("V(X) :- R(X), S(Y, Z), X = Y.")
+	ok, stats, err := ContainedUnderTheory(q1, q2, s, nil, tgds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("R[0] ⊆ S[0] should make q1 ⊑ q2")
+	}
+	if stats.ChaseIterations == 0 {
+		t.Error("chase iterations not recorded")
+	}
+	// Without the TGD: not contained.
+	ok, _, err = ContainedUnderTheory(q1, q2, s, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("without the inclusion q1 ⋢ q2")
+	}
+}
+
+func TestEquivalentUnderTheory(t *testing.T) {
+	s := schema.MustParse("R(a:T1)\nS(b:T1, c:T2)")
+	tgds := []chase.TGD{indTGD(s, "R", 0, "S", 0)}
+	q1 := cq.MustParse("V(X) :- R(X).")
+	q2 := cq.MustParse("V(X) :- R(X), S(Y, Z), X = Y.")
+	ok, _, err := EquivalentUnderTheory(q1, q2, s, nil, tgds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("should be equivalent under the inclusion (q2 ⊑ q1 holds plainly)")
+	}
+	// Incomparable pair stays inequivalent even under the theory.
+	q3 := cq.MustParse("V(Y) :- S(Y, Z).")
+	ok, _, err = EquivalentUnderTheory(q1, q3, s, nil, tgds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("R-values vs S-values should differ")
+	}
+}
+
+func TestContainedUnderTheoryVacuous(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T1)")
+	deps := fd.KeyFDs(s)
+	q := cq.MustParse("V(K) :- R(K, A), R(K2, B), K = K2, A = T1:1, B = T1:2.")
+	other := cq.MustParse("V(K) :- R(K, A).")
+	ok, stats, err := ContainedUnderTheory(q, other, s, deps, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !stats.ChaseFailed {
+		t.Errorf("vacuous containment: ok=%v failed=%v", ok, stats.ChaseFailed)
+	}
+}
+
+func TestContainedUnderTheoryErrors(t *testing.T) {
+	s := schema.MustParse("R(a:T1)")
+	q1 := cq.MustParse("V(X) :- R(X).")
+	q2 := cq.MustParse("V(X, Y) :- R(X), R(Y).")
+	if _, _, err := ContainedUnderTheory(q1, q2, s, nil, nil, 0); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Non-terminating TGD set hits the round bound.
+	s2 := schema.MustParse("E(a:T1, b:T1)")
+	grow := chase.TGD{
+		Body: []chase.TGDAtom{{Rel: "E", Vars: []string{"x", "y"}}},
+		Head: []chase.TGDAtom{{Rel: "E", Vars: []string{"y", "z"}}},
+	}
+	p1 := cq.MustParse("V(X) :- E(X, Y).")
+	p2 := cq.MustParse("V(X) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	if _, _, err := ContainedUnderTheory(p1, p2, s2, nil, []chase.TGD{grow}, 3); err == nil {
+		t.Error("non-terminating chase should surface an error")
+	}
+}

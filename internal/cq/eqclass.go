@@ -1,0 +1,188 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"keyedeq/internal/value"
+)
+
+// EqClasses is the equivalence relation the equality list induces on a
+// query's variables (reflexive-symmetric-transitive closure), with each
+// class optionally bound to a constant.  It is the paper's "equality
+// classes of variables", realized as a union-find.
+type EqClasses struct {
+	parent map[Var]Var
+	rank   map[Var]int
+	// constOf maps a class representative to its bound constant, if any.
+	constOf map[Var]value.Value
+	// conflict is set when two distinct constants land in one class;
+	// such a query returns the empty answer on every database.
+	conflict bool
+}
+
+// NewEqClasses computes the equality classes of q.  Every placeholder
+// variable of the body gets a (possibly singleton) class.
+func NewEqClasses(q *Query) *EqClasses {
+	e := &EqClasses{
+		parent:  make(map[Var]Var),
+		rank:    make(map[Var]int),
+		constOf: make(map[Var]value.Value),
+	}
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			e.add(v)
+		}
+	}
+	for _, eq := range q.Eqs {
+		e.add(eq.Left)
+		if eq.Right.IsConst {
+			e.bind(eq.Left, eq.Right.Const)
+		} else {
+			e.add(eq.Right.Var)
+			e.union(eq.Left, eq.Right.Var)
+		}
+	}
+	return e
+}
+
+func (e *EqClasses) add(v Var) {
+	if _, ok := e.parent[v]; !ok {
+		e.parent[v] = v
+		e.rank[v] = 0
+	}
+}
+
+// Find returns the class representative of v (v itself if unknown).
+func (e *EqClasses) Find(v Var) Var {
+	p, ok := e.parent[v]
+	if !ok {
+		return v
+	}
+	if p != v {
+		root := e.Find(p)
+		e.parent[v] = root
+		return root
+	}
+	return v
+}
+
+func (e *EqClasses) union(a, b Var) {
+	ra, rb := e.Find(a), e.Find(b)
+	if ra == rb {
+		return
+	}
+	ca, hasA := e.constOf[ra]
+	cb, hasB := e.constOf[rb]
+	if e.rank[ra] < e.rank[rb] {
+		ra, rb = rb, ra
+	}
+	e.parent[rb] = ra
+	if e.rank[ra] == e.rank[rb] {
+		e.rank[ra]++
+	}
+	switch {
+	case hasA && hasB:
+		if ca != cb {
+			e.conflict = true
+		}
+		e.constOf[ra] = ca
+		delete(e.constOf, rb)
+	case hasB:
+		e.constOf[ra] = cb
+		delete(e.constOf, rb)
+	case hasA:
+		e.constOf[ra] = ca
+	}
+}
+
+func (e *EqClasses) bind(v Var, c value.Value) {
+	r := e.Find(v)
+	if prev, ok := e.constOf[r]; ok {
+		if prev != c {
+			e.conflict = true
+		}
+		return
+	}
+	e.constOf[r] = c
+}
+
+// Same reports whether a = b is inferable from the equality list.
+func (e *EqClasses) Same(a, b Var) bool { return e.Find(a) == e.Find(b) }
+
+// Const returns the constant bound to v's class, if any.
+func (e *EqClasses) Const(v Var) (value.Value, bool) {
+	c, ok := e.constOf[e.Find(v)]
+	return c, ok
+}
+
+// Unsatisfiable reports whether the equality list equates two distinct
+// constants, making the query empty on every database.
+func (e *EqClasses) Unsatisfiable() bool { return e.conflict }
+
+// Classes returns the classes as sorted member lists, sorted by first
+// member, for deterministic printing and testing.
+func (e *EqClasses) Classes() [][]Var {
+	byRoot := make(map[Var][]Var)
+	for v := range e.parent {
+		r := e.Find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([][]Var, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ClassPositions describes where one equality class touches the body:
+// the set of (atom index, position) locations of its member variables.
+type ClassPosition struct {
+	Atom int // index into q.Body
+	Pos  int // attribute position within the atom
+}
+
+// Positions returns, for each class representative, the body locations of
+// its members.  q must be the query the classes were computed from.
+func (e *EqClasses) Positions(q *Query) map[Var][]ClassPosition {
+	out := make(map[Var][]ClassPosition)
+	for i, a := range q.Body {
+		for j, v := range a.Vars {
+			r := e.Find(v)
+			out[r] = append(out[r], ClassPosition{Atom: i, Pos: j})
+		}
+	}
+	for _, ps := range out {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Atom != ps[j].Atom {
+				return ps[i].Atom < ps[j].Atom
+			}
+			return ps[i].Pos < ps[j].Pos
+		})
+	}
+	return out
+}
+
+// String summarizes the classes, e.g. "{A,X}={C} {B,Y}".
+func (e *EqClasses) String() string {
+	var b []byte
+	for i, cls := range e.Classes() {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, '{')
+		for j, v := range cls {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, v...)
+		}
+		b = append(b, '}')
+		if c, ok := e.Const(cls[0]); ok {
+			b = append(b, fmt.Sprintf("=%s", c)...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,161 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/value"
+)
+
+func TestEqClassesTransitivity(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), R(B, C), R(D, E), A = B, B = D.")
+	eq := NewEqClasses(q)
+	if !eq.Same("A", "D") {
+		t.Error("A = D should be inferred by transitivity")
+	}
+	if !eq.Same("A", "A") {
+		t.Error("reflexivity broken")
+	}
+	if eq.Same("A", "C") {
+		t.Error("A and C should be separate")
+	}
+	if eq.Same("X", "E") {
+		t.Error("X and E should be separate")
+	}
+}
+
+func TestEqClassesConstBinding(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), R(B, C), A = B, B = T2:5.")
+	eq := NewEqClasses(q)
+	if c, ok := eq.Const("A"); !ok || c != (value.Value{Type: 2, N: 5}) {
+		t.Errorf("Const(A) = %v, %v", c, ok)
+	}
+	if _, ok := eq.Const("X"); ok {
+		t.Error("X should have no constant")
+	}
+	if eq.Unsatisfiable() {
+		t.Error("should be satisfiable")
+	}
+}
+
+func TestEqClassesConflict(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), A = T2:1, A = T2:2.")
+	eq := NewEqClasses(q)
+	if !eq.Unsatisfiable() {
+		t.Error("two distinct constants in one class must be unsatisfiable")
+	}
+	// Same constant twice is fine.
+	q2 := MustParse("V(X) :- P(X, A), A = T2:1, A = T2:1.")
+	if NewEqClasses(q2).Unsatisfiable() {
+		t.Error("same constant twice should be satisfiable")
+	}
+	// Conflict via union of two bound classes.
+	q3 := MustParse("V(X) :- P(X, A), R(B, C), A = T2:1, C = T2:2, A = C.")
+	if !NewEqClasses(q3).Unsatisfiable() {
+		t.Error("union of conflicting bound classes must be unsatisfiable")
+	}
+}
+
+func TestEqClassesClasses(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), R(B, C), A = B.")
+	eq := NewEqClasses(q)
+	cls := eq.Classes()
+	if len(cls) != 3 {
+		t.Fatalf("Classes = %v, want 3 classes", cls)
+	}
+	// {A,B} is one class.
+	foundAB := false
+	for _, c := range cls {
+		if len(c) == 2 && c[0] == "A" && c[1] == "B" {
+			foundAB = true
+		}
+	}
+	if !foundAB {
+		t.Errorf("Classes = %v, want {A,B}", cls)
+	}
+}
+
+func TestEqClassesPositions(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), R(B, C), A = B.")
+	eq := NewEqClasses(q)
+	pos := eq.Positions(q)
+	root := eq.Find("A")
+	ps := pos[root]
+	if len(ps) != 2 {
+		t.Fatalf("positions of {A,B} = %v", ps)
+	}
+	if ps[0] != (ClassPosition{Atom: 0, Pos: 1}) || ps[1] != (ClassPosition{Atom: 1, Pos: 0}) {
+		t.Errorf("positions = %v", ps)
+	}
+}
+
+func TestEqClassesUnionFindInvariants(t *testing.T) {
+	// Randomized: build random equalities over a pool of variables;
+	// Same must match a brute-force partition refinement.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		vars := make([]Var, n)
+		atom := Atom{Rel: "R"}
+		for i := range vars {
+			vars[i] = Var(string(rune('A' + i)))
+			atom.Vars = append(atom.Vars, vars[i])
+		}
+		q := &Query{Head: []Term{{Var: vars[0]}}, Body: []Atom{atom}}
+		type pair struct{ a, b int }
+		var pairs []pair
+		for i := 0; i < rng.Intn(n*2); i++ {
+			p := pair{rng.Intn(n), rng.Intn(n)}
+			pairs = append(pairs, p)
+			q.Eqs = append(q.Eqs, Equality{Left: vars[p.a], Right: Term{Var: vars[p.b]}})
+		}
+		eq := NewEqClasses(q)
+		// Brute force: closure over an adjacency matrix.
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			adj[i][i] = true
+		}
+		for _, p := range pairs {
+			adj[p.a][p.b] = true
+			adj[p.b][p.a] = true
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if adj[i][k] && adj[k][j] {
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if eq.Same(vars[i], vars[j]) != adj[i][j] {
+					t.Fatalf("trial %d: Same(%s,%s) = %v, brute force %v",
+						trial, vars[i], vars[j], eq.Same(vars[i], vars[j]), adj[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEqClassesStringStable(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A), R(B, C), A = B, C = T2:7.")
+	s1 := NewEqClasses(q).String()
+	s2 := NewEqClasses(q).String()
+	if s1 != s2 {
+		t.Errorf("String not deterministic: %q vs %q", s1, s2)
+	}
+	if s1 == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFindUnknownVar(t *testing.T) {
+	q := MustParse("V(X) :- P(X, A).")
+	eq := NewEqClasses(q)
+	if eq.Find("ZZ") != "ZZ" {
+		t.Error("Find of unknown var should return itself")
+	}
+}

@@ -1,0 +1,309 @@
+package cq
+
+import (
+	"fmt"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// EvalStats reports work done by an evaluation: Nodes counts assignments
+// attempted in the backtracking join (the homomorphism search tree size).
+type EvalStats struct {
+	Nodes int64
+}
+
+// Eval evaluates q over database d, returning the answer as a relation
+// instance with a synthesized scheme (named by q.HeadRel, attributes
+// c0..cn-1, no key).  Evaluation is the standard backtracking join over
+// the body atoms with the equality classes acting as the binding
+// environment.
+func Eval(q *Query, d *instance.Database) (*instance.Relation, error) {
+	rel, _, err := EvalWithStats(q, d)
+	return rel, err
+}
+
+// EvalInto evaluates q and labels the result with the provided scheme,
+// which must have q's head type.
+func EvalInto(q *Query, d *instance.Database, scheme *schema.Relation) (*instance.Relation, error) {
+	ht, err := q.HeadType(d.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if len(ht) != scheme.Arity() {
+		return nil, fmt.Errorf("cq: head arity %d, scheme %q wants %d", len(ht), scheme.Name, scheme.Arity())
+	}
+	for i, t := range ht {
+		if scheme.Attrs[i].Type != t {
+			return nil, fmt.Errorf("cq: head position %d has type %v, scheme %q wants %v", i, t, scheme.Name, scheme.Attrs[i].Type)
+		}
+	}
+	rel, _, err := evalCore(q, d, scheme)
+	return rel, err
+}
+
+// EvalWithStats is Eval returning search statistics.
+func EvalWithStats(q *Query, d *instance.Database) (*instance.Relation, EvalStats, error) {
+	ht, err := q.HeadType(d.Schema)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	name := q.HeadRel
+	if name == "" {
+		name = "Q"
+	}
+	scheme := &schema.Relation{Name: name}
+	for i, t := range ht {
+		scheme.Attrs = append(scheme.Attrs, schema.Attribute{Name: fmt.Sprintf("c%d", i), Type: t})
+	}
+	return evalCore(q, d, scheme)
+}
+
+func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instance.Relation, EvalStats, error) {
+	out := instance.NewRelation(scheme)
+	var stats EvalStats
+	if len(q.Body) == 0 {
+		return out, stats, fmt.Errorf("cq: empty body")
+	}
+	eq := NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return out, stats, nil
+	}
+	// Resolve body relations up front.
+	rels := make([]*instance.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r := d.Relation(a.Rel)
+		if r == nil {
+			return nil, stats, fmt.Errorf("cq: no relation %q in database", a.Rel)
+		}
+		if r.Scheme != nil && len(a.Vars) != r.Scheme.Arity() {
+			return nil, stats, fmt.Errorf("cq: %s arity mismatch", a.Rel)
+		}
+		rels[i] = r
+	}
+	// Binding environment: class representative -> value.
+	binding := make(map[Var]value.Value)
+	// Pre-bind constants from the equality list.
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			if c, ok := eq.Const(v); ok {
+				binding[eq.Find(v)] = c
+			}
+		}
+	}
+
+	used := make([]bool, len(q.Body))
+	var emit func()
+	emit = func() {
+		t := make(instance.Tuple, len(q.Head))
+		for i, term := range q.Head {
+			if term.IsConst {
+				t[i] = term.Const
+				continue
+			}
+			t[i] = binding[eq.Find(term.Var)]
+		}
+		// Scheme-checked insert guards against internal type errors.
+		out.MustInsert(t)
+	}
+
+	// pickNext chooses the unused atom with the most already-bound
+	// positions (a greedy join order that keeps chains and stars cheap),
+	// breaking ties by original order.
+	pickNext := func() int {
+		best, bestBound := -1, -1
+		for i, a := range q.Body {
+			if used[i] {
+				continue
+			}
+			bound := 0
+			for _, v := range a.Vars {
+				if _, ok := binding[eq.Find(v)]; ok {
+					bound++
+				}
+			}
+			if bound > bestBound {
+				best, bestBound = i, bound
+			}
+		}
+		return best
+	}
+
+	var recurse func(remaining int)
+	recurse = func(remaining int) {
+		if remaining == 0 {
+			emit()
+			return
+		}
+		ai := pickNext()
+		a := q.Body[ai]
+		used[ai] = true
+		defer func() { used[ai] = false }()
+		for _, t := range rels[ai].Tuples() {
+			stats.Nodes++
+			// Check consistency and collect new bindings.
+			var added []Var
+			ok := true
+			for p, v := range a.Vars {
+				root := eq.Find(v)
+				if bv, bound := binding[root]; bound {
+					if bv != t[p] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[root] = t[p]
+				added = append(added, root)
+			}
+			if ok {
+				recurse(remaining - 1)
+			}
+			for _, r := range added {
+				delete(binding, r)
+			}
+		}
+	}
+	recurse(len(q.Body))
+	return out, stats, nil
+}
+
+// NonEmpty reports whether q has at least one answer on d.
+func NonEmpty(q *Query, d *instance.Database) (bool, error) {
+	rel, err := Eval(q, d)
+	if err != nil {
+		return false, err
+	}
+	return rel.Len() > 0, nil
+}
+
+// HasAnswer reports whether evaluating q over d produces the tuple want.
+// Unlike Eval it terminates as soon as the tuple is derived, which is the
+// homomorphism test at the heart of containment checking.  The returned
+// stats count search nodes visited.
+func HasAnswer(q *Query, d *instance.Database, want instance.Tuple) (bool, EvalStats, error) {
+	ok, _, stats, err := FindAnswerBinding(q, d, want)
+	return ok, stats, err
+}
+
+// FindAnswerBinding is HasAnswer returning, on success, the witnessing
+// variable binding (every body variable of q mapped to a database value).
+// Containment uses it to extract explicit homomorphisms.
+func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
+	var stats EvalStats
+	if len(q.Head) != len(want) {
+		return false, nil, stats, fmt.Errorf("cq: want arity %d, head arity %d", len(want), len(q.Head))
+	}
+	if len(q.Body) == 0 {
+		return false, nil, stats, fmt.Errorf("cq: empty body")
+	}
+	eq := NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return false, nil, stats, nil
+	}
+	rels := make([]*instance.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r := d.Relation(a.Rel)
+		if r == nil {
+			return false, nil, stats, fmt.Errorf("cq: no relation %q in database", a.Rel)
+		}
+		rels[i] = r
+	}
+	binding := make(map[Var]value.Value)
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			if c, ok := eq.Const(v); ok {
+				binding[eq.Find(v)] = c
+			}
+		}
+	}
+	// Pre-bind head variables to the wanted values; constants must match.
+	for i, term := range q.Head {
+		if term.IsConst {
+			if term.Const != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		root := eq.Find(term.Var)
+		if bv, ok := binding[root]; ok {
+			if bv != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		binding[root] = want[i]
+	}
+	used := make([]bool, len(q.Body))
+	pickNext := func() int {
+		best, bestBound := -1, -1
+		for i, a := range q.Body {
+			if used[i] {
+				continue
+			}
+			bound := 0
+			for _, v := range a.Vars {
+				if _, ok := binding[eq.Find(v)]; ok {
+					bound++
+				}
+			}
+			if bound > bestBound {
+				best, bestBound = i, bound
+			}
+		}
+		return best
+	}
+	var found bool
+	var witness map[Var]value.Value
+	var recurse func(remaining int)
+	recurse = func(remaining int) {
+		if found {
+			return
+		}
+		if remaining == 0 {
+			found = true
+			// Capture the successful binding, resolved per body
+			// variable through its class representative.
+			witness = make(map[Var]value.Value)
+			for _, a := range q.Body {
+				for _, v := range a.Vars {
+					witness[v] = binding[eq.Find(v)]
+				}
+			}
+			return
+		}
+		ai := pickNext()
+		a := q.Body[ai]
+		used[ai] = true
+		defer func() { used[ai] = false }()
+		for _, t := range rels[ai].Tuples() {
+			if found {
+				return
+			}
+			stats.Nodes++
+			var added []Var
+			ok := true
+			for p, v := range a.Vars {
+				root := eq.Find(v)
+				if bv, bound := binding[root]; bound {
+					if bv != t[p] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[root] = t[p]
+				added = append(added, root)
+			}
+			if ok {
+				recurse(remaining - 1)
+			}
+			for _, r := range added {
+				delete(binding, r)
+			}
+		}
+	}
+	recurse(len(q.Body))
+	return found, witness, stats, nil
+}

@@ -1,0 +1,43 @@
+package cq
+
+import (
+	"testing"
+)
+
+// Native fuzz targets.  Under plain `go test` the seed corpus runs as
+// regression tests; `go test -fuzz=FuzzParse` explores further.  The
+// invariant in each case: the parser never panics, and anything it
+// accepts survives a print/reparse round trip.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Q(X, Y) :- P(X, Y).",
+		"Q(X) :- R(X, Y), S(Z, W), Y = Z, W = T1:3.",
+		"Q(T1:7, Y) :- P(X, Y).",
+		"V(X, X) :- P(X, Y), X = Y.",
+		"",
+		"Q(X)",
+		"Q(X) :- .",
+		"Q((((",
+		"Q(X) :- P(X, T1:1).",
+		"名前(X) :- P(X, Y).",
+		"Q(X) :- P(X, Y), T1:1 = T1:2.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own print %q: %v", text, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("print not a fixpoint: %q -> %q", printed, q2.String())
+		}
+	})
+}

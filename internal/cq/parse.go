@@ -1,0 +1,170 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/value"
+)
+
+// Parse reads a conjunctive query in the paper's syntax:
+//
+//	Q(X, Y) :- R(X, Z), S(W, Y), Z = W, X = T1:3.
+//
+// The trailing period is optional.  Head terms are variables or constants
+// in T<type>:<n> form; body literals are relation atoms; everything after
+// the atoms that contains '=' is the equality list.  Whitespace is
+// insignificant.
+func Parse(text string) (*Query, error) {
+	text = strings.TrimSpace(text)
+	text = strings.TrimSuffix(text, ".")
+	sep := strings.Index(text, ":-")
+	if sep < 0 {
+		return nil, fmt.Errorf("cq: missing \":-\" in %q", text)
+	}
+	head := strings.TrimSpace(text[:sep])
+	body := strings.TrimSpace(text[sep+2:])
+
+	q := &Query{}
+	name, args, err := splitAtom(head)
+	if err != nil {
+		return nil, fmt.Errorf("cq: bad head: %v", err)
+	}
+	q.HeadRel = name
+	for _, arg := range args {
+		t, err := parseTerm(arg)
+		if err != nil {
+			return nil, fmt.Errorf("cq: bad head term %q: %v", arg, err)
+		}
+		q.Head = append(q.Head, t)
+	}
+
+	for _, lit := range splitTop(body) {
+		lit = strings.TrimSpace(lit)
+		if lit == "" {
+			continue
+		}
+		if eqi := strings.IndexByte(lit, '='); eqi >= 0 && !strings.ContainsRune(lit, '(') {
+			left := strings.TrimSpace(lit[:eqi])
+			right := strings.TrimSpace(lit[eqi+1:])
+			if left == "" || right == "" {
+				return nil, fmt.Errorf("cq: bad equality %q", lit)
+			}
+			if isConstant(left) {
+				// Normalize "a = X" to "X = a".
+				if isConstant(right) {
+					// constant = constant: represent via a fresh
+					// unsupported form — reject, the paper's syntax
+					// requires a variable on one side.
+					return nil, fmt.Errorf("cq: equality %q has no variable", lit)
+				}
+				left, right = right, left
+			}
+			lt, err := parseTerm(left)
+			if err != nil || lt.IsConst {
+				return nil, fmt.Errorf("cq: bad equality %q: left side must be a variable", lit)
+			}
+			rt, err := parseTerm(right)
+			if err != nil {
+				return nil, fmt.Errorf("cq: bad equality %q: %v", lit, err)
+			}
+			q.Eqs = append(q.Eqs, Equality{Left: lt.Var, Right: rt})
+			continue
+		}
+		name, args, err := splitAtom(lit)
+		if err != nil {
+			return nil, fmt.Errorf("cq: bad literal %q: %v", lit, err)
+		}
+		a := Atom{Rel: name}
+		for _, arg := range args {
+			if isConstant(arg) {
+				return nil, fmt.Errorf("cq: constant %q used as placeholder; the paper's syntax requires distinct variables with conditions in the equality list", arg)
+			}
+			t, err := parseTerm(arg)
+			if err != nil || t.IsConst {
+				return nil, fmt.Errorf("cq: bad placeholder %q in %s", arg, name)
+			}
+			a.Vars = append(a.Vars, t.Var)
+		}
+		q.Body = append(q.Body, a)
+	}
+	if len(q.Body) == 0 {
+		return nil, fmt.Errorf("cq: empty body in %q", text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixtures.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// splitAtom parses "R(a, b, c)" into name and raw args.
+func splitAtom(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("expected name(args)")
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" || strings.ContainsAny(name, "(), =\t") {
+		return "", nil, fmt.Errorf("bad relation name %q", name)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return name, nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	args := make([]string, len(parts))
+	for i, p := range parts {
+		args[i] = strings.TrimSpace(p)
+		if args[i] == "" {
+			return "", nil, fmt.Errorf("empty argument")
+		}
+	}
+	return name, args, nil
+}
+
+// splitTop splits the body on commas that are not inside parentheses.
+func splitTop(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// isConstant reports whether the token looks like a T<n>:<m> constant.
+func isConstant(s string) bool {
+	_, err := value.Parse(s)
+	return err == nil
+}
+
+func parseTerm(s string) (Term, error) {
+	if isConstant(s) {
+		v, err := value.Parse(s)
+		if err != nil {
+			return Term{}, err
+		}
+		return C(v), nil
+	}
+	if s == "" || strings.ContainsAny(s, "(), =") {
+		return Term{}, fmt.Errorf("bad term %q", s)
+	}
+	return V(s), nil
+}

@@ -1,0 +1,85 @@
+package cq
+
+import (
+	"fmt"
+)
+
+// A product query (§2) has no selection or join conditions and mentions
+// every relation in its body exactly once: a single relation or a
+// cross-product of distinct relations (plus projection in the head).
+
+// IsProduct reports whether q is a product query.
+func IsProduct(q *Query) bool {
+	if len(q.Eqs) != 0 {
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, a := range q.Body {
+		if seen[a.Rel] {
+			return false
+		}
+		seen[a.Rel] = true
+	}
+	return true
+}
+
+// ToProduct implements Lemma 1's construction: given an ij-saturated query
+// q, it returns an equivalent product query with the same relations in its
+// body:
+//
+//  1. all (identity) join conditions are dropped;
+//  2. duplicate occurrences of each relation are dropped;
+//  3. head variables whose occurrence was dropped are replaced by the
+//     variable at the same position of the kept occurrence, which the
+//     saturation guarantees is equated to them.
+func ToProduct(q *Query) (*Query, error) {
+	if !IJSaturated(q) {
+		return nil, fmt.Errorf("cq: ToProduct requires an ij-saturated query")
+	}
+	eq := NewEqClasses(q)
+	// Keep the first occurrence of each relation.
+	firstOcc := make(map[string]int)
+	for i, a := range q.Body {
+		if _, ok := firstOcc[a.Rel]; !ok {
+			firstOcc[a.Rel] = i
+		}
+	}
+	out := &Query{HeadRel: q.HeadRel}
+	for i, a := range q.Body {
+		if firstOcc[a.Rel] == i {
+			out.Body = append(out.Body, Atom{Rel: a.Rel, Vars: append([]Var(nil), a.Vars...)})
+		}
+	}
+	// Remap head variables to kept occurrences.
+	for _, t := range q.Head {
+		if t.IsConst {
+			out.Head = append(out.Head, t)
+			continue
+		}
+		ai, pos := q.VarPos(t.Var)
+		if ai < 0 {
+			return nil, fmt.Errorf("cq: head variable %s not in body", t.Var)
+		}
+		kept := firstOcc[q.Body[ai].Rel]
+		rep := q.Body[kept].Vars[pos]
+		if !eq.Same(t.Var, rep) {
+			// Cannot happen for an ij-saturated query; defensive.
+			return nil, fmt.Errorf("cq: %s not equated to kept occurrence", t.Var)
+		}
+		out.Head = append(out.Head, Term{Var: rep})
+	}
+	return out, nil
+}
+
+// ProductUnder implements Lemma 2's construction: given a query q with no
+// selection conditions and no non-identity joins, it returns the product
+// query q̃ with q̃ ⊑ q such that (a) every FD holding on q's answers holds
+// on q̃'s, (b) q̃ is non-empty whenever q is, and (c) q̃'s body mentions
+// exactly q's relations.  It is Saturate followed by ToProduct.
+func ProductUnder(q *Query) (*Query, error) {
+	sat, err := Saturate(q)
+	if err != nil {
+		return nil, err
+	}
+	return ToProduct(sat)
+}

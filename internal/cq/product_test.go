@@ -1,0 +1,228 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func TestIsProduct(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"Q(X) :- R(X, Y).", true},
+		{"Q(X, A) :- R(X, Y), P(A, B).", true},
+		{"Q(X) :- R(X, Y), R(A, B).", false},        // duplicate relation
+		{"Q(X) :- R(X, Y), X = Y.", false},          // selection
+		{"Q(X) :- R(X, Y), P(A, B), Y = B.", false}, // join
+	}
+	for _, tt := range cases {
+		if got := IsProduct(MustParse(tt.q)); got != tt.want {
+			t.Errorf("IsProduct(%q) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestToProductPaperExample(t *testing.T) {
+	// The paper's §2 construction: from the saturated query
+	// Q(X,Y) :- R(X,Y), R(A,B), R(C,D), X=A, X=C, A=C, Y=B, Y=D, B=D.
+	// we get a product query over just R.
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, A = C, Y = B, Y = D, B = D.")
+	if !IJSaturated(q) {
+		t.Fatal("fixture should be saturated")
+	}
+	p, err := ToProduct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsProduct(p) {
+		t.Fatalf("result not a product query: %s", p)
+	}
+	if len(p.Body) != 1 || p.Body[0].Rel != "R" {
+		t.Errorf("body = %v, want single R", p.Body)
+	}
+	if len(p.Eqs) != 0 {
+		t.Errorf("eqs = %v, want none", p.Eqs)
+	}
+	// Head must be the kept occurrence's variables.
+	if p.Head[0].Var != "X" || p.Head[1].Var != "Y" {
+		t.Errorf("head = %v", p.Head)
+	}
+}
+
+func TestToProductRemapsDroppedHeadVars(t *testing.T) {
+	// Head uses variables from the *second* occurrence; after dedup they
+	// must be remapped to the first occurrence's variables.
+	q := MustParse("Q(A, B) :- R(X, Y), R(A, B), X = A, Y = B.")
+	p, err := ToProduct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Head[0].Var != "X" || p.Head[1].Var != "Y" {
+		t.Errorf("head remap wrong: %v", p.Head)
+	}
+	for _, v := range []Var{"A", "B"} {
+		if p.HasBodyVar(v) {
+			t.Errorf("dropped occurrence variable %s still in body", v)
+		}
+	}
+}
+
+func TestToProductRequiresSaturation(t *testing.T) {
+	q := MustParse("Q(X) :- R(X, Y), R(A, B), X = A.")
+	if _, err := ToProduct(q); err == nil {
+		t.Error("ToProduct must reject unsaturated queries")
+	}
+}
+
+func TestToProductKeepsConstHead(t *testing.T) {
+	q := MustParse("Q(T9:3, X) :- R(X, Y).")
+	p, err := ToProduct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Head[0].IsConst || p.Head[0].Const != (value.Value{Type: 9, N: 3}) {
+		t.Errorf("constant head lost: %v", p.Head)
+	}
+}
+
+// randInstance fills d's relations with random tuples.
+func randInstance(s *schema.Schema, rng *rand.Rand, maxTuples, domain int) *instance.Database {
+	d := instance.NewDatabase(s)
+	for _, r := range s.Relations {
+		n := rng.Intn(maxTuples + 1)
+		for i := 0; i < n; i++ {
+			t := make(instance.Tuple, r.Arity())
+			for j, a := range r.Attrs {
+				t[j] = value.Value{Type: a.Type, N: int64(rng.Intn(domain) + 1)}
+			}
+			d.Relations[d.Schema.RelationIndex(r.Name)].MustInsert(t)
+		}
+	}
+	return d
+}
+
+// Lemma 1, semantically: an ij-saturated query and its product query
+// return the same answers on random databases.
+func TestLemma1Semantics(t *testing.T) {
+	s := schema.MustParse("R(a:T1, b:T1)\nP(c:T1, d:T1)")
+	rng := rand.New(rand.NewSource(42))
+	fixtures := []string{
+		"Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, Y = B, Y = D.",
+		"Q(X, A) :- R(X, Y), P(A, B).",
+		"Q(X, X2) :- R(X, X2), R(A, B), P(C, D), X = A, X2 = B.",
+	}
+	for _, text := range fixtures {
+		q := MustParse(text)
+		if err := q.Validate(s); err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if !IJSaturated(q) {
+			t.Fatalf("%q: fixture must be saturated", text)
+		}
+		p, err := ToProduct(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			d := randInstance(s, rng, 5, 3)
+			a1, err := Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := Eval(p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a1.Equal(a2) {
+				t.Fatalf("Lemma 1 violated for %q on\n%s\nq: %s\np: %s", text, d, a1, a2)
+			}
+		}
+	}
+}
+
+// Lemma 2, semantically: for q with only identity joins, the product
+// query q̃ = ProductUnder(q) satisfies q̃ ⊑ q, preserves emptiness, and
+// mentions the same relations.
+func TestLemma2Semantics(t *testing.T) {
+	s := schema.MustParse("R(a:T1, b:T1)\nP(c:T1, d:T1)")
+	rng := rand.New(rand.NewSource(17))
+	fixtures := []string{
+		"Q(X, Y) :- R(X, Y), R(A, B), X = A.",          // partially saturated
+		"Q(X, A) :- R(X, Y), R(A, B).",                 // self cross-product
+		"Q(X, C) :- R(X, Y), P(C, D), R(A, B), Y = B.", // mixed
+	}
+	for _, text := range fixtures {
+		q := MustParse(text)
+		if err := q.Validate(s); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ProductUnder(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsProduct(p) {
+			t.Fatalf("ProductUnder(%q) not a product query: %s", text, p)
+		}
+		// Condition (d): same relations.
+		qr, pr := q.RelationsUsed(), p.RelationsUsed()
+		if len(qr) != len(pr) {
+			t.Fatalf("relations differ: %v vs %v", qr, pr)
+		}
+		for i := range qr {
+			if qr[i] != pr[i] {
+				t.Fatalf("relations differ: %v vs %v", qr, pr)
+			}
+		}
+		for trial := 0; trial < 40; trial++ {
+			d := randInstance(s, rng, 4, 3)
+			aq, err := Eval(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ap, err := Eval(p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Condition (a): q̃ ⊑ q.
+			if !ap.SubsetOf(aq) {
+				t.Fatalf("Lemma 2(a) violated for %q:\nq: %s\np: %s\non %s", text, aq, ap, d)
+			}
+			// Condition (c): q non-empty ⇒ q̃ non-empty.
+			if aq.Len() > 0 && ap.Len() == 0 {
+				t.Fatalf("Lemma 2(c) violated for %q on %s", text, d)
+			}
+		}
+	}
+}
+
+// Lemma 2(b): any FD holding on q̃(d) holds on... — note the lemma states
+// FDs holding on q(d) also hold on q̃(d) (the subset).  A subset of a
+// relation can only satisfy more FDs, so we check that directly.
+func TestLemma2FDPreservation(t *testing.T) {
+	s := schema.MustParse("R(a:T1, b:T1)")
+	rng := rand.New(rand.NewSource(23))
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), X = A.")
+	p, err := ProductUnder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		d := randInstance(s, rng, 5, 2)
+		aq, _ := Eval(q, d)
+		ap, _ := Eval(p, d)
+		// For every FD over the two head columns: holds(q) ⇒ holds(p).
+		for _, fdXY := range [][2][]int{
+			{{0}, {1}}, {{1}, {0}}, {{0, 1}, {0}}, {{}, {0, 1}},
+		} {
+			if aq.SatisfiesFD(fdXY[0], fdXY[1]) && !ap.SatisfiesFD(fdXY[0], fdXY[1]) {
+				t.Fatalf("Lemma 2(b) violated: FD %v->%v holds on q(d) but not q̃(d)\nq: %s\np: %s",
+					fdXY[0], fdXY[1], aq, ap)
+			}
+		}
+	}
+}

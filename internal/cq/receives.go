@@ -1,0 +1,102 @@
+package cq
+
+import (
+	"sort"
+
+	"keyedeq/internal/value"
+)
+
+// SchemaAttr names an attribute of the underlying schema: relation name
+// plus attribute position.  The receives analysis relates head attributes
+// of a query to these.
+type SchemaAttr struct {
+	Rel string
+	Pos int
+}
+
+// Received describes what one head attribute of a query receives, per the
+// paper's definition: the set of schema attributes whose body locations
+// its variable's equality class touches, and/or a constant.
+type Received struct {
+	// Attrs are the schema attributes received, sorted and deduplicated.
+	// Empty when the head term is a pure constant.
+	Attrs []SchemaAttr
+	// Const is the constant received (set when the head term is a
+	// constant symbol, or when the head variable's class is bound to a
+	// constant by a selection).
+	Const    value.Value
+	HasConst bool
+}
+
+// ReceivesAttr reports whether the head attribute receives schema
+// attribute (rel, pos).
+func (r Received) ReceivesAttr(rel string, pos int) bool {
+	for _, a := range r.Attrs {
+		if a.Rel == rel && a.Pos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// Receives computes, for each head position of q, what it receives.  An
+// attribute can receive multiple distinct attributes (the paper's example:
+// R(X,Y,Z) :- P(X,Y), Q(T,Z), Y = T gives head 2 both P.2 and Q.1).
+func Receives(q *Query) []Received {
+	eq := NewEqClasses(q)
+	positions := eq.Positions(q)
+	out := make([]Received, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsConst {
+			out[i] = Received{Const: t.Const, HasConst: true}
+			continue
+		}
+		root := eq.Find(t.Var)
+		var rec Received
+		seen := make(map[SchemaAttr]bool)
+		for _, cp := range positions[root] {
+			sa := SchemaAttr{Rel: q.Body[cp.Atom].Rel, Pos: cp.Pos}
+			if !seen[sa] {
+				seen[sa] = true
+				rec.Attrs = append(rec.Attrs, sa)
+			}
+		}
+		sort.Slice(rec.Attrs, func(a, b int) bool {
+			if rec.Attrs[a].Rel != rec.Attrs[b].Rel {
+				return rec.Attrs[a].Rel < rec.Attrs[b].Rel
+			}
+			return rec.Attrs[a].Pos < rec.Attrs[b].Pos
+		})
+		if c, ok := eq.Const(t.Var); ok {
+			rec.Const = c
+			rec.HasConst = true
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// InvolvedInCondition reports whether schema attribute (rel, pos) is
+// involved in any selection or join condition in q: some occurrence of rel
+// has its pos-th variable in a class that is bound to a constant or that
+// contains another body location.  Lemma 7's hypothesis ("B is involved in
+// a join or selection condition in the body of some query in β") is this
+// predicate.
+func InvolvedInCondition(q *Query, rel string, pos int) bool {
+	eq := NewEqClasses(q)
+	positions := eq.Positions(q)
+	for i, a := range q.Body {
+		if a.Rel != rel || pos >= len(a.Vars) {
+			continue
+		}
+		v := a.Vars[pos]
+		if _, bound := eq.Const(v); bound {
+			return true
+		}
+		if len(positions[eq.Find(v)]) > 1 {
+			return true
+		}
+		_ = i
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package cq
+
+import (
+	"fmt"
+)
+
+// This file implements the paper's identity joins and ij-saturation (§2).
+//
+// A join is an *identity join* if all the relations participating are the
+// same relation and every join condition equates an attribute position of
+// one occurrence with the same position of another occurrence.  A relation
+// R in a query body is *ij-saturated* if no occurrence of R participates
+// in a selection condition, all join conditions involving R are identity
+// joins, and all possible identity join conditions for R are inferable
+// from the equality list.  A query is ij-saturated if every relation in
+// its body is.
+
+// ClassShape classifies one equality class relative to the body: the set
+// of relations and positions it touches and whether it is constant-bound.
+type classShape struct {
+	rels      map[string]bool
+	positions map[int]bool
+	bound     bool
+	size      int
+}
+
+func classShapes(q *Query) map[Var]*classShape {
+	eq := NewEqClasses(q)
+	shapes := make(map[Var]*classShape)
+	for _, a := range q.Body {
+		for j, v := range a.Vars {
+			root := eq.Find(v)
+			sh := shapes[root]
+			if sh == nil {
+				sh = &classShape{rels: map[string]bool{}, positions: map[int]bool{}}
+				shapes[root] = sh
+			}
+			sh.rels[a.Rel] = true
+			sh.positions[j] = true
+			sh.size++
+			if _, ok := eq.Const(v); ok {
+				sh.bound = true
+			}
+		}
+	}
+	return shapes
+}
+
+// RelationIJSaturated reports whether relation rel is ij-saturated in q.
+func RelationIJSaturated(q *Query, rel string) bool {
+	if err := relationConditionsIdentityOnly(q, rel); err != nil {
+		return false
+	}
+	// All possible identity join conditions must be inferable: for every
+	// position p, the p-th variables of all occurrences of rel share one
+	// class.
+	eq := NewEqClasses(q)
+	var occ []Atom
+	for _, a := range q.Body {
+		if a.Rel == rel {
+			occ = append(occ, a)
+		}
+	}
+	if len(occ) <= 1 {
+		return true
+	}
+	first := occ[0]
+	for _, a := range occ[1:] {
+		for p := range a.Vars {
+			if !eq.Same(first.Vars[p], a.Vars[p]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// relationConditionsIdentityOnly checks that no occurrence of rel is in a
+// selection condition and that all join conditions involving rel are
+// identity joins.  It reports the first violation as an error.
+func relationConditionsIdentityOnly(q *Query, rel string) error {
+	shapes := classShapes(q)
+	eq := NewEqClasses(q)
+	for _, a := range q.Body {
+		if a.Rel != rel {
+			continue
+		}
+		for j, v := range a.Vars {
+			sh := shapes[eq.Find(v)]
+			if sh.bound {
+				return fmt.Errorf("cq: %s position %d participates in a constant selection", rel, j)
+			}
+			if len(sh.rels) > 1 {
+				return fmt.Errorf("cq: %s position %d joins a different relation", rel, j)
+			}
+			if len(sh.positions) > 1 {
+				return fmt.Errorf("cq: %s position %d equated to a different position", rel, j)
+			}
+		}
+	}
+	return nil
+}
+
+// IJSaturated reports whether every relation in q's body is ij-saturated.
+func IJSaturated(q *Query) bool {
+	for _, rel := range q.RelationsUsed() {
+		if !RelationIJSaturated(q, rel) {
+			return false
+		}
+	}
+	return true
+}
+
+// Saturate constructs the ij-saturated query q̂ of §2: it requires q to
+// have no selection conditions and no join conditions other than identity
+// joins, and returns q with the missing identity join conditions added so
+// that every relation is ij-saturated.  The construction keeps the same
+// occurrences of relations; q̂ ⊑ q always holds (only conditions were
+// added).
+func Saturate(q *Query) (*Query, error) {
+	for _, rel := range q.RelationsUsed() {
+		if err := relationConditionsIdentityOnly(q, rel); err != nil {
+			return nil, fmt.Errorf("cq: cannot saturate: %v", err)
+		}
+	}
+	out := q.Clone()
+	// For each relation, equate position p of every occurrence with
+	// position p of the first occurrence.
+	eq := NewEqClasses(q)
+	for _, rel := range q.RelationsUsed() {
+		var first *Atom
+		for i := range out.Body {
+			a := &out.Body[i]
+			if a.Rel != rel {
+				continue
+			}
+			if first == nil {
+				first = a
+				continue
+			}
+			for p := range a.Vars {
+				if !eq.Same(first.Vars[p], a.Vars[p]) {
+					out.Eqs = append(out.Eqs, Equality{Left: first.Vars[p], Right: Term{Var: a.Vars[p]}})
+				}
+			}
+		}
+	}
+	return out, nil
+}

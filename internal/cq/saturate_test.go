@@ -1,0 +1,158 @@
+package cq
+
+import (
+	"testing"
+)
+
+// The paper's §2 examples, verbatim.
+
+func TestPaperIJSaturatedExample(t *testing.T) {
+	// R is ij-saturated in:
+	// Q(X,Y) :- R(X,Y), R(A,B), R(C,D), X=A, X=C, Y=B, Y=D.
+	// (A=C is inferred by transitivity.)
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, Y = B, Y = D.")
+	if !RelationIJSaturated(q, "R") {
+		t.Error("paper's saturated example rejected")
+	}
+	if !IJSaturated(q) {
+		t.Error("query should be ij-saturated")
+	}
+}
+
+func TestPaperNotIJSaturatedExample(t *testing.T) {
+	// R is NOT ij-saturated in:
+	// Q(X,Y) :- R(X,Y), R(A,B), R(C,D), X=A, X=C, A=C, Y=B.
+	// (neither Y=D nor B=D is inferable.)
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, A = C, Y = B.")
+	if RelationIJSaturated(q, "R") {
+		t.Error("paper's unsaturated example accepted")
+	}
+	if IJSaturated(q) {
+		t.Error("query should not be ij-saturated")
+	}
+}
+
+func TestNonIdentityJoinRejected(t *testing.T) {
+	// Paper: Q(X,Y,Z) :- R(X,Y,Z), R(T,U,V), Y=T, Z=V: Y=T equates
+	// different attributes of R — not an identity join.
+	nonid := MustParse("Q(X, Y, Z) :- R3(X, Y, Z), R3(T, U, V), Y = T, Z = V.")
+	if RelationIJSaturated(nonid, "R3") {
+		t.Error("non-identity self-join accepted as saturated")
+	}
+	if _, err := Saturate(nonid); err == nil {
+		t.Error("Saturate must reject non-identity joins")
+	}
+}
+
+// Paper: Q(X,Y,Z) :- R(X,Z), R(Y,T), Z=T is the paper's example of an
+// identity join (position 1 = position 1), but position 0 of the two R
+// occurrences (X and Y) is not equated, so "all possible identity join
+// conditions" are not inferable and R is not yet ij-saturated; Saturate
+// completes it.
+func TestIdentityJoinNotSaturated(t *testing.T) {
+	q := MustParse("Q(X, Y, Z) :- R(X, Z), R(Y, T), Z = T.")
+	if RelationIJSaturated(q, "R") {
+		t.Error("missing X=Y: should not be fully saturated")
+	}
+	// But saturation can complete it.
+	sat, err := Saturate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IJSaturated(sat) {
+		t.Errorf("Saturate did not saturate: %s", sat)
+	}
+	eq := NewEqClasses(sat)
+	if !eq.Same("X", "Y") {
+		t.Error("saturation must equate X and Y")
+	}
+}
+
+func TestSaturateMatchesPaperExample(t *testing.T) {
+	// Given Q(X,Y) :- R(X,Y), R(A,B), R(C,D), X=A, X=C, A=C, Y=B.
+	// saturation adds Y=D (and B=D by transitivity).
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, A = C, Y = B.")
+	sat, err := Saturate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IJSaturated(sat) {
+		t.Fatalf("not saturated: %s", sat)
+	}
+	eq := NewEqClasses(sat)
+	for _, pair := range [][2]Var{{"Y", "D"}, {"B", "D"}, {"A", "C"}, {"X", "A"}} {
+		if !eq.Same(pair[0], pair[1]) {
+			t.Errorf("saturated query should infer %s = %s", pair[0], pair[1])
+		}
+	}
+	// Same number of relation occurrences as the original (the paper's
+	// construction adds conditions only).
+	if len(sat.Body) != len(q.Body) {
+		t.Error("Saturate changed the body atoms")
+	}
+}
+
+func TestSaturateIdempotent(t *testing.T) {
+	q := MustParse("Q(X, Y) :- R(X, Y), R(A, B), X = A.")
+	s1, err := Saturate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Saturate(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := NewEqClasses(s1), NewEqClasses(s2)
+	for _, a := range []Var{"X", "Y", "A", "B"} {
+		for _, b := range []Var{"X", "Y", "A", "B"} {
+			if e1.Same(a, b) != e2.Same(a, b) {
+				t.Errorf("saturation not idempotent on (%s,%s)", a, b)
+			}
+		}
+	}
+}
+
+func TestSaturateRejectsSelections(t *testing.T) {
+	q := MustParse("Q(X) :- R(X, Y), Y = T2:5.")
+	if _, err := Saturate(q); err == nil {
+		t.Error("Saturate must reject constant selections")
+	}
+	if RelationIJSaturated(q, "R") {
+		t.Error("selection should break saturation")
+	}
+	// Column selection: two positions of one occurrence equated.
+	q2 := MustParse("Q(X) :- R(X, Y), X = Y.")
+	if _, err := Saturate(q2); err == nil {
+		t.Error("Saturate must reject column selections")
+	}
+	// Join with a different relation.
+	q3 := MustParse("Q(X) :- R(X, Y), P(A, B), Y = B.")
+	if _, err := Saturate(q3); err == nil {
+		t.Error("Saturate must reject joins with other relations")
+	}
+}
+
+func TestSingleOccurrenceAlwaysSaturated(t *testing.T) {
+	q := MustParse("Q(X, Y) :- R(X, Y).")
+	if !IJSaturated(q) {
+		t.Error("single occurrence with no conditions is saturated")
+	}
+	// Pure cross product of distinct relations is saturated (degenerate).
+	q2 := MustParse("Q(X, A) :- R(X, Y), P(A, B).")
+	if !IJSaturated(q2) {
+		t.Error("cross product of distinct relations is saturated")
+	}
+	// Cross product of a relation with itself is a *degenerate identity
+	// join* per the paper, but not saturated until conditions are added.
+	q3 := MustParse("Q(X, A) :- R(X, Y), R(A, B).")
+	if IJSaturated(q3) {
+		t.Error("unconstrained self cross-product is not saturated")
+	}
+	sat, err := Saturate(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IJSaturated(sat) {
+		t.Error("saturation failed on self cross-product")
+	}
+}

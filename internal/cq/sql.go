@@ -1,0 +1,65 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/schema"
+)
+
+// ToSQL renders the conjunctive query as a SQL SELECT statement over the
+// schema, one table alias per body atom, with the equality list as the
+// WHERE clause.  Constants render as integer literals (the attribute
+// types are erased, as SQL would).  The translation is for display and
+// interoperability; evaluation semantics are SELECT DISTINCT (the
+// paper's queries are set-valued).
+func ToSQL(q *Query, s *schema.Schema) (string, error) {
+	if err := q.Validate(s); err != nil {
+		return "", err
+	}
+	alias := func(i int) string { return fmt.Sprintf("t%d", i) }
+	// Column expression for each body variable.
+	colOf := make(map[Var]string)
+	for i, a := range q.Body {
+		rel := s.Relation(a.Rel)
+		for p, v := range a.Vars {
+			colOf[v] = alias(i) + "." + rel.Attrs[p].Name
+		}
+	}
+	var sel []string
+	for i, t := range q.Head {
+		var expr string
+		if t.IsConst {
+			expr = fmt.Sprintf("%d", t.Const.N)
+		} else {
+			expr = colOf[t.Var]
+		}
+		sel = append(sel, fmt.Sprintf("%s AS c%d", expr, i))
+	}
+	var from []string
+	for i, a := range q.Body {
+		from = append(from, a.Rel+" AS "+alias(i))
+	}
+	var where []string
+	for _, e := range q.Eqs {
+		l := colOf[e.Left]
+		var r string
+		if e.Right.IsConst {
+			r = fmt.Sprintf("%d", e.Right.Const.N)
+		} else {
+			r = colOf[e.Right.Var]
+		}
+		where = append(where, l+" = "+r)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT DISTINCT ")
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString("\nFROM ")
+	b.WriteString(strings.Join(from, ", "))
+	if len(where) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(where, " AND "))
+	}
+	b.WriteString(";")
+	return b.String(), nil
+}

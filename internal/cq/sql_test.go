@@ -1,0 +1,77 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+func TestToSQLJoin(t *testing.T) {
+	s := schema.MustParse("emp(ss:T1, dep:T2)\ndept(id:T2, name:T3)")
+	q := MustParse("V(X, N) :- emp(X, D), dept(D2, N), D = D2.")
+	sql, err := ToSQL(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SELECT DISTINCT t0.ss AS c0, t1.name AS c1",
+		"FROM emp AS t0, dept AS t1",
+		"WHERE t0.dep = t1.id",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestToSQLSelectionAndConstants(t *testing.T) {
+	s := schema.MustParse("R(a:T1, b:T2)")
+	q := MustParse("V(T2:9, X) :- R(X, Y), Y = T2:5.")
+	sql, err := ToSQL(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"9 AS c0", "t0.a AS c1", "WHERE t0.b = 5"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestToSQLNoWhere(t *testing.T) {
+	s := schema.MustParse("R(a:T1, b:T2)")
+	q := MustParse("V(X) :- R(X, Y).")
+	sql, err := ToSQL(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "WHERE") {
+		t.Errorf("unexpected WHERE:\n%s", sql)
+	}
+	if !strings.HasSuffix(sql, ";") {
+		t.Error("missing terminator")
+	}
+}
+
+func TestToSQLValidates(t *testing.T) {
+	s := schema.MustParse("R(a:T1)")
+	if _, err := ToSQL(MustParse("V(X) :- Z(X)."), s); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestToSQLSelfJoinAliases(t *testing.T) {
+	s := schema.MustParse("E(src:T1, dst:T1)")
+	q := MustParse("V(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	sql, err := ToSQL(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "E AS t0, E AS t1") {
+		t.Errorf("self-join aliases wrong:\n%s", sql)
+	}
+	if !strings.Contains(sql, "t0.dst = t1.src") {
+		t.Errorf("join condition wrong:\n%s", sql)
+	}
+}

@@ -1,0 +1,56 @@
+package dominance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+func TestEquivalentMirrorsIsomorphism(t *testing.T) {
+	s1 := schema.MustParse("r(a*:T1, b:T2)\ns(c*:T3)")
+	s2 := schema.MustParse("x(u*:T3)\ny(q:T2, p*:T1)")
+	if !Equivalent(s1, s2) {
+		t.Error("renamed/reordered schemas should be equivalent")
+	}
+	s3 := schema.MustParse("r(a*:T1, b:T2)\ns(c*:T2)")
+	if Equivalent(s1, s3) {
+		t.Error("different key types should not be equivalent")
+	}
+}
+
+func TestEquivalentWithWitness(t *testing.T) {
+	s1 := schema.MustParse("r(a*:T1, b:T2)")
+	rng := rand.New(rand.NewSource(2))
+	s2, _ := schema.RandomIsomorph(s1, rng)
+	w, ok, err := EquivalentWithWitness(s1, s2)
+	if err != nil || !ok {
+		t.Fatalf("witness not found: %v %v", ok, err)
+	}
+	good, err := VerifyWitness(w)
+	if err != nil || !good {
+		t.Errorf("witness failed verification: %v %v", good, err)
+	}
+	// Non-isomorphic: no witness.
+	s3 := schema.MustParse("r(a*:T1, b:T3)")
+	_, ok, err = EquivalentWithWitness(s1, s3)
+	if err != nil || ok {
+		t.Errorf("witness for non-equivalent schemas: %v %v", ok, err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s1 := schema.MustParse("r(a*:T1)")
+	if !strings.Contains(Explain(s1, s1), "equivalent") {
+		t.Error("Explain should say equivalent")
+	}
+	s2 := schema.MustParse("r(a*:T1)\ns(b*:T1)")
+	if !strings.Contains(Explain(s1, s2), "different number of relations") {
+		t.Error("Explain should mention relation count")
+	}
+	s3 := schema.MustParse("r(a*:T2)")
+	if !strings.Contains(Explain(s1, s3), "canonical forms differ") {
+		t.Error("Explain should show canonical forms")
+	}
+}

@@ -1,0 +1,226 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/mapping"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func v(t value.Type, n int64) value.Value { return value.Value{Type: t, N: n} }
+
+func TestGammaRecreatesConstants(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T2, b:T3)")
+	var choice value.Choice
+	g, err := Gamma(s, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _ := schema.Kappa(s)
+	d := instance.NewDatabase(ks)
+	d.MustInsert("R", v(1, 7))
+	out, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Relation("R")
+	if r.Len() != 1 {
+		t.Fatalf("gamma output: %s", out)
+	}
+	tup := r.Tuples()[0]
+	if tup[0] != v(1, 7) {
+		t.Errorf("key not preserved: %v", tup)
+	}
+	if tup[1] != choice.Of(2) || tup[2] != choice.Of(3) {
+		t.Errorf("non-keys not the choice constants: %v", tup)
+	}
+	// π_κ ∘ γ = id on i(κ(S)), as the paper notes.
+	pk, err := ProjKappa(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := pk.Apply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(d) {
+		t.Errorf("π_κ(γ(d)) != d:\n%s\nvs\n%s", back, d)
+	}
+}
+
+func TestProjKappaMapping(t *testing.T) {
+	s := schema.MustParse("R(a:T1, k*:T2, b:T3, k2*:T4)")
+	pk, err := ProjKappa(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := instance.NewDatabase(s)
+	d.MustInsert("R", v(1, 1), v(2, 2), v(3, 3), v(4, 4))
+	out, err := pk.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := out.Relations[0].Tuples()[0]
+	if len(tup) != 2 || tup[0] != v(2, 2) || tup[1] != v(4, 4) {
+		t.Errorf("projection wrong: %v", tup)
+	}
+	// Must agree with instance.ProjectKappa.
+	ks, pos := schema.Kappa(s)
+	direct := instance.ProjectKappa(d, ks, pos)
+	if !out.Equal(direct) {
+		t.Errorf("mapping and direct projection differ:\n%s\nvs\n%s", out, direct)
+	}
+}
+
+// Theorem 9 on isomorphism pairs: the κ-reduction of a dominance pair is
+// a dominance pair for the κ-schemas.
+func TestTheorem9OnIsomorphismPairs(t *testing.T) {
+	fixtures := []string{
+		"R(k*:T1, a:T2)",
+		"R(k*:T1, a:T2)\nS(x*:T3, y:T1)",
+		"R(k*:T1, k2*:T2, a:T3, b:T3)",
+		"R(a*:T1, b:T1, c:T1)",
+	}
+	for seed, text := range fixtures {
+		s1 := schema.MustParse(text)
+		rng := rand.New(rand.NewSource(int64(seed + 100)))
+		s2, iso := schema.RandomIsomorph(s1, rng)
+		alpha, beta, err := mapping.FromIsomorphism(s1, s2, iso)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphaK, betaK, err := KappaReduction(alpha, beta, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		ok, err := VerifyKappaPair(alphaK, betaK)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if !ok {
+			t.Errorf("%q: β_κ∘α_κ is not the identity", text)
+		}
+	}
+}
+
+// Semantic check of the κ-reduction diagram: for database instances d_κ of
+// κ(S1), α_κ(d_κ) = π_κ(α(γ(d_κ))) and β_κ(α_κ(d_κ)) = d_κ.
+func TestTheorem9Semantics(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1, a:T2)\nS(x*:T3, y:T1)")
+	rng := rand.New(rand.NewSource(55))
+	s2, iso := schema.RandomIsomorph(s1, rng)
+	alpha, beta, err := mapping.FromIsomorphism(s1, s2, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var choice value.Choice
+	alphaK, betaK, err := KappaReduction(alpha, beta, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := Gamma(s1, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := ProjKappa(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks1, _ := schema.Kappa(s1)
+	for trial := 0; trial < 20; trial++ {
+		dk := instance.NewDatabase(ks1)
+		for i := 0; i < rng.Intn(4); i++ {
+			dk.MustInsert("R", v(1, int64(i+1)))
+			dk.MustInsert("S", v(3, int64(i+1)))
+		}
+		// Diagram: α_κ = π_κ ∘ α ∘ γ.
+		viaMaps, err := alphaK.Apply(dk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := gamma.Apply(dk)
+		a, _ := alpha.Apply(g)
+		direct, err := pk2.Apply(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !viaMaps.Equal(direct) {
+			t.Fatalf("α_κ disagrees with π_κ∘α∘γ:\n%s\nvs\n%s", viaMaps, direct)
+		}
+		// Round trip.
+		back, err := betaK.Apply(viaMaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(dk) {
+			t.Fatalf("β_κ(α_κ(d)) != d:\n%s\nvs\n%s", back, dk)
+		}
+	}
+}
+
+// Delta's case analysis: constants (case 1), non-key receives (case 2),
+// and the Lemma 7 key-witness path (case 3).
+func TestDeltaCases(t *testing.T) {
+	// Case 1 and 2: α maps R(k, a) to P(k, const, a-as-nonkey).
+	s1 := schema.MustParse("R(k*:T1, a:T2)")
+	s2 := schema.MustParse("P(k*:T1, c:T3, a:T2)")
+	alpha := mapping.MustNew(s1, s2, []*cq.Query{cq.MustParse("P(X, T3:9, Y) :- R(X, Y).")})
+	beta := mapping.MustNew(s2, s1, []*cq.Query{cq.MustParse("R(X, Y) :- P(X, C, Y).")})
+	var choice value.Choice
+	delta, err := Delta(alpha, beta, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks2, _ := schema.Kappa(s2)
+	dk := instance.NewDatabase(ks2)
+	dk.MustInsert("P", v(1, 4))
+	out, err := delta.Apply(dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := out.Relation("P").Tuples()[0]
+	if tup[1] != v(3, 9) {
+		t.Errorf("case 1 (constant) wrong: %v", tup)
+	}
+	if tup[2] != choice.Of(2) {
+		t.Errorf("case 2 (non-key receive -> f(T)) wrong: %v", tup)
+	}
+}
+
+// Case 3: α copies the key into a non-key position of S2, and β reads it
+// back; δ must fill that position with the key variable.
+func TestDeltaCase3KeyEcho(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1)")
+	s2 := schema.MustParse("P(k*:T1, kcopy:T1)")
+	alpha := mapping.MustNew(s1, s2, []*cq.Query{cq.MustParse("P(X, X) :- R(X).")})
+	beta := mapping.MustNew(s2, s1, []*cq.Query{cq.MustParse("R(Y) :- P(X, Y).")})
+	var choice value.Choice
+	delta, err := Delta(alpha, beta, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks2, _ := schema.Kappa(s2)
+	dk := instance.NewDatabase(ks2)
+	dk.MustInsert("P", v(1, 6))
+	out, err := delta.Apply(dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := out.Relation("P").Tuples()[0]
+	if tup[1] != v(1, 6) {
+		t.Errorf("case 3 should echo the key: %v", tup)
+	}
+	// And the full reduction round-trips.
+	alphaK, betaK, err := KappaReduction(alpha, beta, &choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyKappaPair(alphaK, betaK)
+	if err != nil || !ok {
+		t.Errorf("κ-pair not identity: %v %v", ok, err)
+	}
+}

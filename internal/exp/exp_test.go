@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"keyedeq/internal/dominance"
+	"keyedeq/internal/gen"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "TX", Title: "demo", Columns: []string{"a", "bb"}}
+	tb.Add(1, 2.5)
+	tb.Add("long-cell", time.Millisecond)
+	tb.Note("n=%d", 7)
+	s := tb.String()
+	for _, want := range []string{"TX: demo", "a", "bb", "long-cell", "2.5", "note: n=7", "1ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestT1AgreesPerfectly(t *testing.T) {
+	tb := T1TheoremExhaustive(
+		gen.SchemaSpace{MaxRelations: 1, MaxAttrs: 2, Types: 2},
+		dominance.SearchBounds{MaxAtoms: 1, MaxEqs: 1, MaxViews: 2000, MaxPairs: 100_000},
+	)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	pairs := row[1]
+	agree := row[4]
+	if agree != pairs+"/"+pairs {
+		t.Errorf("T1 disagreement: agree=%s pairs=%s\n%s", agree, pairs, tb)
+	}
+	if row[5] != "0" {
+		t.Errorf("T1 truncated searches: %s", row[5])
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "DISAGREEMENT") {
+			t.Errorf("T1 noted a disagreement: %s", n)
+		}
+	}
+}
+
+func TestT2NoViolations(t *testing.T) {
+	tb := T2SaturationProduct(20, 1)
+	for _, row := range tb.Rows {
+		if row[3] != "0" || row[4] != "0" {
+			t.Errorf("T2 violations: %v", row)
+		}
+	}
+}
+
+func TestTLemmasNoViolations(t *testing.T) {
+	tb := TLemmas(20, 2)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("lemma violations: %v", row)
+		}
+	}
+}
+
+func TestT6NoFailures(t *testing.T) {
+	tb := T6KappaReduction(10, 3)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("T6 failures: %v", row)
+		}
+	}
+}
+
+func TestT3ContainmentShape(t *testing.T) {
+	tb := T3Containment(4, 4, 3)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// chain(n) ⊑ chain(n-1) must be true everywhere.
+	for _, row := range tb.Rows {
+		if row[0] == "chain" && row[2] != "true" {
+			t.Errorf("chain containment should hold: %v", row)
+		}
+	}
+}
+
+func TestT4AndF3Run(t *testing.T) {
+	tb := T4Chase([]int{50}, []int{2}, 1)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("T4 rows = %d", len(tb.Rows))
+	}
+	f3 := F3ChaseCurve([]int{50, 100}, []int{2}, 1)
+	if len(f3.Rows) != 2 {
+		t.Fatalf("F3 rows = %d", len(f3.Rows))
+	}
+}
+
+func TestT5T7T8Run(t *testing.T) {
+	if len(T5MappingIdentity(3, 1).Rows) != 3 {
+		t.Error("T5 row count")
+	}
+	tb := T7DecisionCompare(2, dominance.SearchBounds{MaxAtoms: 1, MaxEqs: 1, MaxViews: 2000, MaxPairs: 100_000}, 1)
+	// attrs=1 has only the isomorphic case; attrs=2 adds the near-miss.
+	if len(tb.Rows) != 3 {
+		t.Errorf("T7 row count = %d", len(tb.Rows))
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "DISAGREEMENT") || strings.Contains(n, "broken") {
+			t.Errorf("T7 problem: %s", n)
+		}
+	}
+	if len(T8FDClosure([]int{8}, []int{8}, 1).Rows) != 1 {
+		t.Error("T8 row count")
+	}
+}
+
+func TestF1F2Run(t *testing.T) {
+	f1 := F1ContainmentCurve(3, 3, 3)
+	if len(f1.Rows) == 0 {
+		t.Error("F1 empty")
+	}
+	f2 := F2SearchSpace(3, dominance.SearchBounds{MaxAtoms: 1, MaxEqs: 1, MaxViews: 5000})
+	if len(f2.Rows) != 3 {
+		t.Error("F2 row count")
+	}
+	// Views must grow with width.
+	v1, _ := strconv.Atoi(f2.Rows[0][1])
+	v3, _ := strconv.Atoi(f2.Rows[2][1])
+	if v3 <= v1 {
+		t.Errorf("F2 not growing: %v", f2.Rows)
+	}
+}
+
+func TestAllQuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite; skipped in -short")
+	}
+	tables := All(Config{Quick: true})
+	if len(tables) != 16 {
+		t.Fatalf("All returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+	}
+}
+
+func TestT9NoFailures(t *testing.T) {
+	tb := T9INDMigration(8, 1)
+	for _, row := range tb.Rows {
+		if row[5] != "0" {
+			t.Errorf("T9 failures: %v", row)
+		}
+		if row[2] != row[1] || row[3] != row[1] {
+			t.Errorf("T9 verification incomplete: %v", row)
+		}
+	}
+}
+
+func TestT10CapacityShape(t *testing.T) {
+	tb := T10Capacity(3)
+	// The type-swapped pair must be card-equal but not cq-equiv at
+	// every size; the isomorphic pair must be both.
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "type-swapped keys":
+			if row[4] != "true" || row[5] != "false" {
+				t.Errorf("degeneracy row wrong: %v", row)
+			}
+		case "isomorphic":
+			if row[4] != "true" || row[5] != "true" {
+				t.Errorf("isomorphic row wrong: %v", row)
+			}
+		case "extra attribute", "key widened":
+			if row[5] != "false" {
+				t.Errorf("non-equivalent pair marked equivalent: %v", row)
+			}
+		}
+	}
+}
+
+func TestT11YannakakisWins(t *testing.T) {
+	tb := T11Yannakakis([]int{4}, 30)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	plain, _ := strconv.Atoi(row[2])
+	yann, _ := strconv.Atoi(row[3])
+	if yann >= plain {
+		t.Errorf("Yannakakis nodes %d should beat plain %d", yann, plain)
+	}
+	pruned, _ := strconv.Atoi(row[4])
+	if pruned == 0 {
+		t.Error("reducer pruned nothing")
+	}
+}
+
+func TestT12UCQContained(t *testing.T) {
+	tb := T12UCQContainment([]int{1, 2}, 3)
+	for _, row := range tb.Rows {
+		if row[2] != "true" {
+			t.Errorf("UCQ containment should hold: %v", row)
+		}
+	}
+}

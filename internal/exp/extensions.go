@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"keyedeq/internal/acyclic"
+	"keyedeq/internal/capacity"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/ind"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/ucq"
+	"keyedeq/internal/value"
+)
+
+// T9 — attribute migration under keys + inclusion dependencies.  Random
+// migration scenarios are transformed with MoveAttribute and the witness
+// mappings are verified BOTH symbolically (chase with EGDs + TGDs) and
+// on random constraint-satisfying instances.  The §1 claim predicts zero
+// failures.  The isomorphic column counts moves that coincide with a
+// renaming (symmetric source/destination shapes); every other verified
+// move is a transformation keys alone could never justify (Theorem 13).
+func T9INDMigration(trials int, seed int64) *Table {
+	t := &Table{
+		ID:      "T9",
+		Title:   "Keys+INDs attribute migration: symbolic + instance verification",
+		Columns: []string{"extra-attrs", "trials", "sym-verified", "inst-verified", "isomorphic", "failures"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for extra := 1; extra <= 3; extra++ {
+		var sym, inst, iso, failures int
+		for trial := 0; trial < trials; trial++ {
+			c, from, to := migrationScenario(rng, extra)
+			res, err := c.MoveAttribute(from, 1, to, []int{0})
+			if err != nil {
+				failures++
+				continue
+			}
+			ok, err := c.Verify(res)
+			if err != nil || !ok {
+				failures++
+				continue
+			}
+			sym++
+			if schema.Isomorphic(c.S, res.New.S) {
+				iso++
+			}
+			good := true
+			for k := 0; k < 5; k++ {
+				d := scenarioInstance(c, rng)
+				if !c.Satisfied(d) {
+					good = false
+					break
+				}
+				mid, err := res.Alpha.Apply(d)
+				if err != nil || !res.New.Satisfied(mid) {
+					good = false
+					break
+				}
+				back, err := res.Beta.Apply(mid)
+				if err != nil || !back.Equal(d) {
+					good = false
+					break
+				}
+			}
+			if good {
+				inst++
+			} else {
+				failures++
+			}
+		}
+		t.Add(extra, trials, sym, inst, iso, failures)
+	}
+	t.Note("predicts failures = 0; 'isomorphic' counts moves that happen to be pure renamings (symmetric src/dst shapes) — those are trivial even under keys alone")
+	return t
+}
+
+// migrationScenario builds a constrained schema with a bijective
+// inclusion pair: from(k*, moved, pad...) and to(k*, others...), the key
+// columns mutually included.
+func migrationScenario(rng *rand.Rand, extra int) (*ind.Constrained, string, string) {
+	keyType := value.Type(1)
+	from := &schema.Relation{Name: "src", Key: []int{0}}
+	from.Attrs = append(from.Attrs, schema.Attribute{Name: "k", Type: keyType})
+	for i := 0; i < extra; i++ {
+		from.Attrs = append(from.Attrs, schema.Attribute{
+			Name: fmt.Sprintf("m%d", i),
+			Type: value.Type(2 + rng.Intn(3)),
+		})
+	}
+	to := &schema.Relation{Name: "dst", Key: []int{0}}
+	to.Attrs = append(to.Attrs, schema.Attribute{Name: "k", Type: keyType})
+	for i := 0; i < rng.Intn(3); i++ {
+		to.Attrs = append(to.Attrs, schema.Attribute{
+			Name: fmt.Sprintf("o%d", i),
+			Type: value.Type(2 + rng.Intn(3)),
+		})
+	}
+	s := schema.MustNew(from, to)
+	c := &ind.Constrained{
+		S: s,
+		INDs: []ind.IND{
+			{Left: ind.Ref{Rel: "src", Pos: []int{0}}, Right: ind.Ref{Rel: "dst", Pos: []int{0}}},
+			{Left: ind.Ref{Rel: "dst", Pos: []int{0}}, Right: ind.Ref{Rel: "src", Pos: []int{0}}},
+		},
+	}
+	return c, "src", "dst"
+}
+
+// scenarioInstance builds a random instance satisfying the scenario's
+// keys and bijective inclusion (same key set in both relations).
+func scenarioInstance(c *ind.Constrained, rng *rand.Rand) *instance.Database {
+	d := instance.NewDatabase(c.S)
+	n := 1 + rng.Intn(4)
+	for i := 1; i <= n; i++ {
+		for _, r := range c.S.Relations {
+			tup := make(instance.Tuple, r.Arity())
+			for p, a := range r.Attrs {
+				if r.IsKeyPos(p) {
+					tup[p] = value.Value{Type: a.Type, N: int64(i)}
+				} else {
+					tup[p] = value.Value{Type: a.Type, N: int64(rng.Intn(4) + 1)}
+				}
+			}
+			d.Relation(r.Name).MustInsert(tup)
+		}
+	}
+	return d
+}
+
+// T10 — information capacity: counting instances over finite domains.
+// Cardinality equivalence cannot distinguish attribute types, so
+// non-isomorphic (hence non-CQ-equivalent, Theorem 13) pairs can have
+// identical counts at every domain size — the degeneracy the paper's
+// introduction uses to reject bijection-based equivalence.
+func T10Capacity(maxDomain int) *Table {
+	t := &Table{
+		ID:      "T10",
+		Title:   "Information capacity vs CQ equivalence (bijection-based equivalence degenerates)",
+		Columns: []string{"pair", "domain", "count1", "count2", "card-equal", "cq-equiv"},
+	}
+	pairs := []struct {
+		name   string
+		s1, s2 *schema.Schema
+	}{
+		{"type-swapped keys", schema.MustParse("r(a*:T1)"), schema.MustParse("r(a*:T2)")},
+		{"isomorphic", schema.MustParse("r(a*:T1, b:T2)"), schema.MustParse("s(x:T2, y*:T1)")},
+		{"extra attribute", schema.MustParse("r(a*:T1)"), schema.MustParse("r(a*:T1, b:T1)")},
+		{"key widened", schema.MustParse("r(a*:T1, b:T1)"), schema.MustParse("r(a*:T1, b*:T1)")},
+	}
+	for _, p := range pairs {
+		cqEquiv := schema.Isomorphic(p.s1, p.s2)
+		for n := 1; n <= maxDomain; n++ {
+			d := capacity.Uniform(n, p.s1, p.s2)
+			c1, err := capacity.CountInstances(p.s1, d)
+			if err != nil {
+				panic(err)
+			}
+			c2, err := capacity.CountInstances(p.s2, d)
+			if err != nil {
+				panic(err)
+			}
+			t.Add(p.name, n, c1.String(), c2.String(), c1.Cmp(c2) == 0, cqEquiv)
+		}
+	}
+	t.Note("'type-swapped keys' is equal-count at every size yet NOT CQ equivalent")
+	return t
+}
+
+// T11 — Yannakakis semijoin evaluation vs plain backtracking on acyclic
+// queries over adversarial instances (one genuine path drowned in
+// dead-end edges).  The full reducer removes the dead ends before the
+// join; the backtracking join explores them all.
+func T11Yannakakis(chainSizes []int, deadEnds int) *Table {
+	t := &Table{
+		ID:      "T11",
+		Title:   "Acyclic evaluation: Yannakakis full reducer vs plain backtracking",
+		Columns: []string{"chain", "dead-ends", "plain-nodes", "yann-nodes", "pruned", "plain-time", "yann-time"},
+	}
+	for _, n := range chainSizes {
+		d := instance.NewDatabase(gen.GraphSchema())
+		v := func(x int64) value.Value { return value.Value{Type: 1, N: x} }
+		for i := int64(1); i <= int64(n); i++ {
+			d.MustInsert("E", v(i), v(i+1))
+		}
+		// Dead ends branch off every path node.
+		next := int64(1000)
+		for i := int64(1); i <= int64(n); i++ {
+			for k := 0; k < deadEnds; k++ {
+				d.MustInsert("E", v(i), v(next))
+				next++
+			}
+		}
+		q := gen.ChainQuery(n)
+		var plainStats cq.EvalStats
+		dPlain := timed(func() {
+			var err error
+			_, plainStats, err = cq.EvalWithStats(q, d)
+			if err != nil {
+				panic(err)
+			}
+		})
+		var yStats acyclic.Stats
+		dYann := timed(func() {
+			var err error
+			_, yStats, err = acyclic.Eval(q, d)
+			if err != nil {
+				panic(err)
+			}
+		})
+		t.Add(n, deadEnds, plainStats.Nodes, yStats.Nodes, yStats.Pruned, dPlain, dYann)
+	}
+	t.Note("plain work grows with dead-end fanout; the reducer's final join is output-bounded")
+	return t
+}
+
+// T12 — UCQ containment scaling: Sagiv–Yannakakis over unions of chain
+// queries of growing width (number of disjuncts).  Each disjunct of u1
+// must find a containing disjunct in u2, so cost grows with the product
+// of the union widths.
+func T12UCQContainment(widths []int, chainLen int) *Table {
+	t := &Table{
+		ID:      "T12",
+		Title:   "UCQ containment scaling (Sagiv–Yannakakis)",
+		Columns: []string{"disjuncts", "chain-len", "contained", "time"},
+	}
+	for _, w := range widths {
+		u1 := &ucq.Query{}
+		u2 := &ucq.Query{}
+		for k := 0; k < w; k++ {
+			// u1's k-th disjunct: chain of length chainLen+k (longer);
+			// u2's: chain of length chainLen+k-? Use u2 = shorter chains
+			// so every u1 disjunct is contained in some u2 disjunct.
+			q1 := gen.ChainQuery(chainLen + k)
+			q1.Head = q1.Head[:1]
+			u1.Disjuncts = append(u1.Disjuncts, q1)
+			q2 := gen.ChainQuery(chainLen + k - 1)
+			q2.Head = q2.Head[:1]
+			u2.Disjuncts = append(u2.Disjuncts, q2)
+		}
+		gs := gen.GraphSchema()
+		var ok bool
+		d := timed(func() {
+			var err error
+			ok, err = ucq.Contained(u1, u2, gs, nil)
+			if err != nil {
+				panic(err)
+			}
+		})
+		t.Add(w, chainLen, ok, d)
+	}
+	t.Note("every longer chain is contained in some shorter one; cost ~ |u1|·|u2| homomorphism tests")
+	return t
+}

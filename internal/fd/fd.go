@@ -1,0 +1,334 @@
+// Package fd implements functional dependencies.
+//
+// Two levels are provided, matching the paper's usage:
+//
+//   - Schema-level dependencies (FD) relate attribute sets that may span
+//     relations.  Per the paper's §2 convention, a dependency whose
+//     attributes do not all belong to one relation fails on every
+//     instance; otherwise it reduces to a relation-level check.
+//
+//   - Relation-level reasoning (Set, Closure, Implies, Keys, MinCover)
+//     works on attribute positions of a single relation, represented as
+//     bitsets, and implements the classical Armstrong machinery used to
+//     decide superkeys and to reason about the dependencies that Theorem 6
+//     transfers between schemas.
+package fd
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+)
+
+// Attr names one attribute of a schema: a relation name and an attribute
+// position within it.
+type Attr struct {
+	Rel string
+	Pos int
+}
+
+// String renders "employee.2".
+func (a Attr) String() string { return fmt.Sprintf("%s.%d", a.Rel, a.Pos) }
+
+// FD is a schema-level functional dependency X → Y over attribute
+// references.
+type FD struct {
+	X, Y []Attr
+}
+
+// String renders "{r.0} -> {r.1, r.2}".
+func (f FD) String() string {
+	return attrSetString(f.X) + " -> " + attrSetString(f.Y)
+}
+
+func attrSetString(as []Attr) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SameRelation reports whether every attribute of the dependency belongs
+// to the single relation named rel (and returns rel); if the attributes
+// span relations it returns "", false.
+func (f FD) SameRelation() (string, bool) {
+	if len(f.X) == 0 && len(f.Y) == 0 {
+		return "", false
+	}
+	var rel string
+	for _, a := range append(append([]Attr{}, f.X...), f.Y...) {
+		if rel == "" {
+			rel = a.Rel
+		} else if a.Rel != rel {
+			return "", false
+		}
+	}
+	return rel, true
+}
+
+// Holds reports whether the database instance satisfies the dependency,
+// following the paper: if X and Y do not all belong to one relation the
+// dependency fails for every instance; otherwise it is the usual FD check
+// on that relation's instance.
+func (f FD) Holds(d *instance.Database) bool {
+	rel, ok := f.SameRelation()
+	if !ok {
+		return false
+	}
+	r := d.Relation(rel)
+	if r == nil {
+		return false
+	}
+	x := make([]int, len(f.X))
+	for i, a := range f.X {
+		x[i] = a.Pos
+	}
+	y := make([]int, len(f.Y))
+	for i, a := range f.Y {
+		y[i] = a.Pos
+	}
+	n := len(r.Scheme.Attrs)
+	for _, p := range append(append([]int{}, x...), y...) {
+		if p < 0 || p >= n {
+			return false
+		}
+	}
+	return r.SatisfiesFD(x, y)
+}
+
+// KeyFDs returns the key dependencies of a keyed schema as schema-level
+// FDs: for each relation, key → all attributes.
+func KeyFDs(s *schema.Schema) []FD {
+	var out []FD
+	for _, r := range s.Relations {
+		if !r.Keyed() {
+			continue
+		}
+		var f FD
+		for _, k := range r.Key {
+			f.X = append(f.X, Attr{Rel: r.Name, Pos: k})
+		}
+		for p := range r.Attrs {
+			f.Y = append(f.Y, Attr{Rel: r.Name, Pos: p})
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Set is a set of attribute positions of one relation, as a bitset.
+// It supports relations of up to 64 attributes, far beyond anything the
+// paper's constructions need.
+type Set uint64
+
+// NewSet builds a Set from positions.
+func NewSet(positions ...int) Set {
+	var s Set
+	for _, p := range positions {
+		s |= 1 << uint(p)
+	}
+	return s
+}
+
+// Has reports membership of position p.
+func (s Set) Has(p int) bool { return s&(1<<uint(p)) != 0 }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// ContainsAll reports t ⊆ s.
+func (s Set) ContainsAll(t Set) bool { return t&^s == 0 }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Positions returns the members ascending.
+func (s Set) Positions() []int {
+	var out []int
+	for p := 0; p < 64; p++ {
+		if s.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders "{0,2,5}".
+func (s Set) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, p := range s.Positions() {
+		parts = append(parts, fmt.Sprint(p))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Dep is a relation-level functional dependency X → Y over positions.
+type Dep struct {
+	X, Y Set
+}
+
+// String renders "{0} -> {1,2}".
+func (d Dep) String() string { return d.X.String() + " -> " + d.Y.String() }
+
+// Trivial reports Y ⊆ X (implied by reflexivity alone).
+func (d Dep) Trivial() bool { return d.X.ContainsAll(d.Y) }
+
+// Closure computes the attribute closure X⁺ under deps, the standard
+// fixpoint algorithm.
+func Closure(x Set, deps []Dep) Set {
+	closure := x
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			if closure.ContainsAll(d.X) && !closure.ContainsAll(d.Y) {
+				closure = closure.Union(d.Y)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether deps ⊨ target (by the closure test).
+func Implies(deps []Dep, target Dep) bool {
+	return Closure(target.X, deps).ContainsAll(target.Y)
+}
+
+// EquivalentCovers reports whether two dependency sets imply each other.
+func EquivalentCovers(a, b []Dep) bool {
+	for _, d := range a {
+		if !Implies(b, d) {
+			return false
+		}
+	}
+	for _, d := range b {
+		if !Implies(a, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSuperkey reports whether x is a superkey of a relation with attribute
+// positions all (i.e. x⁺ ⊇ all).
+func IsSuperkey(x, all Set, deps []Dep) bool {
+	return Closure(x, deps).ContainsAll(all)
+}
+
+// IsKey reports whether x is a key: a superkey none of whose proper
+// subsets is a superkey (the paper's minimality condition).
+func IsKey(x, all Set, deps []Dep) bool {
+	if !IsSuperkey(x, all, deps) {
+		return false
+	}
+	for _, p := range x.Positions() {
+		if IsSuperkey(x.Minus(NewSet(p)), all, deps) {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys enumerates all candidate keys of a relation with attribute set all
+// under deps, ascending by bit pattern.  It uses the standard
+// reduce-superkeys search seeded from the full attribute set and the
+// left-hand sides of the dependencies.
+func Keys(all Set, deps []Dep) []Set {
+	if all == 0 {
+		return nil
+	}
+	seen := map[Set]bool{}
+	var keys []Set
+	var queue []Set
+	queue = append(queue, all)
+	for _, d := range deps {
+		lhs := d.X.Intersect(all)
+		if IsSuperkey(lhs, all, deps) {
+			queue = append(queue, lhs)
+		}
+	}
+	for len(queue) > 0 {
+		sk := queue[0]
+		queue = queue[1:]
+		sk = minimize(sk, all, deps)
+		if seen[sk] {
+			continue
+		}
+		seen[sk] = true
+		keys = append(keys, sk)
+		// Branch: for every attribute a of the found key, try to find
+		// a different key avoiding a by augmenting with determinants.
+		for _, d := range deps {
+			cand := d.X.Union(sk.Minus(d.Y)).Intersect(all)
+			if IsSuperkey(cand, all, deps) {
+				cand = minimize(cand, all, deps)
+				if !seen[cand] {
+					queue = append(queue, cand)
+				}
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// minimize shrinks a superkey to a key by greedily dropping attributes.
+func minimize(sk, all Set, deps []Dep) Set {
+	for _, p := range sk.Positions() {
+		cand := sk.Minus(NewSet(p))
+		if IsSuperkey(cand, all, deps) {
+			sk = cand
+		}
+	}
+	return sk
+}
+
+// MinCover computes a minimal cover of deps: singleton right-hand sides,
+// no extraneous left-hand attributes, no redundant dependencies.
+func MinCover(deps []Dep) []Dep {
+	// 1. Split right-hand sides.
+	var split []Dep
+	for _, d := range deps {
+		for _, p := range d.Y.Minus(d.X).Positions() {
+			split = append(split, Dep{X: d.X, Y: NewSet(p)})
+		}
+	}
+	// 2. Remove extraneous LHS attributes.
+	for i := range split {
+		for _, p := range split[i].X.Positions() {
+			smaller := split[i].X.Minus(NewSet(p))
+			if smaller != 0 && Closure(smaller, split).ContainsAll(split[i].Y) {
+				split[i].X = smaller
+			}
+		}
+	}
+	// 3. Remove redundant dependencies.
+	var out []Dep
+	for i := range split {
+		rest := make([]Dep, 0, len(split)-1)
+		rest = append(rest, out...)
+		rest = append(rest, split[i+1:]...)
+		if !Implies(rest, split[i]) {
+			out = append(out, split[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}

@@ -1,0 +1,310 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func v(t value.Type, n int64) value.Value { return value.Value{Type: t, N: n} }
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(0, 2, 5)
+	if !s.Has(0) || s.Has(1) || !s.Has(5) {
+		t.Error("Has wrong")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	u := s.Union(NewSet(1))
+	if u.Len() != 4 {
+		t.Error("Union wrong")
+	}
+	if s.Intersect(NewSet(2, 3)) != NewSet(2) {
+		t.Error("Intersect wrong")
+	}
+	if s.Minus(NewSet(2)) != NewSet(0, 5) {
+		t.Error("Minus wrong")
+	}
+	if !s.ContainsAll(NewSet(0, 5)) || s.ContainsAll(NewSet(0, 1)) {
+		t.Error("ContainsAll wrong")
+	}
+	ps := s.Positions()
+	if len(ps) != 3 || ps[0] != 0 || ps[1] != 2 || ps[2] != 5 {
+		t.Errorf("Positions = %v", ps)
+	}
+	if s.String() != "{0,2,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestClosureTextbook(t *testing.T) {
+	// R(A,B,C,D,E,F) with A->BC, B->E, CD->EF (positions 0..5).
+	deps := []Dep{
+		{NewSet(0), NewSet(1, 2)},
+		{NewSet(1), NewSet(4)},
+		{NewSet(2, 3), NewSet(4, 5)},
+	}
+	got := Closure(NewSet(0, 3), deps)
+	want := NewSet(0, 1, 2, 3, 4, 5)
+	if got != want {
+		t.Errorf("Closure(AD) = %v, want %v", got, want)
+	}
+	if Closure(NewSet(0), deps) != NewSet(0, 1, 2, 4) {
+		t.Errorf("Closure(A) = %v", Closure(NewSet(0), deps))
+	}
+}
+
+func TestClosureMonotoneIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		all := NewSet()
+		for p := 0; p < n; p++ {
+			all = all.Union(NewSet(p))
+		}
+		var deps []Dep
+		for i := 0; i < rng.Intn(6); i++ {
+			deps = append(deps, Dep{
+				X: Set(rng.Int63()) & all,
+				Y: Set(rng.Int63()) & all,
+			})
+		}
+		x := Set(rng.Int63()) & all
+		cx := Closure(x, deps)
+		if !cx.ContainsAll(x) {
+			t.Fatal("closure not extensive")
+		}
+		if Closure(cx, deps) != cx {
+			t.Fatal("closure not idempotent")
+		}
+		y := x.Union(Set(rng.Int63()) & all)
+		if !Closure(y, deps).ContainsAll(cx) {
+			t.Fatal("closure not monotone")
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	deps := []Dep{
+		{NewSet(0), NewSet(1)},
+		{NewSet(1), NewSet(2)},
+	}
+	if !Implies(deps, Dep{NewSet(0), NewSet(2)}) {
+		t.Error("transitivity not implied")
+	}
+	if Implies(deps, Dep{NewSet(2), NewSet(0)}) {
+		t.Error("reverse should not be implied")
+	}
+	if !Implies(nil, Dep{NewSet(0, 1), NewSet(1)}) {
+		t.Error("reflexive dep should be implied by nothing")
+	}
+}
+
+func TestIsSuperkeyIsKey(t *testing.T) {
+	all := NewSet(0, 1, 2)
+	deps := []Dep{
+		{NewSet(0), NewSet(1, 2)},
+		{NewSet(1), NewSet(0)},
+	}
+	if !IsSuperkey(NewSet(0), all, deps) || !IsSuperkey(NewSet(0, 1), all, deps) {
+		t.Error("superkey test wrong")
+	}
+	if !IsKey(NewSet(0), all, deps) {
+		t.Error("A should be a key")
+	}
+	if IsKey(NewSet(0, 1), all, deps) {
+		t.Error("AB is a superkey, not a key")
+	}
+	if IsKey(NewSet(2), all, deps) {
+		t.Error("C is not a key")
+	}
+}
+
+func TestKeysEnumeration(t *testing.T) {
+	// Classic: R(A,B,C) with A->B, B->C, C->A: every singleton is a key.
+	all := NewSet(0, 1, 2)
+	deps := []Dep{
+		{NewSet(0), NewSet(1)},
+		{NewSet(1), NewSet(2)},
+		{NewSet(2), NewSet(0)},
+	}
+	keys := Keys(all, deps)
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v, want 3 singleton keys", keys)
+	}
+	for _, k := range keys {
+		if k.Len() != 1 {
+			t.Errorf("non-singleton key %v", k)
+		}
+	}
+	// No deps: the only key is the full attribute set.
+	keys2 := Keys(all, nil)
+	if len(keys2) != 1 || keys2[0] != all {
+		t.Errorf("Keys with no deps = %v", keys2)
+	}
+}
+
+func TestKeysAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		all := NewSet()
+		for p := 0; p < n; p++ {
+			all = all.Union(NewSet(p))
+		}
+		var deps []Dep
+		for i := 0; i < rng.Intn(5); i++ {
+			deps = append(deps, Dep{
+				X: Set(rng.Int63()) & all,
+				Y: Set(rng.Int63()) & all,
+			})
+		}
+		got := Keys(all, deps)
+		var want []Set
+		for m := Set(0); m <= all; m++ {
+			if m&^all != 0 {
+				continue
+			}
+			if IsKey(m, all, deps) {
+				want = append(want, m)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Keys = %v, brute force = %v (deps %v)", trial, got, want, deps)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Keys = %v, brute force = %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMinCover(t *testing.T) {
+	// A->BC, B->C, A->B, AB->C minimizes to A->B, B->C.
+	deps := []Dep{
+		{NewSet(0), NewSet(1, 2)},
+		{NewSet(1), NewSet(2)},
+		{NewSet(0), NewSet(1)},
+		{NewSet(0, 1), NewSet(2)},
+	}
+	mc := MinCover(deps)
+	if !EquivalentCovers(deps, mc) {
+		t.Fatal("MinCover not equivalent to input")
+	}
+	if len(mc) != 2 {
+		t.Errorf("MinCover = %v, want 2 deps", mc)
+	}
+	for _, d := range mc {
+		if d.Y.Len() != 1 {
+			t.Errorf("non-singleton RHS in cover: %v", d)
+		}
+		if d.Trivial() {
+			t.Errorf("trivial dep in cover: %v", d)
+		}
+	}
+}
+
+func TestMinCoverEquivalentProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) > 8 {
+			seeds = seeds[:8]
+		}
+		all := NewSet(0, 1, 2, 3)
+		var deps []Dep
+		for i := 0; i+1 < len(seeds); i += 2 {
+			deps = append(deps, Dep{
+				X: Set(seeds[i]) & all,
+				Y: Set(seeds[i+1]) & all,
+			})
+		}
+		return EquivalentCovers(deps, MinCover(deps))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaFDHolds(t *testing.T) {
+	s := schema.MustParse("r(a:T1, b:T2, c:T3)\ns(d:T4)")
+	d := instance.NewDatabase(s)
+	d.MustInsert("r", v(1, 1), v(2, 1), v(3, 1))
+	d.MustInsert("r", v(1, 1), v(2, 1), v(3, 1))
+	d.MustInsert("r", v(1, 2), v(2, 2), v(3, 1))
+	holds := FD{X: []Attr{{"r", 0}}, Y: []Attr{{"r", 1}}}
+	if !holds.Holds(d) {
+		t.Error("a->b should hold")
+	}
+	fails := FD{X: []Attr{{"r", 2}}, Y: []Attr{{"r", 0}}}
+	if fails.Holds(d) {
+		t.Error("c->a should fail")
+	}
+	// Cross-relation dependency fails by definition.
+	cross := FD{X: []Attr{{"r", 0}}, Y: []Attr{{"s", 0}}}
+	if cross.Holds(d) {
+		t.Error("cross-relation FD must fail")
+	}
+	empty := FD{}
+	if empty.Holds(d) {
+		t.Error("empty FD should not hold")
+	}
+	badPos := FD{X: []Attr{{"r", 9}}, Y: []Attr{{"r", 0}}}
+	if badPos.Holds(d) {
+		t.Error("out-of-range FD should not hold")
+	}
+	badRel := FD{X: []Attr{{"zz", 0}}, Y: []Attr{{"zz", 0}}}
+	if badRel.Holds(d) {
+		t.Error("missing-relation FD should not hold")
+	}
+}
+
+func TestKeyFDs(t *testing.T) {
+	s := schema.MustParse("r(a*:T1, b:T2)\nu(c:T3)")
+	fds := KeyFDs(s)
+	if len(fds) != 1 {
+		t.Fatalf("KeyFDs = %v, want 1 (unkeyed relation contributes none)", fds)
+	}
+	f := fds[0]
+	if len(f.X) != 1 || f.X[0] != (Attr{"r", 0}) {
+		t.Errorf("X = %v", f.X)
+	}
+	if len(f.Y) != 2 {
+		t.Errorf("Y = %v", f.Y)
+	}
+	// The key FD must hold exactly on key-satisfying instances.
+	d := instance.NewDatabase(s)
+	d.MustInsert("r", v(1, 1), v(2, 1))
+	d.MustInsert("r", v(1, 2), v(2, 1))
+	if !f.Holds(d) {
+		t.Error("key FD should hold")
+	}
+	d.MustInsert("r", v(1, 1), v(2, 2))
+	if f.Holds(d) {
+		t.Error("key FD should fail on violating instance")
+	}
+}
+
+func TestDepString(t *testing.T) {
+	d := Dep{NewSet(0), NewSet(1, 2)}
+	if d.String() != "{0} -> {1,2}" {
+		t.Errorf("String = %q", d.String())
+	}
+	f := FD{X: []Attr{{"r", 0}}, Y: []Attr{{"r", 1}}}
+	if f.String() != "{r.0} -> {r.1}" {
+		t.Errorf("FD String = %q", f.String())
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	if !(Dep{NewSet(0, 1), NewSet(1)}).Trivial() {
+		t.Error("subset RHS should be trivial")
+	}
+	if (Dep{NewSet(0), NewSet(1)}).Trivial() {
+		t.Error("non-subset RHS should not be trivial")
+	}
+}

@@ -1,0 +1,294 @@
+// Package gen provides deterministic, seedable generators and enumerators
+// for the experiment suite: exhaustive small keyed-schema spaces, random
+// schemas, isomorphic perturbations and non-isomorphic mutations, random
+// key-satisfying and attribute-specific instances, and the standard
+// conjunctive query workloads (chains, stars, cliques) used by the
+// containment benchmarks.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// SchemaSpace bounds an exhaustive schema enumeration.
+type SchemaSpace struct {
+	// MaxRelations is the maximum number of relations (≥ 1).
+	MaxRelations int
+	// MaxAttrs is the maximum attributes per relation (≥ 1).
+	MaxAttrs int
+	// Types is the number of available attribute types (≥ 1); type i is
+	// value.Type(i+1).
+	Types int
+	// AllKeySubsets enumerates every non-empty key subset per relation;
+	// when false only single-attribute keys at position 0 are used.
+	AllKeySubsets bool
+}
+
+// EnumerateKeyedSchemas lists every keyed schema in the space, with
+// canonical relation names r0, r1, ... and attribute names a0, a1, ....
+// The enumeration is deterministic.
+func EnumerateKeyedSchemas(sp SchemaSpace) []*schema.Schema {
+	rels := enumerateRelations(sp)
+	var out []*schema.Schema
+	// Choose 1..MaxRelations relation shapes (with repetition, order
+	// irrelevant for semantics but names distinct).
+	var build func(start, remaining int, cur []*schema.Relation)
+	build = func(start, remaining int, cur []*schema.Relation) {
+		if len(cur) > 0 {
+			rs := make([]*schema.Relation, len(cur))
+			for i, r := range cur {
+				c := r.Clone()
+				c.Name = fmt.Sprintf("r%d", i)
+				rs[i] = c
+			}
+			s, err := schema.New(rs...)
+			if err == nil {
+				out = append(out, s)
+			}
+		}
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < len(rels); i++ {
+			build(i, remaining-1, append(cur, rels[i]))
+		}
+	}
+	build(0, sp.MaxRelations, nil)
+	return out
+}
+
+// enumerateRelations lists all relation shapes (attribute type vectors ×
+// key choices) in the space.
+func enumerateRelations(sp SchemaSpace) []*schema.Relation {
+	var out []*schema.Relation
+	for arity := 1; arity <= sp.MaxAttrs; arity++ {
+		vecs := typeVectors(arity, sp.Types)
+		for _, vec := range vecs {
+			keys := keyChoices(arity, sp.AllKeySubsets)
+			for _, key := range keys {
+				r := &schema.Relation{Name: "r"}
+				for p, t := range vec {
+					r.Attrs = append(r.Attrs, schema.Attribute{
+						Name: fmt.Sprintf("a%d", p),
+						Type: t,
+					})
+				}
+				r.Key = append([]int(nil), key...)
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// typeVectors lists all length-n vectors over types 1..k.
+func typeVectors(n, k int) [][]value.Type {
+	if n == 0 {
+		return [][]value.Type{nil}
+	}
+	var out [][]value.Type
+	for _, rest := range typeVectors(n-1, k) {
+		for t := 1; t <= k; t++ {
+			vec := append(append([]value.Type{}, rest...), value.Type(t))
+			out = append(out, vec)
+		}
+	}
+	return out
+}
+
+// keyChoices lists key position sets: every non-empty subset, or just {0}.
+func keyChoices(arity int, all bool) [][]int {
+	if !all {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for mask := 1; mask < 1<<uint(arity); mask++ {
+		var key []int
+		for p := 0; p < arity; p++ {
+			if mask&(1<<uint(p)) != 0 {
+				key = append(key, p)
+			}
+		}
+		out = append(out, key)
+	}
+	return out
+}
+
+// RandomKeyedSchema draws a random keyed schema: 1..maxRels relations,
+// 1..maxAttrs attributes each over the given number of types, single-
+// or multi-attribute keys.
+func RandomKeyedSchema(rng *rand.Rand, maxRels, maxAttrs, types int) *schema.Schema {
+	n := 1 + rng.Intn(maxRels)
+	rs := make([]*schema.Relation, n)
+	for i := range rs {
+		arity := 1 + rng.Intn(maxAttrs)
+		r := &schema.Relation{Name: fmt.Sprintf("r%d", i)}
+		for p := 0; p < arity; p++ {
+			r.Attrs = append(r.Attrs, schema.Attribute{
+				Name: fmt.Sprintf("a%d", p),
+				Type: value.Type(1 + rng.Intn(types)),
+			})
+		}
+		keyLen := 1 + rng.Intn(arity)
+		perm := rng.Perm(arity)[:keyLen]
+		sortInts(perm)
+		r.Key = perm
+		rs[i] = r
+	}
+	return schema.MustNew(rs...)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Mutate returns a schema near s but not isomorphic to it, produced by
+// one of: retyping an attribute, toggling a key position, adding an
+// attribute, or deleting an attribute.  It retries until the result is
+// valid and non-isomorphic (guaranteed to terminate: adding an attribute
+// always changes the canonical form).
+func Mutate(s *schema.Schema, rng *rand.Rand, types int) *schema.Schema {
+	for attempt := 0; attempt < 100; attempt++ {
+		c := s.Clone()
+		r := c.Relations[rng.Intn(len(c.Relations))]
+		switch rng.Intn(4) {
+		case 0: // retype
+			p := rng.Intn(len(r.Attrs))
+			r.Attrs[p].Type = value.Type(1 + rng.Intn(types+1))
+		case 1: // toggle key membership
+			p := rng.Intn(len(r.Attrs))
+			if r.IsKeyPos(p) {
+				if len(r.Key) == 1 {
+					continue // keyed schema needs a key
+				}
+				var nk []int
+				for _, k := range r.Key {
+					if k != p {
+						nk = append(nk, k)
+					}
+				}
+				r.Key = nk
+			} else {
+				r.Key = append(r.Key, p)
+				sortInts(r.Key)
+			}
+		case 2: // add attribute
+			r.Attrs = append(r.Attrs, schema.Attribute{
+				Name: fmt.Sprintf("a%d", len(r.Attrs)),
+				Type: value.Type(1 + rng.Intn(types)),
+			})
+		case 3: // drop a non-key attribute
+			var cand []int
+			for p := range r.Attrs {
+				if !r.IsKeyPos(p) {
+					cand = append(cand, p)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			p := cand[rng.Intn(len(cand))]
+			r.Attrs = append(r.Attrs[:p], r.Attrs[p+1:]...)
+			for i, k := range r.Key {
+				if k > p {
+					r.Key[i] = k - 1
+				}
+			}
+		}
+		if c.Validate() != nil {
+			continue
+		}
+		if !schema.Isomorphic(s, c) {
+			return c
+		}
+	}
+	// Fallback: append a fresh-typed attribute, always non-isomorphic.
+	c := s.Clone()
+	r := c.Relations[0]
+	r.Attrs = append(r.Attrs, schema.Attribute{
+		Name: fmt.Sprintf("a%d", len(r.Attrs)),
+		Type: value.Type(types + 1),
+	})
+	return c
+}
+
+// RandomKeyedInstance builds a random instance of s satisfying every key
+// dependency, with n tuples per relation (fresh key parts guarantee the
+// keys).
+func RandomKeyedInstance(s *schema.Schema, rng *rand.Rand, n int, alloc *value.Allocator) *instance.Database {
+	if alloc == nil {
+		alloc = &value.Allocator{}
+	}
+	d := instance.NewDatabase(s)
+	for ri, r := range s.Relations {
+		for i := 0; i < n; i++ {
+			tup := make(instance.Tuple, r.Arity())
+			for p, a := range r.Attrs {
+				if r.IsKeyPos(p) {
+					tup[p] = alloc.Fresh(a.Type)
+				} else {
+					tup[p] = value.Value{Type: a.Type, N: int64(rng.Intn(2*n+2) + 1)}
+				}
+			}
+			d.Relations[ri].MustInsert(tup)
+		}
+	}
+	return d
+}
+
+// AttributeSpecificInstance builds an instance of s with n tuples per
+// relation in which no two distinct attributes share a value — the
+// paper's attribute-specific gadget.  Every value is fresh, so the keys
+// are satisfied too.
+func AttributeSpecificInstance(s *schema.Schema, alloc *value.Allocator, n int) *instance.Database {
+	if alloc == nil {
+		alloc = &value.Allocator{}
+	}
+	d := instance.NewDatabase(s)
+	for ri, r := range s.Relations {
+		for i := 0; i < n; i++ {
+			tup := make(instance.Tuple, r.Arity())
+			for p, a := range r.Attrs {
+				tup[p] = alloc.Fresh(a.Type)
+			}
+			d.Relations[ri].MustInsert(tup)
+		}
+	}
+	return d
+}
+
+// EnumerateUnkeyedSchemas lists every unkeyed schema in the space (no
+// dependencies at all — Hull's original setting).
+func EnumerateUnkeyedSchemas(sp SchemaSpace) []*schema.Schema {
+	keyed := EnumerateKeyedSchemas(SchemaSpace{
+		MaxRelations: sp.MaxRelations,
+		MaxAttrs:     sp.MaxAttrs,
+		Types:        sp.Types,
+	})
+	seen := make(map[string]bool)
+	var out []*schema.Schema
+	for _, s := range keyed {
+		c := s.Clone()
+		for _, r := range c.Relations {
+			r.Key = nil
+		}
+		form := schema.CanonicalForm(c)
+		// Dropping keys collapses shapes that differed only in key
+		// choice; deduplicate by canonical form plus relation order.
+		sig := c.String() + "\x00" + form
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

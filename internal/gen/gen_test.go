@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func TestEnumerateKeyedSchemasCounts(t *testing.T) {
+	// 1 relation, 1 attribute, 1 type, key fixed: exactly one schema.
+	sp := SchemaSpace{MaxRelations: 1, MaxAttrs: 1, Types: 1}
+	ss := EnumerateKeyedSchemas(sp)
+	if len(ss) != 1 {
+		t.Fatalf("len = %d, want 1", len(ss))
+	}
+	// 1 relation, up to 2 attrs, 2 types, single keys at position 0:
+	// arity1: 2 type vectors; arity2: 4 vectors -> 6 shapes.
+	sp = SchemaSpace{MaxRelations: 1, MaxAttrs: 2, Types: 2}
+	ss = EnumerateKeyedSchemas(sp)
+	if len(ss) != 6 {
+		t.Fatalf("len = %d, want 6", len(ss))
+	}
+	for _, s := range ss {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid schema enumerated: %v", err)
+		}
+		if !s.Keyed() {
+			t.Errorf("unkeyed schema enumerated: %s", s)
+		}
+	}
+	// With all key subsets: arity1 has 1 subset, arity2 has 3 -> 2*1 + 4*3 = 14.
+	sp.AllKeySubsets = true
+	ss = EnumerateKeyedSchemas(sp)
+	if len(ss) != 14 {
+		t.Fatalf("all-key-subsets len = %d, want 14", len(ss))
+	}
+	// 2 relations multiplies via multisets: C(14+1, 2) pairs + 14 singles.
+	sp.MaxRelations = 2
+	ss = EnumerateKeyedSchemas(sp)
+	want := 14 + 14*15/2
+	if len(ss) != want {
+		t.Fatalf("two-relation len = %d, want %d", len(ss), want)
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	sp := SchemaSpace{MaxRelations: 2, MaxAttrs: 2, Types: 2}
+	a := EnumerateKeyedSchemas(sp)
+	b := EnumerateKeyedSchemas(sp)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestRandomKeyedSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		s := RandomKeyedSchema(rng, 3, 4, 3)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid random schema: %v", err)
+		}
+		if !s.Keyed() {
+			t.Fatalf("random schema not keyed: %s", s)
+		}
+	}
+}
+
+func TestMutateNotIsomorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		s := RandomKeyedSchema(rng, 2, 3, 2)
+		m := Mutate(s, rng, 2)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid mutation: %v", err)
+		}
+		if schema.Isomorphic(s, m) {
+			t.Fatalf("mutation is isomorphic:\n%s\nvs\n%s", s, m)
+		}
+	}
+}
+
+func TestRandomKeyedInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := RandomKeyedSchema(rng, 3, 3, 2)
+	d := RandomKeyedInstance(s, rng, 5, nil)
+	if !d.SatisfiesKeys() {
+		t.Error("instance violates keys")
+	}
+	for _, r := range d.Relations {
+		if r.Len() != 5 {
+			t.Errorf("relation %s has %d tuples, want 5", r.Scheme.Name, r.Len())
+		}
+	}
+}
+
+func TestAttributeSpecificInstance(t *testing.T) {
+	s := schema.MustParse("R(a*:T1, b:T1)\nS(c*:T1)")
+	var alloc value.Allocator
+	d := AttributeSpecificInstance(s, &alloc, 3)
+	if !d.AttributeSpecific() {
+		t.Error("instance not attribute-specific")
+	}
+	if !d.SatisfiesKeys() {
+		t.Error("instance violates keys")
+	}
+	if !d.NonEmpty() {
+		t.Error("instance empty")
+	}
+}
+
+func TestEnumerateUnkeyedSchemas(t *testing.T) {
+	sp := SchemaSpace{MaxRelations: 1, MaxAttrs: 2, Types: 2}
+	ss := EnumerateUnkeyedSchemas(sp)
+	// Same shapes as the keyed space (single key position collapses).
+	if len(ss) != 6 {
+		t.Fatalf("len = %d, want 6", len(ss))
+	}
+	for _, s := range ss {
+		if !s.Unkeyed() {
+			t.Errorf("keyed schema in unkeyed enumeration: %s", s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid: %v", err)
+		}
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if seen[s.String()] {
+			t.Errorf("duplicate: %s", s)
+		}
+		seen[s.String()] = true
+	}
+}

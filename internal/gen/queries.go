@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// GraphSchema is the binary-edge schema E(src, dst) over one type, the
+// standard substrate for containment workloads.
+func GraphSchema() *schema.Schema {
+	return schema.MustParse("E(src:T1, dst:T1)")
+}
+
+// ChainQuery builds the length-n chain query in the paper's syntax:
+//
+//	V(X0, Yn-1) :- E(X0, Y0), E(X1, Y1), ..., Y0 = X1, Y1 = X2, ...
+func ChainQuery(n int) *cq.Query {
+	q := &cq.Query{HeadRel: "V"}
+	for i := 0; i < n; i++ {
+		q.Body = append(q.Body, cq.Atom{Rel: "E", Vars: []cq.Var{
+			cq.Var(fmt.Sprintf("X%d", i)),
+			cq.Var(fmt.Sprintf("Y%d", i)),
+		}})
+		if i > 0 {
+			q.Eqs = append(q.Eqs, cq.Equality{
+				Left:  cq.Var(fmt.Sprintf("Y%d", i-1)),
+				Right: cq.Term{Var: cq.Var(fmt.Sprintf("X%d", i))},
+			})
+		}
+	}
+	q.Head = []cq.Term{
+		{Var: "X0"},
+		{Var: cq.Var(fmt.Sprintf("Y%d", n-1))},
+	}
+	return q
+}
+
+// StarQuery builds the n-ray star: one center with n outgoing edges.
+//
+//	V(X0) :- E(X0, Y0), ..., E(Xn-1, Yn-1), X0 = X1 = ... = Xn-1.
+func StarQuery(n int) *cq.Query {
+	q := &cq.Query{HeadRel: "V"}
+	for i := 0; i < n; i++ {
+		q.Body = append(q.Body, cq.Atom{Rel: "E", Vars: []cq.Var{
+			cq.Var(fmt.Sprintf("X%d", i)),
+			cq.Var(fmt.Sprintf("Y%d", i)),
+		}})
+		if i > 0 {
+			q.Eqs = append(q.Eqs, cq.Equality{
+				Left:  "X0",
+				Right: cq.Term{Var: cq.Var(fmt.Sprintf("X%d", i))},
+			})
+		}
+	}
+	q.Head = []cq.Term{{Var: "X0"}}
+	return q
+}
+
+// CliqueQuery builds the n-clique pattern: n node classes, an edge atom
+// for every ordered pair, variables tied per node.  Homomorphism tests
+// against it are the hard case of containment.
+func CliqueQuery(n int) *cq.Query {
+	q := &cq.Query{HeadRel: "V"}
+	// nodeVar[i] is the canonical variable of node i (the src position
+	// of its first outgoing edge atom); other occurrences equate to it.
+	nodeVar := make(map[int]cq.Var)
+	atom := 0
+	addOccurrence := func(node int, v cq.Var) {
+		if first, ok := nodeVar[node]; ok {
+			q.Eqs = append(q.Eqs, cq.Equality{Left: first, Right: cq.Term{Var: v}})
+		} else {
+			nodeVar[node] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s := cq.Var(fmt.Sprintf("S%d", atom))
+			d := cq.Var(fmt.Sprintf("D%d", atom))
+			q.Body = append(q.Body, cq.Atom{Rel: "E", Vars: []cq.Var{s, d}})
+			addOccurrence(i, s)
+			addOccurrence(j, d)
+			atom++
+		}
+	}
+	q.Head = []cq.Term{{Var: nodeVar[0]}}
+	return q
+}
+
+// RandomGraph builds a random edge instance with n nodes and m edges.
+func RandomGraph(rng *rand.Rand, n, m int) *instance.Database {
+	d := instance.NewDatabase(GraphSchema())
+	for i := 0; i < m; i++ {
+		d.MustInsert("E",
+			value.Value{Type: 1, N: int64(rng.Intn(n) + 1)},
+			value.Value{Type: 1, N: int64(rng.Intn(n) + 1)})
+	}
+	return d
+}
+
+// PathGraph builds the simple directed path 1 -> 2 -> ... -> n.
+func PathGraph(n int) *instance.Database {
+	d := instance.NewDatabase(GraphSchema())
+	for i := 1; i < n; i++ {
+		d.MustInsert("E",
+			value.Value{Type: 1, N: int64(i)},
+			value.Value{Type: 1, N: int64(i + 1)})
+	}
+	return d
+}
+
+// CompleteGraph builds the complete directed graph on n nodes (no self
+// loops).
+func CompleteGraph(n int) *instance.Database {
+	d := instance.NewDatabase(GraphSchema())
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i == j {
+				continue
+			}
+			d.MustInsert("E",
+				value.Value{Type: 1, N: int64(i)},
+				value.Value{Type: 1, N: int64(j)})
+		}
+	}
+	return d
+}
+
+// RandomChainVariant returns ChainQuery(n) with rng-chosen redundant atoms
+// folded in (used to exercise minimization).
+func RandomChainVariant(rng *rand.Rand, n, extra int) *cq.Query {
+	q := ChainQuery(n)
+	for e := 0; e < extra; e++ {
+		i := rng.Intn(n)
+		s := cq.Var(fmt.Sprintf("RS%d", e))
+		d := cq.Var(fmt.Sprintf("RD%d", e))
+		q.Body = append(q.Body, cq.Atom{Rel: "E", Vars: []cq.Var{s, d}})
+		q.Eqs = append(q.Eqs,
+			cq.Equality{Left: cq.Var(fmt.Sprintf("X%d", i)), Right: cq.Term{Var: s}},
+			cq.Equality{Left: cq.Var(fmt.Sprintf("Y%d", i)), Right: cq.Term{Var: d}},
+		)
+	}
+	return q
+}

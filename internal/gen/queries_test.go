@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+func TestChainQuery(t *testing.T) {
+	gs := GraphSchema()
+	for n := 1; n <= 5; n++ {
+		q := ChainQuery(n)
+		if err := q.Validate(gs); err != nil {
+			t.Fatalf("chain %d invalid: %v", n, err)
+		}
+		if len(q.Body) != n {
+			t.Errorf("chain %d has %d atoms", n, len(q.Body))
+		}
+		// On the path graph of n+1 nodes, the n-chain query returns the
+		// single pair (1, n+1).
+		d := PathGraph(n + 1)
+		out, err := cq.Eval(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 1 {
+			t.Fatalf("chain %d on path: %s", n, out)
+		}
+		tup := out.Tuples()[0]
+		if tup[0].N != 1 || tup[1].N != int64(n+1) {
+			t.Errorf("chain %d endpoints wrong: %v", n, tup)
+		}
+		// On a shorter path it returns nothing.
+		if n > 1 {
+			short := PathGraph(n)
+			out2, _ := cq.Eval(q, short)
+			if out2.Len() != 0 {
+				t.Errorf("chain %d matched a path of %d nodes", n, n)
+			}
+		}
+	}
+}
+
+func TestStarQuery(t *testing.T) {
+	gs := GraphSchema()
+	q := StarQuery(3)
+	if err := q.Validate(gs); err != nil {
+		t.Fatal(err)
+	}
+	d := instance.NewDatabase(gs)
+	// Node 1 has 3 out-edges; node 2 has 1.
+	for _, dst := range []int64{2, 3, 4} {
+		d.MustInsert("E", value.Value{Type: 1, N: 1}, value.Value{Type: 1, N: dst})
+	}
+	d.MustInsert("E", value.Value{Type: 1, N: 2}, value.Value{Type: 1, N: 5})
+	out, err := cq.Eval(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A star query is satisfied by ANY node with >= 1 out-edge (edges
+	// may repeat), so both 1 and 2 qualify.
+	if out.Len() != 2 {
+		t.Errorf("star answers: %s", out)
+	}
+}
+
+func TestCliqueQuery(t *testing.T) {
+	gs := GraphSchema()
+	q := CliqueQuery(3)
+	if err := q.Validate(gs); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 6 {
+		t.Errorf("3-clique has %d atoms, want 6", len(q.Body))
+	}
+	// The complete graph on 3 nodes satisfies it; the path does not.
+	k3 := CompleteGraph(3)
+	out, err := cq.Eval(q, k3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("3-clique not found in K3")
+	}
+	p4 := PathGraph(4)
+	out2, _ := cq.Eval(q, p4)
+	if out2.Len() != 0 {
+		t.Error("3-clique found in a path")
+	}
+}
+
+func TestGraphBuilders(t *testing.T) {
+	if PathGraph(5).Relation("E").Len() != 4 {
+		t.Error("path edge count wrong")
+	}
+	if CompleteGraph(4).Relation("E").Len() != 12 {
+		t.Error("complete graph edge count wrong")
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := RandomGraph(rng, 5, 20)
+	if g.Relation("E").Len() == 0 || g.Relation("E").Len() > 20 {
+		t.Errorf("random graph edges = %d", g.Relation("E").Len())
+	}
+}
+
+func TestRandomChainVariantEquivalent(t *testing.T) {
+	gs := GraphSchema()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(3)
+		q := RandomChainVariant(rng, n, 1+rng.Intn(2))
+		if err := q.Validate(gs); err != nil {
+			t.Fatalf("variant invalid: %v", err)
+		}
+		base := ChainQuery(n)
+		for i := 0; i < 10; i++ {
+			d := RandomGraph(rng, 4, 8)
+			a1, _ := cq.Eval(base, d)
+			a2, _ := cq.Eval(q, d)
+			if !a1.Equal(a2) {
+				t.Fatalf("variant changed semantics:\n%s\nvs %s\non %s", base, q, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package ind implements inclusion dependencies and the schema
+// transformation from the paper's introduction: with both primary keys
+// AND referential integrity constraints available there *are* non-trivial
+// equivalence-preserving transformations — in contrast to Theorem 13's
+// negative result for keys alone.  The package provides inclusion
+// dependencies (satisfaction checking), constrained schemas, and the §1
+// attribute-migration transformation (moving an attribute across a
+// bijective inclusion pair, e.g. salespeople.yearsExp → employee), with
+// generated conjunctive witness mappings in both directions.
+package ind
+
+import (
+	"fmt"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+)
+
+// Ref names a column list of a relation, e.g. employee[depId].
+type Ref struct {
+	Rel string
+	Pos []int
+}
+
+// String renders "employee[3]".
+func (r Ref) String() string {
+	return fmt.Sprintf("%s%v", r.Rel, r.Pos)
+}
+
+// IND is an inclusion dependency Left ⊆ Right, the standard referential
+// integrity constraint notation R[X] ⊆ S[Y].
+type IND struct {
+	Left, Right Ref
+}
+
+// String renders "employee[3] ⊆ department[0]".
+func (d IND) String() string { return d.Left.String() + " ⊆ " + d.Right.String() }
+
+// Validate checks the dependency against a schema: both sides exist, the
+// position lists have equal length, are in range, and agree on types.
+func (d IND) Validate(s *schema.Schema) error {
+	l := s.Relation(d.Left.Rel)
+	r := s.Relation(d.Right.Rel)
+	if l == nil || r == nil {
+		return fmt.Errorf("ind: %s references a missing relation", d)
+	}
+	if len(d.Left.Pos) == 0 || len(d.Left.Pos) != len(d.Right.Pos) {
+		return fmt.Errorf("ind: %s has mismatched column lists", d)
+	}
+	for i := range d.Left.Pos {
+		lp, rp := d.Left.Pos[i], d.Right.Pos[i]
+		if lp < 0 || lp >= l.Arity() || rp < 0 || rp >= r.Arity() {
+			return fmt.Errorf("ind: %s column out of range", d)
+		}
+		if l.Attrs[lp].Type != r.Attrs[rp].Type {
+			return fmt.Errorf("ind: %s compares types %v and %v",
+				d, l.Attrs[lp].Type, r.Attrs[rp].Type)
+		}
+	}
+	return nil
+}
+
+// Holds reports whether an instance satisfies the dependency: the
+// projection of Left is a subset of the projection of Right.
+func (d IND) Holds(db *instance.Database) bool {
+	l := db.Relation(d.Left.Rel)
+	r := db.Relation(d.Right.Rel)
+	if l == nil || r == nil {
+		return false
+	}
+	right := make(map[string]bool)
+	for _, t := range r.Tuples() {
+		right[t.Project(d.Right.Pos).String()] = true
+	}
+	for _, t := range l.Tuples() {
+		if !right[t.Project(d.Left.Pos).String()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Constrained is a schema together with its inclusion dependencies (key
+// dependencies live in the schema itself).
+type Constrained struct {
+	S    *schema.Schema
+	INDs []IND
+}
+
+// Validate checks the schema and every dependency.
+func (c *Constrained) Validate() error {
+	if err := c.S.Validate(); err != nil {
+		return err
+	}
+	for _, d := range c.INDs {
+		if err := d.Validate(c.S); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether db satisfies both the key dependencies and
+// every inclusion dependency.
+func (c *Constrained) Satisfied(db *instance.Database) bool {
+	if !db.SatisfiesKeys() {
+		return false
+	}
+	for _, d := range c.INDs {
+		if !d.Holds(db) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasBijection reports whether the dependency set contains both
+// from[fromPos] ⊆ to[toPos] and to[toPos] ⊆ from[fromPos] — the
+// bidirectional inclusion that makes attribute migration equivalence
+// preserving.
+func (c *Constrained) HasBijection(from string, fromPos []int, to string, toPos []int) bool {
+	fwd, bwd := false, false
+	for _, d := range c.INDs {
+		if d.Left.Rel == from && d.Right.Rel == to &&
+			eqInts(d.Left.Pos, fromPos) && eqInts(d.Right.Pos, toPos) {
+			fwd = true
+		}
+		if d.Left.Rel == to && d.Right.Rel == from &&
+			eqInts(d.Left.Pos, toPos) && eqInts(d.Right.Pos, fromPos) {
+			bwd = true
+		}
+	}
+	return fwd && bwd
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package ind
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func v(t value.Type, n int64) value.Value { return value.Value{Type: t, N: n} }
+
+// paperConstrained is Schema 1 from the paper's introduction:
+// employee(ss*, eName, salary, depId), department(deptId*, deptName, mgr),
+// salespeople(ss*, yearsExp), with
+// employee[depId] ⊆ department[deptId],
+// salespeople[ss] ⊆ employee[ss], employee[ss] ⊆ salespeople[ss].
+func paperConstrained() *Constrained {
+	s := schema.MustParse(`
+employee(ss*:T1, eName:T2, salary:T3, depId:T4)
+department(deptId*:T4, deptName:T5, mgr:T1)
+salespeople(ss*:T1, yearsExp:T6)
+`)
+	return &Constrained{
+		S: s,
+		INDs: []IND{
+			{Left: Ref{"employee", []int{3}}, Right: Ref{"department", []int{0}}},
+			{Left: Ref{"salespeople", []int{0}}, Right: Ref{"employee", []int{0}}},
+			{Left: Ref{"employee", []int{0}}, Right: Ref{"salespeople", []int{0}}},
+		},
+	}
+}
+
+// paperInstance builds a random instance satisfying all of Schema 1's
+// dependencies: n employees (each also a salesperson), m departments all
+// referenced validly.
+func paperInstance(rng *rand.Rand, n, m int) *instance.Database {
+	c := paperConstrained()
+	d := instance.NewDatabase(c.S)
+	for j := 1; j <= m; j++ {
+		d.MustInsert("department", v(4, int64(j)), v(5, int64(rng.Intn(5)+1)), v(1, int64(rng.Intn(50)+1)))
+	}
+	for i := 1; i <= n; i++ {
+		dep := int64(rng.Intn(m) + 1)
+		d.MustInsert("employee", v(1, int64(i)), v(2, int64(rng.Intn(9)+1)), v(3, int64(rng.Intn(9)+1)), v(4, dep))
+		d.MustInsert("salespeople", v(1, int64(i)), v(6, int64(rng.Intn(30)+1)))
+	}
+	return d
+}
+
+func TestINDValidate(t *testing.T) {
+	c := paperConstrained()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("paper schema invalid: %v", err)
+	}
+	bad := []IND{
+		{Left: Ref{"zz", []int{0}}, Right: Ref{"employee", []int{0}}},
+		{Left: Ref{"employee", []int{0}}, Right: Ref{"zz", []int{0}}},
+		{Left: Ref{"employee", []int{0}}, Right: Ref{"department", []int{0, 1}}},
+		{Left: Ref{"employee", nil}, Right: Ref{"department", nil}},
+		{Left: Ref{"employee", []int{9}}, Right: Ref{"department", []int{0}}},
+		{Left: Ref{"employee", []int{0}}, Right: Ref{"department", []int{0}}}, // T1 vs T4
+	}
+	for _, d := range bad {
+		if err := d.Validate(c.S); err == nil {
+			t.Errorf("%s: want validation error", d)
+		}
+	}
+}
+
+func TestINDHolds(t *testing.T) {
+	c := paperConstrained()
+	rng := rand.New(rand.NewSource(1))
+	d := paperInstance(rng, 4, 2)
+	if !c.Satisfied(d) {
+		t.Fatal("paper instance should satisfy all dependencies")
+	}
+	// Break referential integrity: employee in missing department.
+	d2 := d.Clone()
+	d2.MustInsert("employee", v(1, 99), v(2, 1), v(3, 1), v(4, 77))
+	d2.MustInsert("salespeople", v(1, 99), v(6, 1))
+	if c.Satisfied(d2) {
+		t.Error("dangling depId must violate the IND")
+	}
+	// Break the bijection: employee who is not a salesperson.
+	d3 := d.Clone()
+	d3.MustInsert("employee", v(1, 98), v(2, 1), v(3, 1), v(4, 1))
+	if c.Satisfied(d3) {
+		t.Error("employee outside salespeople must violate")
+	}
+	// Key violation.
+	d4 := d.Clone()
+	d4.MustInsert("salespeople", v(1, 1), v(6, 29))
+	if c.Satisfied(d4) {
+		t.Error("key violation must be caught")
+	}
+}
+
+func TestHasBijection(t *testing.T) {
+	c := paperConstrained()
+	if !c.HasBijection("salespeople", []int{0}, "employee", []int{0}) {
+		t.Error("salespeople<->employee bijection should be detected")
+	}
+	if c.HasBijection("employee", []int{3}, "department", []int{0}) {
+		t.Error("one-directional inclusion reported as bijection")
+	}
+}
+
+// The paper's §1 transformation: move yearsExp from salespeople into
+// employee, producing Schema 1'.
+func TestMoveAttributePaperExample(t *testing.T) {
+	c := paperConstrained()
+	res, err := c.MoveAttribute("salespeople", 1, "employee", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema 1' shape: employee gains yearsExp, salespeople shrinks to (ss*).
+	want := schema.MustParse(`
+employee(ss*:T1, eName:T2, salary:T3, depId:T4, yearsExp:T6)
+department(deptId*:T4, deptName:T5, mgr:T1)
+salespeople(ss*:T1)
+`)
+	if !schema.Isomorphic(res.New.S, want) {
+		t.Errorf("transformed schema wrong:\n%s\nwant\n%s", res.New.S, want)
+	}
+	if err := res.New.Validate(); err != nil {
+		t.Fatalf("new constraints invalid: %v", err)
+	}
+	// NOTE: Schema 1 and Schema 1' are NOT equivalent under keys alone
+	// (Theorem 13: not isomorphic) — the inclusion dependencies are what
+	// make the transformation equivalence preserving.
+	if schema.Isomorphic(c.S, res.New.S) {
+		t.Error("schemas should not be isomorphic")
+	}
+	// Round trip on constraint-satisfying instances.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		d := paperInstance(rng, 1+rng.Intn(6), 1+rng.Intn(3))
+		if !c.Satisfied(d) {
+			t.Fatal("generator broke constraints")
+		}
+		mid, err := res.Alpha.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.New.Satisfied(mid) {
+			t.Fatalf("α(d) violates the new constraints:\n%s", mid)
+		}
+		back, err := res.Beta.Apply(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(d) {
+			t.Fatalf("β(α(d)) != d:\n%s\nvs\n%s", back, d)
+		}
+		// And the other direction: α(β(d')) = d' for d' in the new
+		// schema's constraint-satisfying instances (use mid as d').
+		fwd, err := res.Alpha.Apply(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fwd.Equal(mid) {
+			t.Fatalf("α(β(d')) != d':\n%s\nvs\n%s", fwd, mid)
+		}
+	}
+}
+
+func TestMoveAttributePreconditions(t *testing.T) {
+	c := paperConstrained()
+	cases := []struct {
+		name string
+		from string
+		pos  int
+		to   string
+		via  []int
+	}{
+		{"missing from", "zz", 1, "employee", []int{0}},
+		{"missing to", "salespeople", 1, "zz", []int{0}},
+		{"same relation", "salespeople", 1, "salespeople", []int{0}},
+		{"key attribute", "salespeople", 0, "employee", []int{0}},
+		{"pos out of range", "salespeople", 9, "employee", []int{0}},
+		{"via out of range", "salespeople", 1, "employee", []int{9}},
+		{"via type clash", "salespeople", 1, "employee", []int{1}},
+		{"no bijection", "employee", 1, "department", []int{0}},
+		{"via count", "salespeople", 1, "employee", []int{0, 1}},
+	}
+	for _, tt := range cases {
+		if _, err := c.MoveAttribute(tt.from, tt.pos, tt.to, tt.via); err == nil {
+			t.Errorf("%s: want error", tt.name)
+		}
+	}
+}
+
+func TestMoveAttributeNameCollision(t *testing.T) {
+	s := schema.MustParse("a(k*:T1, x:T2)\nb(k*:T1, x:T3)")
+	c := &Constrained{S: s, INDs: []IND{
+		{Left: Ref{"a", []int{0}}, Right: Ref{"b", []int{0}}},
+		{Left: Ref{"b", []int{0}}, Right: Ref{"a", []int{0}}},
+	}}
+	res, err := c.MoveAttribute("a", 1, "b", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b already has attribute "x"; the moved one must be renamed.
+	nb := res.New.S.Relation("b")
+	if nb.Arity() != 3 {
+		t.Fatalf("b arity = %d", nb.Arity())
+	}
+	if nb.Attrs[2].Name == "x" {
+		t.Error("name collision not resolved")
+	}
+}
+
+func TestMoveAttributeRejectsMovedColumnDeps(t *testing.T) {
+	s := schema.MustParse("a(k*:T1, x:T2)\nb(k*:T1)\nc(y:T2)")
+	c := &Constrained{S: s, INDs: []IND{
+		{Left: Ref{"a", []int{0}}, Right: Ref{"b", []int{0}}},
+		{Left: Ref{"b", []int{0}}, Right: Ref{"a", []int{0}}},
+		{Left: Ref{"c", []int{0}}, Right: Ref{"a", []int{1}}},
+	}}
+	if _, err := c.MoveAttribute("a", 1, "b", []int{0}); err == nil {
+		t.Error("dependency on the moved column should block the move")
+	}
+}
+
+func TestMoveAttributeRemapsINDs(t *testing.T) {
+	// from has an IND on a column after the moved one: positions shift.
+	s := schema.MustParse("a(k*:T1, x:T2, z:T4)\nb(k*:T1)\nd(w*:T4)")
+	c := &Constrained{S: s, INDs: []IND{
+		{Left: Ref{"a", []int{0}}, Right: Ref{"b", []int{0}}},
+		{Left: Ref{"b", []int{0}}, Right: Ref{"a", []int{0}}},
+		{Left: Ref{"a", []int{2}}, Right: Ref{"d", []int{0}}},
+	}}
+	res, err := c.MoveAttribute("a", 1, "b", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, dp := range res.New.INDs {
+		if dp.Left.Rel == "a" && len(dp.Left.Pos) == 1 && dp.Left.Pos[0] == 1 &&
+			dp.Right.Rel == "d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("IND not remapped: %v", res.New.INDs)
+	}
+	if err := res.New.Validate(); err != nil {
+		t.Errorf("remapped dependencies invalid: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package ind
+
+import (
+	"fmt"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/mapping"
+	"keyedeq/internal/schema"
+)
+
+// MoveResult packages the outcome of an attribute migration: the new
+// constrained schema and the conjunctive witness mappings in both
+// directions.  On instances satisfying the old constraints, Beta∘Alpha is
+// the identity; on instances satisfying the new constraints, Alpha∘Beta
+// is the identity — the transformation is equivalence preserving, which
+// is exactly the paper's point that keys + referential integrity admit
+// non-trivial equivalences.
+type MoveResult struct {
+	New   *Constrained
+	Alpha *mapping.Mapping // old → new
+	Beta  *mapping.Mapping // new → old
+}
+
+// MoveAttribute moves the non-key attribute at position attrPos of
+// relation from into relation to (appended as its last attribute),
+// joining along the bijective inclusion between from's key and the toVia
+// columns of to.  Preconditions:
+//
+//   - from ≠ to, both exist; attrPos is a non-key position of from;
+//   - the via columns of from are exactly from's key;
+//   - both inclusion dependencies from[key] ⊆ to[toVia] and
+//     to[toVia] ⊆ from[key] are declared (the §1 situation);
+//   - no inclusion dependency references the moved column.
+func (c *Constrained) MoveAttribute(from string, attrPos int, to string, toVia []int) (*MoveResult, error) {
+	fr := c.S.Relation(from)
+	tr := c.S.Relation(to)
+	if fr == nil || tr == nil {
+		return nil, fmt.Errorf("ind: missing relation %q or %q", from, to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("ind: cannot move within one relation")
+	}
+	if attrPos < 0 || attrPos >= fr.Arity() {
+		return nil, fmt.Errorf("ind: position %d out of range for %q", attrPos, from)
+	}
+	if fr.IsKeyPos(attrPos) {
+		return nil, fmt.Errorf("ind: cannot move key attribute %s.%s", from, fr.Attrs[attrPos].Name)
+	}
+	fromVia := fr.KeyPositions()
+	if len(fromVia) == 0 {
+		return nil, fmt.Errorf("ind: %q has no key to join along", from)
+	}
+	if len(toVia) != len(fromVia) {
+		return nil, fmt.Errorf("ind: via column count mismatch")
+	}
+	for i := range toVia {
+		if toVia[i] < 0 || toVia[i] >= tr.Arity() {
+			return nil, fmt.Errorf("ind: toVia position %d out of range", toVia[i])
+		}
+		if tr.Attrs[toVia[i]].Type != fr.Attrs[fromVia[i]].Type {
+			return nil, fmt.Errorf("ind: via columns disagree on types")
+		}
+	}
+	if !c.HasBijection(from, fromVia, to, toVia) {
+		return nil, fmt.Errorf("ind: need both %s%v ⊆ %s%v and the converse", from, fromVia, to, toVia)
+	}
+	for _, d := range c.INDs {
+		if d.Left.Rel == from && contains(d.Left.Pos, attrPos) ||
+			d.Right.Rel == from && contains(d.Right.Pos, attrPos) {
+			return nil, fmt.Errorf("ind: dependency %s references the moved column", d)
+		}
+	}
+
+	// Build the new schema.
+	moved := fr.Attrs[attrPos]
+	newS := c.S.Clone()
+	nfr := newS.Relation(from)
+	ntr := newS.Relation(to)
+	nfr.Attrs = append(nfr.Attrs[:attrPos:attrPos], nfr.Attrs[attrPos+1:]...)
+	for i, k := range nfr.Key {
+		if k > attrPos {
+			nfr.Key[i] = k - 1
+		}
+	}
+	movedName := moved.Name
+	if ntr.AttrIndex(movedName) >= 0 {
+		movedName = from + "_" + movedName
+	}
+	ntr.Attrs = append(ntr.Attrs, schema.Attribute{Name: movedName, Type: moved.Type})
+	if err := newS.Validate(); err != nil {
+		return nil, fmt.Errorf("ind: transformed schema invalid: %v", err)
+	}
+	// Remap the dependencies: columns of `from` after attrPos shift left.
+	remap := func(r Ref) Ref {
+		if r.Rel != from {
+			return Ref{Rel: r.Rel, Pos: append([]int(nil), r.Pos...)}
+		}
+		pos := make([]int, len(r.Pos))
+		for i, p := range r.Pos {
+			if p > attrPos {
+				p--
+			}
+			pos[i] = p
+		}
+		return Ref{Rel: r.Rel, Pos: pos}
+	}
+	newC := &Constrained{S: newS}
+	for _, d := range c.INDs {
+		newC.INDs = append(newC.INDs, IND{Left: remap(d.Left), Right: remap(d.Right)})
+	}
+	if err := newC.Validate(); err != nil {
+		return nil, fmt.Errorf("ind: transformed dependencies invalid: %v", err)
+	}
+
+	alpha, err := buildAlpha(c.S, newS, from, to, attrPos, fromVia, toVia)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := buildBeta(c.S, newS, from, to, attrPos, fromVia, toVia)
+	if err != nil {
+		return nil, err
+	}
+	return &MoveResult{New: newC, Alpha: alpha, Beta: beta}, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAlpha constructs old → new: the enriched `to` view joins old `to`
+// with old `from` along the via columns and appends the moved attribute;
+// the shrunk `from` view projects the moved column away; every other
+// relation is copied.
+func buildAlpha(oldS, newS *schema.Schema, from, to string, attrPos int, fromVia, toVia []int) (*mapping.Mapping, error) {
+	queries := make([]*cq.Query, len(newS.Relations))
+	for i, nr := range newS.Relations {
+		switch nr.Name {
+		case to:
+			or := oldS.Relation(to)
+			fr := oldS.Relation(from)
+			q := &cq.Query{HeadRel: nr.Name}
+			toAtom := cq.Atom{Rel: to}
+			for p := 0; p < or.Arity(); p++ {
+				toAtom.Vars = append(toAtom.Vars, cq.Var(fmt.Sprintf("T%d", p)))
+			}
+			fromAtom := cq.Atom{Rel: from}
+			for p := 0; p < fr.Arity(); p++ {
+				fromAtom.Vars = append(fromAtom.Vars, cq.Var(fmt.Sprintf("F%d", p)))
+			}
+			q.Body = []cq.Atom{toAtom, fromAtom}
+			for i := range toVia {
+				q.Eqs = append(q.Eqs, cq.Equality{
+					Left:  toAtom.Vars[toVia[i]],
+					Right: cq.Term{Var: fromAtom.Vars[fromVia[i]]},
+				})
+			}
+			for p := 0; p < or.Arity(); p++ {
+				q.Head = append(q.Head, cq.Term{Var: toAtom.Vars[p]})
+			}
+			q.Head = append(q.Head, cq.Term{Var: fromAtom.Vars[attrPos]})
+			queries[i] = q
+		case from:
+			fr := oldS.Relation(from)
+			q := &cq.Query{HeadRel: nr.Name}
+			atom := cq.Atom{Rel: from}
+			for p := 0; p < fr.Arity(); p++ {
+				atom.Vars = append(atom.Vars, cq.Var(fmt.Sprintf("F%d", p)))
+			}
+			q.Body = []cq.Atom{atom}
+			for p := 0; p < fr.Arity(); p++ {
+				if p == attrPos {
+					continue
+				}
+				q.Head = append(q.Head, cq.Term{Var: atom.Vars[p]})
+			}
+			queries[i] = q
+		default:
+			queries[i] = cq.Identity(oldS.Relation(nr.Name))
+		}
+	}
+	return mapping.New(oldS, newS, queries)
+}
+
+// buildBeta constructs new → old: old `to` projects the appended column
+// away; old `from` re-joins the shrunk `from` with the enriched `to`
+// along the via columns to recover the moved attribute.
+func buildBeta(oldS, newS *schema.Schema, from, to string, attrPos int, fromVia, toVia []int) (*mapping.Mapping, error) {
+	queries := make([]*cq.Query, len(oldS.Relations))
+	for i, or := range oldS.Relations {
+		switch or.Name {
+		case to:
+			nr := newS.Relation(to)
+			q := &cq.Query{HeadRel: or.Name}
+			atom := cq.Atom{Rel: to}
+			for p := 0; p < nr.Arity(); p++ {
+				atom.Vars = append(atom.Vars, cq.Var(fmt.Sprintf("T%d", p)))
+			}
+			q.Body = []cq.Atom{atom}
+			for p := 0; p < or.Arity(); p++ {
+				q.Head = append(q.Head, cq.Term{Var: atom.Vars[p]})
+			}
+			queries[i] = q
+		case from:
+			nfr := newS.Relation(from)
+			ntr := newS.Relation(to)
+			q := &cq.Query{HeadRel: or.Name}
+			fromAtom := cq.Atom{Rel: from}
+			for p := 0; p < nfr.Arity(); p++ {
+				fromAtom.Vars = append(fromAtom.Vars, cq.Var(fmt.Sprintf("F%d", p)))
+			}
+			toAtom := cq.Atom{Rel: to}
+			for p := 0; p < ntr.Arity(); p++ {
+				toAtom.Vars = append(toAtom.Vars, cq.Var(fmt.Sprintf("T%d", p)))
+			}
+			q.Body = []cq.Atom{fromAtom, toAtom}
+			// Join along the (remapped) via columns.
+			for i := range fromVia {
+				np := fromVia[i]
+				if np > attrPos {
+					np--
+				}
+				q.Eqs = append(q.Eqs, cq.Equality{
+					Left:  fromAtom.Vars[np],
+					Right: cq.Term{Var: toAtom.Vars[toVia[i]]},
+				})
+			}
+			movedVar := toAtom.Vars[ntr.Arity()-1]
+			for p := 0; p < or.Arity(); p++ {
+				if p == attrPos {
+					q.Head = append(q.Head, cq.Term{Var: movedVar})
+					continue
+				}
+				np := p
+				if np > attrPos {
+					np--
+				}
+				q.Head = append(q.Head, cq.Term{Var: fromAtom.Vars[np]})
+			}
+			queries[i] = q
+		default:
+			queries[i] = cq.Identity(newS.Relation(or.Name))
+		}
+	}
+	return mapping.New(newS, oldS, queries)
+}

@@ -1,0 +1,107 @@
+package ind
+
+import (
+	"fmt"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/mapping"
+	"keyedeq/internal/schema"
+)
+
+// Symbolic verification of equivalence preservation under keys plus
+// inclusion dependencies.  An attribute migration is correct when
+// β∘α = id on instances satisfying the old theory and α∘β = id on
+// instances satisfying the new one.  Both are decided exactly by
+// conjunctive query equivalence under the theory (EGDs from the keys,
+// TGDs from the inclusion dependencies), using the terminating chase.
+
+// TGDs renders the inclusion dependencies as tuple-generating
+// dependencies: R[X] ⊆ S[Y] becomes R(x̄) → S(ȳ) with the X-positions of
+// R shared into the Y-positions of S and every other head position
+// existential.
+func (c *Constrained) TGDs() []chase.TGD {
+	out := make([]chase.TGD, 0, len(c.INDs))
+	for _, d := range c.INDs {
+		l := c.S.Relation(d.Left.Rel)
+		r := c.S.Relation(d.Right.Rel)
+		if l == nil || r == nil {
+			continue
+		}
+		body := chase.TGDAtom{Rel: d.Left.Rel, Vars: make([]string, l.Arity())}
+		for p := range body.Vars {
+			body.Vars[p] = fmt.Sprintf("b%d", p)
+		}
+		head := chase.TGDAtom{Rel: d.Right.Rel, Vars: make([]string, r.Arity())}
+		for p := range head.Vars {
+			head.Vars[p] = fmt.Sprintf("e%d", p)
+		}
+		for i := range d.Left.Pos {
+			head.Vars[d.Right.Pos[i]] = body.Vars[d.Left.Pos[i]]
+		}
+		out = append(out, chase.TGD{Body: []chase.TGDAtom{body}, Head: []chase.TGDAtom{head}})
+	}
+	return out
+}
+
+// WeaklyAcyclic reports whether the constraint set guarantees chase
+// termination.
+func (c *Constrained) WeaklyAcyclic() bool {
+	return chase.WeaklyAcyclic(c.S, c.TGDs())
+}
+
+// IdentityUnder decides whether the mapping m (whose source and
+// destination are structurally the same schema) is the identity on every
+// instance satisfying the constraints: per relation, CQ equivalence with
+// the identity query under the keys' EGDs and the inclusions' TGDs.
+func IdentityUnder(m *mapping.Mapping, c *Constrained) (bool, error) {
+	if len(m.Src.Relations) != len(m.Dst.Relations) {
+		return false, nil
+	}
+	egds := fd.KeyFDs(c.S)
+	tgds := c.TGDs()
+	for i, q := range m.Queries {
+		src := m.Src.Relations[i]
+		if !schema.SameType(src, m.Dst.Relations[i]) {
+			return false, nil
+		}
+		id := cq.Identity(src)
+		ok, _, err := containment.EquivalentUnderTheory(q, id, m.Src, egds, tgds, 0)
+		if err != nil {
+			return false, fmt.Errorf("ind: identity test for %q: %v", src.Name, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Verify symbolically proves (or refutes) that a MoveResult is
+// equivalence preserving: β∘α = id under the old constraints and
+// α∘β = id under the new constraints.  Requires both constraint sets to
+// be weakly acyclic (so the chase terminates); it returns an error
+// otherwise.
+func (c *Constrained) Verify(res *MoveResult) (bool, error) {
+	if !c.WeaklyAcyclic() {
+		return false, fmt.Errorf("ind: old constraint set is not weakly acyclic; chase may not terminate")
+	}
+	if !res.New.WeaklyAcyclic() {
+		return false, fmt.Errorf("ind: new constraint set is not weakly acyclic; chase may not terminate")
+	}
+	ba, err := mapping.Compose(res.Beta, res.Alpha)
+	if err != nil {
+		return false, err
+	}
+	ok, err := IdentityUnder(ba, c)
+	if err != nil || !ok {
+		return ok, err
+	}
+	ab, err := mapping.Compose(res.Alpha, res.Beta)
+	if err != nil {
+		return false, err
+	}
+	return IdentityUnder(ab, res.New)
+}

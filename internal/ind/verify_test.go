@@ -1,0 +1,166 @@
+package ind
+
+import (
+	"testing"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/mapping"
+	"keyedeq/internal/schema"
+)
+
+func TestTGDsFromINDs(t *testing.T) {
+	c := paperConstrained()
+	tgds := c.TGDs()
+	if len(tgds) != 3 {
+		t.Fatalf("TGDs = %d, want 3", len(tgds))
+	}
+	for _, d := range tgds {
+		if err := d.Validate(c.S); err != nil {
+			t.Errorf("TGD %s invalid: %v", d, err)
+		}
+	}
+}
+
+func TestPaperConstraintsWeaklyAcyclic(t *testing.T) {
+	c := paperConstrained()
+	if !c.WeaklyAcyclic() {
+		t.Error("the paper's §1 constraints should be weakly acyclic")
+	}
+}
+
+// The headline extension test: the §1 attribute migration is PROVED
+// equivalence preserving symbolically (chase with keys + inclusions),
+// not just tested on random instances.
+func TestVerifyPaperTransformationSymbolically(t *testing.T) {
+	c := paperConstrained()
+	res, err := c.MoveAttribute("salespeople", 1, "employee", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the paper's transformation should verify symbolically")
+	}
+}
+
+// Without the inclusion dependencies the very same mappings do NOT
+// round-trip — the transformation is only equivalence preserving thanks
+// to the referential integrity constraints, which is the paper's point.
+func TestVerifyFailsWithoutINDs(t *testing.T) {
+	c := paperConstrained()
+	res, err := c.MoveAttribute("salespeople", 1, "employee", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same schema, no inclusion dependencies.
+	bare := &Constrained{S: c.S}
+	ba, err := mapping.Compose(res.Beta, res.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IdentityUnder(ba, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("β∘α should NOT be the identity under keys alone")
+	}
+	// With the INDs it is.
+	ok, err = IdentityUnder(ba, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("β∘α should be the identity under keys + inclusions")
+	}
+}
+
+func TestIdentityUnderRejectsShapeMismatch(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1)")
+	s2 := schema.MustParse("P(k*:T1)\nQz(x*:T1)")
+	m := mapping.MustNew(s1, s1, []*cq.Query{cq.MustParse("R(X) :- R(X).")})
+	c := &Constrained{S: s1}
+	ok, err := IdentityUnder(m, c)
+	if err != nil || !ok {
+		t.Errorf("identity mapping should pass: %v %v", ok, err)
+	}
+	m2 := mapping.MustNew(s1, s2, []*cq.Query{
+		cq.MustParse("P(X) :- R(X)."),
+		cq.MustParse("Qz(X) :- R(X)."),
+	})
+	ok, err = IdentityUnder(m2, c)
+	if err != nil || ok {
+		t.Errorf("shape mismatch should fail: %v %v", ok, err)
+	}
+}
+
+func TestVerifyRejectsNonWeaklyAcyclic(t *testing.T) {
+	// A cyclic existential inclusion: a(k) ⊆ b(k2) via non-key columns
+	// that feed back.  Build a Constrained whose TGDs are not weakly
+	// acyclic and check Verify refuses.
+	s := schema.MustParse("a(k*:T1, x:T1)\nb(k*:T1, y:T1)")
+	c := &Constrained{S: s, INDs: []IND{
+		{Left: Ref{"a", []int{0}}, Right: Ref{"b", []int{0}}},
+		{Left: Ref{"b", []int{0}}, Right: Ref{"a", []int{0}}},
+		// The troublemakers: non-key column of each included in the
+		// key column of the other, forcing fresh keys forever.
+		{Left: Ref{"a", []int{1}}, Right: Ref{"b", []int{0}}},
+		{Left: Ref{"b", []int{1}}, Right: Ref{"a", []int{0}}},
+	}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.WeaklyAcyclic() {
+		t.Skip("fixture unexpectedly weakly acyclic; skip")
+	}
+	res, err := c.MoveAttribute("a", 1, "b", []int{0})
+	if err != nil {
+		// The move itself rejects INDs on the moved column — fine,
+		// that's this fixture; directly exercise Verify's guard then.
+		res = &MoveResult{New: c}
+		if _, err := c.Verify(res); err == nil {
+			t.Error("Verify should refuse non-weakly-acyclic constraints")
+		}
+		return
+	}
+	if _, err := c.Verify(res); err == nil {
+		t.Error("Verify should refuse non-weakly-acyclic constraints")
+	}
+}
+
+// Containment under theory: inclusion dependencies enable containments
+// that fail without them.
+func TestContainmentUnderTheory(t *testing.T) {
+	s := schema.MustParse("R(a:T1)\nS(b:T1)")
+	c := &Constrained{S: s, INDs: []IND{
+		{Left: Ref{"R", []int{0}}, Right: Ref{"S", []int{0}}},
+	}}
+	// q1 returns R values; q2 returns R values that also appear in S.
+	// Under R[a] ⊆ S[b] they coincide; without it q1 ⋢ q2.
+	q1 := cq.MustParse("V(X) :- R(X).")
+	q2 := cq.MustParse("V(X) :- R(X), S(Y), X = Y.")
+	plain, err := containment.Contained(q1, q2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain {
+		t.Error("without the IND q1 should not be contained in q2")
+	}
+	under, _, err := containment.ContainedUnderTheory(q1, q2, s, fd.KeyFDs(s), c.TGDs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !under {
+		t.Error("under the IND q1 ⊑ q2 should hold")
+	}
+	// The reverse holds unconditionally.
+	rev, err := containment.Contained(q2, q1, s)
+	if err != nil || !rev {
+		t.Errorf("q2 ⊑ q1 should hold: %v %v", rev, err)
+	}
+}

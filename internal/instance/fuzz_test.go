@@ -1,0 +1,38 @@
+package instance
+
+import (
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R(T1:1, T2:5)",
+		"R(T1:1, T2:5)\nS(T3:9)",
+		"# comment\n\nR(T1:2, T2:2)",
+		"R()",
+		"R(T1:1",
+		"R(x)",
+		"ZZ(T1:1)",
+		"R(T9:1, T2:5)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sch := schema.MustParse("R(a*:T1, b:T2)\nS(c:T3)")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(sch, text)
+		if err != nil {
+			return
+		}
+		// Accepted instances round trip through Dump.
+		d2, err := Parse(sch, d.Dump())
+		if err != nil {
+			t.Fatalf("rejected own dump: %v", err)
+		}
+		if !d.Equal(d2) {
+			t.Fatalf("dump round trip changed the database")
+		}
+	})
+}

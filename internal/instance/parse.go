@@ -1,0 +1,75 @@
+package instance
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Parse reads a database instance in the textual format produced by
+// Dump: one tuple per line, "relation(T1:1, T2:5)".  Blank lines and
+// '#' comments are ignored.  Tuples are validated against the schema.
+func Parse(s *schema.Schema, text string) (*Database, error) {
+	d := NewDatabase(s)
+	for lineno, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		if open <= 0 || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("instance: line %d: want relation(values): %q", lineno+1, line)
+		}
+		rel := strings.TrimSpace(line[:open])
+		body := strings.TrimSpace(line[open+1 : len(line)-1])
+		var tup Tuple
+		if body != "" {
+			for _, part := range strings.Split(body, ",") {
+				v, err := value.Parse(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("instance: line %d: %v", lineno+1, err)
+				}
+				tup = append(tup, v)
+			}
+		}
+		if err := d.Insert(rel, tup); err != nil {
+			return nil, fmt.Errorf("instance: line %d: %v", lineno+1, err)
+		}
+	}
+	return d, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixtures.
+func MustParse(s *schema.Schema, text string) *Database {
+	d, err := Parse(s, text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Dump renders the database in the format Parse reads: one tuple per
+// line, relations and tuples in deterministic order.
+func (d *Database) Dump() string {
+	var b strings.Builder
+	for _, r := range d.Relations {
+		name := "?"
+		if r.Scheme != nil {
+			name = r.Scheme.Name
+		}
+		for _, t := range r.Tuples() {
+			b.WriteString(name)
+			b.WriteByte('(')
+			for i, v := range t {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteString(")\n")
+		}
+	}
+	return b.String()
+}

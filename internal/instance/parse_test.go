@@ -1,0 +1,80 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func TestParseDumpRoundTrip(t *testing.T) {
+	s := schema.MustParse("R(a*:T1, b:T2)\nS(c*:T3)")
+	d := NewDatabase(s)
+	d.MustInsert("R", v(1, 1), v(2, 5))
+	d.MustInsert("R", v(1, 2), v(2, 6))
+	d.MustInsert("S", v(3, 9))
+	text := d.Dump()
+	d2, err := Parse(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(d2) {
+		t.Errorf("round trip changed database:\n%s\nvs\n%s", d, d2)
+	}
+	if d2.Dump() != text {
+		t.Error("Dump not canonical")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := schema.MustParse("R(a:T1)")
+	d, err := Parse(s, "# header\n\nR(T1:1)\n  # trailing\nR(T1:2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Relation("R").Len() != 2 {
+		t.Errorf("len = %d", d.Relation("R").Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := schema.MustParse("R(a:T1)")
+	bad := []string{
+		"R T1:1",
+		"R(",
+		"(T1:1)",
+		"R(x)",
+		"R(T1:1, T1:2)", // arity
+		"R(T2:1)",       // type
+		"ZZ(T1:1)",      // unknown relation
+	}
+	for _, text := range bad {
+		if _, err := Parse(s, text); err == nil {
+			t.Errorf("Parse(%q): want error", text)
+		}
+	}
+}
+
+func TestParseDumpFuzz(t *testing.T) {
+	s := schema.MustParse("R(a*:T1, b:T2)\nS(c:T2, d:T3)")
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		d := NewDatabase(s)
+		for i := 0; i < rng.Intn(6); i++ {
+			d.MustInsert("R",
+				value.Value{Type: 1, N: int64(i + 1)},
+				value.Value{Type: 2, N: int64(rng.Intn(5) + 1)})
+			d.MustInsert("S",
+				value.Value{Type: 2, N: int64(rng.Intn(5) + 1)},
+				value.Value{Type: 3, N: int64(rng.Intn(5) + 1)})
+		}
+		d2, err := Parse(s, d.Dump())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Equal(d2) {
+			t.Fatalf("fuzz round trip failed:\n%s", d.Dump())
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package mapping
+
+import (
+	"fmt"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/value"
+)
+
+// Compose returns the mapping outer ∘ inner (first inner, then outer):
+// inner : A → B, outer : B → C gives a mapping A → C whose views are
+// obtained by query substitution — every atom of an outer view over a
+// B-relation is replaced by the body of inner's view for that relation,
+// with placeholders renamed apart and the outer variables resolved
+// through the inner view's head.
+//
+// Conjunctive queries are closed under this substitution, which is what
+// lets the paper reason about β∘α symbolically.
+func Compose(outer, inner *Mapping) (*Mapping, error) {
+	if len(inner.Dst.Relations) != len(outer.Src.Relations) {
+		return nil, fmt.Errorf("mapping: compose schema mismatch: inner.Dst has %d relations, outer.Src %d",
+			len(inner.Dst.Relations), len(outer.Src.Relations))
+	}
+	qs := make([]*cq.Query, len(outer.Queries))
+	for k, q := range outer.Queries {
+		sub, err := Substitute(q, inner)
+		if err != nil {
+			return nil, fmt.Errorf("mapping: composing view %q: %v", outer.Dst.Relations[k].Name, err)
+		}
+		sub.HeadRel = outer.Dst.Relations[k].Name
+		qs[k] = sub
+	}
+	return New(inner.Src, outer.Dst, qs)
+}
+
+// Substitute inlines inner's views into q (a query over inner.Dst),
+// producing an equivalent query over inner.Src.
+func Substitute(q *cq.Query, inner *Mapping) (*cq.Query, error) {
+	out := &cq.Query{}
+	// resolve maps each placeholder variable of q to the term it stands
+	// for after substitution: the corresponding head term of the inlined
+	// view body.
+	resolve := make(map[cq.Var]cq.Term)
+	for i, a := range q.Body {
+		def := inner.QueryFor(a.Rel)
+		if def == nil {
+			return nil, fmt.Errorf("no view defines %q", a.Rel)
+		}
+		inlined := def.Rename(fmt.Sprintf("s%d_", i))
+		out.Body = append(out.Body, inlined.Body...)
+		out.Eqs = append(out.Eqs, inlined.Eqs...)
+		if len(inlined.Head) != len(a.Vars) {
+			return nil, fmt.Errorf("view for %q has arity %d, atom has %d", a.Rel, len(inlined.Head), len(a.Vars))
+		}
+		for p, v := range a.Vars {
+			resolve[v] = inlined.Head[p]
+		}
+	}
+	termOf := func(t cq.Term) (cq.Term, error) {
+		if t.IsConst {
+			return t, nil
+		}
+		r, ok := resolve[t.Var]
+		if !ok {
+			return cq.Term{}, fmt.Errorf("variable %s not bound by any atom", t.Var)
+		}
+		return r, nil
+	}
+	// Translate the outer equality list through the resolution.
+	for _, e := range q.Eqs {
+		l, err := termOf(cq.Term{Var: e.Left})
+		if err != nil {
+			return nil, err
+		}
+		r, err := termOf(e.Right)
+		if err != nil {
+			return nil, err
+		}
+		eqs, err := equateTerms(l, r, out, inner)
+		if err != nil {
+			return nil, err
+		}
+		out.Eqs = append(out.Eqs, eqs...)
+	}
+	// Translate the head.
+	for _, t := range q.Head {
+		ht, err := termOf(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Head = append(out.Head, ht)
+	}
+	return out, nil
+}
+
+// equateTerms renders "l = r" in the paper's syntax.  When both sides are
+// the same constant nothing is needed; distinct constants make the
+// composed query unsatisfiable, which is expressed within the syntax by
+// binding some body variable to two distinct constants of its own type
+// (legal, and empty on every database).
+func equateTerms(l, r cq.Term, q *cq.Query, inner *Mapping) ([]cq.Equality, error) {
+	switch {
+	case !l.IsConst:
+		return []cq.Equality{{Left: l.Var, Right: r}}, nil
+	case !r.IsConst:
+		return []cq.Equality{{Left: r.Var, Right: l}}, nil
+	case l.Const == r.Const:
+		return nil, nil
+	default:
+		v, t, ok := anyBodyVarTyped(q, inner)
+		if !ok {
+			return nil, fmt.Errorf("unsatisfiable constant equality %s = %s with empty body", l, r)
+		}
+		return []cq.Equality{
+			{Left: v, Right: cq.C(value.Value{Type: t, N: 1})},
+			{Left: v, Right: cq.C(value.Value{Type: t, N: 2})},
+		}, nil
+	}
+}
+
+// anyBodyVarTyped picks a body placeholder of q and its attribute type
+// under inner's source schema.
+func anyBodyVarTyped(q *cq.Query, inner *Mapping) (cq.Var, value.Type, bool) {
+	for _, a := range q.Body {
+		rel := inner.Src.Relation(a.Rel)
+		if rel == nil {
+			continue
+		}
+		for i, v := range a.Vars {
+			return v, rel.Attrs[i].Type, true
+		}
+	}
+	return "", value.NoType, false
+}

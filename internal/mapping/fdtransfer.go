@@ -1,0 +1,65 @@
+package mapping
+
+import (
+	"keyedeq/internal/fd"
+)
+
+// Theorem 6 (FD transfer): let S1 ≼ S2 by (α, β), let Y → B hold in some
+// relation R of S2, let B be received by attribute A of S1 under β, and
+// let every attribute of Y be received by an attribute of a set X in S1
+// under β.  Then X → A holds in S1.
+//
+// TransferredFDs makes the theorem executable: from the key dependencies
+// of beta's source schema (S2) it derives the functional dependencies the
+// theorem asserts must hold in S1.  Each derived dependency pairs the
+// receivers of a key with the receiver of one attribute.  Dependencies
+// whose attributes are not received at all are skipped (the theorem's
+// hypotheses do not apply).
+func TransferredFDs(beta *Mapping) []fd.FD {
+	s2 := beta.Src
+	var out []fd.FD
+	for _, r := range s2.Relations {
+		if !r.Keyed() {
+			continue
+		}
+		// X: the S1 attributes receiving the key attributes of R.
+		var x []fd.Attr
+		complete := true
+		for _, kp := range r.Key {
+			recs := receiversOf(beta, SchemaAttrRef{Rel: r.Name, Pos: kp})
+			if len(recs) == 0 {
+				complete = false
+				break
+			}
+			for _, a := range recs {
+				x = append(x, fd.Attr{Rel: a.Rel, Pos: a.Pos})
+			}
+		}
+		if !complete {
+			continue
+		}
+		// For each attribute B of R received by some A: emit X → A.
+		for p := range r.Attrs {
+			for _, a := range receiversOf(beta, SchemaAttrRef{Rel: r.Name, Pos: p}) {
+				out = append(out, fd.FD{
+					X: append([]fd.Attr(nil), x...),
+					Y: []fd.Attr{{Rel: a.Rel, Pos: a.Pos}},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// receiversOf lists the destination attributes (of beta.Dst, i.e. S1)
+// that receive the given source attribute (of beta.Src, i.e. S2) under
+// beta.
+func receiversOf(beta *Mapping, src SchemaAttrRef) []SchemaAttrRef {
+	var out []SchemaAttrRef
+	for _, a := range beta.dstAttrs() {
+		if beta.AttrReceives(a, src) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

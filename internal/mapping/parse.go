@@ -1,0 +1,46 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/schema"
+)
+
+// Parse reads a query mapping in textual form: one conjunctive query per
+// line, each named for the destination relation it defines:
+//
+//	# α : schema 1 → schema 2
+//	empl(S, N, Sal, D, Y) :- employee(S, N, Sal, D), salespeople(S2, Y), S = S2.
+//	dept(I, DN, M) :- department(I, DN, M).
+//
+// Every destination relation must be defined exactly once; bodies are
+// over the source schema.  Blank lines and '#' comments are ignored.
+func Parse(src, dst *schema.Schema, text string) (*Mapping, error) {
+	queries := make([]*cq.Query, len(dst.Relations))
+	for lineno, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := cq.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("mapping: line %d: %v", lineno+1, err)
+		}
+		i := dst.RelationIndex(q.HeadRel)
+		if i < 0 {
+			return nil, fmt.Errorf("mapping: line %d: %q is not a destination relation", lineno+1, q.HeadRel)
+		}
+		if queries[i] != nil {
+			return nil, fmt.Errorf("mapping: line %d: %q defined twice", lineno+1, q.HeadRel)
+		}
+		queries[i] = q
+	}
+	for i, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("mapping: no view defines %q", dst.Relations[i].Name)
+		}
+	}
+	return New(src, dst, queries)
+}

@@ -1,0 +1,185 @@
+package mapping
+
+import (
+	"keyedeq/internal/cq"
+)
+
+// SchemaAttrRef names an attribute of a schema by relation name and
+// position.
+type SchemaAttrRef struct {
+	Rel string
+	Pos int
+}
+
+// AttrReceives reports whether destination attribute dst (of m.Dst)
+// receives source attribute src (of m.Src) under m, per the paper's
+// definition lifted to mappings: in the view defining dst's relation,
+// dst's head position receives src.
+func (m *Mapping) AttrReceives(dst, src SchemaAttrRef) bool {
+	q := m.QueryFor(dst.Rel)
+	if q == nil || dst.Pos < 0 || dst.Pos >= len(q.Head) {
+		return false
+	}
+	recs := cq.Receives(q)
+	return recs[dst.Pos].ReceivesAttr(src.Rel, src.Pos)
+}
+
+// ReceivesTable computes, for every destination attribute, the set of
+// source attributes it receives and whether it receives a constant.
+func (m *Mapping) ReceivesTable() map[SchemaAttrRef]cq.Received {
+	out := make(map[SchemaAttrRef]cq.Received)
+	for k, q := range m.Queries {
+		rel := m.Dst.Relations[k]
+		recs := cq.Receives(q)
+		for p := range rel.Attrs {
+			out[SchemaAttrRef{Rel: rel.Name, Pos: p}] = recs[p]
+		}
+	}
+	return out
+}
+
+// InvolvedInCondition reports whether source attribute a participates in
+// any selection or join condition in any of m's views (the hypothesis of
+// Lemma 7).
+func (m *Mapping) InvolvedInCondition(a SchemaAttrRef) bool {
+	for _, q := range m.Queries {
+		if cq.InvolvedInCondition(q, a.Rel, a.Pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// srcAttrs enumerates the attributes of m's source schema in order.
+func (m *Mapping) srcAttrs() []SchemaAttrRef {
+	var out []SchemaAttrRef
+	for _, r := range m.Src.Relations {
+		for p := range r.Attrs {
+			out = append(out, SchemaAttrRef{Rel: r.Name, Pos: p})
+		}
+	}
+	return out
+}
+
+func (m *Mapping) dstAttrs() []SchemaAttrRef {
+	var out []SchemaAttrRef
+	for _, r := range m.Dst.Relations {
+		for p := range r.Attrs {
+			out = append(out, SchemaAttrRef{Rel: r.Name, Pos: p})
+		}
+	}
+	return out
+}
+
+// Lemma3Holds checks the paper's Lemma 3 for the pair (alpha, beta)
+// establishing S1 ≼ S2: for every attribute A of S1 there is an attribute
+// B of S2 such that A is received by B under alpha and B is received by A
+// under beta.
+func Lemma3Holds(alpha, beta *Mapping) bool {
+	for _, a := range alpha.srcAttrs() {
+		found := false
+		for _, b := range alpha.dstAttrs() {
+			if alpha.AttrReceives(b, a) && beta.AttrReceives(a, b) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma4Holds checks Lemma 4: whenever S1-attribute A receives
+// S2-attribute B under beta, B receives A under alpha.
+func Lemma4Holds(alpha, beta *Mapping) bool {
+	for _, a := range beta.dstAttrs() { // attributes of S1
+		for _, b := range beta.srcAttrs() { // attributes of S2
+			if beta.AttrReceives(a, b) && !alpha.AttrReceives(b, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Lemma5Holds checks Lemma 5: if S2-attribute B receives S1-attribute A
+// under alpha, and B is received by *some* S1 attribute under beta, then
+// B is received by A under beta.
+func Lemma5Holds(alpha, beta *Mapping) bool {
+	for _, b := range alpha.dstAttrs() { // attributes of S2
+		receivedBySomeone := false
+		for _, a := range beta.dstAttrs() {
+			if beta.AttrReceives(a, b) {
+				receivedBySomeone = true
+				break
+			}
+		}
+		if !receivedBySomeone {
+			continue
+		}
+		for _, a := range alpha.srcAttrs() { // attributes of S1
+			if alpha.AttrReceives(b, a) {
+				if !beta.AttrReceives(a, b) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Lemma10Holds checks Lemma 10: no two distinct S1 attributes receive the
+// same S2 attribute under beta.
+func Lemma10Holds(beta *Mapping) bool {
+	for _, b := range beta.srcAttrs() { // attributes of S2
+		count := 0
+		for _, a := range beta.dstAttrs() { // attributes of S1
+			if beta.AttrReceives(a, b) {
+				count++
+			}
+		}
+		if count > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma11Holds checks Lemma 11 under its hypothesis (the caller ensures
+// both schemas have the same per-type attribute counts): every S1
+// attribute is received by some... — precisely, every attribute of S2 is
+// received by some attribute of S1 under beta.
+func Lemma11Holds(beta *Mapping) bool {
+	for _, b := range beta.srcAttrs() {
+		received := false
+		for _, a := range beta.dstAttrs() {
+			if beta.AttrReceives(a, b) {
+				received = true
+				break
+			}
+		}
+		if !received {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma12Holds checks Lemma 12 under the same hypothesis: no S1 attribute
+// receives two distinct S2 attributes under beta.
+func Lemma12Holds(beta *Mapping) bool {
+	for _, a := range beta.dstAttrs() {
+		count := 0
+		for _, b := range beta.srcAttrs() {
+			if beta.AttrReceives(a, b) {
+				count++
+			}
+		}
+		if count > 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func isoPair(t *testing.T, text string, seed int64) (*Mapping, *Mapping, *schema.Schema, *schema.Schema) {
+	t.Helper()
+	s1 := schema.MustParse(text)
+	rng := rand.New(rand.NewSource(seed))
+	s2, iso := schema.RandomIsomorph(s1, rng)
+	alpha, beta, err := FromIsomorphism(s1, s2, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alpha, beta, s1, s2
+}
+
+func TestAttrReceivesBasic(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1, a:T2)")
+	s2 := schema.MustParse("P(a*:T2, k:T1)")
+	alpha := MustNew(s1, s2, []*cq.Query{cq.MustParse("P(Y, X) :- R(X, Y).")})
+	if !alpha.AttrReceives(SchemaAttrRef{"P", 0}, SchemaAttrRef{"R", 1}) {
+		t.Error("P.0 should receive R.1")
+	}
+	if !alpha.AttrReceives(SchemaAttrRef{"P", 1}, SchemaAttrRef{"R", 0}) {
+		t.Error("P.1 should receive R.0")
+	}
+	if alpha.AttrReceives(SchemaAttrRef{"P", 0}, SchemaAttrRef{"R", 0}) {
+		t.Error("P.0 should not receive R.0")
+	}
+	if alpha.AttrReceives(SchemaAttrRef{"nope", 0}, SchemaAttrRef{"R", 0}) {
+		t.Error("unknown relation should not receive")
+	}
+	if alpha.AttrReceives(SchemaAttrRef{"P", 9}, SchemaAttrRef{"R", 0}) {
+		t.Error("out-of-range position should not receive")
+	}
+}
+
+func TestReceivesTable(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1, a:T2)")
+	s2 := schema.MustParse("P(k*:T1, a:T2, c:T3)")
+	m := MustNew(s1, s2, []*cq.Query{cq.MustParse("P(X, Y, T3:5) :- R(X, Y).")})
+	tbl := m.ReceivesTable()
+	if rec := tbl[SchemaAttrRef{"P", 2}]; !rec.HasConst || rec.Const != (value.Value{Type: 3, N: 5}) {
+		t.Errorf("P.2 should receive the constant: %+v", rec)
+	}
+	if rec := tbl[SchemaAttrRef{"P", 0}]; !rec.ReceivesAttr("R", 0) {
+		t.Errorf("P.0 should receive R.0: %+v", rec)
+	}
+}
+
+func TestInvolvedInConditionMapping(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1, a:T2)\nS(b*:T2)")
+	s2 := schema.MustParse("P(k*:T1)")
+	m := MustNew(s1, s2, []*cq.Query{cq.MustParse("P(X) :- R(X, Y), S(Z), Y = Z.")})
+	if !m.InvolvedInCondition(SchemaAttrRef{"R", 1}) {
+		t.Error("R.1 is joined")
+	}
+	if !m.InvolvedInCondition(SchemaAttrRef{"S", 0}) {
+		t.Error("S.0 is joined")
+	}
+	if m.InvolvedInCondition(SchemaAttrRef{"R", 0}) {
+		t.Error("R.0 is not in any condition")
+	}
+}
+
+// Lemmas 3–5, 10–12 must hold for every dominance pair built from an
+// isomorphism (since β∘α = id by construction).  Randomized over schemas.
+func TestLemmasHoldOnIsomorphismPairs(t *testing.T) {
+	fixtures := []string{
+		"R(k*:T1, a:T2)",
+		"R(k*:T1, a:T2)\nS(x*:T3, y:T1)",
+		"R(k*:T1, k2*:T2, a:T3, b:T3)",
+		"R(a*:T1)\nS(b*:T1)\nU(c*:T1, d:T2)",
+	}
+	for seed, text := range fixtures {
+		alpha, beta, _, _ := isoPair(t, text, int64(seed+1))
+		if !Lemma3Holds(alpha, beta) {
+			t.Errorf("%q: Lemma 3 fails", text)
+		}
+		if !Lemma4Holds(alpha, beta) {
+			t.Errorf("%q: Lemma 4 fails", text)
+		}
+		if !Lemma5Holds(alpha, beta) {
+			t.Errorf("%q: Lemma 5 fails", text)
+		}
+		if !Lemma10Holds(beta) {
+			t.Errorf("%q: Lemma 10 fails", text)
+		}
+		if !Lemma11Holds(beta) {
+			t.Errorf("%q: Lemma 11 fails", text)
+		}
+		if !Lemma12Holds(beta) {
+			t.Errorf("%q: Lemma 12 fails", text)
+		}
+		// And symmetrically for the pair establishing S2 ≼ S1.
+		if !Lemma3Holds(beta, alpha) || !Lemma4Holds(beta, alpha) || !Lemma5Holds(beta, alpha) {
+			t.Errorf("%q: symmetric lemmas fail", text)
+		}
+	}
+}
+
+// A mapping pair that is NOT a dominance pair can violate the lemmas —
+// the checkers must be able to say no.
+func TestLemmaCheckersCanFail(t *testing.T) {
+	s1 := schema.MustParse("R(k*:T1, a:T1)")
+	s2 := schema.MustParse("P(k*:T1, a:T1)")
+	// alpha drops information (constant column); beta cannot receive.
+	alpha := MustNew(s1, s2, []*cq.Query{cq.MustParse("P(X, T1:9) :- R(X, Y).")})
+	beta := MustNew(s2, s1, []*cq.Query{cq.MustParse("R(X, T1:9) :- P(X, Y).")})
+	if Lemma3Holds(alpha, beta) {
+		t.Error("Lemma 3 should fail: R.1 is never received")
+	}
+	// beta receiving the same attribute twice violates Lemma 10.
+	beta2 := MustNew(s2, s1, []*cq.Query{cq.MustParse("R(X, X) :- P(X, Y).")})
+	if Lemma10Holds(beta2) {
+		t.Error("Lemma 10 should fail: P.0 received by both R.0 and R.1")
+	}
+	// Lemma 12: one S1 attribute receiving two S2 attributes (the head
+	// variable's class spans P.1 and P.0 of different occurrences).
+	beta3 := MustNew(s2, s1, []*cq.Query{cq.MustParse("R(X, Y) :- P(X, Y), P(A, B), Y = A.")})
+	if Lemma12Holds(beta3) {
+		t.Error("Lemma 12 should fail: R.1 receives both P.1 and P.0")
+	}
+}
+
+// Theorem 6 executable check: the FDs transferred from S2's keys through
+// beta hold on every key-satisfying instance of S1 whenever (alpha, beta)
+// is a dominance pair.
+func TestTheorem6TransferredFDsHold(t *testing.T) {
+	fixtures := []string{
+		"R(k*:T1, a:T2)",
+		"R(k*:T1, a:T2)\nS(x*:T3, y:T1)",
+		"R(k*:T1, k2*:T2, a:T3)",
+	}
+	rng := rand.New(rand.NewSource(21))
+	for seed, text := range fixtures {
+		alpha, beta, s1, _ := isoPair(t, text, int64(seed+10))
+		_ = alpha
+		fds := TransferredFDs(beta)
+		if len(fds) == 0 {
+			t.Fatalf("%q: no transferred FDs", text)
+		}
+		for trial := 0; trial < 40; trial++ {
+			d := randomKeyedInstance(s1, rng, 5)
+			if !d.SatisfiesKeys() {
+				t.Fatal("generator broke keys")
+			}
+			for _, f := range fds {
+				if !f.Holds(d) {
+					t.Fatalf("%q: transferred FD %s fails on key-satisfying instance\n%s", text, f, d)
+				}
+			}
+		}
+	}
+}
+
+// randomKeyedInstance builds a random instance satisfying all keys by
+// giving every tuple a fresh key part.
+func randomKeyedInstance(s *schema.Schema, rng *rand.Rand, maxTuples int) *instance.Database {
+	d := instance.NewDatabase(s)
+	var alloc value.Allocator
+	for ri, r := range s.Relations {
+		n := rng.Intn(maxTuples) + 1
+		for i := 0; i < n; i++ {
+			tup := make(instance.Tuple, r.Arity())
+			for p, a := range r.Attrs {
+				if r.IsKeyPos(p) {
+					tup[p] = alloc.Fresh(a.Type)
+				} else {
+					tup[p] = value.Value{Type: a.Type, N: int64(rng.Intn(4) + 1)}
+				}
+			}
+			d.Relations[ri].MustInsert(tup)
+		}
+	}
+	return d
+}

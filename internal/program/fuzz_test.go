@@ -1,0 +1,46 @@
+package program
+
+import (
+	"testing"
+
+	"keyedeq/internal/gen"
+)
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		twoHopProgram,
+		"def v(x:T1)\nv(X) :- E(X, Y).",
+		"def v(x:T1)\nv(X) :- E(X, Y).\nv(Y) :- E(X, Y).",
+		"def v(x:T1)",
+		"v(X) :- E(X, Y).",
+		"def E(x:T1)",
+		"def v((",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	base := gen.GraphSchema()
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(base, text)
+		if err != nil {
+			return
+		}
+		// Accepted programs validate, round trip, and unfold cleanly.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted invalid program: %v", err)
+		}
+		p2, err := Parse(base, p.String())
+		if err != nil {
+			t.Fatalf("rejected own print: %v\n%s", err, p)
+		}
+		if p.String() != p2.String() {
+			t.Fatalf("print not a fixpoint")
+		}
+		for _, v := range p.Views {
+			if _, err := p.Unfold(v.Scheme.Name); err != nil {
+				t.Fatalf("unfold of accepted program failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package program
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"keyedeq/internal/gen"
+	"keyedeq/internal/ucq"
+)
+
+const twoHopProgram = `
+# two strata over the edge relation
+def twohop(src:T1, dst:T1)
+twohop(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.
+def fourhop(src:T1, dst:T1)
+fourhop(X, Z) :- twohop(X, Y), twohop(Y2, Z), Y = Y2.
+`
+
+func TestParseAndValidate(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, twoHopProgram)
+	if len(p.Views) != 2 {
+		t.Fatalf("views = %d", len(p.Views))
+	}
+	if p.Views[0].Scheme.Name != "twohop" || p.Views[1].Scheme.Name != "fourhop" {
+		t.Errorf("view order wrong")
+	}
+	// Round trip through String.
+	p2, err := Parse(base, p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p.String() != p2.String() {
+		t.Errorf("round trip changed program:\n%s\nvs\n%s", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	base := gen.GraphSchema()
+	bad := []string{
+		"def E(src:T1)",                              // shadows base
+		"def v(x*:T1)\nv(X) :- E(X, Y).",             // keyed view
+		"def v(x:T1)\ndef v(x:T1)\nv(X) :- E(X, Y).", // dup
+		"v(X) :- E(X, Y).",                           // undeclared
+		"def v(x:T1)",                                // no rules
+		"def v(x:T1)\nv(X) :- ZZ(X).",                // unknown relation
+		"def v(x:T1)\nv(X, Y) :- E(X, Y).",           // arity mismatch
+		"def v(x:T9)\nv(X) :- E(X, Y).",              // type mismatch
+		"def v(x:T1)\nbroken",                        // rule parse error
+		"def v((\nv(X) :- E(X, Y).",                  // def parse error
+		// Forward reference (recursion-like): w uses v declared later.
+		"def w(x:T1)\nw(X) :- v(X).\ndef v(x:T1)\nv(X) :- E(X, Y).",
+	}
+	for i, text := range bad {
+		if _, err := Parse(base, text); err == nil {
+			t.Errorf("bad program %d accepted:\n%s", i, text)
+		}
+	}
+}
+
+func TestEvalStrata(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, twoHopProgram)
+	d := gen.PathGraph(5) // 1->2->3->4->5
+	ext, err := p.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := ext.Relation("twohop")
+	if two.Len() != 3 { // (1,3),(2,4),(3,5)
+		t.Errorf("twohop = %s", two)
+	}
+	four := ext.Relation("fourhop")
+	if four.Len() != 1 { // (1,5)
+		t.Errorf("fourhop = %s", four)
+	}
+}
+
+func TestUnfoldMatchesEval(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, twoHopProgram)
+	u, err := p.Unfold("fourhop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fourhop unfolds to a single 4-chain CQ over E.
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("unfold disjuncts = %d:\n%s", len(u.Disjuncts), u)
+	}
+	if len(u.Disjuncts[0].Body) != 4 {
+		t.Errorf("unfolded body = %d atoms", len(u.Disjuncts[0].Body))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		d := gen.RandomGraph(rng, 4, rng.Intn(10))
+		ext, err := p.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := ucq.Eval(u, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Relation("fourhop").Equal(direct) {
+			t.Fatalf("unfold disagrees with evaluation:\n%s\nvs\n%s",
+				ext.Relation("fourhop"), direct)
+		}
+	}
+}
+
+func TestUnfoldUnions(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, `
+def step(src:T1, dst:T1)
+step(X, Y) :- E(X, Y).
+step(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.
+def reach(src:T1, dst:T1)
+reach(X, Z) :- step(X, Y), step(Y2, Z), Y = Y2.
+`)
+	u, err := p.Unfold("reach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 choices × 2 choices = 4 disjuncts (paths of length 2,3,3,4).
+	if len(u.Disjuncts) != 4 {
+		t.Fatalf("disjuncts = %d:\n%s", len(u.Disjuncts), u)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		d := gen.RandomGraph(rng, 4, rng.Intn(9))
+		ext, err := p.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := ucq.Eval(u, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Relation("reach").Equal(direct) {
+			t.Fatalf("union unfold disagrees on %s", d)
+		}
+	}
+}
+
+func TestUnfoldHandlesConstantsInHeads(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, `
+def tagged(src:T1, tag:T1)
+tagged(X, T1:9) :- E(X, Y).
+def projected(src:T1)
+projected(X) :- tagged(X, W), W = T1:9.
+def filtered(src:T1)
+filtered(X) :- tagged(X, W), W = T1:8.
+`)
+	u, err := p.Unfold("projected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		d := gen.RandomGraph(rng, 3, rng.Intn(6))
+		ext, _ := p.Eval(d)
+		direct, err := ucq.Eval(u, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Relation("projected").Equal(direct) {
+			t.Fatalf("constant unfold disagrees on %s", d)
+		}
+	}
+	// The conflicting constant makes `filtered` empty everywhere.
+	u2, err := p.Unfold("filtered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		d := gen.RandomGraph(rng, 3, rng.Intn(6))
+		ext, _ := p.Eval(d)
+		if ext.Relation("filtered").Len() != 0 {
+			t.Fatalf("filtered should be empty: %s", ext.Relation("filtered"))
+		}
+		direct, err := ucq.Eval(u2, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Len() != 0 {
+			t.Fatalf("unfolded filtered should be empty: %s", direct)
+		}
+	}
+}
+
+func TestProgramEquivalence(t *testing.T) {
+	base := gen.GraphSchema()
+	// fourhop defined via twohop∘twohop vs directly as a 4-chain.
+	p1 := MustParse(base, twoHopProgram)
+	p2 := MustParse(base, `
+def fourhop(src:T1, dst:T1)
+fourhop(X, W) :- E(X, A), E(A2, B), E(B2, C), E(C2, W), A = A2, B = B2, C = C2.
+`)
+	eq, err := Equivalent(p1, "fourhop", p2, "fourhop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("factored and direct fourhop should be equivalent")
+	}
+	// And a genuinely different view is detected.
+	p3 := MustParse(base, `
+def fourhop(src:T1, dst:T1)
+fourhop(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.
+`)
+	eq, err = Equivalent(p1, "fourhop", p3, "fourhop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("twohop is not fourhop")
+	}
+}
+
+func TestUnfoldErrors(t *testing.T) {
+	base := gen.GraphSchema()
+	p := MustParse(base, twoHopProgram)
+	if _, err := p.Unfold("nope"); err == nil {
+		t.Error("unknown view accepted")
+	}
+}
+
+func TestEvalMissingBaseRelation(t *testing.T) {
+	// A program over base relation F evaluated against an instance that
+	// only has E must fail cleanly.
+	wrongBase := gen.GraphSchema()
+	wrongBase.Relations[0].Name = "F"
+	pw := MustParse(wrongBase, "def v(x:T1)\nv(X) :- F(X, Y).")
+	if _, err := pw.Eval(gen.PathGraph(2)); err == nil {
+		t.Error("mismatched base should error")
+	}
+}
+
+func TestStringContainsDefs(t *testing.T) {
+	p := MustParse(gen.GraphSchema(), twoHopProgram)
+	s := p.String()
+	if !strings.Contains(s, "def twohop(src:T1, dst:T1)") {
+		t.Errorf("String:\n%s", s)
+	}
+}

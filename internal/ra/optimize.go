@@ -1,0 +1,164 @@
+package ra
+
+import (
+	"keyedeq/internal/schema"
+)
+
+// Optimize rewrites a conjunctive algebra expression using the classical
+// heuristics, preserving semantics exactly (tested by differential
+// evaluation):
+//
+//   - selection pushdown: σ conditions move below products/joins to the
+//     side that contains their columns, and column-to-column selections
+//     that span a product turn it into an equijoin;
+//   - cascades: selections over selections reorder freely; the rewrite
+//     normalizes them innermost-first.
+//
+// Projections are left in place (the paper's queries project once, at the
+// top).  Optimize never changes the output type.
+func Optimize(e Expr, s *schema.Schema) (Expr, error) {
+	if _, err := e.Type(s); err != nil {
+		return nil, err
+	}
+	out := rewrite(e, s)
+	// The rewrite is type-preserving by construction; re-check to be
+	// safe and to keep the invariant externally visible.
+	if _, err := out.Type(s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func rewrite(e Expr, s *schema.Schema) Expr {
+	switch e := e.(type) {
+	case *Rel:
+		return e
+	case *Project:
+		return &Project{E: rewrite(e.E, s), Cols: append([]ProjCol(nil), e.Cols...)}
+	case *Product:
+		return &Product{L: rewrite(e.L, s), R: rewrite(e.R, s)}
+	case *Join:
+		return &Join{L: rewrite(e.L, s), R: rewrite(e.R, s), LCol: e.LCol, RCol: e.RCol}
+	case *SelectConst:
+		inner := rewrite(e.E, s)
+		return pushSelectConst(inner, e.Col, e, s)
+	case *SelectEq:
+		inner := rewrite(e.E, s)
+		return pushSelectEq(inner, e, s)
+	default:
+		return e
+	}
+}
+
+// width returns the output arity of an already-typed expression.
+func width(e Expr, s *schema.Schema) int {
+	ts, err := e.Type(s)
+	if err != nil {
+		return -1
+	}
+	return len(ts)
+}
+
+// pushSelectConst pushes σ_{col = c} below the top operator of inner when
+// possible.
+func pushSelectConst(inner Expr, col int, sel *SelectConst, s *schema.Schema) Expr {
+	switch in := inner.(type) {
+	case *Product:
+		lw := width(in.L, s)
+		if col < lw {
+			return &Product{L: pushSelectConst(in.L, col, &SelectConst{Col: col, Const: sel.Const}, s), R: in.R}
+		}
+		return &Product{L: in.L, R: pushSelectConst(in.R, col-lw, &SelectConst{Col: col - lw, Const: sel.Const}, s)}
+	case *Join:
+		lw := width(in.L, s)
+		if col < lw {
+			return &Join{
+				L:    pushSelectConst(in.L, col, &SelectConst{Col: col, Const: sel.Const}, s),
+				R:    in.R,
+				LCol: in.LCol, RCol: in.RCol,
+			}
+		}
+		return &Join{
+			L:    in.L,
+			R:    pushSelectConst(in.R, col-lw, &SelectConst{Col: col - lw, Const: sel.Const}, s),
+			LCol: in.LCol, RCol: in.RCol,
+		}
+	case *SelectConst:
+		// Cascade: push through and keep the inner one below.
+		return &SelectConst{E: pushSelectConst(in.E, col, sel, s), Col: in.Col, Const: in.Const}
+	case *SelectEq:
+		return &SelectEq{E: pushSelectConst(in.E, col, sel, s), Left: in.Left, Right: in.Right}
+	default:
+		return &SelectConst{E: inner, Col: col, Const: sel.Const}
+	}
+}
+
+// pushSelectEq pushes σ_{l = r}; a condition spanning the two sides of a
+// product converts it into an equijoin.
+func pushSelectEq(inner Expr, sel *SelectEq, s *schema.Schema) Expr {
+	l, r := sel.Left, sel.Right
+	if l > r {
+		l, r = r, l
+	}
+	switch in := inner.(type) {
+	case *Product:
+		lw := width(in.L, s)
+		switch {
+		case r < lw:
+			return &Product{L: pushSelectEq(in.L, &SelectEq{Left: l, Right: r}, s), R: in.R}
+		case l >= lw:
+			return &Product{L: in.L, R: pushSelectEq(in.R, &SelectEq{Left: l - lw, Right: r - lw}, s)}
+		default:
+			// Spans both sides: becomes an equijoin.
+			return &Join{L: in.L, R: in.R, LCol: l, RCol: r - lw}
+		}
+	case *Join:
+		lw := width(in.L, s)
+		switch {
+		case r < lw:
+			return &Join{L: pushSelectEq(in.L, &SelectEq{Left: l, Right: r}, s), R: in.R, LCol: in.LCol, RCol: in.RCol}
+		case l >= lw:
+			return &Join{L: in.L, R: pushSelectEq(in.R, &SelectEq{Left: l - lw, Right: r - lw}, s), LCol: in.LCol, RCol: in.RCol}
+		default:
+			// A second cross-side condition stays above the join.
+			return &SelectEq{E: in, Left: l, Right: r}
+		}
+	case *SelectConst:
+		return &SelectConst{E: pushSelectEq(in.E, sel, s), Col: in.Col, Const: in.Const}
+	case *SelectEq:
+		return &SelectEq{E: pushSelectEq(in.E, sel, s), Left: in.Left, Right: in.Right}
+	default:
+		return &SelectEq{E: inner, Left: l, Right: r}
+	}
+}
+
+// CountOps tallies operator nodes by kind, for inspecting rewrites.
+func CountOps(e Expr) map[string]int {
+	m := map[string]int{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *Rel:
+			m["rel"]++
+		case *Project:
+			m["project"]++
+			walk(e.E)
+		case *Product:
+			m["product"]++
+			walk(e.L)
+			walk(e.R)
+		case *Join:
+			m["join"]++
+			walk(e.L)
+			walk(e.R)
+		case *SelectConst:
+			m["select-const"]++
+			walk(e.E)
+		case *SelectEq:
+			m["select-eq"]++
+			walk(e.E)
+		}
+	}
+	walk(e)
+	return m
+}

@@ -1,0 +1,171 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+func TestOptimizeProductToJoin(t *testing.T) {
+	// σ_{1 = 2}(R × S): spans both sides -> equijoin.
+	e := &SelectEq{
+		E:     &Product{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}},
+		Left:  1,
+		Right: 2,
+	}
+	opt, err := Optimize(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := CountOps(opt)
+	if ops["join"] != 1 || ops["product"] != 0 || ops["select-eq"] != 0 {
+		t.Errorf("expected product->join rewrite, got %v in %s", ops, opt)
+	}
+}
+
+func TestOptimizePushesConstSelection(t *testing.T) {
+	// σ_{3 = c}(R × S): column 3 is in S; selection must move below.
+	e := &SelectConst{
+		E:     &Product{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}},
+		Col:   3,
+		Const: v(3, 1),
+	}
+	opt, err := Optimize(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, ok := opt.(*Product)
+	if !ok {
+		t.Fatalf("top operator should stay a product: %s", opt)
+	}
+	if _, ok := prod.R.(*SelectConst); !ok {
+		t.Errorf("selection not pushed to the right side: %s", opt)
+	}
+	if _, ok := prod.L.(*Rel); !ok {
+		t.Errorf("left side should be untouched: %s", opt)
+	}
+}
+
+func TestOptimizePushesThroughJoin(t *testing.T) {
+	e := &SelectConst{
+		E:     &Join{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}, LCol: 1, RCol: 0},
+		Col:   0,
+		Const: v(1, 2),
+	}
+	opt, err := Optimize(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, ok := opt.(*Join)
+	if !ok {
+		t.Fatalf("top should stay a join: %s", opt)
+	}
+	if _, ok := join.L.(*SelectConst); !ok {
+		t.Errorf("selection not pushed into the left join input: %s", opt)
+	}
+}
+
+func TestOptimizeKeepsSecondCrossCondition(t *testing.T) {
+	// Two cross-side conditions on a product: first becomes the join,
+	// second stays above it.
+	d2 := instance.NewDatabase(schema.MustParse("E(x:T1, y:T1)\nF(u:T1, w:T1)"))
+	s2 := d2.Schema
+	e := &SelectEq{
+		E: &SelectEq{
+			E:     &Product{L: &Rel{Name: "E"}, R: &Rel{Name: "F"}},
+			Left:  0,
+			Right: 2,
+		},
+		Left:  1,
+		Right: 3,
+	}
+	opt, err := Optimize(e, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := CountOps(opt)
+	if ops["join"] != 1 || ops["select-eq"] != 1 || ops["product"] != 0 {
+		t.Errorf("expected join + one residual selection, got %v in %s", ops, opt)
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	if _, err := Optimize(&Rel{Name: "nope"}, s); err == nil {
+		t.Error("invalid expression accepted")
+	}
+}
+
+// Differential: Optimize preserves semantics on random expressions
+// compiled from random conjunctive queries.
+func TestOptimizeSemanticsFuzz(t *testing.T) {
+	gs := schema.MustParse("E(x:T1, y:T1)")
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		// Random chain-ish query (reusing the round-trip fuzz shape).
+		n := 1 + rng.Intn(3)
+		q := &cq.Query{}
+		var prev cq.Var
+		for i := 0; i < n; i++ {
+			a := cq.Atom{Rel: "E", Vars: []cq.Var{
+				cq.Var("x" + string(rune('0'+i))),
+				cq.Var("y" + string(rune('0'+i))),
+			}}
+			q.Body = append(q.Body, a)
+			if i > 0 && rng.Intn(2) == 0 {
+				q.Eqs = append(q.Eqs, cq.Equality{Left: prev, Right: cq.Term{Var: a.Vars[0]}})
+			}
+			prev = a.Vars[1]
+		}
+		q.Head = []cq.Term{{Var: q.Body[0].Vars[0]}, {Var: prev}}
+		if rng.Intn(3) == 0 {
+			q.Eqs = append(q.Eqs, cq.Equality{Left: prev, Right: cq.C(value.Value{Type: 1, N: 1})})
+		}
+		e, err := FromCQ(q, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(e, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 10; k++ {
+			d := instance.NewDatabase(gs)
+			for j := 0; j < rng.Intn(6); j++ {
+				d.MustInsert("E",
+					value.Value{Type: 1, N: int64(rng.Intn(3) + 1)},
+					value.Value{Type: 1, N: int64(rng.Intn(3) + 1)})
+			}
+			a1, err := Eval(e, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := Eval(opt, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a1.Equal(a2) {
+				t.Fatalf("Optimize changed semantics:\noriginal: %s\noptimized: %s\non %s\n%s vs %s",
+					e, opt, d, a1, a2)
+			}
+		}
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	e := &Project{
+		E: &SelectEq{
+			E:     &Product{L: &Rel{Name: "R"}, R: &Rel{Name: "S"}},
+			Left:  1,
+			Right: 2,
+		},
+		Cols: []ProjCol{Col(0)},
+	}
+	ops := CountOps(e)
+	if ops["project"] != 1 || ops["select-eq"] != 1 || ops["product"] != 1 || ops["rel"] != 2 {
+		t.Errorf("CountOps = %v", ops)
+	}
+}

@@ -1,0 +1,176 @@
+package ra
+
+import (
+	"fmt"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/schema"
+)
+
+// FromCQ compiles a conjunctive query to an algebra expression: the
+// cartesian product of the body atoms, one selection per equality, and an
+// extended projection for the head.  The compiled expression computes
+// exactly q on every database (tested by the round-trip properties).
+func FromCQ(q *cq.Query, s *schema.Schema) (Expr, error) {
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	// Column layout: body atoms concatenated in order.
+	colOf := make(map[cq.Var]int)
+	width := 0
+	var e Expr
+	for _, a := range q.Body {
+		for i, v := range a.Vars {
+			colOf[v] = width + i
+		}
+		width += len(a.Vars)
+		leaf := &Rel{Name: a.Rel}
+		if e == nil {
+			e = leaf
+		} else {
+			e = &Product{L: e, R: leaf}
+		}
+	}
+	for _, eq := range q.Eqs {
+		l := colOf[eq.Left]
+		if eq.Right.IsConst {
+			e = &SelectConst{E: e, Col: l, Const: eq.Right.Const}
+			continue
+		}
+		e = &SelectEq{E: e, Left: l, Right: colOf[eq.Right.Var]}
+	}
+	proj := &Project{E: e}
+	for _, t := range q.Head {
+		if t.IsConst {
+			proj.Cols = append(proj.Cols, Const(t.Const))
+			continue
+		}
+		proj.Cols = append(proj.Cols, Col(colOf[t.Var]))
+	}
+	return proj, nil
+}
+
+// ToCQ extracts a conjunctive query from an algebra expression; the two
+// formalisms coincide (every conjunctive RA query with equality
+// selections is expressible in the paper's syntax, §2).
+func ToCQ(e Expr, s *schema.Schema) (*cq.Query, error) {
+	var gen varGen
+	atoms, eqs, cols, err := toCQ(e, s, &gen)
+	if err != nil {
+		return nil, err
+	}
+	q := &cq.Query{Body: atoms, Eqs: eqs, Head: cols}
+	if err := q.Validate(s); err != nil {
+		return nil, fmt.Errorf("ra: extracted query invalid: %v", err)
+	}
+	return q, nil
+}
+
+type varGen int
+
+func (g *varGen) fresh() cq.Var {
+	*g++
+	return cq.Var(fmt.Sprintf("v%d", int(*g)))
+}
+
+// toCQ returns the body atoms, equalities, and output column terms of e.
+func toCQ(e Expr, s *schema.Schema, gen *varGen) ([]cq.Atom, []cq.Equality, []cq.Term, error) {
+	switch e := e.(type) {
+	case *Rel:
+		r := s.Relation(e.Name)
+		if r == nil {
+			return nil, nil, nil, fmt.Errorf("ra: unknown relation %q", e.Name)
+		}
+		a := cq.Atom{Rel: e.Name}
+		var cols []cq.Term
+		for range r.Attrs {
+			v := gen.fresh()
+			a.Vars = append(a.Vars, v)
+			cols = append(cols, cq.Term{Var: v})
+		}
+		return []cq.Atom{a}, nil, cols, nil
+	case *SelectEq:
+		atoms, eqs, cols, err := toCQ(e.E, s, gen)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l, r := cols[e.Left], cols[e.Right]
+		eq, err := equate(l, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return atoms, append(eqs, eq...), cols, nil
+	case *SelectConst:
+		atoms, eqs, cols, err := toCQ(e.E, s, gen)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eq, err := equate(cols[e.Col], cq.C(e.Const))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return atoms, append(eqs, eq...), cols, nil
+	case *Product:
+		return combine(e.L, e.R, s, gen, nil)
+	case *Join:
+		join := &joinCond{lcol: e.LCol, rcol: e.RCol}
+		return combine(e.L, e.R, s, gen, join)
+	case *Project:
+		atoms, eqs, cols, err := toCQ(e.E, s, gen)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var out []cq.Term
+		for _, c := range e.Cols {
+			if c.IsConst {
+				out = append(out, cq.C(c.Const))
+				continue
+			}
+			out = append(out, cols[c.Col])
+		}
+		return atoms, eqs, out, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("ra: unknown expression %T", e)
+	}
+}
+
+type joinCond struct{ lcol, rcol int }
+
+func combine(l, r Expr, s *schema.Schema, gen *varGen, jc *joinCond) ([]cq.Atom, []cq.Equality, []cq.Term, error) {
+	la, le, lc, err := toCQ(l, s, gen)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ra, re, rc, err := toCQ(r, s, gen)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	atoms := append(la, ra...)
+	eqs := append(le, re...)
+	cols := append(append([]cq.Term{}, lc...), rc...)
+	if jc != nil {
+		eq, err := equate(lc[jc.lcol], rc[jc.rcol])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eqs = append(eqs, eq...)
+	}
+	return atoms, eqs, cols, nil
+}
+
+// equate builds the equality predicates for two column terms.  Two equal
+// constants need nothing; two unequal constants are unsatisfiable, which
+// the paper's syntax cannot state without a variable, so it is an error
+// here (the caller's expression denotes the empty query).
+func equate(a, b cq.Term) ([]cq.Equality, error) {
+	switch {
+	case !a.IsConst:
+		return []cq.Equality{{Left: a.Var, Right: b}}, nil
+	case !b.IsConst:
+		return []cq.Equality{{Left: b.Var, Right: a}}, nil
+	case a.Const == b.Const:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ra: selection equates distinct constants %s and %s (empty query)", a, b)
+	}
+}

@@ -1,0 +1,44 @@
+package schema
+
+import (
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"r(a*:T1, b:T2)",
+		"r(a*:T1)\ns(b:T2, c*:T3)",
+		"# comment\nr(a:T1)",
+		"",
+		"r()",
+		"r(a:T0)",
+		"r(a*:T1, a:T1)",
+		"r(a*:T99999999999999999999)",
+		"r(a:T1", // unbalanced
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// Accepted schemas must be valid, reprintable, and reparse to an
+		// isomorphic schema with an identical rendering.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted invalid schema %q: %v", text, err)
+		}
+		printed := s.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("rejected own print %q: %v", printed, err)
+		}
+		if s2.String() != printed {
+			t.Fatalf("print not a fixpoint: %q -> %q", printed, s2.String())
+		}
+		if !Isomorphic(s, s2) {
+			t.Fatalf("reparse not isomorphic for %q", printed)
+		}
+	})
+}

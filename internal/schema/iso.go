@@ -1,0 +1,200 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keyedeq/internal/value"
+)
+
+// This file decides whether two schemas are "identical up to renaming and
+// re-ordering of attributes and relations" — the syntactic condition that
+// Theorem 13 proves equivalent to conjunctive query equivalence for keyed
+// schemas (and Hull 1986 for unkeyed ones).
+//
+// Names are immaterial (renaming) and orders are immaterial (re-ordering),
+// so the only invariants of a relation scheme are the multiset of its key
+// attribute types and the multiset of its non-key attribute types.  A
+// schema's canonical form is the sorted multiset of its relations'
+// signatures; two schemas are isomorphic iff their canonical forms agree.
+
+// RelationSignature is the canonical invariant of one relation scheme.
+func RelationSignature(r *Relation) string {
+	var key, nonkey []value.Type
+	for i, a := range r.Attrs {
+		if r.IsKeyPos(i) {
+			key = append(key, a.Type)
+		} else {
+			nonkey = append(nonkey, a.Type)
+		}
+	}
+	sortTypes(key)
+	sortTypes(nonkey)
+	var b strings.Builder
+	b.WriteString("K[")
+	for i, t := range key {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("]N[")
+	for i, t := range nonkey {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func sortTypes(ts []value.Type) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+// CanonicalForm returns the schema's canonical form: the sorted list of its
+// relation signatures, newline-joined.  Isomorphic schemas and only they
+// have equal canonical forms.
+func CanonicalForm(s *Schema) string {
+	sigs := make([]string, len(s.Relations))
+	for i, r := range s.Relations {
+		sigs[i] = RelationSignature(r)
+	}
+	sort.Strings(sigs)
+	return strings.Join(sigs, "\n")
+}
+
+// Isomorphic reports whether s1 and s2 are identical up to renaming and
+// re-ordering of attributes and relations.
+func Isomorphic(s1, s2 *Schema) bool {
+	if len(s1.Relations) != len(s2.Relations) {
+		return false
+	}
+	return CanonicalForm(s1) == CanonicalForm(s2)
+}
+
+// Isomorphism is a witness that two schemas are identical up to renaming
+// and re-ordering: a bijection on relations together with, per relation,
+// a bijection on attribute positions that preserves types and key
+// membership.
+type Isomorphism struct {
+	// RelMap[i] is the index in S2 of the relation matched with
+	// S1.Relations[i].
+	RelMap []int
+	// AttrMaps[i][p] is the position in the matched S2 relation of
+	// attribute position p of S1.Relations[i].
+	AttrMaps [][]int
+}
+
+// FindIsomorphism returns a witness isomorphism from s1 to s2, or ok=false
+// if the schemas are not isomorphic.
+func FindIsomorphism(s1, s2 *Schema) (*Isomorphism, bool) {
+	if len(s1.Relations) != len(s2.Relations) {
+		return nil, false
+	}
+	// Group s2 relations by signature, then greedily assign: any
+	// assignment within a signature class is a valid witness.
+	bySig := make(map[string][]int)
+	for j, r := range s2.Relations {
+		sig := RelationSignature(r)
+		bySig[sig] = append(bySig[sig], j)
+	}
+	iso := &Isomorphism{
+		RelMap:   make([]int, len(s1.Relations)),
+		AttrMaps: make([][]int, len(s1.Relations)),
+	}
+	for i, r := range s1.Relations {
+		sig := RelationSignature(r)
+		pool := bySig[sig]
+		if len(pool) == 0 {
+			return nil, false
+		}
+		j := pool[0]
+		bySig[sig] = pool[1:]
+		iso.RelMap[i] = j
+		am, ok := matchAttrs(r, s2.Relations[j])
+		if !ok {
+			// Cannot happen when signatures agree; defensive.
+			return nil, false
+		}
+		iso.AttrMaps[i] = am
+	}
+	return iso, true
+}
+
+// matchAttrs builds a type- and key-preserving bijection between the
+// attribute positions of two relations with equal signatures.
+func matchAttrs(r1, r2 *Relation) ([]int, bool) {
+	if len(r1.Attrs) != len(r2.Attrs) {
+		return nil, false
+	}
+	type slot struct{ pos int }
+	// Pool r2's positions by (isKey, type).
+	pool := make(map[[2]int64][]int)
+	keyBit := func(r *Relation, i int) int64 {
+		if r.IsKeyPos(i) {
+			return 1
+		}
+		return 0
+	}
+	for j := range r2.Attrs {
+		k := [2]int64{keyBit(r2, j), int64(r2.Attrs[j].Type)}
+		pool[k] = append(pool[k], j)
+	}
+	out := make([]int, len(r1.Attrs))
+	for i := range r1.Attrs {
+		k := [2]int64{keyBit(r1, i), int64(r1.Attrs[i].Type)}
+		ps := pool[k]
+		if len(ps) == 0 {
+			return nil, false
+		}
+		out[i] = ps[0]
+		pool[k] = ps[1:]
+	}
+	return out, true
+}
+
+// Verify checks that iso really is a type- and key-preserving bijection
+// between s1 and s2.  It returns a descriptive error on failure.
+func (iso *Isomorphism) Verify(s1, s2 *Schema) error {
+	if len(iso.RelMap) != len(s1.Relations) || len(s1.Relations) != len(s2.Relations) {
+		return fmt.Errorf("iso: relation count mismatch")
+	}
+	if len(iso.AttrMaps) != len(s1.Relations) {
+		return fmt.Errorf("iso: attribute map count mismatch")
+	}
+	usedRel := make(map[int]bool)
+	for i, j := range iso.RelMap {
+		if j < 0 || j >= len(s2.Relations) {
+			return fmt.Errorf("iso: RelMap[%d]=%d out of range", i, j)
+		}
+		if usedRel[j] {
+			return fmt.Errorf("iso: relation %d matched twice", j)
+		}
+		usedRel[j] = true
+		r1, r2 := s1.Relations[i], s2.Relations[j]
+		am := iso.AttrMaps[i]
+		if len(am) != len(r1.Attrs) || len(r1.Attrs) != len(r2.Attrs) {
+			return fmt.Errorf("iso: arity mismatch %q vs %q", r1.Name, r2.Name)
+		}
+		usedAttr := make(map[int]bool)
+		for p, q := range am {
+			if q < 0 || q >= len(r2.Attrs) {
+				return fmt.Errorf("iso: %q attr map position %d out of range", r1.Name, q)
+			}
+			if usedAttr[q] {
+				return fmt.Errorf("iso: %q attribute %d matched twice", r2.Name, q)
+			}
+			usedAttr[q] = true
+			if r1.Attrs[p].Type != r2.Attrs[q].Type {
+				return fmt.Errorf("iso: type mismatch %s vs %s", r1.Attrs[p], r2.Attrs[q])
+			}
+			if r1.IsKeyPos(p) != r2.IsKeyPos(q) {
+				return fmt.Errorf("iso: key membership mismatch at %s.%s", r1.Name, r1.Attrs[p].Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIsomorphicIdentical(t *testing.T) {
+	s := MustParse(paperSchema1)
+	if !Isomorphic(s, s) {
+		t.Error("schema not isomorphic to itself")
+	}
+	iso, ok := FindIsomorphism(s, s)
+	if !ok {
+		t.Fatal("no witness for self-isomorphism")
+	}
+	if err := iso.Verify(s, s); err != nil {
+		t.Errorf("witness fails verification: %v", err)
+	}
+}
+
+func TestIsomorphicRenamed(t *testing.T) {
+	s1 := MustParse("r(a*:T1, b:T2)\ns(c*:T3)")
+	s2 := MustParse("x(u*:T3)\ny(p*:T1, q:T2)")
+	if !Isomorphic(s1, s2) {
+		t.Error("renamed+reordered schemas should be isomorphic")
+	}
+	iso, ok := FindIsomorphism(s1, s2)
+	if !ok {
+		t.Fatal("no witness found")
+	}
+	if err := iso.Verify(s1, s2); err != nil {
+		t.Errorf("witness fails: %v", err)
+	}
+	// r must map to y.
+	if iso.RelMap[0] != 1 || iso.RelMap[1] != 0 {
+		t.Errorf("RelMap = %v, want [1 0]", iso.RelMap)
+	}
+}
+
+func TestIsomorphicAttrReorder(t *testing.T) {
+	s1 := MustParse("r(a*:T1, b:T2, c:T3)")
+	s2 := MustParse("r(c:T3, b:T2, a*:T1)")
+	if !Isomorphic(s1, s2) {
+		t.Error("attribute reorder should preserve isomorphism")
+	}
+	iso, ok := FindIsomorphism(s1, s2)
+	if !ok || iso.Verify(s1, s2) != nil {
+		t.Error("witness broken")
+	}
+}
+
+func TestNotIsomorphicCases(t *testing.T) {
+	base := MustParse("r(a*:T1, b:T2)")
+	cases := []struct {
+		name string
+		s    *Schema
+	}{
+		{"different type", MustParse("r(a*:T1, b:T3)")},
+		{"key moved", MustParse("r(a:T1, b*:T2)")},
+		{"extra attr", MustParse("r(a*:T1, b:T2, c:T2)")},
+		{"extra relation", MustParse("r(a*:T1, b:T2)\ns(c*:T1)")},
+		{"wider key", MustParse("r(a*:T1, b*:T2)")},
+		{"attr moved between relations", MustParse("r(a*:T1)\ns(b*:T2)")},
+	}
+	for _, tt := range cases {
+		if Isomorphic(base, tt.s) {
+			t.Errorf("%s: should not be isomorphic to base", tt.name)
+		}
+		if _, ok := FindIsomorphism(base, tt.s); ok {
+			t.Errorf("%s: FindIsomorphism should fail", tt.name)
+		}
+	}
+}
+
+// Key membership matters even when the overall multiset of types agrees:
+// r(a*:T1, b:T1) vs r(a:T1, b*:T1) ARE isomorphic (swap a,b), but
+// r(a*:T1, b:T2) vs r(a*:T2, b:T1) are not.
+func TestKeyTypeDistinguishes(t *testing.T) {
+	s1 := MustParse("r(a*:T1, b:T2)")
+	s2 := MustParse("r(a*:T2, b:T1)")
+	if Isomorphic(s1, s2) {
+		t.Error("key attr type T1 vs T2 must distinguish the schemas")
+	}
+	s3 := MustParse("r(a*:T1, b:T1)")
+	s4 := MustParse("r(x:T1, y*:T1)")
+	if !Isomorphic(s3, s4) {
+		t.Error("same-type key/non-key swap with equal types is a reorder")
+	}
+}
+
+func TestDuplicateSignatureRelations(t *testing.T) {
+	// Two relations with identical signatures: witness must use each
+	// target exactly once.
+	s1 := MustParse("r(a*:T1, b:T2)\ns(c*:T1, d:T2)")
+	s2 := MustParse("x(p*:T1, q:T2)\ny(u*:T1, v:T2)")
+	if !Isomorphic(s1, s2) {
+		t.Fatal("should be isomorphic")
+	}
+	iso, ok := FindIsomorphism(s1, s2)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if err := iso.Verify(s1, s2); err != nil {
+		t.Errorf("witness fails: %v", err)
+	}
+	if iso.RelMap[0] == iso.RelMap[1] {
+		t.Error("witness maps two relations to the same target")
+	}
+}
+
+func TestRandomIsomorphProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schemas := []*Schema{
+		MustParse(paperSchema1),
+		MustParse("r(a*:T1, b:T1, c:T1)"),
+		MustParse("r(a*:T1, b*:T2, c:T3)\ns(x*:T3)\nt(y*:T2, z:T2)"),
+	}
+	for _, s := range schemas {
+		for trial := 0; trial < 25; trial++ {
+			s2, iso := RandomIsomorph(s, rng)
+			if err := s2.Validate(); err != nil {
+				t.Fatalf("RandomIsomorph produced invalid schema: %v", err)
+			}
+			if !Isomorphic(s, s2) {
+				t.Fatalf("RandomIsomorph result not isomorphic:\n%s\nvs\n%s", s, s2)
+			}
+			if err := iso.Verify(s, s2); err != nil {
+				t.Fatalf("RandomIsomorph witness invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestCanonicalFormStable(t *testing.T) {
+	s1 := MustParse("a(x*:T2, y:T1)\nb(z*:T1)")
+	s2 := MustParse("b(z*:T1)\na(y:T1, x*:T2)")
+	if CanonicalForm(s1) != CanonicalForm(s2) {
+		t.Errorf("canonical forms differ:\n%q\nvs\n%q", CanonicalForm(s1), CanonicalForm(s2))
+	}
+}
+
+func TestVerifyCatchesBadWitness(t *testing.T) {
+	s := MustParse("r(a*:T1, b:T2)\ns(c*:T1, d:T2)")
+	iso, _ := FindIsomorphism(s, s)
+	good := *iso
+	// Corrupt the relation map: both relations map to 0.
+	bad := Isomorphism{RelMap: []int{0, 0}, AttrMaps: good.AttrMaps}
+	if bad.Verify(s, s) == nil {
+		t.Error("Verify accepted a non-injective relation map")
+	}
+	// Corrupt an attribute map.
+	bad2 := Isomorphism{
+		RelMap:   append([]int(nil), good.RelMap...),
+		AttrMaps: [][]int{{0, 0}, good.AttrMaps[1]},
+	}
+	if bad2.Verify(s, s) == nil {
+		t.Error("Verify accepted a non-injective attribute map")
+	}
+}

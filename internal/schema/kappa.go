@@ -1,0 +1,36 @@
+package schema
+
+// Kappa constructs κ(S): the unkeyed schema obtained from a keyed schema S
+// by deleting all non-key attributes from each relation scheme and dropping
+// the key dependencies.  For each relation scheme R in S there is a scheme
+// R′ in κ(S) consisting only of R's key attributes, in their original
+// relative order.
+//
+// KappaPos records, for each relation, the mapping from κ-positions back to
+// positions in the original scheme so instances can be projected (π_κ) and
+// the γ/δ maps of Theorem 9 can be built.
+func Kappa(s *Schema) (*Schema, [][]int) {
+	out := &Schema{Relations: make([]*Relation, len(s.Relations))}
+	pos := make([][]int, len(s.Relations))
+	for i, r := range s.Relations {
+		kr := &Relation{Name: r.Name}
+		var keep []int
+		if r.Keyed() {
+			keep = r.KeyPositions()
+		} else {
+			// An unkeyed relation's attributes implicitly all form
+			// a key (as the paper notes in Theorem 13's proof), so
+			// κ keeps everything.
+			keep = make([]int, len(r.Attrs))
+			for j := range keep {
+				keep[j] = j
+			}
+		}
+		for _, p := range keep {
+			kr.Attrs = append(kr.Attrs, r.Attrs[p])
+		}
+		out.Relations[i] = kr
+		pos[i] = keep
+	}
+	return out, pos
+}

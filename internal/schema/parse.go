@@ -1,0 +1,101 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/value"
+)
+
+// Parse reads the textual schema format used by the command-line tools and
+// the paper's figures.  One relation per line, key attributes starred:
+//
+//	# employees example
+//	employee(ss*:T1, eName:T2, salary:T3, depId:T4)
+//	department(deptId*:T4, deptName:T5, mgr:T1)
+//
+// Blank lines and lines starting with '#' are ignored.
+func Parse(text string) (*Schema, error) {
+	var rels []*Relation
+	for lineno, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRelation(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno+1, err)
+		}
+		rels = append(rels, r)
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("schema: no relations")
+	}
+	return New(rels...)
+}
+
+// MustParse is Parse but panics on error; for tests and fixtures.
+func MustParse(text string) *Schema {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseRelation parses a single relation scheme line such as
+// "employee(ss*:T1, eName:T2)".
+func ParseRelation(line string) (*Relation, error) {
+	open := strings.IndexByte(line, '(')
+	if open <= 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("schema: cannot parse relation %q", line)
+	}
+	r := &Relation{Name: strings.TrimSpace(line[:open])}
+	body := line[open+1 : len(line)-1]
+	if strings.TrimSpace(body) == "" {
+		return nil, fmt.Errorf("schema: relation %q has no attributes", r.Name)
+	}
+	for i, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		colon := strings.IndexByte(part, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("schema: attribute %q needs name:Type", part)
+		}
+		name := strings.TrimSpace(part[:colon])
+		typeStr := strings.TrimSpace(part[colon+1:])
+		isKey := strings.HasSuffix(name, "*")
+		if isKey {
+			name = strings.TrimSuffix(name, "*")
+		}
+		t, err := parseType(typeStr)
+		if err != nil {
+			return nil, fmt.Errorf("schema: attribute %q: %v", part, err)
+		}
+		r.Attrs = append(r.Attrs, Attribute{Name: name, Type: t})
+		if isKey {
+			r.Key = append(r.Key, i)
+		}
+	}
+	return r, nil
+}
+
+func parseType(s string) (value.Type, error) {
+	if !strings.HasPrefix(s, "T") {
+		return value.NoType, fmt.Errorf("type %q must look like T<n>", s)
+	}
+	const maxType = 1 << 30 // well inside value.Type's int32 range
+	var n int64
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return value.NoType, fmt.Errorf("type %q must look like T<n>", s)
+		}
+		n = n*10 + int64(c-'0')
+		if n > maxType {
+			return value.NoType, fmt.Errorf("type %q is out of range", s)
+		}
+	}
+	if n <= 0 || len(s) == 1 {
+		return value.NoType, fmt.Errorf("type %q must be T<n> with n >= 1", s)
+	}
+	return value.Type(n), nil
+}

@@ -1,0 +1,310 @@
+// Package schema implements the paper's relational database schemas:
+// relation schemes with typed attributes, keyed schemas (one key per
+// relation, no other dependencies), unkeyed schemas (no dependencies at
+// all), the key-projection schema κ(S), and the notion of "identical up
+// to renaming and re-ordering of attributes and relations" (isomorphism),
+// which Theorem 13 proves coincides with conjunctive query equivalence.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keyedeq/internal/value"
+)
+
+// Attribute is a named, typed column of a relation scheme.  Per the paper,
+// an attribute is a pair of a name and an attribute type.
+type Attribute struct {
+	Name string
+	Type value.Type
+}
+
+// String renders "name:T3".
+func (a Attribute) String() string { return a.Name + ":" + a.Type.String() }
+
+// Relation is a relation scheme: a name, an ordered list of attributes,
+// and (for keyed schemas) the set of key attribute positions.
+type Relation struct {
+	Name  string
+	Attrs []Attribute
+	// Key holds the 0-based positions of the key attributes, sorted
+	// ascending.  An empty Key means the relation carries no key
+	// dependency (the unkeyed case).
+	Key []int
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Keyed reports whether the relation declares a key.
+func (r *Relation) Keyed() bool { return len(r.Key) > 0 }
+
+// IsKeyPos reports whether attribute position i belongs to the key.
+func (r *Relation) IsKeyPos(i int) bool {
+	for _, k := range r.Key {
+		if k == i {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyPositions returns a copy of the key positions.
+func (r *Relation) KeyPositions() []int {
+	out := make([]int, len(r.Key))
+	copy(out, r.Key)
+	return out
+}
+
+// NonKeyPositions returns the attribute positions outside the key,
+// ascending.
+func (r *Relation) NonKeyPositions() []int {
+	var out []int
+	for i := range r.Attrs {
+		if !r.IsKeyPos(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AttrIndex returns the position of the attribute with the given name,
+// or -1 if absent.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Type returns the relation's type: the ordered list of its attribute
+// types (the paper's "type of the relation").
+func (r *Relation) Type() []value.Type {
+	ts := make([]value.Type, len(r.Attrs))
+	for i, a := range r.Attrs {
+		ts[i] = a.Type
+	}
+	return ts
+}
+
+// Clone returns a deep copy of the relation scheme.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Name: r.Name}
+	c.Attrs = append([]Attribute(nil), r.Attrs...)
+	c.Key = append([]int(nil), r.Key...)
+	return c
+}
+
+// String renders the scheme in the paper's style, key attributes marked
+// with an asterisk: "employee(ss*:T1, eName:T2, salary:T3)".
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteByte('(')
+	for i, a := range r.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if r.IsKeyPos(i) {
+			b.WriteByte('*')
+		}
+		b.WriteByte(':')
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schema is a relational database schema: an ordered tuple of relation
+// schemes.  A keyed schema declares exactly one key per relation and no
+// other dependencies; an unkeyed schema declares none.
+type Schema struct {
+	Relations []*Relation
+}
+
+// New builds a schema from relation schemes and validates it.
+func New(rels ...*Relation) (*Schema, error) {
+	s := &Schema{Relations: rels}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on invalid input; for tests and fixtures.
+func MustNew(rels ...*Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the relation scheme with the given name, or nil.
+func (s *Schema) Relation(name string) *Relation {
+	for _, r := range s.Relations {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RelationIndex returns the position of the named relation, or -1.
+func (s *Schema) RelationIndex(name string) int {
+	for i, r := range s.Relations {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Keyed reports whether every relation declares a key (a keyed schema).
+func (s *Schema) Keyed() bool {
+	for _, r := range s.Relations {
+		if !r.Keyed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Unkeyed reports whether no relation declares a key.
+func (s *Schema) Unkeyed() bool {
+	for _, r := range s.Relations {
+		if r.Keyed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness: non-empty distinct relation
+// names, non-empty distinct attribute names per relation, valid types,
+// and key positions in range, sorted, and duplicate-free.
+func (s *Schema) Validate() error {
+	names := make(map[string]bool)
+	for _, r := range s.Relations {
+		if r == nil {
+			return fmt.Errorf("schema: nil relation")
+		}
+		if r.Name == "" {
+			return fmt.Errorf("schema: relation with empty name")
+		}
+		if names[r.Name] {
+			return fmt.Errorf("schema: duplicate relation name %q", r.Name)
+		}
+		names[r.Name] = true
+		if len(r.Attrs) == 0 {
+			return fmt.Errorf("schema: relation %q has no attributes", r.Name)
+		}
+		attrNames := make(map[string]bool)
+		for _, a := range r.Attrs {
+			if a.Name == "" {
+				return fmt.Errorf("schema: relation %q has an unnamed attribute", r.Name)
+			}
+			if attrNames[a.Name] {
+				return fmt.Errorf("schema: relation %q has duplicate attribute %q", r.Name, a.Name)
+			}
+			attrNames[a.Name] = true
+			if a.Type == value.NoType {
+				return fmt.Errorf("schema: attribute %s.%s has no type", r.Name, a.Name)
+			}
+		}
+		prev := -1
+		for _, k := range r.Key {
+			if k < 0 || k >= len(r.Attrs) {
+				return fmt.Errorf("schema: relation %q key position %d out of range", r.Name, k)
+			}
+			if k <= prev {
+				return fmt.Errorf("schema: relation %q key positions must be sorted and distinct", r.Name)
+			}
+			prev = k
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Relations: make([]*Relation, len(s.Relations))}
+	for i, r := range s.Relations {
+		c.Relations[i] = r.Clone()
+	}
+	return c
+}
+
+// TypeCount returns, for every attribute type, how many attributes of that
+// type occur in the schema (across all relations, keys included).
+func (s *Schema) TypeCount() map[value.Type]int {
+	m := make(map[value.Type]int)
+	for _, r := range s.Relations {
+		for _, a := range r.Attrs {
+			m[a.Type]++
+		}
+	}
+	return m
+}
+
+// NonKeyTypeCount counts attribute-type occurrences among non-key
+// attributes only (used in the proof of Theorem 13).
+func (s *Schema) NonKeyTypeCount() map[value.Type]int {
+	m := make(map[value.Type]int)
+	for _, r := range s.Relations {
+		for i, a := range r.Attrs {
+			if !r.IsKeyPos(i) {
+				m[a.Type]++
+			}
+		}
+	}
+	return m
+}
+
+// Types returns the sorted set of attribute types used by the schema.
+func (s *Schema) Types() []value.Type {
+	seen := make(map[value.Type]bool)
+	var ts []value.Type
+	for _, r := range s.Relations {
+		for _, a := range r.Attrs {
+			if !seen[a.Type] {
+				seen[a.Type] = true
+				ts = append(ts, a.Type)
+			}
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// String renders all relation schemes, one per line.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, r := range s.Relations {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// SameType reports whether two relations have identical type (same arity,
+// same attribute types position-wise) — the paper's precondition for a
+// view to define an instance of a relation.
+func SameType(a, b *Relation) bool {
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Type != b.Attrs[i].Type {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"keyedeq/internal/value"
+)
+
+// paperSchema1 is Schema 1 from the paper's introduction (types assigned:
+// T1=ssn, T2=name, T3=salary, T4=deptid, T5=deptname, T6=yearsExp).
+const paperSchema1 = `
+# Schema 1
+employee(ss*:T1, eName:T2, salary:T3, depId:T4)
+department(deptId*:T4, deptName:T5, mgr:T1)
+salespeople(ss*:T1, yearsExp:T6)
+`
+
+const paperSchema2 = `
+empl(ssn*:T1, ename:T2, sal:T3, dep:T4, yrsExp:T6)
+dept(departId*:T4, dName:T5, manager:T1)
+`
+
+func TestParsePaperSchemas(t *testing.T) {
+	s1 := MustParse(paperSchema1)
+	if len(s1.Relations) != 3 {
+		t.Fatalf("schema 1 has %d relations, want 3", len(s1.Relations))
+	}
+	emp := s1.Relation("employee")
+	if emp == nil {
+		t.Fatal("no employee relation")
+	}
+	if emp.Arity() != 4 {
+		t.Errorf("employee arity = %d, want 4", emp.Arity())
+	}
+	if len(emp.Key) != 1 || emp.Key[0] != 0 {
+		t.Errorf("employee key = %v, want [0]", emp.Key)
+	}
+	if emp.Attrs[0].Type != value.Type(1) {
+		t.Errorf("ss type = %v, want T1", emp.Attrs[0].Type)
+	}
+	if !s1.Keyed() {
+		t.Error("schema 1 should be keyed")
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	r, err := ParseRelation("r(a*:T1, b:T2, c*:T3, d:T2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.KeyPositions(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("KeyPositions = %v", got)
+	}
+	if got := r.NonKeyPositions(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("NonKeyPositions = %v", got)
+	}
+	if !r.IsKeyPos(0) || r.IsKeyPos(1) || !r.IsKeyPos(2) || r.IsKeyPos(3) {
+		t.Error("IsKeyPos wrong")
+	}
+	if r.AttrIndex("c") != 2 || r.AttrIndex("zz") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	typ := r.Type()
+	want := []value.Type{1, 2, 3, 2}
+	for i := range want {
+		if typ[i] != want[i] {
+			t.Errorf("Type()[%d] = %v, want %v", i, typ[i], want[i])
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		s    *Schema
+	}{
+		{"nil relation", &Schema{Relations: []*Relation{nil}}},
+		{"empty name", &Schema{Relations: []*Relation{{Name: "", Attrs: []Attribute{{"a", 1}}}}}},
+		{"dup relation", &Schema{Relations: []*Relation{
+			{Name: "r", Attrs: []Attribute{{"a", 1}}},
+			{Name: "r", Attrs: []Attribute{{"a", 1}}},
+		}}},
+		{"no attrs", &Schema{Relations: []*Relation{{Name: "r"}}}},
+		{"unnamed attr", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"", 1}}}}}},
+		{"dup attr", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"a", 1}, {"a", 2}}}}}},
+		{"untyped attr", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"a", value.NoType}}}}}},
+		{"key out of range", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"a", 1}}, Key: []int{1}}}}},
+		{"key unsorted", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"a", 1}, {"b", 2}}, Key: []int{1, 0}}}}},
+		{"key dup", &Schema{Relations: []*Relation{{Name: "r", Attrs: []Attribute{{"a", 1}, {"b", 2}}, Key: []int{0, 0}}}}},
+	}
+	for _, tt := range tests {
+		if err := tt.s.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tt.name)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := MustParse(paperSchema1)
+	c := s.Clone()
+	c.Relations[0].Name = "changed"
+	c.Relations[0].Attrs[0].Name = "zz"
+	c.Relations[0].Key[0] = 0
+	if s.Relations[0].Name != "employee" || s.Relations[0].Attrs[0].Name != "ss" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTypeCounts(t *testing.T) {
+	s := MustParse(paperSchema1)
+	tc := s.TypeCount()
+	// T1 occurs as employee.ss, department.mgr, salespeople.ss.
+	if tc[1] != 3 {
+		t.Errorf("TypeCount[T1] = %d, want 3", tc[1])
+	}
+	nk := s.NonKeyTypeCount()
+	// Non-key T1: department.mgr only.
+	if nk[1] != 1 {
+		t.Errorf("NonKeyTypeCount[T1] = %d, want 1", nk[1])
+	}
+	if nk[6] != 1 {
+		t.Errorf("NonKeyTypeCount[T6] = %d, want 1", nk[6])
+	}
+	ts := s.Types()
+	if len(ts) != 6 {
+		t.Errorf("Types() = %v, want 6 types", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Errorf("Types() not sorted: %v", ts)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := MustParse(paperSchema1)
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if s.String() != s2.String() {
+		t.Errorf("round trip changed schema:\n%s\nvs\n%s", s, s2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"r",
+		"r()",
+		"r(a)",
+		"r(a:)",
+		"r(a:X1)",
+		"r(a:T0)",
+		"r(a:T)",
+		"r(:T1)",
+		"(a:T1)",
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): want error", text)
+		}
+	}
+}
+
+func TestSameType(t *testing.T) {
+	a, _ := ParseRelation("a(x:T1, y:T2)")
+	b, _ := ParseRelation("b(u*:T1, v:T2)")
+	c, _ := ParseRelation("c(u:T2, v:T1)")
+	d, _ := ParseRelation("d(u:T1)")
+	if !SameType(a, b) {
+		t.Error("a and b should have the same type (keys don't matter)")
+	}
+	if SameType(a, c) || SameType(a, d) {
+		t.Error("a vs c/d should differ")
+	}
+}
+
+func TestKeyedUnkeyed(t *testing.T) {
+	keyed := MustParse("r(a*:T1, b:T2)")
+	unkeyed := MustParse("r(a:T1, b:T2)")
+	mixed := MustParse("r(a*:T1)\ns(b:T2)")
+	if !keyed.Keyed() || keyed.Unkeyed() {
+		t.Error("keyed misclassified")
+	}
+	if unkeyed.Keyed() || !unkeyed.Unkeyed() {
+		t.Error("unkeyed misclassified")
+	}
+	if mixed.Keyed() || mixed.Unkeyed() {
+		t.Error("mixed misclassified")
+	}
+}
+
+func TestKappa(t *testing.T) {
+	s := MustParse(paperSchema1)
+	k, pos := Kappa(s)
+	if len(k.Relations) != 3 {
+		t.Fatalf("kappa has %d relations", len(k.Relations))
+	}
+	emp := k.Relation("employee")
+	if emp.Arity() != 1 || emp.Attrs[0].Name != "ss" {
+		t.Errorf("kappa employee = %v", emp)
+	}
+	if emp.Keyed() {
+		t.Error("kappa schema must be unkeyed")
+	}
+	if !k.Unkeyed() {
+		t.Error("kappa schema must be unkeyed overall")
+	}
+	if len(pos[0]) != 1 || pos[0][0] != 0 {
+		t.Errorf("kappa pos[0] = %v", pos[0])
+	}
+	// Composite key keeps order.
+	s2 := MustParse("r(a*:T1, b:T2, c*:T3)")
+	k2, pos2 := Kappa(s2)
+	r := k2.Relations[0]
+	if r.Arity() != 2 || r.Attrs[0].Name != "a" || r.Attrs[1].Name != "c" {
+		t.Errorf("kappa composite = %v", r)
+	}
+	if len(pos2[0]) != 2 || pos2[0][0] != 0 || pos2[0][1] != 2 {
+		t.Errorf("kappa pos = %v", pos2[0])
+	}
+}
+
+func TestKappaUnkeyedKeepsAll(t *testing.T) {
+	s := MustParse("r(a:T1, b:T2)")
+	k, pos := Kappa(s)
+	if k.Relations[0].Arity() != 2 {
+		t.Errorf("kappa of unkeyed dropped attributes: %v", k)
+	}
+	if len(pos[0]) != 2 {
+		t.Errorf("pos = %v", pos[0])
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := MustParse("r(a*:T1, b:T2)")
+	if got := s.String(); got != "r(a*:T1, b:T2)" {
+		t.Errorf("String() = %q", got)
+	}
+	if !strings.Contains(MustParse(paperSchema1).String(), "department(deptId*:T4") {
+		t.Error("String() missing department")
+	}
+}

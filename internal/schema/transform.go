@@ -1,0 +1,139 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transforms produce schemas "identical up to renaming and re-ordering" —
+// exactly the equivalence classes of Theorem 13 — plus controlled
+// mutations that leave that class (used by experiments to produce
+// non-isomorphic near-misses).
+
+// RenameRelation returns a copy of s with relation old renamed to new.
+func RenameRelation(s *Schema, old, new string) (*Schema, error) {
+	if s.Relation(old) == nil {
+		return nil, fmt.Errorf("schema: no relation %q", old)
+	}
+	if old != new && s.Relation(new) != nil {
+		return nil, fmt.Errorf("schema: relation %q already exists", new)
+	}
+	c := s.Clone()
+	c.Relation(old).Name = new
+	return c, nil
+}
+
+// RenameAttribute returns a copy of s with attribute rel.old renamed.
+func RenameAttribute(s *Schema, rel, old, new string) (*Schema, error) {
+	r := s.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("schema: no relation %q", rel)
+	}
+	i := r.AttrIndex(old)
+	if i < 0 {
+		return nil, fmt.Errorf("schema: no attribute %q in %q", old, rel)
+	}
+	if old != new && r.AttrIndex(new) >= 0 {
+		return nil, fmt.Errorf("schema: attribute %q already exists in %q", new, rel)
+	}
+	c := s.Clone()
+	c.Relation(rel).Attrs[i].Name = new
+	return c, nil
+}
+
+// ReorderAttributes returns a copy of s with the attributes of rel permuted
+// by perm (perm[i] = old position of the attribute that moves to position
+// i).  Key positions are remapped accordingly.
+func ReorderAttributes(s *Schema, rel string, perm []int) (*Schema, error) {
+	r := s.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("schema: no relation %q", rel)
+	}
+	if err := checkPerm(perm, len(r.Attrs)); err != nil {
+		return nil, fmt.Errorf("schema: relation %q: %v", rel, err)
+	}
+	c := s.Clone()
+	cr := c.Relation(rel)
+	newAttrs := make([]Attribute, len(perm))
+	oldToNew := make([]int, len(perm))
+	for newPos, oldPos := range perm {
+		newAttrs[newPos] = r.Attrs[oldPos]
+		oldToNew[oldPos] = newPos
+	}
+	cr.Attrs = newAttrs
+	newKey := make([]int, 0, len(cr.Key))
+	for _, k := range r.Key {
+		newKey = append(newKey, oldToNew[k])
+	}
+	sortInts(newKey)
+	cr.Key = newKey
+	return c, nil
+}
+
+// ReorderRelations returns a copy of s with relations permuted by perm.
+func ReorderRelations(s *Schema, perm []int) (*Schema, error) {
+	if err := checkPerm(perm, len(s.Relations)); err != nil {
+		return nil, fmt.Errorf("schema: %v", err)
+	}
+	c := &Schema{Relations: make([]*Relation, len(perm))}
+	for newPos, oldPos := range perm {
+		c.Relations[newPos] = s.Relations[oldPos].Clone()
+	}
+	return c, nil
+}
+
+// RandomIsomorph returns a schema isomorphic to s obtained by random
+// renamings and re-orderings drawn from rng, together with the witness
+// isomorphism from s to the result.
+func RandomIsomorph(s *Schema, rng *rand.Rand) (*Schema, *Isomorphism) {
+	relPerm := rng.Perm(len(s.Relations))
+	out := &Schema{Relations: make([]*Relation, len(s.Relations))}
+	iso := &Isomorphism{
+		RelMap:   make([]int, len(s.Relations)),
+		AttrMaps: make([][]int, len(s.Relations)),
+	}
+	for newPos, oldPos := range relPerm {
+		r := s.Relations[oldPos]
+		attrPerm := rng.Perm(len(r.Attrs))
+		nr := &Relation{Name: fmt.Sprintf("r%d", newPos)}
+		nr.Attrs = make([]Attribute, len(r.Attrs))
+		oldToNew := make([]int, len(r.Attrs))
+		for np, op := range attrPerm {
+			nr.Attrs[np] = Attribute{
+				Name: fmt.Sprintf("a%d", np),
+				Type: r.Attrs[op].Type,
+			}
+			oldToNew[op] = np
+		}
+		for _, k := range r.Key {
+			nr.Key = append(nr.Key, oldToNew[k])
+		}
+		sortInts(nr.Key)
+		out.Relations[newPos] = nr
+		iso.RelMap[oldPos] = newPos
+		iso.AttrMaps[oldPos] = oldToNew
+	}
+	return out, iso
+}
+
+func checkPerm(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("permutation length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

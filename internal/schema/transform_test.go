@@ -1,0 +1,99 @@
+package schema
+
+import (
+	"testing"
+)
+
+func TestRenameRelation(t *testing.T) {
+	s := MustParse("r(a*:T1)\ns(b*:T2)")
+	out, err := RenameRelation(s, "r", "zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("zz") == nil || out.Relation("r") != nil {
+		t.Errorf("rename failed: %s", out)
+	}
+	if s.Relation("r") == nil {
+		t.Error("rename mutated the input")
+	}
+	if !Isomorphic(s, out) {
+		t.Error("rename must preserve isomorphism")
+	}
+	if _, err := RenameRelation(s, "nope", "x"); err == nil {
+		t.Error("renaming a missing relation should fail")
+	}
+	if _, err := RenameRelation(s, "r", "s"); err == nil {
+		t.Error("renaming onto an existing name should fail")
+	}
+}
+
+func TestRenameAttribute(t *testing.T) {
+	s := MustParse("r(a*:T1, b:T2)")
+	out, err := RenameAttribute(s, "r", "b", "bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("r").AttrIndex("bb") != 1 {
+		t.Errorf("rename failed: %s", out)
+	}
+	if !Isomorphic(s, out) {
+		t.Error("attribute rename must preserve isomorphism")
+	}
+	if _, err := RenameAttribute(s, "x", "b", "c"); err == nil {
+		t.Error("missing relation should fail")
+	}
+	if _, err := RenameAttribute(s, "r", "zz", "c"); err == nil {
+		t.Error("missing attribute should fail")
+	}
+	if _, err := RenameAttribute(s, "r", "b", "a"); err == nil {
+		t.Error("collision should fail")
+	}
+}
+
+func TestReorderAttributes(t *testing.T) {
+	s := MustParse("r(a*:T1, b:T2, c*:T3)")
+	out, err := ReorderAttributes(s, "r", []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Relation("r")
+	if r.Attrs[0].Name != "c" || r.Attrs[1].Name != "a" || r.Attrs[2].Name != "b" {
+		t.Errorf("reorder wrong: %s", r)
+	}
+	// Key was {a,c} = positions {0,2}; now c is at 0 and a at 1.
+	if len(r.Key) != 2 || r.Key[0] != 0 || r.Key[1] != 1 {
+		t.Errorf("key remap wrong: %v", r.Key)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("reorder produced invalid schema: %v", err)
+	}
+	if !Isomorphic(s, out) {
+		t.Error("reorder must preserve isomorphism")
+	}
+	if _, err := ReorderAttributes(s, "r", []int{0, 1}); err == nil {
+		t.Error("short permutation should fail")
+	}
+	if _, err := ReorderAttributes(s, "r", []int{0, 0, 1}); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := ReorderAttributes(s, "zz", []int{0}); err == nil {
+		t.Error("missing relation should fail")
+	}
+}
+
+func TestReorderRelations(t *testing.T) {
+	s := MustParse("r(a*:T1)\ns(b*:T2)\nt(c*:T3)")
+	out, err := ReorderRelations(s, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relations[0].Name != "t" || out.Relations[1].Name != "r" || out.Relations[2].Name != "s" {
+		t.Errorf("reorder wrong: %s", out)
+	}
+	if !Isomorphic(s, out) {
+		t.Error("relation reorder must preserve isomorphism")
+	}
+	if _, err := ReorderRelations(s, []int{0, 1}); err == nil {
+		t.Error("short permutation should fail")
+	}
+}

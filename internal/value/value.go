@@ -1,0 +1,217 @@
+// Package value models the paper's universe of data: a countably infinite
+// domain partitioned into disjoint, countably infinite attribute types.
+//
+// A Value is an atomic constant tagged with the attribute type it belongs
+// to.  Because the type tag participates in equality, values of different
+// attribute types are never equal, which realizes the paper's requirement
+// that attribute types be disjoint subsets of the domain.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type identifies an attribute type (one of the disjoint, countably
+// infinite subsets of the domain).  Types are compared by identity.
+type Type int32
+
+// NoType is the zero Type; no valid value carries it.
+const NoType Type = 0
+
+// String returns a stable human-readable name such as "T3".
+func (t Type) String() string {
+	if t == NoType {
+		return "T?"
+	}
+	return "T" + strconv.FormatInt(int64(t), 10)
+}
+
+// Value is an atomic constant of some attribute type.  The zero Value is
+// invalid and belongs to no type.
+type Value struct {
+	Type Type
+	N    int64
+}
+
+// IsZero reports whether v is the invalid zero Value.
+func (v Value) IsZero() bool { return v.Type == NoType && v.N == 0 }
+
+// String renders the value as, e.g., "T3:17".
+func (v Value) String() string {
+	if v.IsZero() {
+		return "<zero>"
+	}
+	return fmt.Sprintf("%s:%d", v.Type, v.N)
+}
+
+// Compare orders values first by type, then by N.  It returns -1, 0, or +1.
+func (v Value) Compare(w Value) int {
+	switch {
+	case v.Type < w.Type:
+		return -1
+	case v.Type > w.Type:
+		return 1
+	case v.N < w.N:
+		return -1
+	case v.N > w.N:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether v orders strictly before w.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// Sort sorts values in place in Compare order.
+func Sort(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+}
+
+// Parse parses the "T<type>:<n>" form produced by Value.String.
+func Parse(s string) (Value, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 || !strings.HasPrefix(s, "T") {
+		return Value{}, fmt.Errorf("value: cannot parse %q: want T<type>:<n>", s)
+	}
+	t, err := strconv.ParseInt(s[1:i], 10, 32)
+	if err != nil || t <= 0 {
+		return Value{}, fmt.Errorf("value: bad type in %q", s)
+	}
+	n, err := strconv.ParseInt(s[i+1:], 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("value: bad ordinal in %q", s)
+	}
+	return Value{Type: Type(t), N: n}, nil
+}
+
+// Allocator hands out fresh values per attribute type.  Fresh values are
+// needed throughout the paper's constructions: attribute-specific instances,
+// values "not among the constants of the queries", frozen variables for
+// canonical databases, and the choice function f of the δ map.
+//
+// The zero Allocator is ready to use.  An Allocator is not safe for
+// concurrent use.
+type Allocator struct {
+	next map[Type]int64
+}
+
+// Fresh returns a value of type t never before returned by this Allocator
+// and distinct from every value reserved with Reserve.
+func (a *Allocator) Fresh(t Type) Value {
+	if a.next == nil {
+		a.next = make(map[Type]int64)
+	}
+	a.next[t]++
+	return Value{Type: t, N: a.next[t]}
+}
+
+// FreshN returns n distinct fresh values of type t.
+func (a *Allocator) FreshN(t Type, n int) []Value {
+	vs := make([]Value, n)
+	for i := range vs {
+		vs[i] = a.Fresh(t)
+	}
+	return vs
+}
+
+// Reserve marks v as used so Fresh never returns it (or anything below it).
+func (a *Allocator) Reserve(v Value) {
+	if a.next == nil {
+		a.next = make(map[Type]int64)
+	}
+	if v.N > a.next[v.Type] {
+		a.next[v.Type] = v.N
+	}
+}
+
+// ReserveAll reserves every value in vs.
+func (a *Allocator) ReserveAll(vs []Value) {
+	for _, v := range vs {
+		a.Reserve(v)
+	}
+}
+
+// Choice is the paper's choice function f : attribute types → domain,
+// associating each attribute type with one fixed constant of that type.
+// It is used by the γ and δ maps of the κ-reduction (Theorem 9).
+//
+// The zero Choice is ready to use; it lazily picks value N=1 of each type
+// the first time the type is requested, which keeps runs deterministic.
+type Choice struct {
+	pick map[Type]Value
+}
+
+// Of returns the chosen constant for attribute type t.
+func (c *Choice) Of(t Type) Value {
+	if c.pick == nil {
+		c.pick = make(map[Type]Value)
+	}
+	if v, ok := c.pick[t]; ok {
+		return v
+	}
+	v := Value{Type: t, N: 1}
+	c.pick[t] = v
+	return v
+}
+
+// Set overrides the chosen constant for v's type to be v itself.
+func (c *Choice) Set(v Value) {
+	if c.pick == nil {
+		c.pick = make(map[Type]Value)
+	}
+	c.pick[v.Type] = v
+}
+
+// Set is an ordered set of values, useful for computing active domains.
+// The zero Set is empty and ready to use.
+type Set struct {
+	m map[Value]struct{}
+}
+
+// Add inserts v, reporting whether it was newly added.
+func (s *Set) Add(v Value) bool {
+	if s.m == nil {
+		s.m = make(map[Value]struct{})
+	}
+	if _, ok := s.m[v]; ok {
+		return false
+	}
+	s.m[v] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s *Set) Has(v Value) bool {
+	_, ok := s.m[v]
+	return ok
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.m) }
+
+// Values returns the members in Compare order.
+func (s *Set) Values() []Value {
+	vs := make([]Value, 0, len(s.m))
+	for v := range s.m {
+		vs = append(vs, v)
+	}
+	Sort(vs)
+	return vs
+}
+
+// Intersects reports whether s and t share any member.
+func (s *Set) Intersects(t *Set) bool {
+	small, large := s, t
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	for v := range small.m {
+		if large.Has(v) {
+			return true
+		}
+	}
+	return false
+}

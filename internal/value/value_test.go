@@ -1,0 +1,241 @@
+package value
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{NoType, "T?"},
+		{Type(1), "T1"},
+		{Type(42), "T42"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := Value{Type: 3, N: 17}
+	if got := v.String(); got != "T3:17" {
+		t.Errorf("String() = %q, want T3:17", got)
+	}
+	var zero Value
+	if got := zero.String(); got != "<zero>" {
+		t.Errorf("zero.String() = %q", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero Value should report IsZero")
+	}
+	if (Value{Type: 1, N: 0}).IsZero() {
+		t.Error("typed value should not report IsZero")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Value{1, 1}, Value{1, 1}, 0},
+		{Value{1, 1}, Value{1, 2}, -1},
+		{Value{1, 2}, Value{1, 1}, 1},
+		{Value{1, 9}, Value{2, 1}, -1},
+		{Value{2, 1}, Value{1, 9}, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Compare(tt.b); got != tt.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(at, bt int8, an, bn int16) bool {
+		a := Value{Type: Type(uint8(at)%4 + 1), N: int64(an)}
+		b := Value{Type: Type(uint8(bt)%4 + 1), N: int64(bn)}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSort(t *testing.T) {
+	vs := []Value{{2, 1}, {1, 5}, {1, 2}, {3, 0}, {1, 2}}
+	Sort(vs)
+	if !sort.SliceIsSorted(vs, func(i, j int) bool { return vs[i].Less(vs[j]) || vs[i] == vs[j] && i < j }) {
+		t.Errorf("not sorted: %v", vs)
+	}
+	want := []Value{{1, 2}, {1, 2}, {1, 5}, {2, 1}, {3, 0}}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Sort = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(tt uint8, n int16) bool {
+		v := Value{Type: Type(tt%100 + 1), N: int64(n)}
+		got, err := Parse(v.String())
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "T1", "1:2", "Tx:2", "T1:y", "T-3:4", "T0:1"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestAllocatorFreshDistinct(t *testing.T) {
+	var a Allocator
+	seen := map[Value]bool{}
+	for i := 0; i < 100; i++ {
+		v := a.Fresh(Type(1 + i%3))
+		if seen[v] {
+			t.Fatalf("Fresh returned duplicate %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAllocatorFreshN(t *testing.T) {
+	var a Allocator
+	vs := a.FreshN(2, 5)
+	if len(vs) != 5 {
+		t.Fatalf("FreshN returned %d values", len(vs))
+	}
+	for i, v := range vs {
+		if v.Type != 2 {
+			t.Errorf("value %d has type %v", i, v.Type)
+		}
+		for j := i + 1; j < len(vs); j++ {
+			if v == vs[j] {
+				t.Errorf("duplicate values %v at %d and %d", v, i, j)
+			}
+		}
+	}
+}
+
+func TestAllocatorReserve(t *testing.T) {
+	var a Allocator
+	a.Reserve(Value{Type: 7, N: 40})
+	v := a.Fresh(7)
+	if v.N <= 40 {
+		t.Errorf("Fresh after Reserve returned %v; want N > 40", v)
+	}
+	// Reserving a smaller value must not roll the counter back.
+	a.Reserve(Value{Type: 7, N: 2})
+	w := a.Fresh(7)
+	if w.N <= v.N {
+		t.Errorf("Fresh after low Reserve returned %v; want N > %d", w, v.N)
+	}
+}
+
+func TestAllocatorReserveAll(t *testing.T) {
+	var a Allocator
+	a.ReserveAll([]Value{{1, 10}, {2, 20}})
+	if v := a.Fresh(1); v.N <= 10 {
+		t.Errorf("Fresh(1) = %v after ReserveAll", v)
+	}
+	if v := a.Fresh(2); v.N <= 20 {
+		t.Errorf("Fresh(2) = %v after ReserveAll", v)
+	}
+}
+
+func TestChoiceDeterministic(t *testing.T) {
+	var c Choice
+	v1 := c.Of(3)
+	v2 := c.Of(3)
+	if v1 != v2 {
+		t.Errorf("Choice.Of not stable: %v vs %v", v1, v2)
+	}
+	if v1.Type != 3 {
+		t.Errorf("Choice.Of(3).Type = %v", v1.Type)
+	}
+	var d Choice
+	if d.Of(3) != v1 {
+		t.Errorf("two zero Choices disagree: %v vs %v", d.Of(3), v1)
+	}
+}
+
+func TestChoiceSet(t *testing.T) {
+	var c Choice
+	c.Set(Value{Type: 5, N: 99})
+	if got := c.Of(5); got != (Value{Type: 5, N: 99}) {
+		t.Errorf("Of(5) = %v after Set", got)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Has(Value{1, 1}) {
+		t.Fatal("zero Set should be empty")
+	}
+	if !s.Add(Value{1, 1}) {
+		t.Error("first Add should report true")
+	}
+	if s.Add(Value{1, 1}) {
+		t.Error("second Add of same value should report false")
+	}
+	s.Add(Value{2, 1})
+	s.Add(Value{1, 0})
+	got := s.Values()
+	want := []Value{{1, 0}, {1, 1}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Values() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetIntersects(t *testing.T) {
+	var a, b Set
+	a.Add(Value{1, 1})
+	a.Add(Value{1, 2})
+	b.Add(Value{1, 3})
+	if a.Intersects(&b) || b.Intersects(&a) {
+		t.Error("disjoint sets report intersection")
+	}
+	b.Add(Value{1, 2})
+	if !a.Intersects(&b) || !b.Intersects(&a) {
+		t.Error("overlapping sets report no intersection")
+	}
+}
+
+func TestSetIntersectsSymmetricRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var a, b Set
+		for i := 0; i < rng.Intn(10); i++ {
+			a.Add(Value{Type: Type(rng.Intn(2) + 1), N: int64(rng.Intn(6))})
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			b.Add(Value{Type: Type(rng.Intn(2) + 1), N: int64(rng.Intn(6))})
+		}
+		if a.Intersects(&b) != b.Intersects(&a) {
+			t.Fatalf("Intersects not symmetric: %v vs %v", a.Values(), b.Values())
+		}
+	}
+}
