@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test debug race lint fuzz-smoke vet all
+
+all: build vet test lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# debug runs the test suite with the keyedeq_debug build tag, enabling
+# the internal/invariant runtime assertions.
+debug:
+	$(GO) test -tags keyedeq_debug ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/keyedeq-lint ./...
+
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/cq -run '^$$' -fuzz '^FuzzParseCQ$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/instance -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/schema -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)

@@ -1,0 +1,129 @@
+// Command keyedeq-lint runs the repo's static analyzer over the module
+// and reports violations of its determinism and error-discipline
+// invariants (see internal/analysis for the rule catalogue).
+//
+// Usage:
+//
+//	keyedeq-lint [-rules detmap,norand,...] [packages]
+//
+// The package arguments are accepted for familiarity ("./..." is the
+// conventional spelling) but the analyzer always loads the whole module
+// containing the working directory: the rules are module-global
+// invariants, not per-package style checks.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a
+// load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"keyedeq/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("keyedeq-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ruleNames := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	rootFlag := fs.String("C", "", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "keyedeq-lint:", err)
+		return 2
+	}
+
+	start := *rootFlag
+	if start == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return fail(err)
+		}
+		start = wd
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		return fail(err)
+	}
+
+	rules, err := selectRules(*ruleNames)
+	if err != nil {
+		return fail(err)
+	}
+
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return fail(err)
+	}
+	diags := analysis.Run(pkgs, rules)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "keyedeq-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectRules resolves a comma-separated rule list against the
+// catalogue; empty means all rules.
+func selectRules(names string) ([]analysis.Rule, error) {
+	all := analysis.AllRules()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]analysis.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []analysis.Rule
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: detmap, norand, nowallclock, panicgate, errdrop)", name)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

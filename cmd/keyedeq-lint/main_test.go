@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+// writeModule lays out a throwaway module for end-to-end runs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+// Double doubles.
+func Double(n int) int { return 2 * n }
+`,
+	})
+	code, out := runCLI(t, "-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestDirtyModuleExitsOneAndReports(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func MustThing() {
+	panic("raw")
+}
+`,
+	})
+	code, out := runCLI(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	for _, want := range []string{"internal/lib/lib.go:4:", "[panicgate]", "1 finding(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func MustThing() {
+	panic("raw")
+}
+`,
+	})
+	// The violation is panicgate; running only detmap must be clean.
+	code, out := runCLI(t, "-C", dir, "-rules", "detmap")
+	if code != 0 {
+		t.Fatalf("-rules detmap: exit = %d, want 0; output:\n%s", code, out)
+	}
+	code, _ = runCLI(t, "-C", dir, "-rules", "panicgate")
+	if code != 1 {
+		t.Fatalf("-rules panicgate: exit = %d, want 1", code)
+	}
+}
+
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	code, out := runCLI(t, "-rules", "nosuchrule")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown rule") {
+		t.Errorf("output missing rule diagnostics:\n%s", out)
+	}
+}
+
+func TestRepoStaysClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := runCLI(t, "-C", root, "./...")
+	if code != 0 {
+		t.Fatalf("keyedeq-lint on this repo: exit = %d, want 0; output:\n%s", code, out)
+	}
+}

@@ -1,0 +1,200 @@
+// Package analysis is keyedeq's repo-specific static analyzer.  It
+// loads every package in the module with go/parser and go/types (stdlib
+// only — the module stays dependency-free) and enforces the repo's
+// determinism and error-discipline invariants as named, individually
+// testable rules:
+//
+//	detmap      canonicalizing functions must not iterate maps unsorted
+//	norand      math/rand only as an injected *rand.Rand parameter
+//	nowallclock no time.Now outside cmd/ and internal/exp
+//	panicgate   internal packages panic only via internal/invariant
+//	errdrop     no discarded errors from Parse*/Chase*/Check* APIs
+//
+// A finding can be suppressed — with justification — by a directive
+// comment on the flagged line or the line above it:
+//
+//	//keyedeq:allow detmap -- iteration is order-insensitive
+//
+// The driver is cmd/keyedeq-lint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// ImportPath is the package's import path, e.g. "keyedeq/internal/cq".
+	ImportPath string
+	// Dir is the directory the package was loaded from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the checked package object (may be incomplete if the
+	// lenient loader hit errors; rules must tolerate missing info).
+	Types *types.Package
+	// Info holds type information for expressions in Files.
+	Info *types.Info
+}
+
+// Diagnostic is one rule finding.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one named, independently testable check.
+type Rule interface {
+	Name() string
+	// Check inspects one package and returns its findings.  Directive
+	// suppression is applied by Run, not by the rule.
+	Check(p *Package) []Diagnostic
+}
+
+// AllRules returns the repo rule set in reporting order.
+func AllRules() []Rule {
+	return []Rule{DetMap{}, NoRand{}, NoWallClock{}, PanicGate{}, ErrDrop{}}
+}
+
+// Run applies the rules to every package, drops suppressed findings,
+// and returns the rest sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		allow := collectAllows(p)
+		for _, r := range rules {
+			for _, d := range r.Check(p) {
+				if allow.covers(r.Name(), d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// allowSet maps file -> line -> rule names suppressed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+func (a allowSet) covers(rule string, pos token.Position) bool {
+	lines := a[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line and the line below
+	// (directive-above-the-statement style).
+	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+}
+
+// collectAllows gathers //keyedeq:allow <rules> [-- reason] directives.
+func collectAllows(p *Package) allowSet {
+	out := make(allowSet)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//keyedeq:allow")
+				if !ok {
+					continue
+				}
+				text, _, _ = strings.Cut(text, "--")
+				pos := p.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					lines[pos.Line] = rules
+				}
+				for _, name := range strings.Fields(text) {
+					rules[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// relPath returns the module-relative path of an import path, e.g.
+// "internal/cq" for "keyedeq/internal/cq" and "" for the root package.
+func relPath(importPath string) string {
+	if i := strings.Index(importPath, "/"); i >= 0 {
+		return importPath[i+1:]
+	}
+	return ""
+}
+
+// inDirs reports whether the package lives under any of the given
+// module-relative directory prefixes ("cmd", "internal/exp", ...).
+func inDirs(importPath string, dirs ...string) bool {
+	rel := relPath(importPath)
+	for _, d := range dirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// resolvesToPkg reports whether id denotes an imported package with one
+// of the given paths, under lenient type info: an identifier resolving
+// to a non-package object (a shadowing declaration) is definitely not
+// the package; an unresolved identifier is assumed to be it, since the
+// caller already matched the file's import names syntactically.
+func resolvesToPkg(info *types.Info, id *ast.Ident, paths ...string) bool {
+	obj, ok := info.Uses[id]
+	if !ok {
+		return true
+	}
+	pn, isPkg := obj.(*types.PkgName)
+	if !isPkg {
+		return false
+	}
+	for _, p := range paths {
+		if pn.Imported().Path() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether id resolves to the universe-scope builtin
+// of that name (and not a shadowing declaration).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj, ok := info.Uses[id]
+	if !ok {
+		// Unresolved identifiers in a lenient load: fall back to the
+		// name itself when it is a universe builtin.
+		return types.Universe.Lookup(id.Name) != nil
+	}
+	_, isb := obj.(*types.Builtin)
+	return isb
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// checkFixture type-checks one fixture file under the given module
+// import path and returns the diagnostics the rule produces (after
+// directive suppression), plus the line numbers the fixture expects to
+// be flagged (its `// want <rule>` comments).
+func checkFixture(t *testing.T, importPath, filename string, rule Rule) (got []Diagnostic, want []int) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", filename))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: &fixtureImporter{source: importer.ForCompiler(fset, "source", nil)},
+		Error:    func(error) {},
+	}
+	//keyedeq:allow errdrop -- fixtures may reference unresolvable module packages on purpose
+	tp, _ := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if tp == nil {
+		tp = types.NewPackage(importPath, "fixture")
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        "testdata/src",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tp,
+		Info:       info,
+	}
+	return Run([]*Package{p}, []Rule{rule}), wantLines(string(src), rule.Name())
+}
+
+// fixtureImporter resolves stdlib imports from source and stubs
+// anything else (fixtures may reference module paths that do not exist
+// in the test environment).
+type fixtureImporter struct {
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if fi.cache == nil {
+		fi.cache = make(map[string]*types.Package)
+	}
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	p, err := fi.source.Import(path)
+	if err != nil || p == nil {
+		p = types.NewPackage(path, pathBase(path))
+	}
+	fi.cache[path] = p
+	return p, nil
+}
+
+var wantRE = regexp.MustCompile(`// want ([a-z ]+)$`)
+
+// wantLines extracts the 1-based line numbers carrying a
+// `// want <rule...>` marker naming the rule.
+func wantLines(src, rule string) []int {
+	var out []int
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRE.FindStringSubmatch(strings.TrimRight(line, " \t"))
+		if m == nil {
+			continue
+		}
+		for _, name := range strings.Fields(m[1]) {
+			if name == rule {
+				out = append(out, i+1)
+			}
+		}
+	}
+	return out
+}
+
+// expectFindings asserts the diagnostics land exactly on the fixture's
+// want-lines.
+func expectFindings(t *testing.T, fixture string, got []Diagnostic, want []int) {
+	t.Helper()
+	var gotLines []int
+	for _, d := range got {
+		gotLines = append(gotLines, d.Pos.Line)
+	}
+	sort.Ints(gotLines)
+	sort.Ints(want)
+	if !equalInts(gotLines, want) {
+		var b strings.Builder
+		for _, d := range got {
+			b.WriteString("  " + d.String() + "\n")
+		}
+		t.Errorf("%s: findings on lines %v, want %v\n%s", fixture, gotLines, want, b.String())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRuleNamesAreStable(t *testing.T) {
+	want := []string{"detmap", "norand", "nowallclock", "panicgate", "errdrop"}
+	rules := AllRules()
+	if len(rules) != len(want) {
+		t.Fatalf("AllRules returned %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name() != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, r.Name(), want[i])
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Rule:    "detmap",
+		Pos:     token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message: "msg",
+	}
+	if got, want := d.String(), "x.go:3:7: [detmap] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoadModuleOnThisRepo(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	for _, want := range []string{"keyedeq", "keyedeq/internal/cq", "keyedeq/internal/analysis", "keyedeq/cmd/keyedeq-lint"} {
+		if byPath[want] == nil {
+			t.Errorf("module load missing package %s", want)
+		}
+	}
+	// Type info must be usable: the cq package resolves its own Parse.
+	cqPkg := byPath["keyedeq/internal/cq"]
+	if cqPkg == nil || cqPkg.Types.Scope().Lookup("Parse") == nil {
+		t.Error("internal/cq loaded without a resolvable Parse")
+	}
+	// Debug-tagged files are excluded from a release-mode load: the
+	// invariant package must see exactly one Debug declaration.
+	inv := byPath["keyedeq/internal/invariant"]
+	if inv == nil {
+		t.Fatal("internal/invariant not loaded")
+	}
+	if obj := inv.Types.Scope().Lookup("Debug"); obj == nil {
+		t.Error("invariant.Debug not found; build-tag handling broke the load")
+	}
+	for _, f := range inv.Files {
+		name := inv.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "debug_on.go") {
+			t.Error("debug_on.go (keyedeq_debug) included in release-mode load")
+		}
+	}
+}
+
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := Run(pkgs, AllRules())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("repo must stay lint-clean: %d finding(s)", len(diags))
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "directive.go", PanicGate{})
+	expectFindings(t, "directive.go", got, want)
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// DetMap enforces deterministic map iteration on canonicalization
+// paths.  Any non-test function whose name matches
+// Canonical|String|Encode|Hash|Key and that ranges over a map is
+// flagged, unless the loop is a pure key/value collection whose
+// collected slice is subsequently sorted in the same function (the
+// sanctioned collect-sort-iterate idiom).  Go randomizes map iteration
+// order, so an unsorted range in a canonical form, printer, or key
+// builder silently breaks schema-isomorphism checks (Theorem 13) and
+// every differential test built on them.
+type DetMap struct{}
+
+// Name implements Rule.
+func (DetMap) Name() string { return "detmap" }
+
+var detmapFuncRE = regexp.MustCompile(`Canonical|String|Encode|Hash|Key`)
+
+// Check implements Rule.
+func (DetMap) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !detmapFuncRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			out = append(out, checkDetMapFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkDetMapFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectOnlySorted(p, fd.Body, rs) {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Rule: "detmap",
+			Pos:  p.Fset.Position(rs.For),
+			Message: "function " + fd.Name.Name +
+				" ranges over a map without sorting keys; collect keys, sort, then iterate",
+		})
+		return true
+	})
+	return out
+}
+
+// collectOnlySorted reports whether the map range is the collection
+// half of the collect-sort-iterate idiom: every statement in its body
+// only accumulates into slices, maps, or counters (order-insensitive),
+// and every slice it appends to is passed to a sort call after the
+// loop.
+func collectOnlySorted(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	var appended []*ast.Ident
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			switch lhs := s.Lhs[0].(type) {
+			case *ast.Ident:
+				// xs = append(xs, ...) collects; n += ... counts, but
+				// only numeric accumulation commutes — string
+				// concatenation in map order is exactly the bug.
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					fn, ok := call.Fun.(*ast.Ident)
+					if !ok || fn.Name != "append" || !isBuiltin(p.Info, fn) {
+						return false
+					}
+					appended = append(appended, lhs)
+					continue
+				}
+				if s.Tok.String() == "+=" && isNumeric(p.Info.TypeOf(lhs)) {
+					continue
+				}
+				return false
+			case *ast.IndexExpr:
+				// m2[k] = v: writes into another map keyed by the
+				// iteration variable are order-insensitive.
+				if t := p.Info.TypeOf(lhs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+				return false
+			default:
+				return false
+			}
+		case *ast.IncDecStmt:
+			if _, ok := s.X.(*ast.Ident); ok {
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	for _, id := range appended {
+		if !sortedAfter(p, fnBody, rs, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether identifier id is an argument to a sort
+// call located after the range statement within the function body.
+func sortedAfter(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, id *ast.Ident) bool {
+	obj := p.Info.ObjectOf(id)
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			aid, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if aid.Name == id.Name && (obj == nil || p.Info.ObjectOf(aid) == obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isNumeric reports whether t is a numeric basic type (accumulating
+// into one commutes, so iteration order cannot leak).
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isSortCall recognizes sort.*, slices.Sort*, and local sort helpers
+// (sortInts and friends) by callee name.
+func isSortCall(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+		if x, ok := fn.X.(*ast.Ident); ok && x.Name == "sort" {
+			return true
+		}
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return false
+	}
+	return strings.Contains(name, "Sort") || strings.HasPrefix(name, "sort")
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestDetMapFlagsUnsortedCanonicalRanges(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "detmap/bad.go", DetMap{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "detmap/bad.go", got, want)
+}
+
+func TestDetMapAcceptsSortedAndOrderInsensitive(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "detmap/good.go", DetMap{})
+	expectFindings(t, "detmap/good.go", got, nil)
+}

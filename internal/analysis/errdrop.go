@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids discarding the error result of Parse*/Chase*/Check*
+// APIs — the repo's fallible entry points.  A swallowed parse or chase
+// error turns an invalid query or failing chase into silently wrong
+// containment verdicts.  Flagged forms: a bare call statement, and an
+// assignment with _ in the error position.
+type ErrDrop struct{}
+
+// Name implements Rule.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Check implements Rule.
+func (ErrDrop) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := fallibleAPICall(p, call)
+				if !ok {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Rule:    "errdrop",
+					Pos:     p.Fset.Position(call.Pos()),
+					Message: "error returned by " + name + " is discarded",
+				})
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := fallibleAPICall(p, call)
+				if !ok {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if errorResultAt(p, call, i, len(s.Lhs)) {
+						out = append(out, Diagnostic{
+							Rule:    "errdrop",
+							Pos:     p.Fset.Position(lhs.Pos()),
+							Message: "error returned by " + name + " is assigned to _",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fallibleAPICall reports whether call targets a Parse*/Chase*/Check*
+// function that returns an error.
+func fallibleAPICall(p *Package, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(name, "Parse") && !strings.HasPrefix(name, "Chase") && !strings.HasPrefix(name, "Check") {
+		return "", false
+	}
+	sig := callSignature(p, call)
+	if sig == nil {
+		// Without type information, trust the naming convention: the
+		// repo's Parse*/Chase*/Check* APIs all return errors.
+		return name, true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// errorResultAt reports whether result position i of the call has type
+// error.  nLhs guards the single-value case.
+func errorResultAt(p *Package, call *ast.CallExpr, i, nLhs int) bool {
+	sig := callSignature(p, call)
+	if sig == nil {
+		// No type info: the convention places error last.
+		return i == nLhs-1
+	}
+	if sig.Results().Len() != nLhs || i >= sig.Results().Len() {
+		return false
+	}
+	return isErrorType(sig.Results().At(i).Type())
+}
+
+func callSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	if t := p.Info.TypeOf(call.Fun); t != nil {
+		if sig, ok := t.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestErrDropFlagsDiscardedErrors(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/containment", "errdrop/bad.go", ErrDrop{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "errdrop/bad.go", got, want)
+}
+
+func TestErrDropAcceptsHandledErrorsAndNonFallibleNames(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/containment", "errdrop/good.go", ErrDrop{})
+	expectFindings(t, "errdrop/good.go", got, nil)
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root (the directory containing go.mod).  Loading is
+// lenient: type errors and unresolvable imports degrade the available
+// type information instead of failing the load, so the analyzer can run
+// on a partially broken tree.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*Package),
+		outside: make(map[string]*types.Package),
+	}
+	l.source = importer.ForCompiler(l.fset, "source", nil)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string]*parsedPkg) // by import path
+	for _, dir := range dirs {
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		p.importPath = modPath
+		if rel != "." {
+			p.importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		parsed[p.importPath] = p
+	}
+
+	order := topoOrder(parsed)
+	out := make([]*Package, 0, len(order))
+	for _, ip := range order {
+		pkg, err := l.check(parsed[ip])
+		if err != nil {
+			return nil, err
+		}
+		l.checked[ip] = pkg
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+type parsedPkg struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	imports    []string
+}
+
+type loader struct {
+	fset    *token.FileSet
+	source  types.Importer
+	checked map[string]*Package       // module packages, by import path
+	outside map[string]*types.Package // non-module packages (stdlib), cached
+}
+
+// Import implements types.Importer: module-internal packages come from
+// the already-checked set (topological order guarantees availability);
+// everything else is loaded from source, with an empty stub on failure.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p.Types, nil
+	}
+	if p, ok := l.outside[path]; ok {
+		return p, nil
+	}
+	p, err := l.source.Import(path)
+	if err != nil || p == nil {
+		// Stub out what we cannot resolve; the lenient checker records
+		// errors against it and moves on.
+		p = types.NewPackage(path, pathBase(path))
+	}
+	l.outside[path] = p
+	return p, nil
+}
+
+func (l *loader) parseDir(dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// A file the toolchain would reject: report it, it cannot
+			// be analyzed meaningfully.
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		p.files = append(p.files, f)
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[ip] {
+				continue
+			}
+			seen[ip] = true
+			p.imports = append(p.imports, ip)
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func (l *loader) check(p *parsedPkg) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // lenient: keep going, info stays partial
+	}
+	//keyedeq:allow errdrop -- lenient load: type errors degrade info, they must not abort analysis
+	tp, _ := conf.Check(p.importPath, l.fset, p.files, info)
+	if tp == nil {
+		tp = types.NewPackage(p.importPath, pathBase(p.importPath))
+	}
+	return &Package{
+		ImportPath: p.importPath,
+		Dir:        p.dir,
+		Fset:       l.fset,
+		Files:      p.files,
+		Types:      tp,
+		Info:       info,
+	}, nil
+}
+
+// topoOrder sorts module packages so every package follows its
+// module-internal imports.  Cycles (illegal in Go anyway) fall back to
+// path order.
+func topoOrder(pkgs map[string]*parsedPkg) []string {
+	paths := make([]string, 0, len(pkgs))
+	for ip := range pkgs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(ip string) {
+		if state[ip] != 0 {
+			return
+		}
+		state[ip] = 1
+		for _, dep := range pkgs[ip].imports {
+			if _, ok := pkgs[dep]; ok && state[dep] == 0 {
+				visit(dep)
+			}
+		}
+		state[ip] = 2
+		order = append(order, ip)
+	}
+	for _, ip := range paths {
+		visit(ip)
+	}
+	return order
+}
+
+// packageDirs lists directories under root that may hold Go packages.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: cannot read %s: %v", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			if q, err := strconv.Unquote(mp); err == nil {
+				mp = q
+			}
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any) for a
+// plain release build on the current platform: keyedeq_debug and other
+// custom tags are off.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+		// Constraints must precede the package clause.
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+	}
+	return true
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoRand confines math/rand to dependency injection.  Outside the
+// experiment and command layers, the only permitted reference to the
+// package is the type rand.Rand (as an injected *rand.Rand parameter,
+// field, or result); package-level functions (rand.Intn, the global
+// source) and in-place construction (rand.New, rand.NewSource) are
+// flagged.  Unseeded or locally seeded randomness in the core packages
+// would make generator output irreproducible and the differential
+// containment tests unrepeatable.
+type NoRand struct{}
+
+// Name implements Rule.
+func (NoRand) Name() string { return "norand" }
+
+// norandExemptDirs may seed and construct generators: experiment
+// drivers, command-line entry points, and runnable examples.
+var norandExemptDirs = []string{"cmd", "examples", "internal/exp"}
+
+// Check implements Rule.
+func (NoRand) Check(p *Package) []Diagnostic {
+	if inDirs(p.ImportPath, norandExemptDirs...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		randNames := randImportNames(f)
+		if len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !randNames[x.Name] {
+				return true
+			}
+			if !resolvesToPkg(p.Info, x, "math/rand", "math/rand/v2") {
+				return true
+			}
+			// Type references (*rand.Rand parameters, rand.Source
+			// results) are the injection mechanism itself; only
+			// functions and variables produce randomness.
+			if obj, ok := p.Info.Uses[sel.Sel]; ok {
+				if _, isType := obj.(*types.TypeName); isType {
+					return true
+				}
+			} else if sel.Sel.Name == "Rand" || sel.Sel.Name == "Source" {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Rule: "norand",
+				Pos:  p.Fset.Position(sel.Pos()),
+				Message: "math/rand." + sel.Sel.Name +
+					" used outside cmd//internal/exp; accept an injected *rand.Rand instead",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// randImportNames returns the local names under which f imports
+// math/rand (or math/rand/v2).
+func randImportNames(f *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || (path != "math/rand" && path != "math/rand/v2") {
+			continue
+		}
+		name := "rand"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = true
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestNoRandFlagsGlobalAndConstructedRandomness(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/chase", "norand/bad.go", NoRand{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "norand/bad.go", got, want)
+}
+
+func TestNoRandAcceptsInjectedGenerator(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/chase", "norand/good.go", NoRand{})
+	expectFindings(t, "norand/good.go", got, nil)
+}
+
+func TestNoRandExemptsExperimentAndCommandLayers(t *testing.T) {
+	for _, path := range []string{"keyedeq/internal/exp", "keyedeq/cmd/keyedeq-bench", "keyedeq/examples/quickstart"} {
+		got, _ := checkFixture(t, path, "norand/bad.go", NoRand{})
+		if len(got) != 0 {
+			t.Errorf("%s: %d finding(s) in an exempt package; first: %s", path, len(got), got[0])
+		}
+	}
+}

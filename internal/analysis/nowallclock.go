@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NoWallClock bans time.Now outside internal/exp and cmd/.  Wall-clock
+// reads in library code make output (canonical forms, generated
+// instances, chase traces) depend on when the code ran; timing belongs
+// to the experiment harness and command layer only.
+type NoWallClock struct{}
+
+// Name implements Rule.
+func (NoWallClock) Name() string { return "nowallclock" }
+
+var wallclockExemptDirs = []string{"cmd", "examples", "internal/exp"}
+
+// Check implements Rule.
+func (NoWallClock) Check(p *Package) []Diagnostic {
+	if inDirs(p.ImportPath, wallclockExemptDirs...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		timeNames := importNames(f, "time")
+		if len(timeNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[x.Name] {
+				return true
+			}
+			if !resolvesToPkg(p.Info, x, "time") {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Rule:    "nowallclock",
+				Pos:     p.Fset.Position(sel.Pos()),
+				Message: "time.Now outside internal/exp and cmd/; inject timing from the caller",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// importNames returns the local names under which f imports path.
+func importNames(f *ast.File, path string) map[string]bool {
+	out := make(map[string]bool)
+	for _, imp := range f.Imports {
+		ip, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || ip != path {
+			continue
+		}
+		name := pathBase(path)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = true
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestNoWallClockFlagsTimeNow(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/schema", "nowallclock/bad.go", NoWallClock{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "nowallclock/bad.go", got, want)
+}
+
+func TestNoWallClockAcceptsInjectedTime(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/schema", "nowallclock/good.go", NoWallClock{})
+	expectFindings(t, "nowallclock/good.go", got, nil)
+}
+
+func TestNoWallClockExemptsExperimentAndCommandLayers(t *testing.T) {
+	for _, path := range []string{"keyedeq/internal/exp", "keyedeq/cmd/keyedeq-bench"} {
+		got, _ := checkFixture(t, path, "nowallclock/bad.go", NoWallClock{})
+		if len(got) != 0 {
+			t.Errorf("%s: %d finding(s) in an exempt package; first: %s", path, len(got), got[0])
+		}
+	}
+}

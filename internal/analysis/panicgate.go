@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PanicGate routes every panic in internal packages through
+// internal/invariant.  A raw panic(...) carries no Violation payload,
+// so recovering callers cannot distinguish an invariant failure from a
+// stray bug, and the panic site is invisible to the debug-tag
+// machinery.  internal/invariant itself is the gate and is exempt.
+type PanicGate struct{}
+
+// Name implements Rule.
+func (PanicGate) Name() string { return "panicgate" }
+
+// Check implements Rule.
+func (PanicGate) Check(p *Package) []Diagnostic {
+	if !inDirs(p.ImportPath, "internal") || inDirs(p.ImportPath, "internal/invariant") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || !isBuiltin(p.Info, id) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Rule:    "panicgate",
+				Pos:     p.Fset.Position(call.Pos()),
+				Message: "raw panic in internal package; use invariant.Must/Mustf (or Assert for debug-only checks)",
+			})
+			return true
+		})
+	}
+	return out
+}

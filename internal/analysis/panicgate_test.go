@@ -1,0 +1,32 @@
+package analysis
+
+import "testing"
+
+func TestPanicGateFlagsRawPanics(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/cq", "panicgate/bad.go", PanicGate{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "panicgate/bad.go", got, want)
+}
+
+func TestPanicGateAcceptsInvariantHelpers(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/cq", "panicgate/good.go", PanicGate{})
+	expectFindings(t, "panicgate/good.go", got, nil)
+}
+
+func TestPanicGateScopesToInternal(t *testing.T) {
+	// The gate applies to internal/ only; the root package and commands
+	// are outside its remit.
+	for _, path := range []string{"keyedeq", "keyedeq/cmd/cqcheck"} {
+		got, _ := checkFixture(t, path, "panicgate/bad.go", PanicGate{})
+		if len(got) != 0 {
+			t.Errorf("%s: %d finding(s) outside internal/; first: %s", path, len(got), got[0])
+		}
+	}
+	// And internal/invariant itself is the gate.
+	got, _ := checkFixture(t, "keyedeq/internal/invariant", "panicgate/bad.go", PanicGate{})
+	if len(got) != 0 {
+		t.Errorf("internal/invariant: %d finding(s); the gate may panic directly", len(got))
+	}
+}

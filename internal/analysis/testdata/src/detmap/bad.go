@@ -1,0 +1,46 @@
+// Fixtures that MUST trigger detmap: canonicalizing functions ranging
+// over maps without sorting.
+package fixture
+
+// Canon carries a map whose iteration order leaks into output.
+type Canon struct{ m map[string]int }
+
+// String concatenates in map order: nondeterministic.
+func (c *Canon) String() string {
+	out := ""
+	for k := range c.m { // want detmap
+		out += k
+	}
+	return out
+}
+
+// CanonicalKeys collects keys but never sorts them.
+func CanonicalKeys(m map[string]bool) []string {
+	var keys []string
+	for k := range m { // want detmap
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// EncodePairs flags map ranges inside nested closures too.
+func EncodePairs(m map[int]string) string {
+	build := func() string {
+		out := ""
+		for _, v := range m { // want detmap
+			out += v
+		}
+		return out
+	}
+	return build()
+}
+
+// HashRows appends values derived from entries (not a pure collect loop)
+// and never sorts.
+func HashRows(m map[string]int) []int {
+	var rows []int
+	for _, v := range m { // want detmap
+		rows = append(rows, v*2)
+	}
+	return rows
+}

@@ -1,0 +1,70 @@
+// Fixtures that MUST pass detmap: the collect-sort-iterate idiom,
+// order-insensitive accumulation, and non-canonical functions.
+package fixture
+
+import "sort"
+
+// StringSorted uses the sanctioned collect-sort-iterate idiom.
+func StringSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	return out
+}
+
+// EncodeLocalSort recognizes local sort helpers by name.
+func EncodeLocalSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+func sortInts(xs []int) {
+	sort.Ints(xs)
+}
+
+// HashCount only counts: iteration order cannot matter.
+func HashCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// KeyInvert writes into another map: order-insensitive.
+func KeyInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// values does not match the canonical-function name pattern, so an
+// unsorted range is fine here.
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// StringSlice ranges over a slice, not a map.
+func StringSlice(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += x
+	}
+	return out
+}

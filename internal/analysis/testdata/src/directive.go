@@ -1,0 +1,20 @@
+// Fixture for the //keyedeq:allow suppression directive.
+package fixture
+
+// cleared carries a justified suppression and must not be reported.
+func cleared() {
+	//keyedeq:allow panicgate -- exercising the directive in a fixture
+	panic("suppressed")
+}
+
+// unjustified has no directive and must be reported.
+func unjustified() {
+	panic("reported") // want panicgate
+}
+
+// wrongRule is suppressed for a different rule and must still be
+// reported.
+func wrongRule() {
+	//keyedeq:allow detmap -- wrong rule name on purpose
+	panic("reported too") // want panicgate
+}

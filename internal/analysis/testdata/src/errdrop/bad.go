@@ -1,0 +1,31 @@
+// Fixtures that MUST trigger errdrop: discarded errors from
+// Parse*/Chase*/Check* APIs.
+package fixture
+
+import "errors"
+
+// ParseThing is a fallible parser in the repo's naming convention.
+func ParseThing(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+// CheckThing is a fallible validator.
+func CheckThing() error { return nil }
+
+// ChaseSteps is a fallible fixpoint driver.
+func ChaseSteps() (int, error) { return 0, nil }
+
+func use() int {
+	ParseThing("x")         // want errdrop
+	CheckThing()            // want errdrop
+	_ = CheckThing()        // want errdrop
+	v, _ := ParseThing("y") // want errdrop
+	_, e := ChaseSteps()
+	if e != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,32 @@
+// Fixtures that MUST pass errdrop: errors handled, and same-prefix
+// functions that return no error.
+package fixture
+
+import "errors"
+
+// ParseThing is a fallible parser in the repo's naming convention.
+func ParseThing(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+// CheckThing is a fallible validator.
+func CheckThing() error { return nil }
+
+// CheckFast returns no error, so a bare call is fine.
+func CheckFast() bool { return true }
+
+func use() (int, error) {
+	n, err := ParseThing("x")
+	if err != nil {
+		return 0, err
+	}
+	if err := CheckThing(); err != nil {
+		return 0, err
+	}
+	CheckFast()
+	_ = CheckFast()
+	return n, nil
+}

@@ -1,0 +1,26 @@
+// Fixtures that MUST trigger norand when placed in a non-exempt
+// package: package-level randomness and local construction.
+package fixture
+
+import "math/rand"
+
+// Pick uses the global source: irreproducible.
+func Pick(n int) int {
+	return rand.Intn(n) // want norand
+}
+
+// Shuffle likewise.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want norand
+}
+
+// newSource constructs locally instead of accepting an injected
+// generator.
+func newSource(seed int64) rand.Source {
+	return rand.NewSource(seed) // want norand
+}
+
+// newRNG flags both calls on the line.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want norand norand
+}

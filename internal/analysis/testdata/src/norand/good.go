@@ -1,0 +1,26 @@
+// Fixtures that MUST pass norand: the injected *rand.Rand discipline.
+package fixture
+
+import "math/rand"
+
+// Perturb draws only from the generator its caller seeded.
+func Perturb(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// Sampler stores an injected generator; the rand.Rand type reference is
+// the one sanctioned use of the package.
+type Sampler struct {
+	RNG *rand.Rand
+}
+
+// Draw uses the stored generator.
+func (s *Sampler) Draw(n int) int {
+	return s.RNG.Intn(n)
+}
+
+// shadowed proves a local identifier named rand is not the package.
+func shadowed() int {
+	rand := struct{ Intn func(int) int }{Intn: func(n int) int { return n }}
+	return rand.Intn(7)
+}

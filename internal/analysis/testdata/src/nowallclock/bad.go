@@ -1,0 +1,16 @@
+// Fixtures that MUST trigger nowallclock when placed outside the
+// exempt directories.
+package fixture
+
+import "time"
+
+// Stamp reads the wall clock in library code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want nowallclock
+}
+
+// deadline references time.Now without calling it directly.
+func deadline(d time.Duration) time.Time {
+	now := time.Now // want nowallclock
+	return now().Add(d)
+}

@@ -1,0 +1,21 @@
+// Fixtures that MUST pass nowallclock: injected time and non-Now uses
+// of the time package.
+package fixture
+
+import "time"
+
+// Expired takes the current instant from its caller.
+func Expired(now time.Time, deadline time.Time) bool {
+	return now.After(deadline)
+}
+
+// Backoff uses time only for arithmetic.
+func Backoff(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// nowish proves a shadowing identifier named time is not the package.
+func nowish() string {
+	time := struct{ Now func() string }{Now: func() string { return "static" }}
+	return time.Now()
+}

@@ -1,0 +1,18 @@
+// Fixtures that MUST trigger panicgate when placed under internal/.
+package fixture
+
+import "errors"
+
+// MustCount panics directly instead of going through
+// internal/invariant.
+func MustCount(n int) int {
+	if n < 0 {
+		panic("negative count") // want panicgate
+	}
+	return n
+}
+
+// fail wraps a raw panic with an error payload.
+func fail() {
+	panic(errors.New("boom")) // want panicgate
+}

@@ -1,0 +1,26 @@
+// Fixtures that MUST pass panicgate: panics routed through the
+// invariant helpers, and shadowed identifiers.
+package fixture
+
+import (
+	"errors"
+
+	"keyedeq/internal/invariant"
+)
+
+// MustCount routes its panic through the gate.
+func MustCount(n int) int {
+	invariant.Mustf(n >= 0, "negative count %d", n)
+	return n
+}
+
+// fail routes an error panic through the gate.
+func fail() {
+	invariant.Must(errors.New("boom"))
+}
+
+// localPanic proves a local function named panic is not the builtin.
+func localPanic() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -21,6 +21,7 @@ import (
 
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -214,6 +215,11 @@ func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
 	for {
 		stats.Iterations++
 		changed := false
+		mergesBefore := stats.Merges
+		classesBefore := 0
+		if invariant.Debug {
+			classesBefore = t.classCount()
+		}
 		for _, e := range egds {
 			// Group rows of e.rel by the representatives of their X cells.
 			groups := make(map[string]row)
@@ -238,10 +244,35 @@ func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
 				}
 			}
 		}
+		if invariant.Debug {
+			// The chase is monotone: every merge collapses exactly two
+			// classes into one and nothing ever splits, so the class
+			// count must drop by precisely the merges of this pass.
+			// This is what makes the fixpoint below a fixpoint.
+			classesAfter := t.classCount()
+			passMerges := stats.Merges - mergesBefore
+			invariant.Assertf(classesBefore-classesAfter == passMerges,
+				"chase: pass %d went from %d to %d classes with %d merges",
+				stats.Iterations, classesBefore, classesAfter, passMerges)
+			invariant.Assertf(changed == (passMerges > 0),
+				"chase: pass %d reported changed=%v with %d merges", stats.Iterations, changed, passMerges)
+		}
 		if !changed || t.failed {
 			return stats, nil
 		}
 	}
+}
+
+// classCount returns the number of distinct term classes (debug
+// instrumentation for the chase monotonicity invariant).
+func (t *Tableau) classCount() int {
+	n := 0
+	for id := range t.parent {
+		if t.find(id) == id {
+			n++
+		}
+	}
+	return n
 }
 
 // projKey renders the representatives of the projected cells as a map key.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/value"
 )
 
@@ -43,7 +44,24 @@ func NewEqClasses(q *Query) *EqClasses {
 			e.union(eq.Left, eq.Right.Var)
 		}
 	}
+	if invariant.Debug {
+		e.debugCheckStructure()
+	}
 	return e
+}
+
+// debugCheckStructure validates the union-find shape after
+// construction: representatives are fixpoints of Find and constants are
+// bound to roots only.  Lemma 1's ij-saturation test and every equality
+// inference ride on these properties.
+func (e *EqClasses) debugCheckStructure() {
+	for v := range e.parent {
+		r := e.Find(v)
+		invariant.Assertf(e.Find(r) == r, "eqclass: representative %v of %v is not a Find fixpoint", r, v)
+	}
+	for v := range e.constOf {
+		invariant.Assertf(e.Find(v) == v, "eqclass: constant bound to non-root %v", v)
+	}
 }
 
 func (e *EqClasses) add(v Var) {
@@ -93,6 +111,12 @@ func (e *EqClasses) union(a, b Var) {
 		delete(e.constOf, rb)
 	case hasA:
 		e.constOf[ra] = ca
+	}
+	if invariant.Debug {
+		invariant.Assertf(e.Find(rb) == ra, "eqclass: absorbed root %v does not resolve to %v", rb, ra)
+		invariant.Assertf(e.rank[ra] >= e.rank[rb], "eqclass: root rank %d below absorbed rank %d", e.rank[ra], e.rank[rb])
+		_, dangling := e.constOf[rb]
+		invariant.Assertf(!dangling, "eqclass: constant binding left on absorbed root %v", rb)
 	}
 }
 

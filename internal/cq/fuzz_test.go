@@ -5,11 +5,11 @@ import (
 )
 
 // Native fuzz targets.  Under plain `go test` the seed corpus runs as
-// regression tests; `go test -fuzz=FuzzParse` explores further.  The
+// regression tests; `go test -fuzz=FuzzParseCQ` explores further.  The
 // invariant in each case: the parser never panics, and anything it
 // accepts survives a print/reparse round trip.
 
-func FuzzParse(f *testing.F) {
+func FuzzParseCQ(f *testing.F) {
 	seeds := []string{
 		"Q(X, Y) :- P(X, Y).",
 		"Q(X) :- R(X, Y), S(Z, W), Y = Z, W = T1:3.",

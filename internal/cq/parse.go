@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/value"
 )
 
@@ -97,9 +98,7 @@ func Parse(text string) (*Query, error) {
 // MustParse is Parse but panics on error; for tests and fixtures.
 func MustParse(text string) *Query {
 	q, err := Parse(text)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return q
 }
 

@@ -2,6 +2,8 @@ package cq
 
 import (
 	"fmt"
+
+	"keyedeq/internal/invariant"
 )
 
 // This file implements the paper's identity joins and ij-saturation (§2).
@@ -118,6 +120,12 @@ func IJSaturated(q *Query) bool {
 // occurrences of relations; q̂ ⊑ q always holds (only conditions were
 // added).
 func Saturate(q *Query) (*Query, error) {
+	return saturate(q, invariant.Debug)
+}
+
+// saturate is Saturate with an explicit idempotence check, split out so
+// the debug verification does not recurse into itself.
+func saturate(q *Query, check bool) (*Query, error) {
 	for _, rel := range q.RelationsUsed() {
 		if err := relationConditionsIdentityOnly(q, rel); err != nil {
 			return nil, fmt.Errorf("cq: cannot saturate: %v", err)
@@ -144,6 +152,15 @@ func Saturate(q *Query) (*Query, error) {
 				}
 			}
 		}
+	}
+	if check {
+		// §2: q̂ must be ij-saturated, and saturation must be a closure
+		// operator — saturating q̂ again adds nothing.
+		invariant.Assert(IJSaturated(out), "saturate: result is not ij-saturated")
+		again, err := saturate(out, false)
+		invariant.Assertf(err == nil, "saturate: result rejected on re-saturation: %v", err)
+		invariant.Assertf(err != nil || len(again.Eqs) == len(out.Eqs),
+			"saturate: not idempotent (%d equalities grew to %d)", len(out.Eqs), len(again.Eqs))
 	}
 	return out, nil
 }

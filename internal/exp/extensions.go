@@ -10,6 +10,7 @@ import (
 	"keyedeq/internal/gen"
 	"keyedeq/internal/ind"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/ucq"
 	"keyedeq/internal/value"
@@ -155,13 +156,9 @@ func T10Capacity(maxDomain int) *Table {
 		for n := 1; n <= maxDomain; n++ {
 			d := capacity.Uniform(n, p.s1, p.s2)
 			c1, err := capacity.CountInstances(p.s1, d)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 			c2, err := capacity.CountInstances(p.s2, d)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 			t.Add(p.name, n, c1.String(), c2.String(), c1.Cmp(c2) == 0, cqEquiv)
 		}
 	}
@@ -198,17 +195,13 @@ func T11Yannakakis(chainSizes []int, deadEnds int) *Table {
 		dPlain := timed(func() {
 			var err error
 			_, plainStats, err = cq.EvalWithStats(q, d)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		var yStats acyclic.Stats
 		dYann := timed(func() {
 			var err error
 			_, yStats, err = acyclic.Eval(q, d)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		t.Add(n, deadEnds, plainStats.Nodes, yStats.Nodes, yStats.Pruned, dPlain, dYann)
 	}
@@ -245,9 +238,7 @@ func T12UCQContainment(widths []int, chainLen int) *Table {
 		d := timed(func() {
 			var err error
 			ok, err = ucq.Contained(u1, u2, gs, nil)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		t.Add(w, chainLen, ok, d)
 	}

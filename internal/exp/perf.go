@@ -11,6 +11,7 @@ import (
 	"keyedeq/internal/dominance"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/gen"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/mapping"
 	"keyedeq/internal/schema"
 )
@@ -37,9 +38,7 @@ func T3Containment(maxChain, maxStar, maxClique int) *Table {
 		d := timed(func() {
 			var err error
 			ok, stats, err = containment.ContainedUnder(q1, q2, gs, nil)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		t.Add(shape, n, ok, d, stats.Nodes)
 	}
@@ -83,9 +82,7 @@ func T4Chase(sizes []int, depCounts []int, seed int64) *Table {
 			d := timed(func() {
 				var err error
 				stats, err = tb.Run(deps)
-				if err != nil {
-					panic(err)
-				}
+				invariant.Must(err)
 			})
 			t.Add(rows, len(deps), stats.Iterations, stats.Merges, d)
 		}
@@ -127,9 +124,7 @@ func fillChaseWorkload(tb *chase.Tableau, s *schema.Schema, rng *rand.Rand, rows
 			tb.NewNull(2),
 			tb.NewNull(3),
 		}
-		if err := tb.AddRow(rel.Name, cells); err != nil {
-			panic(err)
-		}
+		invariant.Must(tb.AddRow(rel.Name, cells))
 	}
 }
 
@@ -146,21 +141,15 @@ func T5MappingIdentity(maxAttrs int, seed int64) *Table {
 		s1 := gen.RandomKeyedSchema(rng, 2, attrs, 3)
 		s2, iso := schema.RandomIsomorph(s1, rng)
 		alpha, beta, err := mapping.FromIsomorphism(s1, s2, iso)
-		if err != nil {
-			panic(err)
-		}
+		invariant.Must(err)
 		var comp *mapping.Mapping
 		dCompose := timed(func() {
 			comp, err = mapping.Compose(beta, alpha)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		dIdentity := timed(func() {
 			ok, err := comp.IsIdentityOn(fd.KeyFDs(s1))
-			if err != nil || !ok {
-				panic(fmt.Sprintf("identity failed: %v %v", ok, err))
-			}
+			invariant.Mustf(err == nil && ok, "identity failed: %v %v", ok, err)
 		})
 		t.Add(attrs, len(s1.Relations), dCompose, dIdentity)
 	}
@@ -189,9 +178,7 @@ func T7DecisionCompare(maxAttrs int, bounds dominance.SearchBounds, seed int64) 
 		dSearch := timed(func() {
 			var err error
 			searchRes, stats, err = dominance.SearchEquivalence(s1, s2, bounds)
-			if err != nil {
-				panic(err)
-			}
+			invariant.Must(err)
 		})
 		if isoRes != expectEq {
 			t.Note("fixture broken at attrs=%d/%s", attrs, kind)
@@ -304,9 +291,7 @@ func F1ContainmentCurve(maxChain, maxStar, maxClique int) *Table {
 			d := timed(func() {
 				var err error
 				_, stats, err = containment.ContainedUnder(q1, q2, gs, nil)
-				if err != nil {
-					panic(err)
-				}
+				invariant.Must(err)
 			})
 			t.Add(sr.name, n, float64(d)/float64(time.Microsecond), stats.Nodes)
 		}
@@ -358,9 +343,7 @@ func F3ChaseCurve(sizes []int, depCounts []int, seed int64) *Table {
 			d := timed(func() {
 				var err error
 				stats, err = tb.Run(deps)
-				if err != nil {
-					panic(err)
-				}
+				invariant.Must(err)
 			})
 			t.Add(len(deps), rows, stats.Iterations, stats.Merges,
 				float64(d)/float64(time.Microsecond))

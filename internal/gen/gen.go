@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -242,6 +243,9 @@ func RandomKeyedInstance(s *schema.Schema, rng *rand.Rand, n int, alloc *value.A
 			d.Relations[ri].MustInsert(tup)
 		}
 	}
+	if invariant.Debug {
+		invariant.Assert(d.SatisfiesKeys(), "gen: random keyed instance violates a key dependency")
+	}
 	return d
 }
 
@@ -263,7 +267,30 @@ func AttributeSpecificInstance(s *schema.Schema, alloc *value.Allocator, n int) 
 			d.Relations[ri].MustInsert(tup)
 		}
 	}
+	if invariant.Debug {
+		assertAttributeDisjoint(d)
+	}
 	return d
+}
+
+// assertAttributeDisjoint verifies the defining property of the
+// attribute-specific gadget: no value occurs at two distinct
+// (relation, position) slots.  The gadget's role in the paper's
+// receives round-trips (Lemmas 3–5) depends on exactly this.
+func assertAttributeDisjoint(d *instance.Database) {
+	type slot struct{ rel, pos int }
+	seen := make(map[value.Value]slot)
+	for ri, r := range d.Relations {
+		for _, t := range r.Tuples() {
+			for p, v := range t {
+				prev, ok := seen[v]
+				invariant.Assertf(!ok || (prev.rel == ri && prev.pos == p),
+					"gen: attribute-specific instance repeats %v at %d.%d and %d.%d",
+					v, prev.rel, prev.pos, ri, p)
+				seen[v] = slot{ri, p}
+			}
+		}
+	}
 }
 
 // EnumerateUnkeyedSchemas lists every unkeyed schema in the space (no

@@ -6,7 +6,7 @@ import (
 	"keyedeq/internal/schema"
 )
 
-func FuzzParse(f *testing.F) {
+func FuzzParseInstance(f *testing.F) {
 	seeds := []string{
 		"R(T1:1, T2:5)",
 		"R(T1:1, T2:5)\nS(T3:9)",

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -121,9 +122,7 @@ func (r *Relation) Insert(t Tuple) error {
 
 // MustInsert is Insert but panics on error; for tests and fixtures.
 func (r *Relation) MustInsert(t Tuple) {
-	if err := r.Insert(t); err != nil {
-		panic(err)
-	}
+	invariant.Must(r.Insert(t))
 }
 
 // Has reports whether the instance contains t.
@@ -284,9 +283,7 @@ func (d *Database) Insert(rel string, t Tuple) error {
 
 // MustInsert is Insert but panics on error.
 func (d *Database) MustInsert(rel string, vals ...value.Value) {
-	if err := d.Insert(rel, Tuple(vals)); err != nil {
-		panic(err)
-	}
+	invariant.Must(d.Insert(rel, Tuple(vals)))
 }
 
 // Clone returns a deep copy.

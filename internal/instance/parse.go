@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -44,9 +45,7 @@ func Parse(s *schema.Schema, text string) (*Database, error) {
 // MustParse is Parse but panics on error; for tests and fixtures.
 func MustParse(s *schema.Schema, text string) *Database {
 	d, err := Parse(s, text)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return d
 }
 

@@ -1,0 +1,8 @@
+//go:build keyedeq_debug
+
+package invariant
+
+// Debug reports whether debug assertions are compiled in.  It is a
+// constant so `if invariant.Debug { ... }` blocks are eliminated from
+// release builds entirely.
+const Debug = true

@@ -1,0 +1,79 @@
+// Package invariant is the single sanctioned panic gate for internal
+// packages and the home of the repo's runtime correctness assertions.
+//
+// Two tiers:
+//
+//   - Must / Mustf are always active.  They back the Must* convenience
+//     APIs (MustParse, MustInsert, ...) whose contract is "panic on bad
+//     input", so their behavior cannot depend on build tags.
+//
+//   - Assert / Assertf are debug assertions guarding paper-level
+//     invariants (union-find shape, chase monotonicity, ij-saturation
+//     idempotence, attribute disjointness).  They are compiled to
+//     no-ops unless the build carries the keyedeq_debug tag:
+//
+//     go test -tags keyedeq_debug ./...
+//
+// Expensive checks should be wrapped in `if invariant.Debug { ... }` so
+// release builds eliminate the whole block at compile time.
+//
+// The keyedeq-lint panicgate rule enforces that internal packages panic
+// only through this package.
+package invariant
+
+import "fmt"
+
+// Violation is the panic payload used by every helper in this package,
+// so recovering callers can distinguish invariant failures from
+// arbitrary panics.
+type Violation struct {
+	// Cause is the underlying error for Must, nil for assertion
+	// failures.
+	Cause error
+	// Msg describes the violated invariant.
+	Msg string
+}
+
+// Error implements error so a recovered Violation reads naturally.
+func (v *Violation) Error() string { return v.Msg }
+
+// Unwrap exposes the underlying error, if any.
+func (v *Violation) Unwrap() error { return v.Cause }
+
+// Must panics if err is non-nil.  Always active, in every build.
+func Must(err error) {
+	if err != nil {
+		panic(&Violation{Cause: err, Msg: err.Error()})
+	}
+}
+
+// Mustf panics with a formatted message if cond is false.  Always
+// active, in every build.
+func Mustf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Assert panics with msg if cond is false, but only in keyedeq_debug
+// builds; release builds reduce it to a branch on a false constant.
+func Assert(cond bool, msg string) {
+	if !Debug {
+		return
+	}
+	if !cond {
+		panic(&Violation{Msg: "invariant violated: " + msg})
+	}
+}
+
+// Assertf is Assert with formatting.  The arguments are evaluated at
+// the call site even in release builds; guard expensive ones with
+// `if invariant.Debug { ... }`.
+func Assertf(cond bool, format string, args ...any) {
+	if !Debug {
+		return
+	}
+	if !cond {
+		panic(&Violation{Msg: "invariant violated: " + fmt.Sprintf(format, args...)})
+	}
+}

@@ -1,0 +1,84 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func recovered(f func()) (v *Violation) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		if v, ok = r.(*Violation); !ok {
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestMustNilIsSilent(t *testing.T) {
+	if v := recovered(func() { Must(nil) }); v != nil {
+		t.Fatalf("Must(nil) panicked: %v", v)
+	}
+}
+
+func TestMustPanicsWithViolation(t *testing.T) {
+	err := errors.New("boom")
+	v := recovered(func() { Must(err) })
+	if v == nil {
+		t.Fatal("Must(err) did not panic")
+	}
+	if !errors.Is(v, err) {
+		t.Fatalf("violation does not wrap the cause: %v", v)
+	}
+}
+
+func TestMustfActiveInEveryBuild(t *testing.T) {
+	if v := recovered(func() { Mustf(true, "fine") }); v != nil {
+		t.Fatalf("Mustf(true) panicked: %v", v)
+	}
+	v := recovered(func() { Mustf(false, "bad %d", 7) })
+	if v == nil {
+		t.Fatal("Mustf(false) did not panic; Must helpers must not be tag-gated")
+	}
+	if !strings.Contains(v.Error(), "bad 7") {
+		t.Fatalf("message not formatted: %q", v.Error())
+	}
+}
+
+func TestAssertRespectsDebugTag(t *testing.T) {
+	v := recovered(func() { Assert(false, "union-find rank") })
+	if Debug && v == nil {
+		t.Fatal("keyedeq_debug build: Assert(false) did not panic")
+	}
+	if !Debug && v != nil {
+		t.Fatalf("release build: Assert(false) panicked: %v", v)
+	}
+	if v != nil && !strings.Contains(v.Error(), "union-find rank") {
+		t.Fatalf("assertion message lost: %q", v.Error())
+	}
+}
+
+func TestAssertfRespectsDebugTag(t *testing.T) {
+	v := recovered(func() { Assertf(false, "classes %d -> %d", 3, 5) })
+	if Debug && v == nil {
+		t.Fatal("keyedeq_debug build: Assertf(false) did not panic")
+	}
+	if !Debug && v != nil {
+		t.Fatalf("release build: Assertf(false) panicked: %v", v)
+	}
+	if v != nil && !strings.Contains(v.Error(), "classes 3 -> 5") {
+		t.Fatalf("assertion message lost: %q", v.Error())
+	}
+}
+
+func TestAssertTrueNeverPanics(t *testing.T) {
+	if v := recovered(func() { Assert(true, "x"); Assertf(true, "y") }); v != nil {
+		t.Fatalf("true assertions panicked: %v", v)
+	}
+}

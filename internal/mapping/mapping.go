@@ -15,6 +15,7 @@ import (
 
 	"keyedeq/internal/cq"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 )
 
@@ -37,9 +38,7 @@ func New(src, dst *schema.Schema, queries []*cq.Query) (*Mapping, error) {
 // MustNew is New but panics on error; for tests and fixtures.
 func MustNew(src, dst *schema.Schema, queries []*cq.Query) *Mapping {
 	m, err := New(src, dst, queries)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return m
 }
 

@@ -15,6 +15,7 @@ import (
 	"keyedeq/internal/cq"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/ucq"
 	"keyedeq/internal/value"
@@ -89,9 +90,7 @@ func Parse(base *schema.Schema, text string) (*Program, error) {
 // MustParse is Parse but panics on error.
 func MustParse(base *schema.Schema, text string) *Program {
 	p, err := Parse(base, text)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return p
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/value"
 )
 
@@ -37,9 +38,7 @@ func Parse(text string) (*Schema, error) {
 // MustParse is Parse but panics on error; for tests and fixtures.
 func MustParse(text string) *Schema {
 	s, err := Parse(text)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return s
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/value"
 )
 
@@ -139,9 +140,7 @@ func New(rels ...*Relation) (*Schema, error) {
 // MustNew is New but panics on invalid input; for tests and fixtures.
 func MustNew(rels ...*Relation) *Schema {
 	s, err := New(rels...)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return s
 }
 

@@ -17,6 +17,7 @@ import (
 	"keyedeq/internal/cq"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -50,9 +51,7 @@ func Parse(text string) (*Query, error) {
 // MustParse is Parse but panics on error.
 func MustParse(text string) *Query {
 	u, err := Parse(text)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return u
 }
 
