@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test debug race lint fuzz-smoke vet all
+.PHONY: build test debug race lint qvet fuzz-smoke vet all
 
-all: build vet test lint
+all: build vet test lint qvet
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,23 @@ race:
 lint:
 	$(GO) run ./cmd/keyedeq-lint ./...
 
+# qvet runs the semantic query analyzer over the repo's shipped query,
+# program, mapping, and schema inputs (see internal/qvet).
+qvet:
+	$(GO) run ./cmd/keyedeq-vet -s @examples/vet/company.schema \
+		examples/vet/queries.cq examples/vet/views.prog examples/vet/company.schema
+	$(GO) run ./cmd/keyedeq-vet -s @examples/vet/company.schema \
+		-dst @examples/vet/archive.schema \
+		examples/vet/alpha.map examples/vet/archive.schema
+	$(GO) run ./cmd/keyedeq-vet -s @internal/qvet/testdata/base.schema \
+		-dst @internal/qvet/testdata/dst.schema \
+		internal/qvet/testdata/base.schema internal/qvet/testdata/dst.schema \
+		$(wildcard internal/qvet/testdata/*/good.*)
+
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test ./internal/cq -run '^$$' -fuzz '^FuzzParseCQ$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/instance -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/schema -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/qvet -run '^$$' -fuzz '^FuzzQVet$$' -fuzztime $(FUZZTIME)

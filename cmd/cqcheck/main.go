@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"keyedeq"
+	"keyedeq/internal/cli"
 	"keyedeq/internal/instance"
 )
 
@@ -46,22 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	fail := func(err error) int {
-		fmt.Fprintln(stderr, "cqcheck:", err)
-		return 2
-	}
+	fail := cli.Fail(stderr, "cqcheck")
 	if *schemaText == "" || *q1Text == "" {
 		return fail(fmt.Errorf("need -s and -q1; see -h"))
 	}
-	text := *schemaText
-	if len(text) > 1 && text[0] == '@' {
-		data, err := os.ReadFile(text[1:])
-		if err != nil {
-			return fail(err)
-		}
-		text = string(data)
-	}
-	s, err := keyedeq.ParseSchema(text)
+	s, err := cli.Schema(*schemaText)
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,147 @@
+// Command keyedeq-vet runs the semantic static analyzer over query,
+// program, mapping, and schema files and reports positioned findings
+// (see internal/qvet for the rule catalogue).
+//
+// Usage:
+//
+//	keyedeq-vet [-s schema] [-dst schema] [-rules eqconflict,...] file...
+//
+// File kinds are chosen by extension:
+//
+//	.cq      standalone conjunctive queries, one per line
+//	.prog    a non-recursive Datalog program ("def" lines declare views)
+//	.map     a query mapping, one view per destination relation
+//	.schema  a schema file, vetted on its own
+//
+// -s supplies the context schema (inline text or @file) that .cq
+// bodies, .prog base relations, and .map sources resolve against; -dst
+// supplies the destination schema for .map files.  Both are optional —
+// without them the schema-dependent rules stay silent — except that
+// vetting a .map file requires both.
+//
+// Findings print as "file:line:col: [rule] message".  A finding is
+// suppressed by a "keyedeq:allow(rule) -- reason" comment on the same
+// line or the line above.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a
+// load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"keyedeq/internal/cli"
+	"keyedeq/internal/qvet"
+	"keyedeq/internal/schema"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("keyedeq-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schemaArg := fs.String("s", "", "context schema (inline text or @file)")
+	dstArg := fs.String("dst", "", "destination schema for .map files (inline text or @file)")
+	ruleNames := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := cli.Fail(stderr, "keyedeq-vet")
+	if fs.NArg() == 0 {
+		return fail(fmt.Errorf("need at least one .cq/.prog/.map/.schema file; see -h"))
+	}
+
+	rules, err := selectRules(*ruleNames)
+	if err != nil {
+		return fail(err)
+	}
+	var ctx, dst *schema.Schema
+	if *schemaArg != "" {
+		if ctx, err = cli.Schema(*schemaArg); err != nil {
+			return fail(err)
+		}
+	}
+	if *dstArg != "" {
+		if dst, err = cli.Schema(*dstArg); err != nil {
+			return fail(err)
+		}
+	}
+
+	var units []*qvet.Unit
+	for _, path := range fs.Args() {
+		u, err := loadUnit(path, ctx, dst)
+		if err != nil {
+			return fail(err)
+		}
+		units = append(units, u)
+	}
+
+	diags := qvet.Run(units, rules)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "keyedeq-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// loadUnit builds the unit for one file, picking the kind by extension.
+func loadUnit(path string, ctx, dst *schema.Schema) (*qvet.Unit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	switch filepath.Ext(path) {
+	case ".cq":
+		return qvet.NewQueriesUnit(path, text, ctx), nil
+	case ".prog":
+		return qvet.NewProgramUnit(path, text, ctx), nil
+	case ".map":
+		if ctx == nil || dst == nil {
+			return nil, fmt.Errorf("%s: mapping files need -s (source) and -dst (destination) schemas", path)
+		}
+		return qvet.NewMappingUnit(path, text, ctx, dst), nil
+	case ".schema":
+		return qvet.NewSchemaUnit(path, text), nil
+	}
+	return nil, fmt.Errorf("%s: unknown kind (want .cq, .prog, .map, or .schema)", path)
+}
+
+// selectRules resolves a comma-separated rule list against the
+// catalogue; empty means all rules.
+func selectRules(names string) ([]qvet.Rule, error) {
+	all := qvet.AllRules()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]qvet.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []qvet.Rule
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", name, strings.Join(qvet.RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}

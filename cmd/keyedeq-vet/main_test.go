@@ -1,0 +1,151 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSchema = "R(a*:T1, b:T2)\nE(src*:T1, dst:T1)\n"
+
+func write(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func vet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	q := write(t, dir, "ok.cq", "Q(X) :- R(X, Y).\n")
+	code, out, errb := vet(t, "-s", testSchema, q)
+	if code != 0 || out != "" || errb != "" {
+		t.Fatalf("code=%d out=%q err=%q, want clean run", code, out, errb)
+	}
+}
+
+func TestFindingsExitOneWithPositions(t *testing.T) {
+	dir := t.TempDir()
+	q := write(t, dir, "bad.cq", "Q(X) :- R(X, Y), Y = T2:1, Y = T2:2.\n")
+	code, out, _ := vet(t, "-s", testSchema, q)
+	if code != 1 {
+		t.Fatalf("code=%d, want 1; out=%q", code, out)
+	}
+	if !strings.Contains(out, "bad.cq:1:") || !strings.Contains(out, "[eqconflict]") {
+		t.Errorf("output lacks positioned finding: %q", out)
+	}
+	if !strings.Contains(out, "1 finding(s)") {
+		t.Errorf("output lacks summary: %q", out)
+	}
+}
+
+func TestRulesSubsetFilters(t *testing.T) {
+	dir := t.TempDir()
+	q := write(t, dir, "bad.cq", "Q(X) :- R(X, Y), Y = T2:1, Y = T2:2.\n")
+	code, out, _ := vet(t, "-s", testSchema, "-rules", "headunsafe", q)
+	if code != 0 {
+		t.Fatalf("unrelated rule still fired: code=%d out=%q", code, out)
+	}
+	code, _, errb := vet(t, "-s", testSchema, "-rules", "nosuchrule", q)
+	if code != 2 || !strings.Contains(errb, "unknown rule") {
+		t.Errorf("bad -rules: code=%d err=%q, want 2 + unknown rule", code, errb)
+	}
+}
+
+func TestMappingNeedsBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	m := write(t, dir, "a.map", "V(X, Y) :- R(X, Y).\n")
+	code, _, errb := vet(t, "-s", testSchema, m)
+	if code != 2 || !strings.Contains(errb, "-dst") {
+		t.Fatalf("code=%d err=%q, want 2 mentioning -dst", code, errb)
+	}
+	code, out, errb := vet(t, "-s", testSchema, "-dst", "V(v1*:T1, v2:T2)", m)
+	if code != 0 {
+		t.Fatalf("valid mapping: code=%d out=%q err=%q", code, out, errb)
+	}
+}
+
+func TestSchemaFileNeedsNoContext(t *testing.T) {
+	dir := t.TempDir()
+	s := write(t, dir, "mixed.schema", "R(a*:T1, b:T2)\nS(x:T1, y:T2)\n")
+	code, out, _ := vet(t, s)
+	if code != 1 || !strings.Contains(out, "[keycover]") {
+		t.Fatalf("code=%d out=%q, want keycover finding", code, out)
+	}
+}
+
+func TestProgramFile(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "views.prog", "def V1(a:T1)\nV1(X) :- V1(X).\n")
+	code, out, _ := vet(t, "-s", testSchema, p)
+	if code != 1 || !strings.Contains(out, "[viewstrat]") || !strings.Contains(out, "views.prog:2:") {
+		t.Fatalf("code=%d out=%q, want positioned viewstrat finding", code, out)
+	}
+}
+
+func TestParseFailureIsAFinding(t *testing.T) {
+	dir := t.TempDir()
+	q := write(t, dir, "syntax.cq", "Q(X :- R(X, Y).\n")
+	code, out, _ := vet(t, "-s", testSchema, q)
+	if code != 1 || !strings.Contains(out, "[parse]") {
+		t.Fatalf("code=%d out=%q, want a parse finding, not a fatal error", code, out)
+	}
+}
+
+func TestAllowDirectiveSuppressesViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	q := write(t, dir, "ok.cq",
+		"Q(X) :- R(X, Y), Y = T2:1, Y = T2:2. # keyedeq:allow(eqconflict) -- empty on purpose\n")
+	code, out, errb := vet(t, "-s", testSchema, q)
+	if code != 0 {
+		t.Fatalf("code=%d out=%q err=%q, want suppressed clean run", code, out, errb)
+	}
+}
+
+func TestUnknownExtensionAndUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	x := write(t, dir, "data.txt", "whatever\n")
+	if code, _, errb := vet(t, x); code != 2 || !strings.Contains(errb, "unknown kind") {
+		t.Errorf("unknown extension: code=%d err=%q", code, errb)
+	}
+	if code, _, _ := vet(t); code != 2 {
+		t.Errorf("no files: code=%d, want 2", code)
+	}
+	if code, _, _ := vet(t, "-s", "not a schema", x); code != 2 {
+		t.Errorf("bad schema: code=%d, want 2", code)
+	}
+}
+
+// TestExamplesAreVetClean keeps the shipped example inputs warning-free
+// (the same invocation CI runs via `make qvet`).
+func TestExamplesAreVetClean(t *testing.T) {
+	root := filepath.Join("..", "..", "examples", "vet")
+	code, out, errb := vet(t,
+		"-s", "@"+filepath.Join(root, "company.schema"),
+		filepath.Join(root, "queries.cq"),
+		filepath.Join(root, "views.prog"),
+		filepath.Join(root, "company.schema"),
+	)
+	if code != 0 {
+		t.Fatalf("examples/vet not clean: code=%d\n%s%s", code, out, errb)
+	}
+	code, out, errb = vet(t,
+		"-s", "@"+filepath.Join(root, "company.schema"),
+		"-dst", "@"+filepath.Join(root, "archive.schema"),
+		filepath.Join(root, "alpha.map"),
+		filepath.Join(root, "archive.schema"),
+	)
+	if code != 0 {
+		t.Fatalf("examples/vet mapping not clean: code=%d\n%s%s", code, out, errb)
+	}
+}

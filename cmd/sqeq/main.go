@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"keyedeq"
+	"keyedeq/internal/cli"
 )
 
 func main() {
@@ -47,20 +48,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	fail := cli.Fail(stderr, "sqeq")
 	s1, err := loadSchema(fs, *inline1, 0)
 	if err != nil {
-		fmt.Fprintln(stderr, "sqeq:", err)
-		return 2
+		return fail(err)
 	}
 	s2, err := loadSchema(fs, *inline2, 1)
 	if err != nil {
-		fmt.Fprintln(stderr, "sqeq:", err)
-		return 2
+		return fail(err)
 	}
 
 	if (*alphaFile == "") != (*betaFile == "") {
-		fmt.Fprintln(stderr, "sqeq: -alpha and -beta must be given together")
-		return 2
+		return fail(fmt.Errorf("-alpha and -beta must be given together"))
 	}
 	if *alphaFile != "" {
 		return verifyUserPair(s1, s2, *alphaFile, *betaFile, stdout, stderr)
@@ -72,8 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *witness || *verify {
 		w, ok, err := keyedeq.EquivalentWithWitness(s1, s2)
 		if err != nil {
-			fmt.Fprintln(stderr, "sqeq:", err)
-			return 2
+			return fail(err)
 		}
 		if ok {
 			fmt.Fprintln(stdout, "\nwitness α (schema 1 → schema 2):")
@@ -83,8 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *verify {
 				good, err := keyedeq.VerifyDominance(w.Alpha, w.Beta)
 				if err != nil {
-					fmt.Fprintln(stderr, "sqeq:", err)
-					return 2
+					return fail(err)
 				}
 				fmt.Fprintf(stdout, "\nsymbolic verification (validity + β∘α = id): %v\n", good)
 			}
@@ -95,8 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		b := keyedeq.DefaultSearchBounds()
 		found, stats, err := keyedeq.SearchEquivalence(s1, s2, b)
 		if err != nil {
-			fmt.Fprintln(stderr, "sqeq:", err)
-			return 2
+			return fail(err)
 		}
 		fmt.Fprintf(stdout, "\nbounded mapping search: equivalent=%v (pairs checked %d, truncated %v)\n",
 			found, stats.PairsChecked, stats.Truncated)
@@ -114,10 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // verifyUserPair checks a user-supplied (α, β) pair: validity of both
 // mappings and β∘α = id, all decided symbolically.
 func verifyUserPair(s1, s2 *keyedeq.Schema, alphaFile, betaFile string, stdout, stderr io.Writer) int {
-	fail := func(err error) int {
-		fmt.Fprintln(stderr, "sqeq:", err)
-		return 2
-	}
+	fail := cli.Fail(stderr, "sqeq")
 	aText, err := os.ReadFile(alphaFile)
 	if err != nil {
 		return fail(err)
@@ -147,14 +140,10 @@ func verifyUserPair(s1, s2 *keyedeq.Schema, alphaFile, betaFile string, stdout, 
 
 func loadSchema(fs *flag.FlagSet, inline string, arg int) (*keyedeq.Schema, error) {
 	if inline != "" {
-		return keyedeq.ParseSchema(inline)
+		return cli.Schema(inline)
 	}
 	if fs.NArg() <= arg {
 		return nil, fmt.Errorf("need two schemas (files or -e/-e2); see -h")
 	}
-	data, err := os.ReadFile(fs.Arg(arg))
-	if err != nil {
-		return nil, err
-	}
-	return keyedeq.ParseSchema(string(data))
+	return cli.SchemaFile(fs.Arg(arg))
 }

@@ -1,0 +1,52 @@
+// Package cli holds the small amount of plumbing the keyedeq commands
+// share: @file-or-inline argument resolution, schema loading, and the
+// conventional "tool: error" failure path with exit status 2.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"keyedeq/internal/schema"
+)
+
+// Text resolves a flag value that is either inline text or a file
+// reference spelled "@path" (the cqcheck/sqeq convention).
+func Text(arg string) (string, error) {
+	if len(arg) > 1 && arg[0] == '@' {
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	return arg, nil
+}
+
+// Schema loads a schema from inline text or an "@path" reference.
+func Schema(arg string) (*schema.Schema, error) {
+	text, err := Text(arg)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Parse(text)
+}
+
+// SchemaFile loads a schema from a file path.
+func SchemaFile(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return schema.Parse(string(data))
+}
+
+// Fail returns the conventional failure helper: print "tool: err" to
+// stderr and yield exit status 2.
+func Fail(stderr io.Writer, tool string) func(error) int {
+	return func(err error) int {
+		fmt.Fprintf(stderr, "%s: %v\n", tool, err)
+		return 2
+	}
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTextInlineAndFile(t *testing.T) {
+	got, err := Text("R(a*:T1)")
+	if err != nil || got != "R(a*:T1)" {
+		t.Fatalf("inline: got %q, %v", got, err)
+	}
+	path := filepath.Join(t.TempDir(), "s.txt")
+	if err := os.WriteFile(path, []byte("R(a*:T1, b:T2)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Text("@" + path)
+	if err != nil || got != "R(a*:T1, b:T2)\n" {
+		t.Fatalf("file: got %q, %v", got, err)
+	}
+	if _, err := Text("@" + filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing @file: want error")
+	}
+	// A bare "@" is inline text, not an empty file reference.
+	if got, err := Text("@"); err != nil || got != "@" {
+		t.Errorf("bare @: got %q, %v", got, err)
+	}
+}
+
+func TestSchemaLoading(t *testing.T) {
+	s, err := Schema("R(a*:T1, b:T2)")
+	if err != nil || s.Relation("R") == nil {
+		t.Fatalf("inline schema: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "s.schema")
+	if err := os.WriteFile(path, []byte("E(src*:T1, dst:T1)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Schema("@" + path)
+	if err != nil || s.Relation("E") == nil {
+		t.Fatalf("@file schema: %v", err)
+	}
+	s, err = SchemaFile(path)
+	if err != nil || s.Relation("E") == nil {
+		t.Fatalf("SchemaFile: %v", err)
+	}
+	if _, err := Schema("not a schema"); err == nil {
+		t.Error("bad schema text: want error")
+	}
+}
+
+func TestFail(t *testing.T) {
+	var buf strings.Builder
+	fail := Fail(&buf, "mytool")
+	if code := fail(os.ErrNotExist); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if got := buf.String(); !strings.HasPrefix(got, "mytool: ") {
+		t.Errorf("stderr %q lacks tool prefix", got)
+	}
+}

@@ -29,6 +29,10 @@ type Term struct {
 	IsConst bool
 	Var     Var
 	Const   value.Value
+	// Pos locates the term in its source text (zero when constructed
+	// programmatically).  It carries no semantic weight: terms are
+	// compared field-by-field everywhere, never as whole structs.
+	Pos Pos
 }
 
 // V builds a variable term.
@@ -52,6 +56,22 @@ func (t Term) String() string {
 type Atom struct {
 	Rel  string
 	Vars []Var
+	// Pos locates the atom (its relation name) in the source text.
+	Pos Pos
+	// VarPos, when set by a parser, holds one position per placeholder
+	// in Vars.  Programmatically built atoms leave it nil; consumers
+	// must fall back to Pos.
+	VarPos []Pos
+}
+
+// VarPosition returns the source position of the i-th placeholder,
+// falling back to the atom's own position when the parser did not
+// record per-variable spans.
+func (a Atom) VarPosition(i int) Pos {
+	if i >= 0 && i < len(a.VarPos) {
+		return a.VarPos[i]
+	}
+	return a.Pos
 }
 
 // String renders "R(X, Y)".
@@ -68,6 +88,8 @@ func (a Atom) String() string {
 type Equality struct {
 	Left  Var
 	Right Term
+	// Pos locates the equality predicate in the source text.
+	Pos Pos
 }
 
 // String renders "X = Y" or "X = T1:3".
@@ -84,15 +106,22 @@ type Query struct {
 	Body []Atom
 	// Eqs is the equality list.
 	Eqs []Equality
+	// Pos locates the start of the query in its source text.
+	Pos Pos
 }
 
 // Clone returns a deep copy.
 func (q *Query) Clone() *Query {
-	c := &Query{HeadRel: q.HeadRel}
+	c := &Query{HeadRel: q.HeadRel, Pos: q.Pos}
 	c.Head = append([]Term(nil), q.Head...)
 	c.Body = make([]Atom, len(q.Body))
 	for i, a := range q.Body {
-		c.Body[i] = Atom{Rel: a.Rel, Vars: append([]Var(nil), a.Vars...)}
+		c.Body[i] = Atom{
+			Rel:    a.Rel,
+			Vars:   append([]Var(nil), a.Vars...),
+			Pos:    a.Pos,
+			VarPos: append([]Pos(nil), a.VarPos...),
+		}
 	}
 	c.Eqs = append([]Equality(nil), q.Eqs...)
 	return c

@@ -16,81 +16,80 @@ import (
 // in T<type>:<n> form; body literals are relation atoms; everything after
 // the atoms that contains '=' is the equality list.  Whitespace is
 // insignificant.
+//
+// Every AST node of the result carries its line:col position within
+// text (1-based), and parse failures return a *ParseError pointing at
+// the offending byte.
 func Parse(text string) (*Query, error) {
-	text = strings.TrimSpace(text)
-	text = strings.TrimSuffix(text, ".")
-	sep := strings.Index(text, ":-")
-	if sep < 0 {
-		return nil, fmt.Errorf("cq: missing \":-\" in %q", text)
+	return ParseAt(text, Pos{Line: 1, Col: 1})
+}
+
+// ParseAt is Parse for a query embedded in a larger file: base is the
+// file position of text's first byte, and every node span and error
+// position is reported file-absolute.  The mapping and program parsers
+// use it to give their per-line queries real coordinates.
+func ParseAt(text string, base Pos) (*Query, error) {
+	p := &src{text: text, base: base}
+	start, end := p.trim(0, len(text))
+	if start < end && text[end-1] == '.' {
+		start, end = p.trim(start, end-1)
 	}
-	head := strings.TrimSpace(text[:sep])
-	body := strings.TrimSpace(text[sep+2:])
+	sep := strings.Index(text[start:end], ":-")
+	if sep < 0 {
+		return nil, p.errf(start, "missing \":-\" in %q", text[start:end])
+	}
+	sep += start
 
 	q := &Query{}
-	name, args, err := splitAtom(head)
+	hs, he := p.trim(start, sep)
+	q.Pos = p.pos(hs)
+	name, _, args, err := p.splitAtom(hs, he)
 	if err != nil {
-		return nil, fmt.Errorf("cq: bad head: %v", err)
+		return nil, wrap(err, "bad head")
 	}
 	q.HeadRel = name
 	for _, arg := range args {
-		t, err := parseTerm(arg)
+		t, err := p.parseTerm(arg)
 		if err != nil {
-			return nil, fmt.Errorf("cq: bad head term %q: %v", arg, err)
+			return nil, p.errf(arg.a, "bad head term %q: %v", p.str(arg), msg(err))
 		}
 		q.Head = append(q.Head, t)
 	}
 
-	for _, lit := range splitTop(body) {
-		lit = strings.TrimSpace(lit)
-		if lit == "" {
+	for _, lit := range p.splitTop(sep+2, end) {
+		ls, le := p.trim(lit.a, lit.b)
+		if ls >= le {
 			continue
 		}
-		if eqi := strings.IndexByte(lit, '='); eqi >= 0 && !strings.ContainsRune(lit, '(') {
-			left := strings.TrimSpace(lit[:eqi])
-			right := strings.TrimSpace(lit[eqi+1:])
-			if left == "" || right == "" {
-				return nil, fmt.Errorf("cq: bad equality %q", lit)
-			}
-			if isConstant(left) {
-				// Normalize "a = X" to "X = a".
-				if isConstant(right) {
-					// constant = constant: represent via a fresh
-					// unsupported form — reject, the paper's syntax
-					// requires a variable on one side.
-					return nil, fmt.Errorf("cq: equality %q has no variable", lit)
-				}
-				left, right = right, left
-			}
-			lt, err := parseTerm(left)
-			if err != nil || lt.IsConst {
-				return nil, fmt.Errorf("cq: bad equality %q: left side must be a variable", lit)
-			}
-			rt, err := parseTerm(right)
+		litText := text[ls:le]
+		if eqi := strings.IndexByte(litText, '='); eqi >= 0 && !strings.ContainsRune(litText, '(') {
+			eq, err := p.parseEquality(ls, le, ls+eqi)
 			if err != nil {
-				return nil, fmt.Errorf("cq: bad equality %q: %v", lit, err)
+				return nil, err
 			}
-			q.Eqs = append(q.Eqs, Equality{Left: lt.Var, Right: rt})
+			q.Eqs = append(q.Eqs, eq)
 			continue
 		}
-		name, args, err := splitAtom(lit)
+		name, namePos, args, err := p.splitAtom(ls, le)
 		if err != nil {
-			return nil, fmt.Errorf("cq: bad literal %q: %v", lit, err)
+			return nil, wrap(err, fmt.Sprintf("bad literal %q", litText))
 		}
-		a := Atom{Rel: name}
+		a := Atom{Rel: name, Pos: namePos}
 		for _, arg := range args {
-			if isConstant(arg) {
-				return nil, fmt.Errorf("cq: constant %q used as placeholder; the paper's syntax requires distinct variables with conditions in the equality list", arg)
+			if isConstant(p.str(arg)) {
+				return nil, p.errf(arg.a, "constant %q used as placeholder; the paper's syntax requires distinct variables with conditions in the equality list", p.str(arg))
 			}
-			t, err := parseTerm(arg)
+			t, err := p.parseTerm(arg)
 			if err != nil || t.IsConst {
-				return nil, fmt.Errorf("cq: bad placeholder %q in %s", arg, name)
+				return nil, p.errf(arg.a, "bad placeholder %q in %s", p.str(arg), name)
 			}
 			a.Vars = append(a.Vars, t.Var)
+			a.VarPos = append(a.VarPos, t.Pos)
 		}
 		q.Body = append(q.Body, a)
 	}
 	if len(q.Body) == 0 {
-		return nil, fmt.Errorf("cq: empty body in %q", text)
+		return nil, p.errf(start, "empty body in %q", text[start:end])
 	}
 	return q, nil
 }
@@ -102,50 +101,144 @@ func MustParse(text string) *Query {
 	return q
 }
 
-// splitAtom parses "R(a, b, c)" into name and raw args.
-func splitAtom(s string) (string, []string, error) {
-	open := strings.IndexByte(s, '(')
-	if open <= 0 || !strings.HasSuffix(s, ")") {
-		return "", nil, fmt.Errorf("expected name(args)")
-	}
-	name := strings.TrimSpace(s[:open])
-	if name == "" || strings.ContainsAny(name, "(), =\t") {
-		return "", nil, fmt.Errorf("bad relation name %q", name)
-	}
-	inner := strings.TrimSpace(s[open+1 : len(s)-1])
-	if inner == "" {
-		return name, nil, nil
-	}
-	parts := strings.Split(inner, ",")
-	args := make([]string, len(parts))
-	for i, p := range parts {
-		args[i] = strings.TrimSpace(p)
-		if args[i] == "" {
-			return "", nil, fmt.Errorf("empty argument")
-		}
-	}
-	return name, args, nil
+// src is the raw query text plus the file position of its first byte;
+// it converts byte offsets to file positions and carries the low-level
+// span helpers of the parser.
+type src struct {
+	text string
+	base Pos
 }
 
-// splitTop splits the body on commas that are not inside parentheses.
-func splitTop(s string) []string {
-	var out []string
-	depth, start := 0, 0
-	for i, c := range s {
-		switch c {
+// span is a half-open byte range [a, b) into the source text.
+type span struct{ a, b int }
+
+// str returns the text of a span.
+func (p *src) str(s span) string { return p.text[s.a:s.b] }
+
+// pos converts a byte offset into a file position.
+func (p *src) pos(off int) Pos {
+	if off > len(p.text) {
+		off = len(p.text)
+	}
+	line, col := p.base.Line, p.base.Col
+	for i := 0; i < off; i++ {
+		if p.text[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Line: line, Col: col}
+}
+
+// errf builds a positioned parse error at byte offset off.
+func (p *src) errf(off int, format string, args ...any) error {
+	return &ParseError{Pos: p.pos(off), Msg: fmt.Sprintf(format, args...)}
+}
+
+// trim narrows [a, b) past surrounding whitespace.
+func (p *src) trim(a, b int) (int, int) {
+	for a < b && isSpace(p.text[a]) {
+		a++
+	}
+	for b > a && isSpace(p.text[b-1]) {
+		b--
+	}
+	return a, b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// parseEquality parses "left = right" between [ls, le) with '=' at eq,
+// normalizing "constant = X" to "X = constant".
+func (p *src) parseEquality(ls, le, eq int) (Equality, error) {
+	litText := p.text[ls:le]
+	la, lb := p.trim(ls, eq)
+	ra, rb := p.trim(eq+1, le)
+	if la >= lb || ra >= rb {
+		return Equality{}, p.errf(ls, "bad equality %q", litText)
+	}
+	left, right := span{la, lb}, span{ra, rb}
+	if isConstant(p.str(left)) {
+		if isConstant(p.str(right)) {
+			// constant = constant: the paper's syntax requires a
+			// variable on one side.
+			return Equality{}, p.errf(ls, "equality %q has no variable", litText)
+		}
+		left, right = right, left
+	}
+	lt, err := p.parseTerm(left)
+	if err != nil || lt.IsConst {
+		return Equality{}, p.errf(left.a, "bad equality %q: left side must be a variable", litText)
+	}
+	rt, err := p.parseTerm(right)
+	if err != nil {
+		return Equality{}, p.errf(right.a, "bad equality %q: %v", litText, msg(err))
+	}
+	return Equality{Left: lt.Var, Right: rt, Pos: p.pos(ls)}, nil
+}
+
+// splitAtom parses "R(a, b, c)" between [start, end) into the relation
+// name, its position, and the raw argument spans.
+func (p *src) splitAtom(start, end int) (string, Pos, []span, error) {
+	text := p.text[start:end]
+	open := strings.IndexByte(text, '(')
+	if open <= 0 || !strings.HasSuffix(text, ")") {
+		return "", Pos{}, nil, p.errf(start, "expected name(args)")
+	}
+	na, nb := p.trim(start, start+open)
+	name := p.text[na:nb]
+	if name == "" || strings.ContainsAny(name, "(), =\t") {
+		return "", Pos{}, nil, p.errf(na, "bad relation name %q", name)
+	}
+	ia, ib := p.trim(start+open+1, end-1)
+	if ia >= ib {
+		return name, p.pos(na), nil, nil
+	}
+	var args []span
+	for _, raw := range p.splitAll(ia, ib) {
+		aa, ab := p.trim(raw.a, raw.b)
+		if aa >= ab {
+			return "", Pos{}, nil, p.errf(raw.a, "empty argument")
+		}
+		args = append(args, span{aa, ab})
+	}
+	return name, p.pos(na), args, nil
+}
+
+// splitAll splits [start, end) on every comma.
+func (p *src) splitAll(start, end int) []span {
+	var out []span
+	at := start
+	for i := start; i < end; i++ {
+		if p.text[i] == ',' {
+			out = append(out, span{at, i})
+			at = i + 1
+		}
+	}
+	return append(out, span{at, end})
+}
+
+// splitTop splits [start, end) on commas that are not inside
+// parentheses.
+func (p *src) splitTop(start, end int) []span {
+	var out []span
+	depth, at := 0, start
+	for i := start; i < end; i++ {
+		switch p.text[i] {
 		case '(':
 			depth++
 		case ')':
 			depth--
 		case ',':
 			if depth == 0 {
-				out = append(out, s[start:i])
-				start = i + 1
+				out = append(out, span{at, i})
+				at = i + 1
 			}
 		}
 	}
-	out = append(out, s[start:])
-	return out
+	return append(out, span{at, end})
 }
 
 // isConstant reports whether the token looks like a T<n>:<m> constant.
@@ -154,16 +247,38 @@ func isConstant(s string) bool {
 	return err == nil
 }
 
-func parseTerm(s string) (Term, error) {
-	if isConstant(s) {
-		v, err := value.Parse(s)
+func (p *src) parseTerm(s span) (Term, error) {
+	text := p.str(s)
+	if isConstant(text) {
+		v, err := value.Parse(text)
 		if err != nil {
-			return Term{}, err
+			return Term{}, p.errf(s.a, "%v", err)
 		}
-		return C(v), nil
+		t := C(v)
+		t.Pos = p.pos(s.a)
+		return t, nil
 	}
-	if s == "" || strings.ContainsAny(s, "(), =") {
-		return Term{}, fmt.Errorf("bad term %q", s)
+	if text == "" || strings.ContainsAny(text, "(), =") {
+		return Term{}, p.errf(s.a, "bad term %q", text)
 	}
-	return V(s), nil
+	t := V(text)
+	t.Pos = p.pos(s.a)
+	return t, nil
+}
+
+// msg strips the "cq: line:col: " prefix when nesting parse errors.
+func msg(err error) string {
+	if pe, ok := err.(*ParseError); ok {
+		return pe.Msg
+	}
+	return err.Error()
+}
+
+// wrap prefixes a parse error's message with context, keeping its
+// position; non-ParseErrors pass through a plain fmt wrap.
+func wrap(err error, context string) error {
+	if pe, ok := err.(*ParseError); ok {
+		return &ParseError{Pos: pe.Pos, Msg: context + ": " + pe.Msg}
+	}
+	return fmt.Errorf("cq: %s: %v", context, err)
 }

@@ -1,0 +1,64 @@
+package cq
+
+import "fmt"
+
+// Pos is a 1-based line:column source position.  The zero Pos means
+// "unknown": AST nodes constructed programmatically (Identity, product
+// queries, composition) carry it, while every node produced by a parser
+// carries a real position.  Columns count bytes, like go/token.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position came from a parser.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ParseError is a positioned syntax error.  Every parser in this
+// package (and the mapping and program parsers built on it) reports
+// failures through this type, so callers and diagnostics can point at
+// the offending byte.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders "cq: line:col: msg".
+func (e *ParseError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("cq: %s: %s", e.Pos, e.Msg)
+	}
+	return "cq: " + e.Msg
+}
+
+// ErrorPos extracts the position from a *ParseError, or an invalid Pos
+// from any other error.
+func ErrorPos(err error) Pos {
+	if pe, ok := err.(*ParseError); ok {
+		return pe.Pos
+	}
+	return Pos{}
+}
+
+// LineIndent returns the number of leading whitespace bytes of line.
+// Line-oriented parsers (mappings, programs) trim each line before
+// handing it to ParseAt; offsetting the base column by the indent keeps
+// the reported columns file-accurate.
+func LineIndent(line string) int {
+	n := 0
+	for n < len(line) && (line[n] == ' ' || line[n] == '\t') {
+		n++
+	}
+	return n
+}
+
+// PositionedMsg renders err as "line:col: msg", preferring the precise
+// position a *ParseError carries and falling back to base.
+func PositionedMsg(err error, base Pos) string {
+	if pe, ok := err.(*ParseError); ok && pe.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", pe.Pos, pe.Msg)
+	}
+	return fmt.Sprintf("%s: %v", base, err)
+}

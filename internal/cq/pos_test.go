@@ -1,0 +1,114 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePositionsOnNodes(t *testing.T) {
+	//          1234567890123456789012345678901234567890
+	text := "Q(X, Y) :- R(X, Z), S(W, Y), Z = W, X = T1:3."
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("query pos = %v, want 1:1", q.Pos)
+	}
+	if got := q.Body[0].Pos; got != (Pos{Line: 1, Col: 12}) {
+		t.Errorf("atom R pos = %v, want 1:12", got)
+	}
+	if got := q.Body[1].Pos; got != (Pos{Line: 1, Col: 21}) {
+		t.Errorf("atom S pos = %v, want 1:21", got)
+	}
+	if got := q.Body[0].VarPosition(1); got != (Pos{Line: 1, Col: 17}) {
+		t.Errorf("placeholder Z pos = %v, want 1:17", got)
+	}
+	if got := q.Eqs[0].Pos; got != (Pos{Line: 1, Col: 30}) {
+		t.Errorf("equality Z = W pos = %v, want 1:30", got)
+	}
+	if got := q.Eqs[1].Pos; got != (Pos{Line: 1, Col: 37}) {
+		t.Errorf("equality X = T1:3 pos = %v, want 1:37", got)
+	}
+	if got := q.Eqs[1].Right.Pos; got != (Pos{Line: 1, Col: 41}) {
+		t.Errorf("constant T1:3 pos = %v, want 1:41", got)
+	}
+	if got := q.Head[1].Pos; got != (Pos{Line: 1, Col: 6}) {
+		t.Errorf("head term Y pos = %v, want 1:6", got)
+	}
+}
+
+func TestParseAtOffsetsPositions(t *testing.T) {
+	q, err := ParseAt("Q(X) :- R(X, Y).", Pos{Line: 7, Col: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pos != (Pos{Line: 7, Col: 3}) {
+		t.Errorf("query pos = %v, want 7:3", q.Pos)
+	}
+	if got := q.Body[0].Pos; got != (Pos{Line: 7, Col: 11}) {
+		t.Errorf("atom pos = %v, want 7:11", got)
+	}
+}
+
+func TestParseMultiLinePositions(t *testing.T) {
+	q, err := Parse("Q(X) :-\n  R(X, Y),\n  Y = T2:5.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Body[0].Pos; got != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("atom pos = %v, want 2:3", got)
+	}
+	if got := q.Eqs[0].Pos; got != (Pos{Line: 3, Col: 3}) {
+		t.Errorf("equality pos = %v, want 3:3", got)
+	}
+}
+
+func TestParseErrorCoordinates(t *testing.T) {
+	cases := []struct {
+		text string
+		pos  Pos
+		sub  string
+	}{
+		//           123456789012345678901234567
+		{"Q(X) :- P(X, T1:1).", Pos{1, 14}, "constant"},
+		{"Q(X) :- P(X,, Y).", Pos{1, 13}, "empty argument"},
+		{"Q(X(Y)) :- P(X, Y).", Pos{1, 3}, "bad head term"},
+		{"Q(X) :- P(X, Y), = Y.", Pos{1, 18}, "bad equality"},
+		{"Q(X) :- P(X, Y), T1:1 = T1:2.", Pos{1, 18}, "no variable"},
+		{"Q(X) :- .", Pos{1, 1}, "empty body"},
+		{"Q(X)", Pos{1, 1}, "missing \":-\""},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.text)
+		if err == nil {
+			t.Errorf("Parse(%q): no error", c.text)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("Parse(%q): error %T is not a *ParseError: %v", c.text, err, err)
+			continue
+		}
+		if pe.Pos != c.pos {
+			t.Errorf("Parse(%q): error at %v, want %v (%v)", c.text, pe.Pos, c.pos, err)
+		}
+		if !strings.Contains(pe.Msg, c.sub) {
+			t.Errorf("Parse(%q): message %q missing %q", c.text, pe.Msg, c.sub)
+		}
+		if !strings.Contains(err.Error(), pe.Pos.String()) {
+			t.Errorf("Parse(%q): rendered error %q omits position", c.text, err)
+		}
+	}
+}
+
+func TestClonePreservesPositions(t *testing.T) {
+	q := MustParse("Q(X) :- R(X, Y), Y = T2:5.")
+	c := q.Clone()
+	if c.Body[0].Pos != q.Body[0].Pos || c.Body[0].VarPosition(1) != q.Body[0].VarPosition(1) {
+		t.Error("Clone dropped atom positions")
+	}
+	if c.Eqs[0].Pos != q.Eqs[0].Pos {
+		t.Error("Clone dropped equality positions")
+	}
+}

@@ -1,0 +1,63 @@
+package cq
+
+import (
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+// Golden tests pin the exact SQL text ToSQL emits — alias numbering,
+// column naming, clause order, and terminator — so renderer changes are
+// deliberate, not accidental.
+func TestToSQLGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema string
+		query  string
+		want   string
+	}{
+		{
+			name:   "head and where constants",
+			schema: "R(a:T1, b:T2)",
+			query:  "V(T1:7, X, T2:3) :- R(X, Y), Y = T2:5.",
+			want: "SELECT DISTINCT 7 AS c0, t0.a AS c1, 3 AS c2\n" +
+				"FROM R AS t0\n" +
+				"WHERE t0.b = 5;",
+		},
+		{
+			name:   "triple self-join path",
+			schema: "E(src:T1, dst:T1)",
+			query:  "V(X, W) :- E(X, Y), E(Y2, Z), E(Z2, W), Y = Y2, Z = Z2.",
+			want: "SELECT DISTINCT t0.src AS c0, t2.dst AS c1\n" +
+				"FROM E AS t0, E AS t1, E AS t2\n" +
+				"WHERE t0.dst = t1.src AND t1.dst = t2.src;",
+		},
+		{
+			name:   "equality chain ending in a constant",
+			schema: "R(a:T1, b:T2)\nS(c:T2, d:T2)",
+			query:  "V(A) :- R(A, B), S(C, D), B = C, C = D, D = T2:11.",
+			want: "SELECT DISTINCT t0.a AS c0\n" +
+				"FROM R AS t0, S AS t1\n" +
+				"WHERE t0.b = t1.c AND t1.c = t1.d AND t1.d = 11;",
+		},
+		{
+			name:   "no conditions",
+			schema: "R(a:T1, b:T2)",
+			query:  "V(X) :- R(X, Y).",
+			want: "SELECT DISTINCT t0.a AS c0\n" +
+				"FROM R AS t0;",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := schema.MustParse(tc.schema)
+			got, err := ToSQL(MustParse(tc.query), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("ToSQL golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}

@@ -17,23 +17,25 @@ import (
 //
 // Every destination relation must be defined exactly once; bodies are
 // over the source schema.  Blank lines and '#' comments are ignored.
+// Parse errors carry the line:col of the offending byte within text.
 func Parse(src, dst *schema.Schema, text string) (*Mapping, error) {
 	queries := make([]*cq.Query, len(dst.Relations))
 	for lineno, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
 			continue
 		}
-		q, err := cq.Parse(line)
+		base := cq.Pos{Line: lineno + 1, Col: cq.LineIndent(line) + 1}
+		q, err := cq.ParseAt(trimmed, base)
 		if err != nil {
-			return nil, fmt.Errorf("mapping: line %d: %v", lineno+1, err)
+			return nil, fmt.Errorf("mapping: %s", cq.PositionedMsg(err, base))
 		}
 		i := dst.RelationIndex(q.HeadRel)
 		if i < 0 {
-			return nil, fmt.Errorf("mapping: line %d: %q is not a destination relation", lineno+1, q.HeadRel)
+			return nil, fmt.Errorf("mapping: %s: %q is not a destination relation", q.Pos, q.HeadRel)
 		}
 		if queries[i] != nil {
-			return nil, fmt.Errorf("mapping: line %d: %q defined twice", lineno+1, q.HeadRel)
+			return nil, fmt.Errorf("mapping: %s: %q defined twice", q.Pos, q.HeadRel)
 		}
 		queries[i] = q
 	}

@@ -1,0 +1,64 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+var (
+	parseSrc = schema.MustParse("R(a:T1, b:T2)")
+	parseDst = schema.MustParse("V(x:T1, y:T2)")
+)
+
+func TestParseReportsLineAndColumn(t *testing.T) {
+	cases := []struct {
+		name, text, wantPos string
+	}{
+		{
+			"syntax error on line 2",
+			"# comment\nV(X, Y) :- R(X,, Y).",
+			"2:16",
+		},
+		{
+			"indented line keeps file column",
+			"  V(X, Y) :- R(X, T1:1).",
+			"1:19",
+		},
+		{
+			"unknown destination relation",
+			"# α\nW(X, Y) :- R(X, Y).",
+			"2:1",
+		},
+		{
+			"destination defined twice",
+			"V(X, Y) :- R(X, Y).\nV(X, Y) :- R(X, Y).",
+			"2:1",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(parseSrc, parseDst, c.text)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPos) {
+			t.Errorf("%s: error %q does not carry position %s", c.name, err, c.wantPos)
+		}
+	}
+}
+
+func TestParsedViewsCarryPositions(t *testing.T) {
+	m, err := Parse(parseSrc, parseDst, "# header\nV(X, Y) :- R(X, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.QueryFor("V")
+	if q.Pos.Line != 2 || q.Pos.Col != 1 {
+		t.Errorf("view query pos = %v, want 2:1", q.Pos)
+	}
+	if q.Body[0].Pos.Line != 2 || q.Body[0].Pos.Col != 12 {
+		t.Errorf("view body atom pos = %v, want 2:12", q.Body[0].Pos)
+	}
+}

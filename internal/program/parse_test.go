@@ -1,0 +1,66 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+func TestParseErrorsCarryLineAndColumn(t *testing.T) {
+	base := schema.MustParse("E(src:T1, dst:T1)")
+	cases := []struct {
+		name, text, wantPos string
+	}{
+		{
+			"bad rule on line 2",
+			"def v(a:T1)\nv(X) :- E(X,, Y).",
+			"2:13",
+		},
+		{
+			"bad def line",
+			"# p\ndef v(a)",
+			"2:1",
+		},
+		{
+			"undeclared view rule",
+			"def v(a:T1)\nw(X) :- E(X, Y).",
+			"2:1",
+		},
+		{
+			"duplicate def",
+			"def v(a:T1)\ndef v(a:T1)",
+			"2:1",
+		},
+		{
+			"shadowed base relation",
+			"def E(a:T1, b:T1)",
+			"1:1",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(base, c.text)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPos) {
+			t.Errorf("%s: error %q does not carry position %s", c.name, err, c.wantPos)
+		}
+	}
+}
+
+func TestParsedRulesCarryPositions(t *testing.T) {
+	base := schema.MustParse("E(src:T1, dst:T1)")
+	p, err := Parse(base, "# program\ndef v(a:T1, b:T1)\nv(X, Z) :- E(X, Y), E(Y2, Z), Y = Y2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Views[0].Def.Disjuncts[0]
+	if q.Pos.Line != 3 || q.Pos.Col != 1 {
+		t.Errorf("rule pos = %v, want 3:1", q.Pos)
+	}
+	if q.Eqs[0].Pos.Line != 3 || q.Eqs[0].Pos.Col != 31 {
+		t.Errorf("rule equality pos = %v, want 3:31", q.Eqs[0].Pos)
+	}
+}

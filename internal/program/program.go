@@ -48,36 +48,37 @@ type Program struct {
 func Parse(base *schema.Schema, text string) (*Program, error) {
 	p := &Program{Base: base}
 	byName := map[string]int{}
-	for lineno, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		pos := cq.Pos{Line: lineno + 1, Col: cq.LineIndent(raw) + 1}
 		if strings.HasPrefix(line, "def ") {
 			rel, err := schema.ParseRelation(strings.TrimSpace(line[4:]))
 			if err != nil {
-				return nil, fmt.Errorf("program: line %d: %v", lineno+1, err)
+				return nil, fmt.Errorf("program: %s: %v", pos, err)
 			}
 			if rel.Keyed() {
-				return nil, fmt.Errorf("program: line %d: derived relation %q cannot declare a key", lineno+1, rel.Name)
+				return nil, fmt.Errorf("program: %s: derived relation %q cannot declare a key", pos, rel.Name)
 			}
 			if base.Relation(rel.Name) != nil {
-				return nil, fmt.Errorf("program: line %d: %q shadows a base relation", lineno+1, rel.Name)
+				return nil, fmt.Errorf("program: %s: %q shadows a base relation", pos, rel.Name)
 			}
 			if _, dup := byName[rel.Name]; dup {
-				return nil, fmt.Errorf("program: line %d: %q defined twice", lineno+1, rel.Name)
+				return nil, fmt.Errorf("program: %s: %q defined twice", pos, rel.Name)
 			}
 			byName[rel.Name] = len(p.Views)
 			p.Views = append(p.Views, View{Scheme: rel, Def: &ucq.Query{}})
 			continue
 		}
-		q, err := cq.Parse(line)
+		q, err := cq.ParseAt(line, pos)
 		if err != nil {
-			return nil, fmt.Errorf("program: line %d: %v", lineno+1, err)
+			return nil, fmt.Errorf("program: %s", cq.PositionedMsg(err, pos))
 		}
 		i, ok := byName[q.HeadRel]
 		if !ok {
-			return nil, fmt.Errorf("program: line %d: rule for undeclared view %q", lineno+1, q.HeadRel)
+			return nil, fmt.Errorf("program: %s: rule for undeclared view %q", q.Pos, q.HeadRel)
 		}
 		p.Views[i].Def.Disjuncts = append(p.Views[i].Def.Disjuncts, q)
 	}

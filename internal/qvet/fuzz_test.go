@@ -1,0 +1,63 @@
+package qvet
+
+import (
+	"testing"
+
+	"keyedeq/internal/schema"
+)
+
+// FuzzQVet drives the lenient loaders and the full rule catalogue over
+// arbitrary text, for every unit kind.  The invariant: vet never
+// panics, every finding carries a valid position, and the output is
+// identical under rule-order reversal.  Under plain `go test` the seed
+// corpus runs as regression tests; `go test -fuzz=FuzzQVet` explores.
+func FuzzQVet(f *testing.F) {
+	seeds := []string{
+		"Q(X) :- R(X, Y), Y = T2:1, Y = T2:2.",
+		"Q(X, W) :- R(X, Y), S(X, B, C), Z = T1:1.",
+		"def V1(a:T1, b:T1)\nV1(X, Y) :- V1(X, Z), E(Z2, Y), Z = Z2.",
+		"def E(a*:T1, b:T1)\nE(X, Y) :- E(X, Y).",
+		"V(X, T2:9) :- R(X, Y).\nW(X) :- R(X, Y).",
+		"R(a*:T1, b:T2)\nR(a*:T1, b:T2)\nS(x:T1, y:T2, y:T2)",
+		"# keyedeq:allow(eqconflict) -- fuzz\nQ(X) :- R(X, Y), Y = T2:1, Y = T2:2.",
+		"Q(X :- R(X, Y).\ndef broken(\n((((",
+		"",
+	}
+	for _, s := range seeds {
+		for kind := 0; kind < 4; kind++ {
+			f.Add(s, kind)
+		}
+	}
+	base := schema.MustParse("R(a*:T1, b:T2)\nS(x*:T1, y:T2, z:T3)\nE(src*:T1, dst:T1)")
+	dst := schema.MustParse("V(v1*:T1, v2:T2)\nW(w1*:T1, w2:T1)")
+	f.Fuzz(func(t *testing.T, text string, kind int) {
+		var u *Unit
+		switch Kind(((kind % 4) + 4) % 4) {
+		case KindQueries:
+			u = NewQueriesUnit("fuzz.cq", text, base)
+		case KindProgram:
+			u = NewProgramUnit("fuzz.prog", text, base)
+		case KindMapping:
+			u = NewMappingUnit("fuzz.map", text, base, dst)
+		case KindSchema:
+			u = NewSchemaUnit("fuzz.schema", text)
+		}
+		rules := AllRules()
+		out := Run([]*Unit{u}, rules)
+		for _, d := range out {
+			if d.Pos.Line < 1 || d.Pos.Col < 1 {
+				t.Fatalf("finding without a position: %s", d)
+			}
+			if d.Rule == "" || d.File == "" {
+				t.Fatalf("finding missing rule or file: %#v", d)
+			}
+		}
+		rev := make([]Rule, len(rules))
+		for i, r := range rules {
+			rev[len(rules)-1-i] = r
+		}
+		if !sameDiagnostics(out, Run([]*Unit{u}, rev)) {
+			t.Fatalf("diagnostics depend on rule order for %q", text)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package qvet is keyedeq's semantic static analyzer for the artifacts
+// the paper reasons about: conjunctive queries, non-recursive Datalog
+// programs, query mappings, and keyed schemas.  Where internal/analysis
+// lints the repo's Go sources, qvet lints the *inputs* of the
+// equivalence machinery, rejecting ill-formed or degenerate queries
+// cheaply and deterministically before the chase or a containment
+// search ever runs.  It follows the same architecture: named,
+// individually testable rules over loaded units, positioned
+// diagnostics, and directive suppression.
+//
+// The rule catalogue (paper references in each rule's doc comment):
+//
+//	eqconflict     equality list equates two distinct constants
+//	eqtype         equality compares attributes of different types
+//	eqorphan       equality references a variable absent from the body
+//	headunsafe     head variable not bound by any body atom
+//	dupplaceholder body placeholder variable reused (§2 syntax)
+//	atomarity      unknown relation or arity mismatch in a body atom
+//	unusedatom     body atom contributing no head or equality variable
+//	redundantatom  atom removable per the Minimize homomorphism check
+//	viewstrat      undeclared, empty, or non-stratified view uses
+//	viewshadow     view declaration shadowing a base relation or a view
+//	viewtype       rule head incompatible with its view's scheme
+//	mapviews       mapping views not in bijection with the destination
+//	recvtotal      destination attribute receiving no source attribute
+//	schemadup      duplicate relation or attribute names in a schema
+//	keycover       schema neither fully keyed nor fully unkeyed
+//
+// A finding can be suppressed — with justification — by a directive on
+// the flagged line or the line above it, mirroring keyedeq-lint:
+//
+//	# keyedeq:allow(eqconflict) -- exercising the empty query
+//
+// The driver is cmd/keyedeq-vet.
+package qvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/invariant"
+)
+
+// Diagnostic is one rule finding, positioned in the unit's source file.
+type Diagnostic struct {
+	Rule    string
+	File    string
+	Pos     cq.Pos
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Pos.Line, d.Pos.Col, d.Rule, d.Message)
+}
+
+// Rule is one named, independently testable check over a loaded unit.
+// Rules must be pure functions of the unit: no rule may depend on
+// another rule having run, so the diagnostic set is identical under any
+// rule permutation (asserted by Run in keyedeq_debug builds).
+type Rule interface {
+	Name() string
+	// Check inspects one unit and returns its findings.  Directive
+	// suppression is applied by Run, not by the rule.
+	Check(u *Unit) []Diagnostic
+}
+
+// AllRules returns the full catalogue in reporting order.
+func AllRules() []Rule {
+	return []Rule{
+		EqConflict{}, EqType{}, EqOrphan{}, HeadUnsafe{}, DupPlaceholder{},
+		AtomArity{}, UnusedAtom{}, RedundantAtom{},
+		ViewStrat{}, ViewShadow{}, ViewType{},
+		MapViews{}, RecvTotal{},
+		SchemaDup{}, KeyCover{},
+	}
+}
+
+// RuleNames returns the catalogue's names, for CLI validation.
+func RuleNames() []string {
+	var out []string
+	for _, r := range AllRules() {
+		out = append(out, r.Name())
+	}
+	return out
+}
+
+// Run applies the rules to every unit, prepends the units' parse
+// diagnostics, drops suppressed findings, and returns the rest sorted
+// by position.  In keyedeq_debug builds it re-runs the rules in
+// reversed order and asserts the diagnostic set is permutation-
+// independent.
+func Run(units []*Unit, rules []Rule) []Diagnostic {
+	out := run(units, rules)
+	if invariant.Debug {
+		rev := make([]Rule, len(rules))
+		for i, r := range rules {
+			rev[len(rules)-1-i] = r
+		}
+		again := run(units, rev)
+		invariant.Assertf(sameDiagnostics(out, again),
+			"qvet: diagnostic set depends on rule order (%d vs %d findings)", len(out), len(again))
+	}
+	return out
+}
+
+func run(units []*Unit, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, u := range units {
+		allow := collectAllows(u)
+		out = append(out, u.ParseDiags...)
+		for _, r := range rules {
+			for _, d := range r.Check(u) {
+				if allow.covers(r.Name(), d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+func sameDiagnostics(a, b []Diagnostic) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allowSet maps line -> rule names suppressed on that line (one unit =
+// one file, so no filename dimension).
+type allowSet map[int]map[string]bool
+
+func (a allowSet) covers(rule string, pos cq.Pos) bool {
+	// A directive suppresses findings on its own line and the line
+	// below (directive-above-the-statement style).
+	return a[pos.Line][rule] || a[pos.Line-1][rule]
+}
+
+// collectAllows gathers "keyedeq:allow(rule, ...)" (or space-separated
+// "keyedeq:allow rule ..." ) directives from the unit's comments.  Both
+// '#' and '//' comment markers are honoured so query files and embedded
+// snippets share one syntax.
+func collectAllows(u *Unit) allowSet {
+	out := make(allowSet)
+	for i, line := range strings.Split(u.Text, "\n") {
+		at := strings.Index(line, "keyedeq:allow")
+		if at < 0 {
+			continue
+		}
+		rest := line[at+len("keyedeq:allow"):]
+		rest, _, _ = strings.Cut(rest, "--")
+		rules := out[i+1]
+		if rules == nil {
+			rules = make(map[string]bool)
+			out[i+1] = rules
+		}
+		for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+			return r == '(' || r == ')' || r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			rules[name] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package qvet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/schema"
+)
+
+// The fixture harness mirrors internal/analysis: every rule has a
+// testdata/<rule>/ directory with a bad.* file carrying trailing
+// "# want <rule>" markers (one expected finding per occurrence of the
+// rule name on that line) and a good.* file that must vet clean under
+// the rule.
+
+func fixtureSchema(t *testing.T, name string) *schema.Schema {
+	t.Helper()
+	text, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.Parse(string(text))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return s
+}
+
+// loadFixture builds a unit for path, picking the loader by extension
+// and supplying the shared fixture schemas as context.
+func loadFixture(t *testing.T, path string) *Unit {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	switch filepath.Ext(path) {
+	case ".cq":
+		return NewQueriesUnit(path, text, fixtureSchema(t, "base.schema"))
+	case ".prog":
+		return NewProgramUnit(path, text, fixtureSchema(t, "base.schema"))
+	case ".map":
+		return NewMappingUnit(path, text, fixtureSchema(t, "base.schema"), fixtureSchema(t, "dst.schema"))
+	case ".schema":
+		return NewSchemaUnit(path, text)
+	default:
+		t.Fatalf("unknown fixture extension: %s", path)
+		return nil
+	}
+}
+
+// wantCounts reads "# want <rule> ..." markers: line number -> number of
+// findings the named rule must report on that line.
+func wantCounts(text, rule string) map[int]int {
+	out := make(map[int]int)
+	for i, line := range strings.Split(text, "\n") {
+		_, marker, ok := strings.Cut(line, "# want ")
+		if !ok {
+			continue
+		}
+		for _, name := range strings.Fields(marker) {
+			if name == rule {
+				out[i+1]++
+			}
+		}
+	}
+	return out
+}
+
+func ruleByName(t *testing.T, name string) Rule {
+	t.Helper()
+	for _, r := range AllRules() {
+		if r.Name() == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule named %q", name)
+	return nil
+}
+
+func TestRuleFixtures(t *testing.T) {
+	dirs, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool)
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		rule := d.Name()
+		covered[rule] = true
+		t.Run(rule, func(t *testing.T) {
+			r := ruleByName(t, rule)
+			matches, err := filepath.Glob(filepath.Join("testdata", rule, "*"))
+			if err != nil || len(matches) == 0 {
+				t.Fatalf("no fixtures for %s: %v", rule, err)
+			}
+			var sawBad, sawGood bool
+			for _, path := range matches {
+				u := loadFixture(t, path)
+				if len(u.ParseDiags) != 0 {
+					t.Fatalf("%s: fixture does not parse: %v", path, u.ParseDiags[0])
+				}
+				got := make(map[int]int)
+				for _, diag := range Run([]*Unit{u}, []Rule{r}) {
+					if diag.Rule != rule {
+						t.Errorf("%s: rule %s reported as %q: %s", path, rule, diag.Rule, diag)
+					}
+					if !diag.Pos.IsValid() {
+						t.Errorf("%s: finding without position: %s", path, diag)
+					}
+					got[diag.Pos.Line]++
+				}
+				want := wantCounts(u.Text, rule)
+				if strings.HasPrefix(filepath.Base(path), "bad") {
+					sawBad = true
+					if len(want) == 0 {
+						t.Fatalf("%s: bad fixture has no want markers", path)
+					}
+				} else {
+					sawGood = true
+				}
+				for line, n := range want {
+					if got[line] != n {
+						t.Errorf("%s:%d: want %d %s finding(s), got %d", path, line, n, rule, got[line])
+					}
+				}
+				for line, n := range got {
+					if want[line] == 0 {
+						t.Errorf("%s:%d: %d unexpected %s finding(s)", path, line, n, rule)
+					}
+				}
+			}
+			if !sawBad || !sawGood {
+				t.Errorf("rule %s needs both a bad and a good fixture (bad=%v good=%v)", rule, sawBad, sawGood)
+			}
+		})
+	}
+	for _, r := range AllRules() {
+		if !covered[r.Name()] {
+			t.Errorf("rule %s has no fixture directory", r.Name())
+		}
+	}
+}
+
+func TestRuleNamesUniqueAndLower(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, name := range RuleNames() {
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " \t") {
+			t.Errorf("rule name %q is not a lowercase token", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate rule name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("catalogue has %d rules, want at least 10", len(seen))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	u := &Unit{File: "views.cq"}
+	d := u.diag("eqconflict", cq.Pos{Line: 3, Col: 14}, "equality %s is unsatisfiable", "X = T1:2")
+	want := "views.cq:3:14: [eqconflict] equality X = T1:2 is unsatisfiable"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	s := fixtureSchema(t, "base.schema")
+	flagged := "Q(X) :- R(X, Y), Y = T2:1, Y = T2:2."
+	cases := []struct {
+		name string
+		text string
+		want int
+	}{
+		{"no directive", flagged, 1},
+		{"same line", flagged + " # keyedeq:allow(eqconflict) -- exercising the empty query", 0},
+		{"line above", "# keyedeq:allow(eqconflict) -- empty on purpose\n" + flagged, 0},
+		{"wrong rule", flagged + " # keyedeq:allow(eqtype) -- not this one", 1},
+		{"multiple rules", flagged + " # keyedeq:allow(eqtype, eqconflict)", 0},
+		{"too far above", "# keyedeq:allow(eqconflict)\n\n" + flagged, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := NewQueriesUnit("t.cq", tc.text, s)
+			if len(u.ParseDiags) != 0 {
+				t.Fatalf("parse: %v", u.ParseDiags[0])
+			}
+			got := Run([]*Unit{u}, []Rule{EqConflict{}})
+			if len(got) != tc.want {
+				t.Errorf("got %d findings, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+func TestRunIsRuleOrderIndependent(t *testing.T) {
+	// Load every fixture into one batch and compare the full catalogue
+	// against its reversal.  (keyedeq_debug builds additionally assert
+	// this inside Run itself.)
+	var units []*Unit
+	matches, err := filepath.Glob(filepath.Join("testdata", "*", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		units = append(units, loadFixture(t, path))
+	}
+	rules := AllRules()
+	rev := make([]Rule, len(rules))
+	for i, r := range rules {
+		rev[len(rules)-1-i] = r
+	}
+	a, b := Run(units, rules), Run(units, rev)
+	if !sameDiagnostics(a, b) {
+		t.Fatalf("diagnostic set depends on rule order:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("fixture batch produced no findings; harness is not exercising anything")
+	}
+}
+
+func TestParseDiagnosticsArePositioned(t *testing.T) {
+	s := fixtureSchema(t, "base.schema")
+	u := NewQueriesUnit("t.cq", "Q(X) :- R(X, Y).\n  Q(X :- R(X, Y).\n", s)
+	if len(u.Queries) != 1 {
+		t.Fatalf("lenient loader kept %d queries, want 1", len(u.Queries))
+	}
+	if len(u.ParseDiags) != 1 {
+		t.Fatalf("got %d parse diags, want 1: %v", len(u.ParseDiags), u.ParseDiags)
+	}
+	d := u.ParseDiags[0]
+	if d.Rule != "parse" || d.Pos.Line != 2 || d.Pos.Col < 3 {
+		t.Errorf("parse diag at %v (rule %q), want line 2 at or after the indent", d.Pos, d.Rule)
+	}
+	out := Run([]*Unit{u}, AllRules())
+	found := false
+	for _, diag := range out {
+		if diag.Rule == "parse" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Run dropped the parse diagnostic")
+	}
+}
+
+func TestRunSortsAcrossFilesAndPositions(t *testing.T) {
+	s := fixtureSchema(t, "base.schema")
+	ub := NewQueriesUnit("b.cq", "Q(X, W) :- R(X, Y), Z = T2:1.", s)
+	ua := NewQueriesUnit("a.cq", "Q(X, W) :- R(X, Y).", s)
+	out := Run([]*Unit{ub, ua}, AllRules())
+	if len(out) < 3 {
+		t.Fatalf("want at least 3 findings, got %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		p, q := out[i-1], out[i]
+		if p.File > q.File || (p.File == q.File && p.Pos.Line > q.Pos.Line) ||
+			(p.File == q.File && p.Pos.Line == q.Pos.Line && p.Pos.Col > q.Pos.Col) {
+			t.Errorf("output not sorted: %s before %s", p, q)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package qvet
+
+import (
+	"keyedeq/internal/cq"
+	"keyedeq/internal/value"
+)
+
+// Mapping-level rules.  A query mapping α = (v1, ..., vm) must define
+// every destination relation exactly once with a type-correct view
+// (§2, "query mapping"); the receives analysis (Lemmas 3–5) then
+// relates destination attributes back to source attributes.
+
+// MapViews reports mapping files whose views are not in bijection with
+// the destination schema: heads naming no destination relation,
+// destination relations defined twice or not at all, and views whose
+// head arity or types do not match their relation scheme.
+type MapViews struct{}
+
+// Name implements Rule.
+func (MapViews) Name() string { return "mapviews" }
+
+// Check implements Rule.
+func (MapViews) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindMapping || u.Dst == nil {
+		return nil
+	}
+	var out []Diagnostic
+	defined := make(map[string]bool)
+	for _, q := range u.Queries {
+		rel := u.Dst.Relation(q.HeadRel)
+		if rel == nil {
+			out = append(out, u.diag("mapviews", q.Pos,
+				"%q is not a destination relation", q.HeadRel))
+			continue
+		}
+		if defined[q.HeadRel] {
+			out = append(out, u.diag("mapviews", q.Pos,
+				"destination relation %q defined twice", q.HeadRel))
+		}
+		defined[q.HeadRel] = true
+		if len(q.Head) != rel.Arity() {
+			out = append(out, u.diag("mapviews", q.Pos,
+				"view for %q has arity %d, scheme wants %d", q.HeadRel, len(q.Head), rel.Arity()))
+			continue
+		}
+		types := varTypes(q, u.Schema)
+		for p, t := range q.Head {
+			var ht value.Type
+			if t.IsConst {
+				ht = t.Const.Type
+			} else {
+				var known bool
+				ht, known = types[t.Var]
+				if !known {
+					continue // headunsafe or atomarity owns this
+				}
+			}
+			if ht != value.NoType && ht != rel.Attrs[p].Type {
+				out = append(out, u.diag("mapviews", termPos(q, t),
+					"view for %q: head position %d has type %v, scheme wants %v", q.HeadRel, p, ht, rel.Attrs[p].Type))
+			}
+		}
+	}
+	for _, rel := range u.Dst.Relations {
+		if !defined[rel.Name] {
+			out = append(out, u.diag("mapviews", cq.Pos{Line: 1, Col: 1},
+				"no view defines destination relation %q", rel.Name))
+		}
+	}
+	return out
+}
+
+// RecvTotal reports destination attributes that receive no source
+// attribute — head positions filled by a constant.  Per the receives
+// analysis of Lemmas 3–5, an attribute of S2 that receives nothing
+// under α can never be "received back" by any β, so no dominance pair
+// (α, β) with β∘α = id can include this mapping: the column carries no
+// information from the source instance.
+type RecvTotal struct{}
+
+// Name implements Rule.
+func (RecvTotal) Name() string { return "recvtotal" }
+
+// Check implements Rule.
+func (RecvTotal) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindMapping || u.Dst == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, q := range u.Queries {
+		rel := u.Dst.Relation(q.HeadRel)
+		if rel == nil || len(q.Head) != rel.Arity() {
+			continue // mapviews' finding
+		}
+		// Receives needs a well-formed body; skip queries other rules
+		// already reject so the analysis cannot misfire.
+		if u.Schema == nil || q.Validate(u.Schema) != nil {
+			continue
+		}
+		for p, rec := range cq.Receives(q) {
+			if len(rec.Attrs) == 0 {
+				out = append(out, u.diag("recvtotal", termPos(q, q.Head[p]),
+					"destination attribute %s.%s receives no source attribute (constant only); no dominance pair can restore it (Lemmas 3-5)",
+					rel.Name, rel.Attrs[p].Name))
+			}
+		}
+	}
+	return out
+}

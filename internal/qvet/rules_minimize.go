@@ -1,0 +1,68 @@
+package qvet
+
+import (
+	"keyedeq/internal/containment"
+	"keyedeq/internal/fd"
+)
+
+// redundantAtomCap bounds the body size RedundantAtom will minimize.
+// The core computation runs containment tests (NP-hard in the query
+// size); beyond the cap the rule stays silent rather than stalling the
+// whole vet run.  Paper-scale queries sit far below it.
+const redundantAtomCap = 8
+
+// RedundantAtom reports body atoms whose removal leaves an equivalent
+// query, per the homomorphism core computed by containment.Minimize
+// under the schema's key dependencies.  A redundant atom is not wrong,
+// but it bloats every downstream chase and containment search — the
+// paper's proofs always argue on minimized queries, and so should
+// inputs.  The check is static: the query text is never evaluated.
+type RedundantAtom struct{}
+
+// Name implements Rule.
+func (RedundantAtom) Name() string { return "redundantatom" }
+
+// Check implements Rule.
+func (RedundantAtom) Check(u *Unit) []Diagnostic {
+	s := u.ContextSchema()
+	if s == nil || s.Validate() != nil {
+		return nil
+	}
+	deps := fd.KeyFDs(s)
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		if len(q.Body) < 2 || len(q.Body) > redundantAtomCap {
+			continue
+		}
+		// Only well-formed queries have a core; the other rules own
+		// the ill-formed cases.
+		if q.Validate(s) != nil {
+			continue
+		}
+		core, err := containment.Minimize(q, s, deps)
+		if err != nil || len(core.Body) >= len(q.Body) {
+			continue
+		}
+		// Attribute the shrinkage to concrete atoms: atoms of one
+		// relation are interchangeable up to renaming, so report the
+		// last occurrences of each relation the core has fewer of.
+		dropped := make(map[string]int)
+		for _, a := range q.Body {
+			dropped[a.Rel]++
+		}
+		for _, a := range core.Body {
+			dropped[a.Rel]--
+		}
+		for i := len(q.Body) - 1; i >= 0; i-- {
+			a := q.Body[i]
+			if dropped[a.Rel] > 0 {
+				dropped[a.Rel]--
+				out = append(out, u.diag("redundantatom", atomPos(q, a),
+					"atom %s is redundant: the query's core keeps %d of %d atoms (homomorphism check, keys included)",
+					a, len(core.Body), len(q.Body)))
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

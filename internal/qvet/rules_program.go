@@ -1,0 +1,152 @@
+package qvet
+
+import "keyedeq/internal/value"
+
+// Program-level rules over the lenient def/rule representation.  They
+// re-establish exactly what program.Parse enforces fatally — here as
+// individually positioned, suppressible findings, so one bad stratum
+// does not hide the rest of the file.
+
+// defIndex maps view names to their first declaration index.
+func defIndex(u *Unit) map[string]int {
+	byName := make(map[string]int, len(u.Defs))
+	for i, d := range u.Defs {
+		if _, dup := byName[d.Rel.Name]; !dup {
+			byName[d.Rel.Name] = i
+		}
+	}
+	return byName
+}
+
+// ViewStrat reports stratification breaks in a program: rules whose
+// head names no declared view, views declared but never defined, and
+// rule bodies using the rule's own view or a later one.  Non-recursive
+// Datalog (the paper's program language, and the precondition for
+// Unfold's reduction to UCQ equivalence) requires each stratum to read
+// only the layers below it.
+type ViewStrat struct{}
+
+// Name implements Rule.
+func (ViewStrat) Name() string { return "viewstrat" }
+
+// Check implements Rule.
+func (ViewStrat) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindProgram {
+		return nil
+	}
+	var out []Diagnostic
+	byName := defIndex(u)
+	defined := make(map[string]bool)
+	for _, q := range u.Rules {
+		stratum, ok := byName[q.HeadRel]
+		if !ok {
+			out = append(out, u.diag("viewstrat", q.Pos,
+				"rule for undeclared view %q", q.HeadRel))
+			continue
+		}
+		defined[q.HeadRel] = true
+		for _, a := range q.Body {
+			used, isView := byName[a.Rel]
+			if !isView {
+				continue
+			}
+			switch {
+			case used == stratum:
+				out = append(out, u.diag("viewstrat", atomPos(q, a),
+					"view %q uses itself; programs must be non-recursive", a.Rel))
+			case used > stratum:
+				out = append(out, u.diag("viewstrat", atomPos(q, a),
+					"view %q is declared after %q; rules may use earlier strata only", a.Rel, q.HeadRel))
+			}
+		}
+	}
+	for _, d := range u.Defs {
+		if !defined[d.Rel.Name] {
+			out = append(out, u.diag("viewstrat", d.Pos,
+				"view %q has no rules", d.Rel.Name))
+		}
+	}
+	return out
+}
+
+// ViewShadow reports view declarations that shadow a base relation or
+// re-declare an earlier view, and views declaring a key (derived
+// relations carry no dependencies in the paper's model — keys on views
+// are what Theorem 6's FD-transfer *derives*, never declares).
+type ViewShadow struct{}
+
+// Name implements Rule.
+func (ViewShadow) Name() string { return "viewshadow" }
+
+// Check implements Rule.
+func (ViewShadow) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindProgram {
+		return nil
+	}
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, d := range u.Defs {
+		if u.Schema != nil && u.Schema.Relation(d.Rel.Name) != nil {
+			out = append(out, u.diag("viewshadow", d.Pos,
+				"view %q shadows a base relation", d.Rel.Name))
+		}
+		if seen[d.Rel.Name] {
+			out = append(out, u.diag("viewshadow", d.Pos,
+				"view %q declared twice", d.Rel.Name))
+		}
+		seen[d.Rel.Name] = true
+		if d.Rel.Keyed() {
+			out = append(out, u.diag("viewshadow", d.Pos,
+				"derived relation %q cannot declare a key", d.Rel.Name))
+		}
+	}
+	return out
+}
+
+// ViewType reports rules whose head does not fit the declared view
+// scheme: wrong arity, or a head position whose inferred type differs
+// from the scheme's attribute type.
+type ViewType struct{}
+
+// Name implements Rule.
+func (ViewType) Name() string { return "viewtype" }
+
+// Check implements Rule.
+func (ViewType) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindProgram {
+		return nil
+	}
+	var out []Diagnostic
+	byName := defIndex(u)
+	s := u.ContextSchema()
+	for _, q := range u.Rules {
+		i, ok := byName[q.HeadRel]
+		if !ok {
+			continue // viewstrat's finding
+		}
+		scheme := u.Defs[i].Rel
+		if len(q.Head) != scheme.Arity() {
+			out = append(out, u.diag("viewtype", q.Pos,
+				"rule for %q has arity %d, scheme wants %d", q.HeadRel, len(q.Head), scheme.Arity()))
+			continue
+		}
+		types := varTypes(q, s)
+		for p, t := range q.Head {
+			var ht value.Type
+			if t.IsConst {
+				ht = t.Const.Type
+			} else {
+				var known bool
+				ht, known = types[t.Var]
+				if !known {
+					continue // headunsafe or atomarity owns this
+				}
+			}
+			if ht != value.NoType && ht != scheme.Attrs[p].Type {
+				out = append(out, u.diag("viewtype", termPos(q, t),
+					"rule for %q: head position %d has type %v, scheme wants %v", q.HeadRel, p, ht, scheme.Attrs[p].Type))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package qvet
+
+import (
+	"keyedeq/internal/cq"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Query-level rules.  Each applies to every conjunctive query in a
+// unit — standalone queries, mapping views, and program rules alike —
+// with the unit's context schema resolving body atoms.
+
+// varTypes resolves the attribute type of every placeholder whose atom
+// names a known relation with matching arity.  Unknown relations and
+// arity mismatches are atomarity's findings; other rules simply skip
+// the unresolvable variables instead of double-reporting.
+func varTypes(q *cq.Query, s *schema.Schema) map[cq.Var]value.Type {
+	out := make(map[cq.Var]value.Type)
+	if s == nil {
+		return out
+	}
+	for _, a := range q.Body {
+		r := s.Relation(a.Rel)
+		if r == nil || len(a.Vars) != r.Arity() {
+			continue
+		}
+		for i, v := range a.Vars {
+			if _, dup := out[v]; !dup {
+				out[v] = r.Attrs[i].Type
+			}
+		}
+	}
+	return out
+}
+
+// termPos prefers a term's own parser span, falling back to the query.
+func termPos(q *cq.Query, t cq.Term) cq.Pos {
+	if t.Pos.IsValid() {
+		return t.Pos
+	}
+	return q.Pos
+}
+
+// eqPos prefers an equality's parser span, falling back to the query.
+func eqPos(q *cq.Query, e cq.Equality) cq.Pos {
+	if e.Pos.IsValid() {
+		return e.Pos
+	}
+	return q.Pos
+}
+
+// EqConflict reports equality lists that equate two distinct constants
+// (directly or through a chain of variables).  Such a query returns the
+// empty answer on every database — the degenerate case the paper's
+// equality-class machinery (§2) detects via EqClasses.Unsatisfiable —
+// so shipping one is almost certainly an authoring mistake.
+type EqConflict struct{}
+
+// Name implements Rule.
+func (EqConflict) Name() string { return "eqconflict" }
+
+// Check finds, for each query, the first equality whose addition makes
+// the classes unsatisfiable, by replaying the equality list prefix by
+// prefix.
+func (EqConflict) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		full := cq.NewEqClasses(q)
+		if !full.Unsatisfiable() {
+			continue
+		}
+		at := len(q.Eqs) - 1
+		for i := range q.Eqs {
+			probe := q.Clone()
+			probe.Eqs = probe.Eqs[:i+1]
+			if cq.NewEqClasses(probe).Unsatisfiable() {
+				at = i
+				break
+			}
+		}
+		out = append(out, u.diag("eqconflict", eqPos(q, q.Eqs[at]),
+			"equality %s makes the classes bind two distinct constants; the query is empty on every database", q.Eqs[at]))
+	}
+	return out
+}
+
+// EqType reports equalities whose two sides have different attribute
+// types.  The paper's queries are typed (§2): a cross-type selection or
+// join can never hold, and the mapping machinery (Lemmas 3–5) relies on
+// receives being type-preserving.
+type EqType struct{}
+
+// Name implements Rule.
+func (EqType) Name() string { return "eqtype" }
+
+// Check implements Rule.
+func (EqType) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	s := u.ContextSchema()
+	for _, q := range u.AllQueries() {
+		types := varTypes(q, s)
+		for _, e := range q.Eqs {
+			lt, ok := types[e.Left]
+			if !ok {
+				continue
+			}
+			if e.Right.IsConst {
+				if e.Right.Const.Type != value.NoType && e.Right.Const.Type != lt {
+					out = append(out, u.diag("eqtype", eqPos(q, e),
+						"selection %s compares %v with %v", e, lt, e.Right.Const.Type))
+				}
+				continue
+			}
+			rt, ok := types[e.Right.Var]
+			if ok && lt != rt {
+				out = append(out, u.diag("eqtype", eqPos(q, e),
+					"equality %s compares %v with %v", e, lt, rt))
+			}
+		}
+	}
+	return out
+}
+
+// EqOrphan reports equality predicates referencing a variable that
+// occurs in no body atom.  The paper's syntax (§2) requires every
+// equality variable to be a body placeholder; an orphan is usually a
+// typo for one.
+type EqOrphan struct{}
+
+// Name implements Rule.
+func (EqOrphan) Name() string { return "eqorphan" }
+
+// Check implements Rule.
+func (EqOrphan) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		for _, e := range q.Eqs {
+			if !q.HasBodyVar(e.Left) {
+				out = append(out, u.diag("eqorphan", eqPos(q, e),
+					"equality variable %s does not occur in the body", e.Left))
+			}
+			if !e.Right.IsConst && !q.HasBodyVar(e.Right.Var) {
+				out = append(out, u.diag("eqorphan", termPos(q, e.Right),
+					"equality variable %s does not occur in the body", e.Right.Var))
+			}
+		}
+	}
+	return out
+}
+
+// HeadUnsafe reports head variables that no body atom binds.  Such a
+// query is unsafe: its answer would range over the whole domain, which
+// the paper's view language (and any reasonable evaluator) excludes.
+type HeadUnsafe struct{}
+
+// Name implements Rule.
+func (HeadUnsafe) Name() string { return "headunsafe" }
+
+// Check implements Rule.
+func (HeadUnsafe) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		for _, t := range q.Head {
+			if t.IsConst {
+				continue
+			}
+			if !q.HasBodyVar(t.Var) {
+				out = append(out, u.diag("headunsafe", termPos(q, t),
+					"head variable %s is not bound by any body atom", t.Var))
+			}
+		}
+	}
+	return out
+}
+
+// DupPlaceholder reports body placeholder variables used in more than
+// one position.  The paper's restricted Datalog syntax (§2) requires
+// globally distinct placeholders, with every join condition explicit in
+// the equality list; a reused placeholder silently smuggles in a join.
+type DupPlaceholder struct{}
+
+// Name implements Rule.
+func (DupPlaceholder) Name() string { return "dupplaceholder" }
+
+// Check implements Rule.
+func (DupPlaceholder) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		seen := make(map[cq.Var]bool)
+		for _, a := range q.Body {
+			for j, v := range a.Vars {
+				if seen[v] {
+					out = append(out, u.diag("dupplaceholder", a.VarPosition(j),
+						"placeholder %s reused; the paper's syntax requires distinct variables with an explicit equality", v))
+					continue
+				}
+				seen[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// AtomArity reports body atoms naming an unknown relation or carrying
+// the wrong number of placeholders for their relation scheme.
+type AtomArity struct{}
+
+// Name implements Rule.
+func (AtomArity) Name() string { return "atomarity" }
+
+// Check implements Rule.
+func (AtomArity) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	s := u.ContextSchema()
+	if s == nil {
+		return nil
+	}
+	for _, q := range u.AllQueries() {
+		for _, a := range q.Body {
+			r := s.Relation(a.Rel)
+			if r == nil {
+				out = append(out, u.diag("atomarity", atomPos(q, a),
+					"unknown relation %q", a.Rel))
+				continue
+			}
+			if len(a.Vars) != r.Arity() {
+				out = append(out, u.diag("atomarity", atomPos(q, a),
+					"%s has %d placeholders, scheme wants %d", a.Rel, len(a.Vars), r.Arity()))
+			}
+		}
+	}
+	return out
+}
+
+func atomPos(q *cq.Query, a cq.Atom) cq.Pos {
+	if a.Pos.IsValid() {
+		return a.Pos
+	}
+	return q.Pos
+}
+
+// UnusedAtom reports body atoms none of whose placeholders reach the
+// head or the equality list.  Such an atom only asserts non-emptiness
+// of its relation — legal, but almost always a leftover from editing;
+// the paper's queries never need one (a pure cartesian factor survives
+// no minimization).  Single-atom bodies are exempt: there the atom IS
+// the query.
+type UnusedAtom struct{}
+
+// Name implements Rule.
+func (UnusedAtom) Name() string { return "unusedatom" }
+
+// Check implements Rule.
+func (UnusedAtom) Check(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, q := range u.AllQueries() {
+		if len(q.Body) <= 1 {
+			continue
+		}
+		used := make(map[cq.Var]bool)
+		for _, t := range q.Head {
+			if !t.IsConst {
+				used[t.Var] = true
+			}
+		}
+		for _, e := range q.Eqs {
+			used[e.Left] = true
+			if !e.Right.IsConst {
+				used[e.Right.Var] = true
+			}
+		}
+		for _, a := range q.Body {
+			contributes := false
+			for _, v := range a.Vars {
+				if used[v] {
+					contributes = true
+					break
+				}
+			}
+			if !contributes {
+				out = append(out, u.diag("unusedatom", atomPos(q, a),
+					"atom %s contributes no head or equality variable; it only asserts %s is non-empty", a, a.Rel))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package qvet
+
+// Schema-level rules over the lenient relation-line representation.
+
+// SchemaDup reports duplicate relation names across a schema file and
+// duplicate attribute names within one relation.  schema.New rejects
+// both fatally; vet points at each offending line instead.
+type SchemaDup struct{}
+
+// Name implements Rule.
+func (SchemaDup) Name() string { return "schemadup" }
+
+// Check implements Rule.
+func (SchemaDup) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindSchema {
+		return nil
+	}
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, d := range u.Rels {
+		if seen[d.Rel.Name] {
+			out = append(out, u.diag("schemadup", d.Pos,
+				"duplicate relation name %q", d.Rel.Name))
+		}
+		seen[d.Rel.Name] = true
+		attrs := make(map[string]bool)
+		for _, a := range d.Rel.Attrs {
+			if attrs[a.Name] {
+				out = append(out, u.diag("schemadup", d.Pos,
+					"relation %q has duplicate attribute %q", d.Rel.Name, a.Name))
+			}
+			attrs[a.Name] = true
+		}
+	}
+	return out
+}
+
+// KeyCover reports schemas that are neither fully keyed nor fully
+// unkeyed.  The paper's dichotomy (keyed schemas in Theorem 13, unkeyed
+// in the Sagiv–Yannakakis reduction) assumes a uniform key discipline;
+// a mixed schema silently weakens every key-based inference — the
+// κ-projection and FD-transfer (Theorem 6) only see the keyed part.
+type KeyCover struct{}
+
+// Name implements Rule.
+func (KeyCover) Name() string { return "keycover" }
+
+// Check implements Rule.
+func (KeyCover) Check(u *Unit) []Diagnostic {
+	if u.Kind != KindSchema {
+		return nil
+	}
+	keyed, unkeyed := 0, 0
+	for _, d := range u.Rels {
+		if d.Rel.Keyed() {
+			keyed++
+		} else {
+			unkeyed++
+		}
+	}
+	if keyed == 0 || unkeyed == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, d := range u.Rels {
+		if !d.Rel.Keyed() {
+			out = append(out, u.diag("keycover", d.Pos,
+				"relation %q declares no key but %d other relation(s) do; the paper's machinery wants a fully keyed or fully unkeyed schema", d.Rel.Name, keyed))
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package qvet
+
+import (
+	"fmt"
+	"strings"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/schema"
+)
+
+// Kind discriminates what a unit holds.
+type Kind int
+
+const (
+	// KindQueries is a file of standalone conjunctive queries, one per
+	// line, checked against a context schema.
+	KindQueries Kind = iota
+	// KindProgram is a non-recursive Datalog program over a base schema.
+	KindProgram
+	// KindMapping is a query mapping: one view per destination relation.
+	KindMapping
+	// KindSchema is a schema file checked on its own.
+	KindSchema
+)
+
+// String names the kind for messages.
+func (k Kind) String() string {
+	switch k {
+	case KindQueries:
+		return "queries"
+	case KindProgram:
+		return "program"
+	case KindMapping:
+		return "mapping"
+	case KindSchema:
+		return "schema"
+	}
+	return "unknown"
+}
+
+// ViewDef is one lenient "def" declaration of a program file.
+type ViewDef struct {
+	Rel *schema.Relation
+	Pos cq.Pos
+}
+
+// RelDecl is one lenient relation scheme line of a schema file.
+type RelDecl struct {
+	Rel *schema.Relation
+	Pos cq.Pos
+}
+
+// Unit is one loaded artifact under analysis.  Loading is LENIENT:
+// everything that parses is kept, everything that does not becomes a
+// "parse" diagnostic, and no cross-line validation happens — that is
+// the rules' job, so an ill-formed file yields positioned findings
+// instead of one fatal error.
+type Unit struct {
+	File string
+	Kind Kind
+	// Text is the raw file text; the driver scans it for
+	// keyedeq:allow directives.
+	Text string
+
+	// Schema is the context schema: the schema queries are checked
+	// against (KindQueries), the program's base schema (KindProgram),
+	// or the mapping's source schema (KindMapping).  Nil for
+	// KindSchema units and when the caller could not load one.
+	Schema *schema.Schema
+	// Dst is the mapping's destination schema (KindMapping only).
+	Dst *schema.Schema
+
+	// Queries holds standalone queries (KindQueries) or mapping views
+	// (KindMapping) in file order.
+	Queries []*cq.Query
+	// Defs and Rules hold a program's declarations and rules in file
+	// order (KindProgram).
+	Defs  []ViewDef
+	Rules []*cq.Query
+	// Rels holds a schema file's relation scheme lines (KindSchema).
+	Rels []RelDecl
+
+	// ParseDiags are loader-produced syntax findings (rule "parse").
+	ParseDiags []Diagnostic
+}
+
+// stripComment cuts a line at its first '#', so fixtures and data files
+// can carry trailing comments ("R(X, Y). # want eqconflict").  The
+// core parsers have no trailing-comment support; only vet-loaded files
+// get it, and positions are unaffected because only a suffix is cut.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// lines iterates the non-blank, comment-stripped lines of text, giving
+// fn each trimmed line and the file position of its first byte.
+func lines(text string, fn func(trimmed string, base cq.Pos)) {
+	for i, raw := range strings.Split(text, "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		fn(trimmed, cq.Pos{Line: i + 1, Col: cq.LineIndent(line) + 1})
+	}
+}
+
+func (u *Unit) parseDiag(pos cq.Pos, err error) {
+	u.ParseDiags = append(u.ParseDiags, Diagnostic{
+		Rule:    "parse",
+		File:    u.File,
+		Pos:     pos,
+		Message: cq.PositionedMsg(err, pos),
+	})
+}
+
+// NewQueriesUnit loads a queries file: one conjunctive query per line,
+// checked against s.
+func NewQueriesUnit(file, text string, s *schema.Schema) *Unit {
+	u := &Unit{File: file, Kind: KindQueries, Text: text, Schema: s}
+	lines(text, func(trimmed string, base cq.Pos) {
+		q, err := cq.ParseAt(trimmed, base)
+		if err != nil {
+			u.parseDiag(base, err)
+			return
+		}
+		u.Queries = append(u.Queries, q)
+	})
+	return u
+}
+
+// NewProgramUnit loads a program file leniently over base: "def" lines
+// declare views, all other lines are rules.  Stratification, typing,
+// and shadowing are NOT enforced here — the view* rules report them.
+func NewProgramUnit(file, text string, base *schema.Schema) *Unit {
+	u := &Unit{File: file, Kind: KindProgram, Text: text, Schema: base}
+	lines(text, func(trimmed string, pos cq.Pos) {
+		if rest, ok := strings.CutPrefix(trimmed, "def "); ok {
+			rel, err := schema.ParseRelation(strings.TrimSpace(rest))
+			if err != nil {
+				u.parseDiag(pos, err)
+				return
+			}
+			u.Defs = append(u.Defs, ViewDef{Rel: rel, Pos: pos})
+			return
+		}
+		q, err := cq.ParseAt(trimmed, pos)
+		if err != nil {
+			u.parseDiag(pos, err)
+			return
+		}
+		u.Rules = append(u.Rules, q)
+	})
+	return u
+}
+
+// NewMappingUnit loads a mapping file: one view per line, bodies over
+// src, heads naming dst relations.  The bijection between views and
+// destination relations is NOT enforced here — mapviews reports it.
+func NewMappingUnit(file, text string, src, dst *schema.Schema) *Unit {
+	u := &Unit{File: file, Kind: KindMapping, Text: text, Schema: src, Dst: dst}
+	lines(text, func(trimmed string, base cq.Pos) {
+		q, err := cq.ParseAt(trimmed, base)
+		if err != nil {
+			u.parseDiag(base, err)
+			return
+		}
+		u.Queries = append(u.Queries, q)
+	})
+	return u
+}
+
+// NewSchemaUnit loads a schema file leniently: every relation line that
+// parses is kept, including duplicates (schemadup reports them).
+func NewSchemaUnit(file, text string) *Unit {
+	u := &Unit{File: file, Kind: KindSchema, Text: text}
+	lines(text, func(trimmed string, pos cq.Pos) {
+		rel, err := schema.ParseRelation(trimmed)
+		if err != nil {
+			u.parseDiag(pos, err)
+			return
+		}
+		u.Rels = append(u.Rels, RelDecl{Rel: rel, Pos: pos})
+	})
+	return u
+}
+
+// ContextSchema returns the schema a unit's query bodies resolve
+// against: the context schema itself, extended with every declared view
+// for programs (stratification violations are viewstrat's business, not
+// a resolution failure).  May be nil (no schema supplied); rules must
+// tolerate that.
+func (u *Unit) ContextSchema() *schema.Schema {
+	if u.Kind != KindProgram || len(u.Defs) == 0 {
+		return u.Schema
+	}
+	// Built without validation on purpose: duplicate or shadowing defs
+	// must not make the whole unit opaque.  Lookup returns the first
+	// match, which is the base relation under shadowing.
+	ext := &schema.Schema{}
+	if u.Schema != nil {
+		ext.Relations = append(ext.Relations, u.Schema.Relations...)
+	}
+	for _, d := range u.Defs {
+		ext.Relations = append(ext.Relations, d.Rel)
+	}
+	return ext
+}
+
+// AllQueries returns every conjunctive query in the unit — standalone
+// queries, mapping views, or program rules — in file order.
+func (u *Unit) AllQueries() []*cq.Query {
+	if u.Kind == KindProgram {
+		return u.Rules
+	}
+	return u.Queries
+}
+
+// diag builds a finding for this unit.
+func (u *Unit) diag(rule string, pos cq.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Rule: rule, File: u.File, Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
