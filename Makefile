@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint qvet fuzz-smoke vet all
+.PHONY: build test debug race lint qvet fuzz-smoke vet bench cover all
 
 all: build vet test lint qvet
 
@@ -44,3 +44,27 @@ fuzz-smoke:
 	$(GO) test ./internal/instance -run '^$$' -fuzz '^FuzzParseInstance$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/schema -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/qvet -run '^$$' -fuzz '^FuzzQVet$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME)
+
+# bench writes the batch engine's machine-readable regression record
+# (engine-vs-sequential wall time, node counts, cache hit rates).
+# bench-verify is the CI gate over it: parse + engine not slower.
+bench:
+	$(GO) run ./cmd/keyedeq-bench -json BENCH_engine.json
+
+bench-verify:
+	$(GO) run ./cmd/keyedeq-bench -verify-bench BENCH_engine.json
+
+# cover enforces the decision-path coverage floor (engine, containment,
+# chase must each stay at or above 75% statement coverage).
+COVER_FLOOR ?= 75
+COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase
+
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "$$pkg: coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; fi; \
+		echo "$$pkg: coverage $$pct% (floor $(COVER_FLOOR)%)"; \
+	done

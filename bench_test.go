@@ -10,11 +10,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"context"
+
 	"keyedeq/internal/acyclic"
 	"keyedeq/internal/capacity"
 	"keyedeq/internal/chase"
 	"keyedeq/internal/containment"
 	"keyedeq/internal/dominance"
+	"keyedeq/internal/engine"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/gen"
 	"keyedeq/internal/ind"
@@ -369,4 +372,42 @@ func BenchmarkT12UCQContainment(b *testing.B) {
 			b.Fatalf("ucq containment: %v %v", ok, err)
 		}
 	}
+}
+
+// E1 — batch engine vs sequential equivalence over one generated
+// corpus: the sub-benches share the same pair set, so their ns/op are
+// directly comparable (the engine side includes canonicalization,
+// deduplication, and verdict caching; each iteration uses a fresh
+// engine so nothing is amortized across iterations).
+func BenchmarkT13EngineBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	fam, err := gen.PairCorpus(rng, "graph-long", 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]engine.Job, len(fam.Pairs))
+	for i, p := range fam.Pairs {
+		jobs[i] = engine.Job{Left: p.Left, Right: p.Right, Op: engine.OpEquivalent}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range fam.Pairs {
+				if _, _, err := containment.EquivalentUnder(p.Left, p.Right, fam.Schema, fam.Deps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := engine.New(fam.Schema, fam.Deps, engine.Options{CacheSize: 4 * len(jobs)})
+			rep := e.Run(context.Background(), jobs)
+			if rep.Errors > 0 {
+				b.Fatalf("engine errors: %d", rep.Errors)
+			}
+		}
+	})
 }

@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	keyedeq-bench            # quick suite (seconds)
-//	keyedeq-bench -full      # full suite (stresses the exponential corners)
-//	keyedeq-bench -only T3   # one experiment by ID
+//	keyedeq-bench                       # quick suite (seconds)
+//	keyedeq-bench -full                 # full suite (stresses the exponential corners)
+//	keyedeq-bench -only T3              # one experiment by ID
+//	keyedeq-bench -json BENCH_engine.json   # run E1 and write the regression record
+//	keyedeq-bench -verify-bench BENCH_engine.json  # gate: parse + engine not slower
+//
+// -parallel and -cache tune the batch engine E1 benchmarks with (0 =
+// defaults; -cache -1 disables the verdict cache).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,8 +37,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run the full-size suite")
 	only := fs.String("only", "", "run only the experiment with this ID (e.g. T3, F1)")
+	jsonOut := fs.String("json", "", "run the E1 engine benchmark and write its regression record to this file")
+	verifyBench := fs.String("verify-bench", "", "verify a previously written regression record and exit")
+	parallel := fs.Int("parallel", 0, "engine worker pool size for E1 (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "engine verdict cache entries for E1 (0 = fit corpus, <0 = disable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *verifyBench != "" {
+		return verifyBenchFile(*verifyBench, stdout, stderr)
+	}
+	if *jsonOut != "" {
+		return writeBenchFile(*jsonOut, *full, *parallel, *cacheSize, stdout, stderr)
 	}
 
 	cfg := exp.Config{Quick: !*full}
@@ -58,5 +75,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// writeBenchFile runs the E1 engine-vs-sequential benchmark and writes
+// the machine-readable regression record (ns/op, nodes, cache hit
+// rates, speedup) for CI's bench smoke gate.
+func writeBenchFile(path string, full bool, workers, cacheSize int, stdout, stderr io.Writer) int {
+	pairs := 300
+	if full {
+		pairs = 1000
+	}
+	table, res := exp.E1EngineBatch(pairs, workers, cacheSize, 11)
+	fmt.Fprintln(stdout, table)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx)\n", path, res.Speedup)
+	return 0
+}
+
+// verifyBenchFile is the CI gate over a written record: the file must
+// parse, cover every corpus family, and show the engine no slower than
+// the sequential baseline.
+func verifyBenchFile(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
+	var res exp.EngineBenchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %s: %v\n", path, err)
+		return 2
+	}
+	var problems []string
+	if len(res.Families) == 0 {
+		problems = append(problems, "no families recorded")
+	}
+	if res.Seq.Pairs == 0 || res.Eng.Pairs == 0 {
+		problems = append(problems, "no pairs recorded")
+	}
+	if res.Speedup < 1 {
+		problems = append(problems, fmt.Sprintf("engine slower than sequential (speedup %.2fx)", res.Speedup))
+	}
+	if res.SecondPassHitRate < 1 {
+		problems = append(problems, fmt.Sprintf("second pass not fully cached (hit rate %.2f)", res.SecondPassHitRate))
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(stderr, "keyedeq-bench: %s: %s\n", path, p)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: ok (%d pairs, speedup %.2fx, second-pass hit rate %.2f)\n",
+		path, res.Eng.Pairs, res.Speedup, res.SecondPassHitRate)
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,5 +56,58 @@ func TestQuickSuiteRuns(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if code, _ := runCLI(t, "-nope"); code != 2 {
 		t.Error("bad flag should exit 2")
+	}
+}
+
+func TestJSONBenchAndVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the E1 benchmark; skipped in -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_engine.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("-json exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("output: %s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-verify-bench", path}, &out, &errb); code != 0 {
+		t.Fatalf("-verify-bench exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok (") {
+		t.Errorf("verify output: %s", out.String())
+	}
+}
+
+func TestVerifyBenchRejectsSlowEngine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	record := `{"families":["graph-chain"],"sequential":{"pairs":10},` +
+		`"engine":{"pairs":10},"speedup":0.5,"second_pass_hit_rate":1}`
+	if err := os.WriteFile(path, []byte(record), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-verify-bench", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "slower") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestVerifyBenchRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.json")
+	os.WriteFile(path, []byte("not json"), 0o644)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-verify-bench", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"-verify-bench", filepath.Join(dir, "missing.json")}, &out, &errb); code != 2 {
+		t.Fatalf("missing file exit = %d, want 2", code)
 	}
 }

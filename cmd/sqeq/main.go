@@ -6,6 +6,11 @@
 //	sqeq [-witness] [-verify] [-search] schema1.txt schema2.txt
 //	sqeq -e "r(a*:T1, b:T2)" -e2 "s(x:T2, y*:T1)"
 //	sqeq -e ... -e2 ... -alpha alpha.txt -beta beta.txt
+//	sqeq -search -parallel 4 -cache 8192 schema1.txt schema2.txt
+//
+// With -search, -parallel sizes the worker pool of the bounded mapping
+// search and -cache bounds the batch engine's verdict cache (0 picks
+// the defaults; -cache -1 disables caching).
 //
 // With -alpha and -beta, sqeq verifies a USER-SUPPLIED dominance pair
 // instead: both mapping files (one view per line, named for the
@@ -44,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inline2 := fs.String("e2", "", "second schema given inline instead of a file")
 	alphaFile := fs.String("alpha", "", "file with a candidate mapping schema1 → schema2 to verify")
 	betaFile := fs.String("beta", "", "file with a candidate mapping schema2 → schema1 to verify")
+	parallel := fs.Int("parallel", 0, "worker pool size for -search (0 = GOMAXPROCS, 1 = sequential)")
+	cacheSize := fs.Int("cache", 0, "verdict cache entries for -search (0 = default, <0 = disable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,12 +97,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *search {
 		b := keyedeq.DefaultSearchBounds()
-		found, stats, err := keyedeq.SearchEquivalence(s1, s2, b)
+		// The mapping search decides many candidate view pairs over the
+		// same two schemas — exactly the batch shape the engine's
+		// canonical-query cache deduplicates, so route its equivalence
+		// calls through an engine pool.
+		pool := keyedeq.NewEnginePool(keyedeq.EngineOptions{
+			Workers:      *parallel,
+			CacheSize:    *cacheSize,
+			DisableCache: *cacheSize < 0,
+		})
+		found, stats, err := keyedeq.SearchEquivalenceOpts(s1, s2, b, keyedeq.SearchOptions{
+			Workers: *parallel,
+			Equiv:   pool.Equiv,
+		})
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "\nbounded mapping search: equivalent=%v (pairs checked %d, truncated %v)\n",
 			found, stats.PairsChecked, stats.Truncated)
+		cs := pool.Stats()
+		fmt.Fprintf(stdout, "engine cache: %d hits / %d misses (hit rate %.2f)\n",
+			cs.Hits, cs.Misses, cs.HitRate())
 		if found != eq && !stats.Truncated {
 			fmt.Fprintln(stdout, "WARNING: search disagrees with the canonical-form test")
 		}

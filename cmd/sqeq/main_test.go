@@ -125,3 +125,28 @@ func TestUserSuppliedPair(t *testing.T) {
 		t.Error("bad alpha mapping should exit 2")
 	}
 }
+
+func TestSearchParallelCacheFlags(t *testing.T) {
+	code, out, _ := runCLI(t, "-search", "-parallel", "2", "-cache", "64",
+		"-e", "r(a*:T1, b:T2)", "-e2", "s(x:T2, y*:T1)")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "bounded mapping search: equivalent=true") {
+		t.Errorf("output: %s", out)
+	}
+	if !strings.Contains(out, "engine cache:") {
+		t.Errorf("missing engine cache stats in output:\n%s", out)
+	}
+}
+
+func TestSearchCacheDisabled(t *testing.T) {
+	code, out, _ := runCLI(t, "-search", "-cache", "-1",
+		"-e", "r(a*:T1)", "-e2", "s(y*:T1)")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "engine cache: 0 hits / 0 misses") {
+		t.Errorf("cache should be disabled (no traffic):\n%s", out)
+	}
+}

@@ -17,6 +17,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"keyedeq/internal/fd"
@@ -180,6 +181,12 @@ type Stats struct {
 // failing chase the tableau's Failed flag is set and Run returns normally
 // (failure is a result, not an error).
 func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
+	return t.RunCtx(context.Background(), deps)
+}
+
+// RunCtx is Run with cancellation: the chase polls ctx once per pass
+// over the dependencies and aborts with ctx's error when it is done.
+func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 	type egd struct {
 		rel  int
 		x, y []int
@@ -213,6 +220,9 @@ func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
 
 	var stats Stats
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		changed := false
 		mergesBefore := stats.Merges

@@ -12,6 +12,7 @@
 package containment
 
 import (
+	"context"
 	"fmt"
 
 	"keyedeq/internal/chase"
@@ -41,8 +42,15 @@ func Contained(q1, q2 *cq.Query, s *schema.Schema) (bool, error) {
 // ContainedUnder reports whether q1 ⊑ q2 over all instances of s
 // satisfying deps (single-relation EGDs, e.g. fd.KeyFDs(s)).
 func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
+	return ContainedUnderCtx(context.Background(), q1, q2, s, deps)
+}
+
+// ContainedUnderCtx is ContainedUnder with cancellation: both the chase
+// and the homomorphism search poll ctx and abort with its error when it
+// is done.
+func ContainedUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
 	var stats Stats
-	if err := checkComparable(q1, q2, s); err != nil {
+	if err := CheckComparable(q1, q2, s); err != nil {
 		return false, stats, err
 	}
 	// Freeze q1 into its canonical database.
@@ -56,7 +64,7 @@ func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Sta
 		return false, stats, err
 	}
 	if len(deps) > 0 {
-		cs, err := tb.Run(deps)
+		cs, err := tb.RunCtx(ctx, deps)
 		if err != nil {
 			return false, stats, err
 		}
@@ -82,7 +90,7 @@ func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Sta
 	for i, h := range head {
 		want[i] = valOf[h]
 	}
-	ok, es, err := cq.HasAnswer(q2, db, want)
+	ok, es, err := cq.HasAnswerCtx(ctx, q2, db, want)
 	stats.Nodes = es.Nodes
 	return ok, stats, err
 }
@@ -95,11 +103,16 @@ func Equivalent(q1, q2 *cq.Query, s *schema.Schema) (bool, error) {
 
 // EquivalentUnder reports mutual containment under deps.
 func EquivalentUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
-	ok, st1, err := ContainedUnder(q1, q2, s, deps)
+	return EquivalentUnderCtx(context.Background(), q1, q2, s, deps)
+}
+
+// EquivalentUnderCtx is EquivalentUnder with cancellation via ctx.
+func EquivalentUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
+	ok, st1, err := ContainedUnderCtx(ctx, q1, q2, s, deps)
 	if err != nil || !ok {
 		return false, st1, err
 	}
-	ok, st2, err := ContainedUnder(q2, q1, s, deps)
+	ok, st2, err := ContainedUnderCtx(ctx, q2, q1, s, deps)
 	st := Stats{
 		Nodes:           st1.Nodes + st2.Nodes,
 		ChaseIterations: st1.ChaseIterations + st2.ChaseIterations,
@@ -108,8 +121,10 @@ func EquivalentUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, St
 	return ok, st, err
 }
 
-// checkComparable validates both queries and requires equal head types.
-func checkComparable(q1, q2 *cq.Query, s *schema.Schema) error {
+// CheckComparable validates both queries against s and requires equal
+// head types — the precondition every containment test shares.  The
+// batch engine calls it once per pair before dispatching workers.
+func CheckComparable(q1, q2 *cq.Query, s *schema.Schema) error {
 	if err := q1.Validate(s); err != nil {
 		return fmt.Errorf("containment: left query: %v", err)
 	}

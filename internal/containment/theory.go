@@ -26,7 +26,7 @@ func ContainedUnderTheory(q1, q2 *cq.Query, s *schema.Schema, egds []fd.FD, tgds
 	if maxRounds <= 0 {
 		maxRounds = DefaultTGDRounds
 	}
-	if err := checkComparable(q1, q2, s); err != nil {
+	if err := CheckComparable(q1, q2, s); err != nil {
 		return false, stats, err
 	}
 	tb := chase.NewTableau(s)

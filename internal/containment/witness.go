@@ -38,7 +38,7 @@ func (h Homomorphism) String() string {
 // canonical database; a vacuous containment (failing chase) returns
 // ok=true with a nil homomorphism.
 func FindHomomorphism(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (Homomorphism, bool, error) {
-	if err := checkComparable(q1, q2, s); err != nil {
+	if err := CheckComparable(q1, q2, s); err != nil {
 		return nil, false, err
 	}
 	tb := chase.NewTableau(s)

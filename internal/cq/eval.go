@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"fmt"
 
 	"keyedeq/internal/instance"
@@ -12,6 +13,35 @@ import (
 // attempted in the backtracking join (the homomorphism search tree size).
 type EvalStats struct {
 	Nodes int64
+}
+
+// cancelCheckMask bounds how often the backtracking search polls its
+// context: once every cancelCheckMask+1 nodes, so cancellation support
+// costs nothing measurable on the hot path.
+const cancelCheckMask = 0x3ff
+
+// atomTuples lazily materializes each body atom's sorted tuple slice
+// once per search.  Relation.Tuples sorts on every call, so fetching it
+// inside the backtracking recursion would redo an O(n log n) sort at
+// every search node.
+type atomTuples struct {
+	rels []*instance.Relation
+	tups [][]instance.Tuple
+}
+
+func newAtomTuples(rels []*instance.Relation) *atomTuples {
+	return &atomTuples{rels: rels, tups: make([][]instance.Tuple, len(rels))}
+}
+
+func (at *atomTuples) of(i int) []instance.Tuple {
+	if at.tups[i] == nil {
+		ts := at.rels[i].Tuples()
+		if ts == nil {
+			ts = []instance.Tuple{}
+		}
+		at.tups[i] = ts
+	}
+	return at.tups[i]
 }
 
 // Eval evaluates q over database d, returning the answer as a relation
@@ -94,6 +124,7 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 	}
 
 	used := make([]bool, len(q.Body))
+	tuples := newAtomTuples(rels)
 	var emit func()
 	emit = func() {
 		t := make(instance.Tuple, len(q.Head))
@@ -140,7 +171,7 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 		a := q.Body[ai]
 		used[ai] = true
 		defer func() { used[ai] = false }()
-		for _, t := range rels[ai].Tuples() {
+		for _, t := range tuples.of(ai) {
 			stats.Nodes++
 			// Check consistency and collect new bindings.
 			var added []Var
@@ -187,10 +218,22 @@ func HasAnswer(q *Query, d *instance.Database, want instance.Tuple) (bool, EvalS
 	return ok, stats, err
 }
 
+// HasAnswerCtx is HasAnswer with cancellation: the backtracking search
+// polls ctx periodically and aborts with ctx's error when it is done.
+func HasAnswerCtx(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, EvalStats, error) {
+	ok, _, stats, err := FindAnswerBindingCtx(ctx, q, d, want)
+	return ok, stats, err
+}
+
 // FindAnswerBinding is HasAnswer returning, on success, the witnessing
 // variable binding (every body variable of q mapped to a database value).
 // Containment uses it to extract explicit homomorphisms.
 func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
+	return FindAnswerBindingCtx(context.Background(), q, d, want)
+}
+
+// FindAnswerBindingCtx is FindAnswerBinding with cancellation via ctx.
+func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
 	var stats EvalStats
 	if len(q.Head) != len(want) {
 		return false, nil, stats, fmt.Errorf("cq: want arity %d, head arity %d", len(want), len(q.Head))
@@ -254,11 +297,13 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 		}
 		return best
 	}
+	tuples := newAtomTuples(rels)
 	var found bool
+	var canceled error
 	var witness map[Var]value.Value
 	var recurse func(remaining int)
 	recurse = func(remaining int) {
-		if found {
+		if found || canceled != nil {
 			return
 		}
 		if remaining == 0 {
@@ -277,11 +322,17 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 		a := q.Body[ai]
 		used[ai] = true
 		defer func() { used[ai] = false }()
-		for _, t := range rels[ai].Tuples() {
-			if found {
+		for _, t := range tuples.of(ai) {
+			if found || canceled != nil {
 				return
 			}
 			stats.Nodes++
+			if stats.Nodes&cancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					canceled = err
+					return
+				}
+			}
 			var added []Var
 			ok := true
 			for p, v := range a.Vars {
@@ -305,5 +356,8 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 		}
 	}
 	recurse(len(q.Body))
+	if canceled != nil {
+		return false, nil, stats, canceled
+	}
 	return found, witness, stats, nil
 }

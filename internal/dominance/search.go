@@ -2,6 +2,8 @@ package dominance
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"keyedeq/internal/cq"
 	"keyedeq/internal/mapping"
@@ -263,11 +265,31 @@ func EnumerateMappings(src, dst *schema.Schema, b SearchBounds, stats *SearchSta
 	}
 }
 
+// SearchOptions tune how the certificate-check pair loop runs.  The
+// zero value reproduces the sequential search exactly.
+type SearchOptions struct {
+	// Workers parallelizes the (α, β) identity checks; 0 or 1 keeps the
+	// loop sequential.  The found/not-found verdict and the returned
+	// witness (the lowest-numbered successful pair) are deterministic
+	// either way; only PairsChecked may vary, since workers stop early
+	// once a witness below their index is known.
+	Workers int
+	// Equiv, when non-nil, decides the per-relation CQ equivalences of
+	// the identity test — e.g. the batch engine pool's cached decider.
+	Equiv mapping.EquivFunc
+}
+
 // SearchDominance searches for a pair (α, β) establishing S1 ≼ S2 within
 // the bounds.  found=false with stats.Truncated=true is inconclusive;
 // found=false with Truncated=false means no witness exists in the bounded
 // space.
 func SearchDominance(s1, s2 *schema.Schema, b SearchBounds) (*Witness, bool, SearchStats, error) {
+	return SearchDominanceOpts(s1, s2, b, SearchOptions{})
+}
+
+// SearchDominanceOpts is SearchDominance with a parallel pair loop and a
+// pluggable equivalence decider.
+func SearchDominanceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (*Witness, bool, SearchStats, error) {
 	var stats SearchStats
 	alphas := EnumerateMappings(s1, s2, b, &stats, 0)
 	betas := EnumerateMappings(s2, s1, b, &stats, 1)
@@ -294,33 +316,102 @@ func SearchDominance(s1, s2 *schema.Schema, b SearchBounds) (*Witness, bool, Sea
 		}
 	}
 	stats.ValidBetas = int64(len(validBetas))
+
+	// Materialize the pair list in deterministic α-major order, applying
+	// the MaxPairs cap before dispatch so truncation does not depend on
+	// scheduling.
+	type pair struct{ a, b *mapping.Mapping }
+	var pairs []pair
 	for _, a := range validAlphas {
 		for _, bm := range validBetas {
-			if b.MaxPairs > 0 && stats.PairsChecked >= b.MaxPairs {
+			if b.MaxPairs > 0 && int64(len(pairs)) >= b.MaxPairs {
 				stats.Truncated = true
-				return nil, false, stats, nil
+				break
 			}
+			pairs = append(pairs, pair{a, bm})
+		}
+		if stats.Truncated {
+			break
+		}
+	}
+
+	if opts.Workers <= 1 {
+		for _, p := range pairs {
 			stats.PairsChecked++
-			ok, err := mapping.RoundTripIsIdentity(a, bm)
+			ok, err := mapping.RoundTripIsIdentityWith(p.a, p.b, opts.Equiv)
 			if err != nil {
 				return nil, false, stats, err
 			}
 			if ok {
-				return &Witness{Alpha: a, Beta: bm}, true, stats, nil
+				return &Witness{Alpha: p.a, Beta: p.b}, true, stats, nil
 			}
 		}
+		return nil, false, stats, nil
+	}
+
+	// Parallel loop: workers claim pair indexes in order and record the
+	// lowest successful one; indexes above a known success are skipped.
+	var (
+		mu       sync.Mutex
+		best     = -1
+		firstErr error
+		next     atomic.Int64
+		checked  atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil || (best >= 0 && best < i)
+				mu.Unlock()
+				if stop {
+					return
+				}
+				checked.Add(1)
+				ok, err := mapping.RoundTripIsIdentityWith(pairs[i].a, pairs[i].b, opts.Equiv)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if ok && (best < 0 || i < best) {
+					best = i
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stats.PairsChecked = checked.Load()
+	if firstErr != nil {
+		return nil, false, stats, firstErr
+	}
+	if best >= 0 {
+		return &Witness{Alpha: pairs[best].a, Beta: pairs[best].b}, true, stats, nil
 	}
 	return nil, false, stats, nil
 }
 
 // SearchEquivalence searches for witnesses in both directions.
 func SearchEquivalence(s1, s2 *schema.Schema, b SearchBounds) (bool, SearchStats, error) {
-	w1, ok1, st1, err := SearchDominance(s1, s2, b)
+	return SearchEquivalenceOpts(s1, s2, b, SearchOptions{})
+}
+
+// SearchEquivalenceOpts is SearchEquivalence with SearchOptions applied
+// to both directions.
+func SearchEquivalenceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
+	w1, ok1, st1, err := SearchDominanceOpts(s1, s2, b, opts)
 	if err != nil || !ok1 {
 		return false, st1, err
 	}
 	_ = w1
-	_, ok2, st2, err := SearchDominance(s2, s1, b)
+	_, ok2, st2, err := SearchDominanceOpts(s2, s1, b, opts)
 	st := st1
 	st.PairsChecked += st2.PairsChecked
 	st.AlphaCandidates += st2.AlphaCandidates

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newVerdictCache(64)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", Verdict{Holds: true, Nodes: 7})
+	v, ok := c.get("a")
+	if !ok || !v.Holds || v.Nodes != 7 {
+		t.Fatalf("got %+v ok=%v", v, ok)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := newVerdictCache(64)
+	c.put("a", Verdict{Holds: false})
+	c.put("a", Verdict{Holds: true})
+	if v, ok := c.get("a"); !ok || !v.Holds {
+		t.Fatalf("overwrite lost: %+v ok=%v", v, ok)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("duplicate entry after overwrite: %+v", st)
+	}
+}
+
+func TestCacheEvictsLRUPerShard(t *testing.T) {
+	// Capacity 16 over 16 shards = 1 entry per shard: inserting two keys
+	// of the same shard must evict the older one.
+	c := newVerdictCache(16)
+	sh := c.shard("seed")
+	var same []string
+	for i := 0; same == nil || len(same) < 2; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == sh {
+			same = append(same, k)
+		}
+	}
+	c.put(same[0], Verdict{})
+	c.put(same[1], Verdict{})
+	if _, ok := c.get(same[0]); ok {
+		t.Fatal("oldest entry not evicted at capacity")
+	}
+	if _, ok := c.get(same[1]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := newVerdictCache(1)
+	if c.capacity < cacheShardCount {
+		t.Fatalf("capacity %d below shard count", c.capacity)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newVerdictCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				c.put(k, Verdict{Holds: i%2 == 0, Nodes: int64(i)})
+				c.get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Entries == 0 || st.Entries > 64 {
+		t.Fatalf("entries = %d after concurrent churn", st.Entries)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("empty stats should report 0 hit rate")
+	}
+	if got := (CacheStats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,515 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Op selects the decision a Job asks for.
+type Op int
+
+const (
+	// OpEquivalent decides Left ≡ Right (mutual containment).
+	OpEquivalent Op = iota
+	// OpContained decides Left ⊑ Right.
+	OpContained
+)
+
+// String renders the op tag used inside pair keys.
+func (o Op) String() string {
+	if o == OpContained {
+		return "sub"
+	}
+	return "equ"
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers sizes the batch worker pool; 0 means runtime.GOMAXPROCS,
+	// 1 means strictly sequential execution.
+	Workers int
+	// CacheSize bounds the verdict cache (entries); 0 means the
+	// default of 4096.
+	CacheSize int
+	// DisableCache turns verdict caching off entirely.
+	DisableCache bool
+	// JobTimeout bounds each pair's homomorphism searches; 0 means no
+	// per-job timeout.  Freeze and chase run under the batch context.
+	JobTimeout time.Duration
+	// Now, when set, timestamps batch runs so Report.Wall is filled.
+	// It is injected (rather than calling time.Now here) because
+	// library code must stay clock-free; command layers pass time.Now.
+	Now func() time.Time
+}
+
+// DefaultCacheSize is the verdict cache bound used when Options.CacheSize
+// is zero.
+const DefaultCacheSize = 4096
+
+// Job is one decision request in a batch.
+type Job struct {
+	Left, Right *cq.Query
+	Op          Op
+}
+
+// Result is the outcome of one Job.
+type Result struct {
+	// Holds is the decision (Left ≡ Right or Left ⊑ Right).
+	Holds bool
+	// CacheHit reports the verdict came from the cache (Stats then
+	// records the original computation's work, not new work).
+	CacheHit bool
+	// Deduped reports the verdict was computed once for another job of
+	// the same batch with the same canonical pair.
+	Deduped bool
+	// Err is set when the pair was undecidable (validation failure,
+	// cancellation, timeout).
+	Err error
+	// Stats records the work performed for this pair.
+	Stats containment.Stats
+	// PairKey is the canonical pair key (exposed for tests and
+	// debugging).
+	PairKey string
+}
+
+// Report aggregates a batch run.
+type Report struct {
+	Results []Result
+	// Pairs is len(Results); Holding counts true verdicts; Errors
+	// counts failed jobs.
+	Pairs, Holding, Errors int
+	// Computed counts pairs actually decided by search; CacheHits and
+	// Deduped count pairs answered without new work.
+	Computed, CacheHits, Deduped int
+	// Nodes and ChaseIterations total the new work performed.
+	Nodes           int64
+	ChaseIterations int
+	// Cache snapshots the engine cache after the run.
+	Cache CacheStats
+	// Wall is the elapsed wall time (zero unless Options.Now was set).
+	Wall time.Duration
+	// Workers is the pool size the batch ran with.
+	Workers int
+}
+
+// Engine decides conjunctive query equivalence and containment over a
+// fixed schema and dependency set, with canonical-form caching and
+// parallel batch execution.  An Engine is safe for concurrent use.
+type Engine struct {
+	s    *schema.Schema
+	deps []fd.FD
+	opts Options
+	// cache maps canonical pair keys to verdicts; nil when disabled.
+	cache *verdictCache
+}
+
+// New builds an engine for deciding queries over s under deps (pass
+// fd.KeyFDs(s) for the paper's keyed setting, nil for plain CQ
+// equivalence).
+func New(s *schema.Schema, deps []fd.FD, opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	e := &Engine{s: s, deps: deps, opts: opts}
+	if !opts.DisableCache {
+		e.cache = newVerdictCache(opts.CacheSize)
+	}
+	return e
+}
+
+// Schema returns the schema the engine decides over.
+func (e *Engine) Schema() *schema.Schema { return e.s }
+
+// CacheStats snapshots the verdict cache (zero when caching is off).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// pairKey builds the cache key for a pair.  Equivalence is symmetric,
+// so its two canonical keys are sorted to double the hit rate; the
+// schema/dependency fingerprint is not included because the cache is
+// private to this engine.
+func pairKey(op Op, k1, k2 string) string {
+	if op == OpEquivalent && k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	return op.String() + "\x1e" + k1 + "\x1f" + k2
+}
+
+// Decide answers a single pair, consulting and filling the cache.  It
+// is the single-query entry point behind EquivFunc; batches should use
+// Run, which additionally memoizes chase results and parallelizes.
+func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) Result {
+	if err := containment.CheckComparable(q1, q2, e.s); err != nil {
+		return Result{Err: err}
+	}
+	k1 := CanonicalizeQuery(q1, e.s).Key
+	k2 := CanonicalizeQuery(q2, e.s).Key
+	key := pairKey(op, k1, k2)
+	if e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			return Result{Holds: v.Holds, CacheHit: true, PairKey: key,
+				Stats: containment.Stats{Nodes: v.Nodes, ChaseIterations: v.ChaseIterations, ChaseFailed: v.ChaseFailed}}
+		}
+	}
+	// Isomorphic queries (equal canonical keys) are interchangeable, so
+	// the verdict is immediate for both ops.
+	if k1 == k2 {
+		if e.cache != nil {
+			e.cache.put(key, Verdict{Holds: true})
+		}
+		return Result{Holds: true, PairKey: key}
+	}
+	if e.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.JobTimeout)
+		defer cancel()
+	}
+	var (
+		ok  bool
+		st  containment.Stats
+		err error
+	)
+	if op == OpContained {
+		ok, st, err = containment.ContainedUnderCtx(ctx, q1, q2, e.s, e.deps)
+	} else {
+		ok, st, err = containment.EquivalentUnderCtx(ctx, q1, q2, e.s, e.deps)
+	}
+	if err != nil {
+		return Result{Err: err, Stats: st, PairKey: key}
+	}
+	if e.cache != nil {
+		e.cache.put(key, Verdict{Holds: ok, Nodes: st.Nodes, ChaseIterations: st.ChaseIterations, ChaseFailed: st.ChaseFailed})
+	}
+	return Result{Holds: ok, Stats: st, PairKey: key}
+}
+
+// EquivalentUnder adapts Decide to the containment.EquivalentUnder
+// signature for drop-in use (e.g. as a mapping.EquivFunc): the schema
+// and dependencies must be the engine's own.
+func (e *Engine) EquivalentUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	if s != e.s {
+		return false, containment.Stats{}, fmt.Errorf("engine: schema mismatch (engine bound to %q)", e.s.String())
+	}
+	r := e.Decide(context.Background(), q1, q2, OpEquivalent)
+	return r.Holds, r.Stats, r.Err
+}
+
+// frozen is the memoized chase artifact of one canonical query: its
+// canonical database (after chasing with the engine's dependencies)
+// and frozen head tuple.  Computing it once per distinct query is the
+// chase-memoization half of the engine's caching.
+type frozen struct {
+	once   sync.Once
+	db     *instance.Database
+	want   instance.Tuple
+	failed bool
+	iters  int
+	err    error
+}
+
+// batchState carries the per-Run shared structures.
+type batchState struct {
+	ctx    context.Context
+	consts []value.Value // every constant of the batch, reserved in every freeze
+	mu     sync.Mutex
+	frozen map[string]*frozen // canonical query key -> artifact
+}
+
+// frozenOf returns the chase artifact for the query with canonical key
+// k, computing it at most once per batch.  The freeze reserves every
+// constant of the whole batch so fresh nulls never collide with any
+// query's constants — the invariant that makes sharing the database
+// across pairs sound.
+func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
+	b.mu.Lock()
+	f, ok := b.frozen[k]
+	if !ok {
+		f = &frozen{}
+		b.frozen[k] = f
+	}
+	b.mu.Unlock()
+	f.once.Do(func() {
+		tb := chase.NewTableau(e.s)
+		vars, err := chase.Freeze(tb, q)
+		if err != nil {
+			f.err = err
+			return
+		}
+		head, err := chase.HeadTerms(tb, q, vars)
+		if err != nil {
+			f.err = err
+			return
+		}
+		if len(e.deps) > 0 {
+			cs, err := tb.RunCtx(b.ctx, e.deps)
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.iters = cs.Iterations
+		}
+		if tb.Failed() {
+			f.failed = true
+			return
+		}
+		var alloc value.Allocator
+		alloc.ReserveAll(b.consts)
+		db, valOf, err := tb.ToDatabase(&alloc)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.db = db
+		f.want = make(instance.Tuple, len(head))
+		for i, h := range head {
+			f.want[i] = valOf[h]
+		}
+	})
+	return f
+}
+
+// containedFrom decides frozenLeft ⊑ right using the memoized canonical
+// database.  A failed chase means the left query is empty under the
+// dependencies, so containment holds vacuously.
+func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, containment.Stats, error) {
+	var st containment.Stats
+	if f.err != nil {
+		return false, st, f.err
+	}
+	if f.failed {
+		st.ChaseFailed = true
+		return true, st, nil
+	}
+	ok, es, err := cq.HasAnswerCtx(ctx, right, f.db, f.want)
+	st.Nodes = es.Nodes
+	return ok, st, err
+}
+
+// Run decides every job of the batch: canonicalize, dedupe identical
+// pairs, probe the cache, then fan the remaining work across the
+// worker pool.  Chase artifacts are shared per distinct query; the
+// homomorphism searches of each pair run under the per-job timeout.
+// Results are positionally aligned with jobs.
+func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
+	rep := &Report{Results: make([]Result, len(jobs)), Pairs: len(jobs), Workers: e.opts.Workers}
+	var started time.Time
+	if e.opts.Now != nil {
+		started = e.opts.Now()
+	}
+
+	// Canonicalize each distinct query once (batches repeat queries
+	// heavily: identity views, shared sides, regenerated corpora).  The
+	// second-level memo is keyed by printed presentation, so clones of
+	// one query — pointer-distinct but textually identical — share a
+	// single canonicalization.
+	canonOf := make(map[*cq.Query]string)
+	byPresentation := make(map[string]string)
+	keyOf := func(q *cq.Query) string {
+		if k, ok := canonOf[q]; ok {
+			return k
+		}
+		p := q.String()
+		k, ok := byPresentation[p]
+		if !ok {
+			k = CanonicalizeQuery(q, e.s).Key
+			byPresentation[p] = k
+		}
+		canonOf[q] = k
+		return k
+	}
+
+	// Group jobs by canonical pair key; one leader computes, the rest
+	// copy.  qKeys remembers each job's (left, right) canonical keys.
+	type group struct {
+		leader  int
+		indexes []int
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic dispatch order
+	leftKey := make([]string, len(jobs))
+	rightKey := make([]string, len(jobs))
+	for i, j := range jobs {
+		if err := containment.CheckComparable(j.Left, j.Right, e.s); err != nil {
+			rep.Results[i] = Result{Err: err}
+			continue
+		}
+		leftKey[i] = keyOf(j.Left)
+		rightKey[i] = keyOf(j.Right)
+		pk := pairKey(j.Op, leftKey[i], rightKey[i])
+		rep.Results[i].PairKey = pk
+		g, ok := groups[pk]
+		if !ok {
+			g = &group{leader: i}
+			groups[pk] = g
+			order = append(order, pk)
+		}
+		g.indexes = append(g.indexes, i)
+	}
+
+	// Cache probe per group.
+	var work []string
+	for _, pk := range order {
+		if e.cache == nil {
+			work = append(work, pk)
+			continue
+		}
+		if v, ok := e.cache.get(pk); ok {
+			for _, i := range groups[pk].indexes {
+				rep.Results[i].Holds = v.Holds
+				rep.Results[i].CacheHit = true
+				rep.Results[i].Stats = containment.Stats{Nodes: v.Nodes, ChaseIterations: v.ChaseIterations, ChaseFailed: v.ChaseFailed}
+			}
+			continue
+		}
+		work = append(work, pk)
+	}
+
+	// Compute the remaining groups on the pool.
+	bs := &batchState{ctx: ctx, frozen: make(map[string]*frozen)}
+	bs.consts = batchConstants(jobs)
+	var wg sync.WaitGroup
+	ch := make(chan string)
+	workers := e.opts.Workers
+	if workers > len(work) {
+		workers = len(work)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pk := range ch {
+				g := groups[pk]
+				j := jobs[g.leader]
+				res := e.runLeader(bs, j, leftKey[g.leader], rightKey[g.leader])
+				res.PairKey = pk
+				rep.Results[g.leader] = res
+				if res.Err == nil && e.cache != nil {
+					e.cache.put(pk, Verdict{Holds: res.Holds, Nodes: res.Stats.Nodes, ChaseIterations: res.Stats.ChaseIterations, ChaseFailed: res.Stats.ChaseFailed})
+				}
+				for _, i := range g.indexes[1:] {
+					dup := res
+					dup.Deduped = true
+					dup.Stats = containment.Stats{ChaseFailed: res.Stats.ChaseFailed}
+					rep.Results[i] = dup
+				}
+			}
+		}()
+	}
+	for _, pk := range work {
+		ch <- pk
+	}
+	close(ch)
+	wg.Wait()
+
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		switch {
+		case r.Err != nil:
+			rep.Errors++
+		case r.CacheHit:
+			rep.CacheHits++
+		case r.Deduped:
+			rep.Deduped++
+		default:
+			rep.Computed++
+			rep.Nodes += r.Stats.Nodes
+			rep.ChaseIterations += r.Stats.ChaseIterations
+		}
+		if r.Err == nil && r.Holds {
+			rep.Holding++
+		}
+	}
+	if e.cache != nil {
+		rep.Cache = e.cache.stats()
+	}
+	if e.opts.Now != nil {
+		rep.Wall = e.opts.Now().Sub(started)
+	}
+	return rep
+}
+
+// runLeader decides one deduplicated pair using the batch's memoized
+// chase artifacts.
+func (e *Engine) runLeader(bs *batchState, j Job, lk, rk string) Result {
+	jctx := bs.ctx
+	if err := jctx.Err(); err != nil {
+		return Result{Err: err}
+	}
+	// Equal canonical keys mean the queries are isomorphic (a key is a
+	// faithful encoding even when inexact), so both ops hold with no
+	// chase or homomorphism search at all.
+	if lk == rk {
+		return Result{Holds: true}
+	}
+	if e.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(jctx, e.opts.JobTimeout)
+		defer cancel()
+	}
+	fl := e.frozenOf(bs, lk, j.Left)
+	ok, st, err := containedFrom(jctx, fl, j.Right)
+	// Chase work is attributed to the first pair that froze the query.
+	st.ChaseIterations = fl.iters
+	if err != nil || !ok || j.Op == OpContained {
+		return Result{Holds: ok, Stats: st, Err: err}
+	}
+	fr := e.frozenOf(bs, rk, j.Right)
+	ok2, st2, err := containedFrom(jctx, fr, j.Left)
+	st.Nodes += st2.Nodes
+	st.ChaseIterations += fr.iters
+	st.ChaseFailed = st.ChaseFailed || st2.ChaseFailed
+	return Result{Holds: ok2, Stats: st, Err: err}
+}
+
+// batchConstants collects every constant mentioned by any query of the
+// batch, sorted and deduplicated.
+func batchConstants(jobs []Job) []value.Value {
+	var s value.Set
+	for _, j := range jobs {
+		if j.Left != nil {
+			for _, c := range j.Left.Constants() {
+				s.Add(c)
+			}
+		}
+		if j.Right != nil {
+			for _, c := range j.Right.Constants() {
+				s.Add(c)
+			}
+		}
+	}
+	return s.Values()
+}
+
+// Fingerprint renders the (schema, dependencies) pair an engine is
+// bound to; Pool uses it to route decisions.
+func Fingerprint(s *schema.Schema, deps []fd.FD) string {
+	parts := make([]string, 0, len(deps)+1)
+	parts = append(parts, s.String())
+	ds := make([]string, len(deps))
+	for i, d := range deps {
+		ds[i] = d.String()
+	}
+	sort.Strings(ds)
+	parts = append(parts, ds...)
+	return strings.Join(parts, "\x00")
+}

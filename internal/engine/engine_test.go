@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/schema"
+)
+
+func TestEngineMatchesSequentialOnGraphPairs(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{Workers: 4})
+	// Chains are binary, stars and cliques unary; pair within each group
+	// so every job has comparable head types.
+	groups := [][]*cq.Query{
+		{gen.ChainQuery(1), gen.ChainQuery(2), gen.ChainQuery(3), gen.RandomChainVariant(rand.New(rand.NewSource(7)), 2, 2)},
+		{gen.StarQuery(1), gen.StarQuery(2), gen.StarQuery(3), gen.CliqueQuery(2)},
+	}
+	var jobs []Job
+	for _, qs := range groups {
+		for _, a := range qs {
+			for _, b := range qs {
+				jobs = append(jobs, Job{Left: a, Right: b, Op: OpEquivalent})
+				jobs = append(jobs, Job{Left: a, Right: b, Op: OpContained})
+			}
+		}
+	}
+	rep := e.Run(context.Background(), jobs)
+	if rep.Pairs != len(jobs) || len(rep.Results) != len(jobs) {
+		t.Fatalf("report pairs %d, results %d, want %d", rep.Pairs, len(rep.Results), len(jobs))
+	}
+	for i, j := range jobs {
+		r := rep.Results[i]
+		if r.Err != nil {
+			t.Fatalf("job %d (%s vs %s): %v", i, j.Left, j.Right, r.Err)
+		}
+		var want bool
+		var err error
+		if j.Op == OpEquivalent {
+			want, _, err = containment.EquivalentUnder(j.Left, j.Right, s, nil)
+		} else {
+			want, _, err = containment.ContainedUnder(j.Left, j.Right, s, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Holds != want {
+			t.Fatalf("job %d %v(%s, %s) = %v, sequential says %v", i, j.Op, j.Left, j.Right, r.Holds, want)
+		}
+	}
+}
+
+func TestEngineMatchesSequentialUnderKeys(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T2)\nS(k*:T2, b:T1)")
+	deps := fd.KeyFDs(s)
+	e := New(s, deps, Options{Workers: 2})
+	qs := []*cq.Query{
+		cq.MustParse("V(X) :- R(X, Y)."),
+		cq.MustParse("V(X) :- R(X, Y), R(X2, Y2), X = X2."),
+		cq.MustParse("V(X) :- R(X, Y), S(Y2, Z), Y = Y2."),
+		cq.MustParse("V(Z) :- R(X, Y), S(Y2, Z), Y = Y2."),
+	}
+	var jobs []Job
+	for _, a := range qs {
+		for _, b := range qs {
+			jobs = append(jobs, Job{Left: a, Right: b, Op: OpEquivalent})
+		}
+	}
+	rep := e.Run(context.Background(), jobs)
+	for i, j := range jobs {
+		r := rep.Results[i]
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		want, _, err := containment.EquivalentUnder(j.Left, j.Right, s, deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Holds != want {
+			t.Fatalf("job %d ≡(%s, %s) = %v under keys, sequential says %v", i, j.Left, j.Right, r.Holds, want)
+		}
+	}
+	// R(X,Y) with X keyed: the duplicate-atom variant collapses, so the
+	// first two queries must come out equivalent under the key.
+	if !rep.Results[1].Holds {
+		t.Fatal("key dependency not applied: duplicate keyed atom should collapse")
+	}
+}
+
+func TestEngineDedupesAlphaVariantPairs(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{Workers: 2})
+	a, b := gen.ChainQuery(3), gen.ChainQuery(2)
+	// The same decision asked three ways: verbatim, renamed, and with the
+	// symmetric orientation.  One computation should serve all three.
+	jobs := []Job{
+		{Left: a, Right: b, Op: OpEquivalent},
+		{Left: a.Rename("p_"), Right: b.Rename("q_"), Op: OpEquivalent},
+		{Left: b.Rename("r_"), Right: a.Rename("s_"), Op: OpEquivalent},
+	}
+	rep := e.Run(context.Background(), jobs)
+	if rep.Computed != 1 || rep.Deduped != 2 {
+		t.Fatalf("computed %d deduped %d, want 1 and 2", rep.Computed, rep.Deduped)
+	}
+	for i, r := range rep.Results {
+		if r.Err != nil || r.Holds {
+			t.Fatalf("result %d: holds=%v err=%v (chain3 and chain2 are inequivalent)", i, r.Holds, r.Err)
+		}
+	}
+	if rep.Results[0].PairKey != rep.Results[2].PairKey {
+		t.Fatal("symmetric equivalence pairs should share a pair key")
+	}
+}
+
+func TestEngineSecondRunAllCacheHits(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{Workers: 2, CacheSize: 1024})
+	jobs := []Job{
+		{Left: gen.ChainQuery(2), Right: gen.ChainQuery(3), Op: OpEquivalent},
+		{Left: gen.StarQuery(2), Right: gen.StarQuery(3), Op: OpEquivalent},
+		{Left: gen.StarQuery(2), Right: gen.StarQuery(1), Op: OpContained},
+	}
+	first := e.Run(context.Background(), jobs)
+	if first.CacheHits != 0 || first.Computed != len(jobs) {
+		t.Fatalf("first run: computed %d hits %d", first.Computed, first.CacheHits)
+	}
+	second := e.Run(context.Background(), jobs)
+	if second.CacheHits != len(jobs) || second.Computed != 0 {
+		t.Fatalf("second run: computed %d hits %d, want all hits", second.Computed, second.CacheHits)
+	}
+	for i := range jobs {
+		if first.Results[i].Holds != second.Results[i].Holds {
+			t.Fatalf("verdict %d changed across runs", i)
+		}
+	}
+}
+
+func TestEngineCacheDisabled(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{Workers: 1, DisableCache: true})
+	jobs := []Job{{Left: gen.ChainQuery(2), Right: gen.ChainQuery(2), Op: OpEquivalent}}
+	e.Run(context.Background(), jobs)
+	rep := e.Run(context.Background(), jobs)
+	if rep.CacheHits != 0 || rep.Computed != 1 {
+		t.Fatalf("cache disabled but hits=%d computed=%d", rep.CacheHits, rep.Computed)
+	}
+	if st := e.CacheStats(); st.Capacity != 0 {
+		t.Fatalf("disabled cache reports capacity %d", st.Capacity)
+	}
+}
+
+func TestEngineErrorOnIncomparablePair(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T2)\nS(k*:T2, b:T1)")
+	e := New(s, nil, Options{})
+	jobs := []Job{
+		{Left: cq.MustParse("V(X) :- R(X, Y)."), Right: cq.MustParse("V(Y) :- R(X, Y)."), Op: OpEquivalent},
+		{Left: cq.MustParse("V(X) :- R(X, Y)."), Right: cq.MustParse("V(X) :- R(X, Y)."), Op: OpEquivalent},
+	}
+	rep := e.Run(context.Background(), jobs)
+	if rep.Results[0].Err == nil {
+		t.Fatal("head-type mismatch should error")
+	}
+	if rep.Results[1].Err != nil || !rep.Results[1].Holds {
+		t.Fatalf("valid pair affected by invalid one: %+v", rep.Results[1])
+	}
+	if rep.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", rep.Errors)
+	}
+}
+
+func TestEngineCanceledContext(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job{{Left: gen.CliqueQuery(4), Right: gen.CliqueQuery(4), Op: OpEquivalent}}
+	rep := e.Run(ctx, jobs)
+	if rep.Results[0].Err == nil {
+		t.Fatal("canceled batch should surface the context error")
+	}
+}
+
+func TestEngineDecideCachesAndReports(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{})
+	q1, q2 := gen.ChainQuery(2), gen.ChainQuery(2)
+	r1 := e.Decide(context.Background(), q1, q2, OpEquivalent)
+	if r1.Err != nil || !r1.Holds || r1.CacheHit {
+		t.Fatalf("first decide: %+v", r1)
+	}
+	r2 := e.Decide(context.Background(), q1.Rename("z_"), q2, OpEquivalent)
+	if !r2.CacheHit || !r2.Holds {
+		t.Fatalf("renamed re-decide should hit: %+v", r2)
+	}
+}
+
+func TestEngineEquivalentUnderAdapter(t *testing.T) {
+	s := gen.GraphSchema()
+	e := New(s, nil, Options{})
+	ok, _, err := e.EquivalentUnder(gen.StarQuery(2), gen.StarQuery(3), s, nil)
+	if err != nil || !ok {
+		t.Fatalf("stars are equivalent without keys: ok=%v err=%v", ok, err)
+	}
+	other := schema.MustParse("E(src:T1, dst:T1)")
+	if _, _, err := e.EquivalentUnder(gen.StarQuery(2), gen.StarQuery(2), other, nil); err == nil {
+		t.Fatal("engine must reject a schema it is not bound to")
+	}
+}
+
+func TestEngineReportAggregates(t *testing.T) {
+	s := gen.GraphSchema()
+	now := time.Unix(0, 0)
+	e := New(s, nil, Options{Workers: 3, Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	jobs := []Job{
+		{Left: gen.ChainQuery(2), Right: gen.ChainQuery(2), Op: OpEquivalent},
+		{Left: gen.ChainQuery(2), Right: gen.ChainQuery(3), Op: OpEquivalent},
+	}
+	rep := e.Run(context.Background(), jobs)
+	if rep.Holding != 1 {
+		t.Fatalf("holding = %d, want 1", rep.Holding)
+	}
+	if rep.Nodes <= 0 {
+		t.Fatal("no homomorphism nodes recorded")
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("injected clock did not produce a wall time")
+	}
+	if rep.Workers != 3 {
+		t.Fatalf("workers = %d", rep.Workers)
+	}
+}
+
+func TestPoolRoutesAndCaches(t *testing.T) {
+	p := NewPool(Options{})
+	s1 := gen.GraphSchema()
+	s2 := gen.GraphSchema() // distinct pointer, same fingerprint
+	if p.For(s1, nil) != p.For(s2, nil) {
+		t.Fatal("structurally equal schemas should share an engine")
+	}
+	keyed := schema.MustParse("R(k*:T1, a:T2)")
+	if p.For(s1, nil) == p.For(keyed, fd.KeyFDs(keyed)) {
+		t.Fatal("different schemas must not share an engine")
+	}
+	ok, _, err := p.Equiv(gen.ChainQuery(2), gen.ChainQuery(2), s1, nil)
+	if err != nil || !ok {
+		t.Fatalf("pool equiv: ok=%v err=%v", ok, err)
+	}
+	ok, _, err = p.Contains(gen.ChainQuery(3), gen.ChainQuery(3), s1, nil)
+	if err != nil || !ok {
+		t.Fatalf("pool contains: ok=%v err=%v", ok, err)
+	}
+	if st := p.Stats(); st.Entries == 0 {
+		t.Fatalf("pool cache empty after decisions: %+v", st)
+	}
+}

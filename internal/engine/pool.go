@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/schema"
+)
+
+// Pool routes decisions to per-(schema, dependencies) engines so callers
+// that range over many schemas — the dominance search, the sqeq CLI —
+// get canonical caching without managing engine lifetimes themselves.
+// A Pool is safe for concurrent use.
+type Pool struct {
+	opts    Options
+	mu      sync.Mutex
+	engines map[string]*Engine
+}
+
+// NewPool builds a pool whose engines all share opts.
+func NewPool(opts Options) *Pool {
+	return &Pool{opts: opts, engines: make(map[string]*Engine)}
+}
+
+// For returns the pool's engine for (s, deps), creating it on first use.
+// Engines are keyed by Fingerprint, so structurally equal schema and
+// dependency sets share one engine (and one cache) even across distinct
+// pointers.
+func (p *Pool) For(s *schema.Schema, deps []fd.FD) *Engine {
+	fp := Fingerprint(s, deps)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.engines[fp]
+	if !ok {
+		e = New(s, deps, p.opts)
+		p.engines[fp] = e
+	}
+	return e
+}
+
+// Equiv decides q1 ≡ q2 over s under deps through the pool's cached
+// engines.  Its signature matches containment.EquivalentUnder (and hence
+// mapping.EquivFunc), so it is a drop-in accelerated replacement.
+func (p *Pool) Equiv(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	r := p.For(s, deps).Decide(context.Background(), q1, q2, OpEquivalent)
+	return r.Holds, r.Stats, r.Err
+}
+
+// Contains decides q1 ⊑ q2 through the pool's cached engines.
+func (p *Pool) Contains(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	r := p.For(s, deps).Decide(context.Background(), q1, q2, OpContained)
+	return r.Holds, r.Stats, r.Err
+}
+
+// Stats sums cache statistics over every engine the pool created.
+func (p *Pool) Stats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out CacheStats
+	for _, e := range p.engines {
+		s := e.CacheStats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+		out.Entries += s.Entries
+		out.Capacity += s.Capacity
+	}
+	return out
+}

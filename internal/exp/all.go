@@ -34,6 +34,11 @@ func All(cfg Config) []*Table {
 		searchAttrs = 4
 	}
 	searchBounds := dominance.SearchBounds{MaxAtoms: 1, MaxEqs: 1, MaxViews: 20000, MaxPairs: 500_000}
+	enginePairs, engineWorkers := 300, 0
+	if !cfg.Quick {
+		enginePairs = 1000
+	}
+	e1, _ := E1EngineBatch(enginePairs, engineWorkers, 0, 11)
 	return []*Table{
 		T1TheoremExhaustive(t1Space, t1Bounds),
 		T2SaturationProduct(trials, 1),
@@ -48,6 +53,7 @@ func All(cfg Config) []*Table {
 		T10Capacity(4),
 		T11Yannakakis([]int{2, 4, 6, 8}, 40),
 		T12UCQContainment([]int{1, 2, 4, 8}, 3),
+		e1,
 		F1ContainmentCurve(chainMax, starMax, cliqueMax),
 		F2SearchSpace(searchAttrs+1, searchBounds),
 		F3ChaseCurve(chaseSizes, chaseDeps, 8),

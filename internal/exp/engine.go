@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/engine"
+	"keyedeq/internal/gen"
+)
+
+// EngineModeResult is one side of the engine-vs-sequential comparison,
+// serialized into BENCH_engine.json by `keyedeq-bench -json`.
+type EngineModeResult struct {
+	Mode            string  `json:"mode"` // "sequential" or "engine"
+	Pairs           int     `json:"pairs"`
+	WallNs          int64   `json:"wall_ns"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	Nodes           int64   `json:"nodes"`
+	ChaseIterations int     `json:"chase_iterations"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Deduped         int     `json:"deduped"`
+	Workers         int     `json:"workers"`
+}
+
+// EngineBenchResult is the full regression record: both modes plus the
+// derived speedup.  CI's bench smoke gate parses this and fails when the
+// engine is slower than the sequential baseline.
+type EngineBenchResult struct {
+	Families []string         `json:"families"`
+	Seq      EngineModeResult `json:"sequential"`
+	Eng      EngineModeResult `json:"engine"`
+	// Speedup is sequential wall time over engine wall time.
+	Speedup float64 `json:"speedup"`
+	// SecondPassHitRate is the engine cache hit rate when the same
+	// corpus is decided a second time (1.0 when every pair hits).
+	SecondPassHitRate float64 `json:"second_pass_hit_rate"`
+}
+
+// E1EngineBatch compares the batch engine (parallel + canonical cache)
+// against the sequential decision procedure on the generated pair
+// corpus of every schema family, and reports both the printable table
+// and the machine-readable regression record.  cacheSize 0 picks a
+// bound fitting the whole corpus; negative disables the verdict cache.
+func E1EngineBatch(pairsPerFamily, workers, cacheSize, seed int) (*Table, *EngineBenchResult) {
+	t := &Table{
+		ID:    "E1",
+		Title: "batch engine vs sequential equivalence (generated pair corpus)",
+		Columns: []string{"family", "pairs", "seq wall", "engine wall", "speedup",
+			"hit rate", "deduped", "holding"},
+	}
+	res := &EngineBenchResult{}
+	var (
+		totalSeq, totalEng time.Duration
+		totalPairs         int
+	)
+	for fi, fam := range gen.FamilyNames() {
+		rng := rand.New(rand.NewSource(int64(seed + fi)))
+		f, err := gen.PairCorpus(rng, fam, pairsPerFamily)
+		if err != nil {
+			t.Note("%s: %v", fam, err)
+			continue
+		}
+		res.Families = append(res.Families, fam)
+		jobs := make([]engine.Job, len(f.Pairs))
+		for i, p := range f.Pairs {
+			jobs[i] = engine.Job{Left: p.Left, Right: p.Right, Op: engine.OpEquivalent}
+		}
+
+		// Sequential baseline: one EquivalentUnder call per pair, no
+		// sharing of any kind.
+		seqStart := time.Now()
+		seqHolding := 0
+		for _, p := range f.Pairs {
+			ok, st, err := containment.EquivalentUnder(p.Left, p.Right, f.Schema, f.Deps)
+			if err != nil {
+				t.Note("%s: sequential: %v", fam, err)
+				continue
+			}
+			if ok {
+				seqHolding++
+			}
+			res.Seq.Nodes += st.Nodes
+			res.Seq.ChaseIterations += st.ChaseIterations
+		}
+		seqWall := time.Since(seqStart)
+
+		// Engine: canonical dedup + verdict cache + worker pool.
+		size := cacheSize
+		if size == 0 {
+			size = 4 * pairsPerFamily
+		}
+		e := engine.New(f.Schema, f.Deps, engine.Options{
+			Workers:      workers,
+			CacheSize:    size,
+			DisableCache: cacheSize < 0,
+			Now:          time.Now,
+		})
+		rep := e.Run(context.Background(), jobs)
+		res.Eng.Nodes += rep.Nodes
+		res.Eng.ChaseIterations += rep.ChaseIterations
+		res.Eng.Deduped += rep.Deduped
+		res.Eng.Workers = rep.Workers
+
+		second := e.Run(context.Background(), jobs)
+		secondHits := second.CacheHits
+
+		cs := e.CacheStats()
+		res.Eng.CacheHits += cs.Hits
+		res.Eng.CacheMisses += cs.Misses
+		res.SecondPassHitRate += float64(secondHits) / float64(len(jobs)) / float64(len(gen.FamilyNames()))
+
+		totalSeq += seqWall
+		totalEng += rep.Wall
+		totalPairs += len(jobs)
+
+		speedup := float64(seqWall) / float64(rep.Wall+1)
+		t.Add(fam, len(jobs), seqWall, rep.Wall, speedup,
+			cs.HitRate(), rep.Deduped, rep.Holding)
+		if rep.Holding != seqHolding {
+			t.Note("%s: VERDICT MISMATCH: engine holding=%d sequential=%d", fam, rep.Holding, seqHolding)
+		}
+	}
+	res.Seq.Mode, res.Eng.Mode = "sequential", "engine"
+	res.Seq.Pairs, res.Eng.Pairs = totalPairs, totalPairs
+	res.Seq.WallNs, res.Eng.WallNs = totalSeq.Nanoseconds(), totalEng.Nanoseconds()
+	if totalPairs > 0 {
+		res.Seq.NsPerOp = totalSeq.Nanoseconds() / int64(totalPairs)
+		res.Eng.NsPerOp = totalEng.Nanoseconds() / int64(totalPairs)
+	}
+	if totalEng > 0 {
+		res.Speedup = float64(totalSeq) / float64(totalEng)
+	}
+	if res.Eng.CacheHits+res.Eng.CacheMisses > 0 {
+		res.Eng.CacheHitRate = float64(res.Eng.CacheHits) / float64(res.Eng.CacheHits+res.Eng.CacheMisses)
+	}
+	t.Note("total: seq %s, engine %s, speedup %.2fx, second-pass hit rate %.2f",
+		totalSeq.Round(time.Millisecond), totalEng.Round(time.Millisecond),
+		res.Speedup, res.SecondPassHitRate)
+	return t, res
+}

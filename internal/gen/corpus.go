@@ -1,0 +1,309 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// Pair is one decision request of a generated corpus.
+type Pair struct {
+	Left, Right *cq.Query
+	// Note tags how the pair was built, for test failure messages.
+	Note string
+}
+
+// Family bundles a named schema family with its dependencies and the
+// generated query pairs over it.
+type Family struct {
+	Name   string
+	Schema *schema.Schema
+	Deps   []fd.FD
+	Pairs  []Pair
+}
+
+// FamilyNames lists the built-in corpus families, in generation order.
+func FamilyNames() []string {
+	return []string{"graph-chain", "graph-star", "graph-mixed", "graph-long", "keyed"}
+}
+
+// PairCorpus generates n query pairs of the named family, reproducibly
+// from rng.  Roughly half the pairs are α-variants of one base query
+// (equivalent by construction), the rest draw two independent bases.
+func PairCorpus(rng *rand.Rand, name string, n int) (*Family, error) {
+	f := &Family{Name: name}
+	var bases []*cq.Query
+	switch name {
+	case "graph-chain":
+		f.Schema = GraphSchema()
+		for k := 1; k <= 5; k++ {
+			bases = append(bases, ChainQuery(k))
+			bases = append(bases, RandomChainVariant(rng, k, 1+rng.Intn(2)))
+		}
+	case "graph-star":
+		f.Schema = GraphSchema()
+		for k := 1; k <= 4; k++ {
+			bases = append(bases, StarQuery(k))
+		}
+		for k := 1; k <= 3; k++ {
+			bases = append(bases, ChainQuery(k))
+		}
+	case "graph-mixed":
+		f.Schema = GraphSchema()
+		for k := 1; k <= 4; k++ {
+			bases = append(bases,
+				ChainQuery(k), StarQuery(k), RandomChainVariant(rng, k, rng.Intn(3)))
+		}
+		bases = append(bases, CliqueQuery(2), CliqueQuery(3))
+	case "graph-long":
+		// Larger chains, where the homomorphism search dwarfs
+		// canonicalization — the regime batch deduplication pays off in.
+		f.Schema = GraphSchema()
+		for _, k := range []int{10, 13, 16} {
+			bases = append(bases, ChainQuery(k))
+			bases = append(bases, RandomChainVariant(rng, k, 1+rng.Intn(2)))
+		}
+	case "keyed":
+		f.Schema = schema.MustParse("R(k*:T1, a:T2)\nS(k*:T2, b:T1)")
+		f.Deps = fd.KeyFDs(f.Schema)
+		for i := 0; i < 12; i++ {
+			bases = append(bases, randomKeyedQuery(rng))
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown corpus family %q", name)
+	}
+	for i := 0; i < n; i++ {
+		b := bases[rng.Intn(len(bases))]
+		if rng.Intn(2) == 0 {
+			f.Pairs = append(f.Pairs, Pair{
+				Left:  b.Clone(),
+				Right: AlphaVariant(rng, b),
+				Note:  fmt.Sprintf("%s alpha pair %d", name, i),
+			})
+			continue
+		}
+		// Cross pairs must be comparable: draw the partner from bases of
+		// the same head arity (all graph-family heads are T1-typed, and
+		// the keyed family's are single T1, so arity decides).
+		c := bases[rng.Intn(len(bases))]
+		for c.Arity() != b.Arity() {
+			c = bases[rng.Intn(len(bases))]
+		}
+		f.Pairs = append(f.Pairs, Pair{
+			Left:  AlphaVariant(rng, b),
+			Right: AlphaVariant(rng, c),
+			Note:  fmt.Sprintf("%s cross pair %d", name, i),
+		})
+	}
+	return f, nil
+}
+
+// randomKeyedQuery draws a small query over the keyed corpus schema
+// R(k*:T1, a:T2), S(k*:T2, b:T1): 1–3 atoms with distinct placeholder
+// variables per position (as the syntax requires), joins expressed by
+// equating placeholders assigned to the same small per-type pool slot,
+// head one T1 placeholder, and an occasional constant binding.
+func randomKeyedQuery(rng *rand.Rand) *cq.Query {
+	const slots = 3
+	var t1Pools, t2Pools [slots][]cq.Var
+	q := &cq.Query{HeadRel: "V"}
+	atoms := 3 + rng.Intn(4)
+	next := 0
+	fresh := func() cq.Var {
+		next++
+		return cq.Var(fmt.Sprintf("P%d", next))
+	}
+	for i := 0; i < atoms; i++ {
+		u, w := fresh(), fresh()
+		t1Pools[rng.Intn(slots)] = append(t1Pools[rng.Intn(slots)], u)
+		t2Pools[rng.Intn(slots)] = append(t2Pools[rng.Intn(slots)], w)
+		if rng.Intn(2) == 0 {
+			q.Body = append(q.Body, cq.Atom{Rel: "R", Vars: []cq.Var{u, w}})
+		} else {
+			q.Body = append(q.Body, cq.Atom{Rel: "S", Vars: []cq.Var{w, u}})
+		}
+	}
+	chain := func(pool []cq.Var) {
+		for i := 1; i < len(pool); i++ {
+			q.Eqs = append(q.Eqs, cq.Equality{Left: pool[i-1], Right: cq.Term{Var: pool[i]}})
+		}
+	}
+	var headCand []cq.Var
+	for s := 0; s < slots; s++ {
+		chain(t1Pools[s])
+		chain(t2Pools[s])
+		headCand = append(headCand, t1Pools[s]...)
+	}
+	q.Head = []cq.Term{{Var: headCand[rng.Intn(len(headCand))]}}
+	if rng.Intn(3) == 0 {
+		pool := t2Pools[rng.Intn(slots)]
+		if len(pool) > 0 {
+			c := value.Value{Type: 2, N: int64(1 + rng.Intn(2))}
+			q.Eqs = append(q.Eqs, cq.Equality{Left: pool[0], Right: cq.C(c)})
+		}
+	}
+	return q
+}
+
+// AlphaVariant returns a query α-equivalent to q: variables renamed by a
+// random injection, body atoms shuffled, the equality list rebuilt as a
+// random spanning chain of each equality class, and each head variable
+// replaced by a random body-occurring member of its class.  Engine
+// verdicts (and canonical keys) must be invariant under all of this.
+func AlphaVariant(rng *rand.Rand, q *cq.Query) *cq.Query {
+	eq := cq.NewEqClasses(q)
+
+	// Order of first appearance, then a random injective renaming.
+	var vars []cq.Var
+	seen := make(map[cq.Var]bool)
+	note := func(v cq.Var) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			note(v)
+		}
+	}
+	for _, t := range q.Head {
+		if !t.IsConst {
+			note(t.Var)
+		}
+	}
+	for _, e := range q.Eqs {
+		note(e.Left)
+		if !e.Right.IsConst {
+			note(e.Right.Var)
+		}
+	}
+	perm := rng.Perm(len(vars))
+	ren := make(map[cq.Var]cq.Var, len(vars))
+	for i, v := range vars {
+		ren[v] = cq.Var(fmt.Sprintf("A%d", perm[i]))
+	}
+
+	out := &cq.Query{HeadRel: q.HeadRel}
+
+	// Shuffled body with renamed variables.
+	order := rng.Perm(len(q.Body))
+	inBody := make(map[cq.Var]bool)
+	for _, ai := range order {
+		a := q.Body[ai]
+		vs := make([]cq.Var, len(a.Vars))
+		for i, v := range a.Vars {
+			vs[i] = ren[v]
+			inBody[v] = true
+		}
+		out.Body = append(out.Body, cq.Atom{Rel: a.Rel, Vars: vs})
+	}
+
+	// Group variables by equality class, members shuffled.
+	classOf := make(map[cq.Var][]cq.Var)
+	var roots []cq.Var
+	for _, v := range vars {
+		r := eq.Find(v)
+		if classOf[r] == nil {
+			roots = append(roots, r)
+		}
+		classOf[r] = append(classOf[r], v)
+	}
+	for _, r := range roots {
+		m := classOf[r]
+		rng.Shuffle(len(m), func(i, j int) { m[i], m[j] = m[j], m[i] })
+	}
+
+	// An unsatisfiable query's classes lose information (union-find
+	// keeps one constant per class, not the conflicting pair), so
+	// rebuilding equalities from them would change semantics.  Keep the
+	// original equality list — renamed and shuffled — instead.
+	if eq.Unsatisfiable() {
+		for _, i := range rng.Perm(len(q.Eqs)) {
+			e := q.Eqs[i]
+			right := e.Right
+			if !right.IsConst {
+				right = cq.Term{Var: ren[right.Var]}
+			}
+			out.Eqs = append(out.Eqs, cq.Equality{Left: ren[e.Left], Right: right})
+		}
+		for _, t := range q.Head {
+			if t.IsConst {
+				out.Head = append(out.Head, t)
+			} else {
+				out.Head = append(out.Head, cq.Term{Var: ren[t.Var]})
+			}
+		}
+		return out
+	}
+
+	// Equalities: a random chain through each class, plus the class's
+	// constant bound to a random member.
+	for _, r := range roots {
+		m := classOf[r]
+		for i := 1; i < len(m); i++ {
+			out.Eqs = append(out.Eqs, cq.Equality{Left: ren[m[i-1]], Right: cq.Term{Var: ren[m[i]]}})
+		}
+		if c, ok := eq.Const(r); ok {
+			out.Eqs = append(out.Eqs, cq.Equality{Left: ren[m[rng.Intn(len(m))]], Right: cq.C(c)})
+		}
+	}
+
+	// Head: constants unchanged; variables swapped for a random
+	// body-occurring member of their class.
+	for _, t := range q.Head {
+		if t.IsConst {
+			out.Head = append(out.Head, t)
+			continue
+		}
+		m := classOf[eq.Find(t.Var)]
+		pick := t.Var
+		var cands []cq.Var
+		for _, v := range m {
+			if inBody[v] {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) > 0 {
+			pick = cands[rng.Intn(len(cands))]
+		}
+		out.Head = append(out.Head, cq.Term{Var: ren[pick]})
+	}
+	return out
+}
+
+// RenameRelations returns q with every body atom's relation renamed
+// through ren (names absent from ren are kept).  The head relation name
+// is a view label and stays as is.
+func RenameRelations(q *cq.Query, ren map[string]string) *cq.Query {
+	out := q.Clone()
+	for i := range out.Body {
+		if to, ok := ren[out.Body[i].Rel]; ok {
+			out.Body[i].Rel = to
+		}
+	}
+	return out
+}
+
+// RenameSchemaRelations returns a copy of s with relation (and
+// attribute) names renamed through ren; shapes, types, and keys are
+// untouched, so the renamed schema is "identical up to renaming" in the
+// paper's sense.
+func RenameSchemaRelations(s *schema.Schema, ren map[string]string) *schema.Schema {
+	rels := make([]*schema.Relation, len(s.Relations))
+	for i, r := range s.Relations {
+		c := r.Clone()
+		if to, ok := ren[r.Name]; ok {
+			c.Name = to
+		}
+		for j := range c.Attrs {
+			c.Attrs[j].Name = fmt.Sprintf("%s_%d", c.Name, j)
+		}
+		rels[i] = c
+	}
+	return schema.MustNew(rels...)
+}

@@ -10,12 +10,27 @@ import (
 	"keyedeq/internal/schema"
 )
 
+// EquivFunc decides CQ equivalence under dependencies.  Its signature
+// matches containment.EquivalentUnder, so accelerated deciders — e.g.
+// the batch engine's cached pool — slot in by plain function-type
+// assignability without this package importing them.
+type EquivFunc func(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error)
+
 // IsIdentityOn reports whether m (a mapping S → S, possibly with Src and
 // Dst structurally equal) is the identity on every instance of its source
 // satisfying deps: each view is CQ-equivalent to the identity query of
 // its relation under deps.  With deps = fd.KeyFDs(src) this is exactly
 // the paper's "β∘α is the identity map on i(S1)" over keyed instances.
 func (m *Mapping) IsIdentityOn(deps []fd.FD) (bool, error) {
+	return m.IsIdentityOnWith(deps, containment.EquivalentUnder)
+}
+
+// IsIdentityOnWith is IsIdentityOn with the equivalence decision routed
+// through equiv (nil falls back to containment.EquivalentUnder).
+func (m *Mapping) IsIdentityOnWith(deps []fd.FD, equiv EquivFunc) (bool, error) {
+	if equiv == nil {
+		equiv = containment.EquivalentUnder
+	}
 	if len(m.Src.Relations) != len(m.Dst.Relations) {
 		return false, nil
 	}
@@ -26,7 +41,7 @@ func (m *Mapping) IsIdentityOn(deps []fd.FD) (bool, error) {
 			return false, nil
 		}
 		id := cq.Identity(src)
-		ok, _, err := containment.EquivalentUnder(q, id, m.Src, deps)
+		ok, _, err := equiv(q, id, m.Src, deps)
 		if err != nil {
 			return false, fmt.Errorf("mapping: identity test for %q: %v", dst.Name, err)
 		}
@@ -42,11 +57,17 @@ func (m *Mapping) IsIdentityOn(deps []fd.FD) (bool, error) {
 // S1 ≼ S2 by (α, β).  It composes symbolically and decides per-relation
 // CQ equivalence with the identity under the source key dependencies.
 func RoundTripIsIdentity(alpha, beta *Mapping) (bool, error) {
+	return RoundTripIsIdentityWith(alpha, beta, nil)
+}
+
+// RoundTripIsIdentityWith is RoundTripIsIdentity with the equivalence
+// decision routed through equiv (nil falls back to the sequential path).
+func RoundTripIsIdentityWith(alpha, beta *Mapping, equiv EquivFunc) (bool, error) {
 	comp, err := Compose(beta, alpha)
 	if err != nil {
 		return false, err
 	}
-	return comp.IsIdentityOn(fd.KeyFDs(alpha.Src))
+	return comp.IsIdentityOnWith(fd.KeyFDs(alpha.Src), equiv)
 }
 
 // IsValid reports whether the mapping is valid in the paper's sense: it

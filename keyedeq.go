@@ -36,6 +36,7 @@ import (
 	"keyedeq/internal/containment"
 	"keyedeq/internal/cq"
 	"keyedeq/internal/dominance"
+	"keyedeq/internal/engine"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/ind"
 	"keyedeq/internal/instance"
@@ -130,8 +131,26 @@ type (
 	SearchBounds = dominance.SearchBounds
 	// SearchStats reports the work a search did.
 	SearchStats = dominance.SearchStats
+	// SearchOptions tune the search's pair loop (parallelism, cached
+	// equivalence decider).
+	SearchOptions = dominance.SearchOptions
 	// ContainmentStats reports homomorphism/chase work.
 	ContainmentStats = containment.Stats
+
+	// Engine is the parallel batch equivalence/containment engine with
+	// canonical-query caching.
+	Engine = engine.Engine
+	// EngineOptions configure an Engine (workers, cache size, job
+	// timeout, injected clock).
+	EngineOptions = engine.Options
+	// EngineJob is one decision request in an engine batch.
+	EngineJob = engine.Job
+	// EngineReport aggregates an engine batch run.
+	EngineReport = engine.Report
+	// EnginePool routes decisions to per-(schema, deps) engines.
+	EnginePool = engine.Pool
+	// EngineCacheStats snapshots an engine's verdict cache.
+	EngineCacheStats = engine.CacheStats
 )
 
 // ---- Schemas ----
@@ -403,5 +422,33 @@ func SearchEquivalence(s1, s2 *Schema, b SearchBounds) (bool, SearchStats, error
 	return dominance.SearchEquivalence(s1, s2, b)
 }
 
+// SearchEquivalenceOpts is SearchEquivalence with a parallel pair loop
+// and a pluggable equivalence decider (see SearchOptions).
+func SearchEquivalenceOpts(s1, s2 *Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
+	return dominance.SearchEquivalenceOpts(s1, s2, b, opts)
+}
+
 // DefaultSearchBounds are suitable for small schema spaces.
 func DefaultSearchBounds() SearchBounds { return dominance.DefaultBounds() }
+
+// ---- Batch engine ----
+
+// NewEngine builds a batch equivalence/containment engine bound to s
+// and deps; see EngineOptions for tuning.
+func NewEngine(s *Schema, deps []FD, opts EngineOptions) *Engine {
+	return engine.New(s, deps, opts)
+}
+
+// NewEnginePool builds an engine pool whose engines share opts; its
+// Equiv method is a drop-in cached replacement for
+// EquivalentQueriesUnder (and a valid SearchOptions.Equiv).
+func NewEnginePool(opts EngineOptions) *EnginePool { return engine.NewPool(opts) }
+
+// CanonicalQueryKey returns the renaming-invariant canonical key of q —
+// equal keys certify α-equivalence (variable renaming + atom
+// reordering).  The schema may be nil; it only collapses always-empty
+// queries to a shared key.
+func CanonicalQueryKey(q *Query, s *Schema) (key string, exact bool) {
+	c := engine.CanonicalizeQuery(q, s)
+	return c.Key, c.Exact
+}
