@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint qvet fuzz-smoke vet bench cover all
+.PHONY: build test debug race lint qvet fuzz-smoke vet bench bench-verify bench-hom bench-hom-verify cover all
 
 all: build vet test lint qvet
 
@@ -54,6 +54,15 @@ bench:
 
 bench-verify:
 	$(GO) run ./cmd/keyedeq-bench -verify-bench BENCH_engine.json
+
+# bench-hom writes the planned-vs-naive homomorphism search record;
+# bench-hom-verify is the CI gate over it: verdict agreement, planner at
+# least 1.5x faster overall, at least 5x fewer nodes on the wide family.
+bench-hom:
+	$(GO) run ./cmd/keyedeq-bench -record hom -json BENCH_homsearch.json
+
+bench-hom-verify:
+	$(GO) run ./cmd/keyedeq-bench -record hom -verify-bench BENCH_homsearch.json
 
 # cover enforces the decision-path coverage floor (engine, containment,
 # chase must each stay at or above 75% statement coverage).

@@ -9,11 +9,14 @@
 //	keyedeq-bench                       # quick suite (seconds)
 //	keyedeq-bench -full                 # full suite (stresses the exponential corners)
 //	keyedeq-bench -only T3              # one experiment by ID
-//	keyedeq-bench -json BENCH_engine.json   # run E1 and write the regression record
-//	keyedeq-bench -verify-bench BENCH_engine.json  # gate: parse + engine not slower
+//	keyedeq-bench -json BENCH_engine.json                 # run E1 and write the regression record
+//	keyedeq-bench -record hom -json BENCH_homsearch.json  # run H1 (planned vs naive search)
+//	keyedeq-bench -verify-bench BENCH_engine.json         # gate: parse + engine not slower
+//	keyedeq-bench -record hom -verify-bench BENCH_homsearch.json
 //
 // -parallel and -cache tune the batch engine E1 benchmarks with (0 =
-// defaults; -cache -1 disables the verdict cache).
+// defaults; -cache -1 disables the verdict cache).  -cpuprofile and
+// -memprofile write pprof profiles of whatever the invocation runs.
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,18 +42,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run the full-size suite")
 	only := fs.String("only", "", "run only the experiment with this ID (e.g. T3, F1)")
-	jsonOut := fs.String("json", "", "run the E1 engine benchmark and write its regression record to this file")
+	jsonOut := fs.String("json", "", "run the selected benchmark record and write it to this file")
 	verifyBench := fs.String("verify-bench", "", "verify a previously written regression record and exit")
+	record := fs.String("record", "engine", "which regression record -json/-verify-bench handles: engine (E1) or hom (H1)")
 	parallel := fs.Int("parallel", 0, "engine worker pool size for E1 (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "engine verdict cache entries for E1 (0 = fit corpus, <0 = disable)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *record != "engine" && *record != "hom" {
+		fmt.Fprintf(stderr, "keyedeq-bench: unknown record %q (want engine or hom)\n", *record)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *verifyBench != "" {
+		if *record == "hom" {
+			return verifyHomBenchFile(*verifyBench, stdout, stderr)
+		}
 		return verifyBenchFile(*verifyBench, stdout, stderr)
 	}
 	if *jsonOut != "" {
+		if *record == "hom" {
+			return writeHomBenchFile(*jsonOut, *full, stdout, stderr)
+		}
 		return writeBenchFile(*jsonOut, *full, *parallel, *cacheSize, stdout, stderr)
 	}
 
@@ -88,7 +134,32 @@ func writeBenchFile(path string, full bool, workers, cacheSize int, stdout, stde
 	}
 	table, res := exp.E1EngineBatch(pairs, workers, cacheSize, 11)
 	fmt.Fprintln(stdout, table)
-	data, err := json.MarshalIndent(res, "", "  ")
+	if writeJSON(path, res, stderr) != 0 {
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx)\n", path, res.Speedup)
+	return 0
+}
+
+// writeHomBenchFile runs the H1 planned-vs-naive homomorphism search
+// benchmark and writes its regression record.
+func writeHomBenchFile(path string, full bool, stdout, stderr io.Writer) int {
+	pairs := 300
+	if full {
+		pairs = 1000
+	}
+	table, res := exp.H1HomSearch(pairs, 21)
+	fmt.Fprintln(stdout, table)
+	if writeJSON(path, res, stderr) != 0 {
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx, wide node ratio %.1fx)\n",
+		path, res.Speedup, res.WideNodeRatio)
+	return 0
+}
+
+func writeJSON(path string, v interface{}, stderr io.Writer) int {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
 		return 2
@@ -97,7 +168,6 @@ func writeBenchFile(path string, full bool, workers, cacheSize int, stdout, stde
 		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx)\n", path, res.Speedup)
 	return 0
 }
 
@@ -136,5 +206,56 @@ func verifyBenchFile(path string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s: ok (%d pairs, speedup %.2fx, second-pass hit rate %.2f)\n",
 		path, res.Eng.Pairs, res.Speedup, res.SecondPassHitRate)
+	return 0
+}
+
+// verifyHomBenchFile is the CI gate over the H1 record: the file must
+// parse, cover every corpus family including the wide one, agree on
+// every verdict, and show the planner at least 1.5x faster overall with
+// at least 5x fewer search nodes on the wide family.
+func verifyHomBenchFile(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
+	var res exp.HomBenchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %s: %v\n", path, err)
+		return 2
+	}
+	var problems []string
+	if len(res.Families) == 0 {
+		problems = append(problems, "no families recorded")
+	}
+	hasWide := false
+	for _, f := range res.Families {
+		if f.Pairs == 0 {
+			problems = append(problems, fmt.Sprintf("family %s has no pairs", f.Family))
+		}
+		if f.Family == "wide" {
+			hasWide = true
+		}
+	}
+	if !hasWide {
+		problems = append(problems, "wide family missing from record")
+	}
+	if res.Mismatches != 0 {
+		problems = append(problems, fmt.Sprintf("%d verdict mismatches between modes", res.Mismatches))
+	}
+	if res.Speedup < 1.5 {
+		problems = append(problems, fmt.Sprintf("planned search not 1.5x faster overall (speedup %.2fx)", res.Speedup))
+	}
+	if res.WideNodeRatio < 5 {
+		problems = append(problems, fmt.Sprintf("wide family node ratio %.1fx, want >= 5x", res.WideNodeRatio))
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(stderr, "keyedeq-bench: %s: %s\n", path, p)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: ok (speedup %.2fx, wide node ratio %.1fx, mismatches %d)\n",
+		path, res.Speedup, res.WideNodeRatio, res.Mismatches)
 	return 0
 }

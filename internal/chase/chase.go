@@ -169,55 +169,218 @@ func (t *Tableau) Assert(a, b Term) error {
 
 // Stats reports work done by a chase run.
 type Stats struct {
-	// Iterations is the number of full passes over the dependencies.
+	// Iterations counts fixpoint rounds: full passes over the
+	// dependencies for the naive chase, delta waves (batches of rows
+	// revisited because a key class changed) for the semi-naive chase.
 	Iterations int
 	// Merges is the number of union operations applied.
 	Merges int
+	// Revisited counts (dependency, row) work items processed by the
+	// semi-naive chase (zero for the naive chase, which always rescans
+	// every row in every pass).
+	Revisited int
 }
 
-// Run chases the tableau with the given schema-level dependencies until
-// fixpoint.  Every dependency must have all attributes within a single
-// relation (EGD form); cross-relation dependencies are rejected.  On a
-// failing chase the tableau's Failed flag is set and Run returns normally
-// (failure is a result, not an error).
-func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
-	return t.RunCtx(context.Background(), deps)
+// egd is one compiled equality-generating dependency: a relation index
+// and the LHS/RHS attribute positions.
+type egd struct {
+	rel  int
+	x, y []int
 }
 
-// RunCtx is Run with cancellation: the chase polls ctx once per pass
-// over the dependencies and aborts with ctx's error when it is done.
-func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
-	type egd struct {
-		rel  int
-		x, y []int
-	}
+// compileEGDs resolves schema-level dependencies to position form.
+// Every dependency must have all attributes within a single relation
+// (EGD form); cross-relation dependencies are rejected.
+func (t *Tableau) compileEGDs(deps []fd.FD) ([]egd, error) {
 	egds := make([]egd, 0, len(deps))
 	for _, d := range deps {
 		rel, ok := d.SameRelation()
 		if !ok {
-			return Stats{}, fmt.Errorf("chase: dependency %s spans relations; only EGDs over one relation are supported", d)
+			return nil, fmt.Errorf("chase: dependency %s spans relations; only EGDs over one relation are supported", d)
 		}
 		ri := t.Schema.RelationIndex(rel)
 		if ri < 0 {
-			return Stats{}, fmt.Errorf("chase: dependency %s over unknown relation", d)
+			return nil, fmt.Errorf("chase: dependency %s over unknown relation", d)
 		}
 		e := egd{rel: ri}
 		arity := t.Schema.Relations[ri].Arity()
 		for _, a := range d.X {
 			if a.Pos < 0 || a.Pos >= arity {
-				return Stats{}, fmt.Errorf("chase: dependency %s position out of range", d)
+				return nil, fmt.Errorf("chase: dependency %s position out of range", d)
 			}
 			e.x = append(e.x, a.Pos)
 		}
 		for _, a := range d.Y {
 			if a.Pos < 0 || a.Pos >= arity {
-				return Stats{}, fmt.Errorf("chase: dependency %s position out of range", d)
+				return nil, fmt.Errorf("chase: dependency %s position out of range", d)
 			}
 			e.y = append(e.y, a.Pos)
 		}
 		egds = append(egds, e)
 	}
+	return egds, nil
+}
 
+// Run chases the tableau with the given schema-level dependencies until
+// fixpoint.  On a failing chase the tableau's Failed flag is set and Run
+// returns normally (failure is a result, not an error).
+func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
+	return t.RunCtx(context.Background(), deps)
+}
+
+// RunCtx is Run with cancellation: the chase polls ctx once per delta
+// wave and aborts with ctx's error when it is done.
+//
+// The fixpoint is computed semi-naively: rows are bucketed per
+// dependency by the union-find representatives of their LHS cells, and
+// after the initial pass only rows whose LHS representatives changed in
+// a merge are revisited.  The key observation making the stale-bucket
+// bookkeeping sound is that the union-find only coarsens: an absorbed
+// representative id is never a representative again, so a bucket key
+// mentioning one can never be produced — stale entries are unreachable,
+// not wrong.  The full-rescan fixpoint remains as RunNaiveCtx for
+// differential testing.
+func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
+	egds, err := t.compileEGDs(deps)
+	if err != nil {
+		return Stats{}, err
+	}
+	var stats Stats
+	classesBefore := 0
+	if invariant.Debug {
+		classesBefore = t.classCount()
+	}
+
+	type item struct {
+		egd, row int32
+	}
+	// Seed: every (dependency, row) pair of the dependency's relation.
+	queued := make([][]bool, len(egds))
+	var cur, next []item
+	for ei := range egds {
+		queued[ei] = make([]bool, len(t.rows))
+		for ri := range t.rows {
+			if t.rows[ri].rel == egds[ei].rel {
+				queued[ei][ri] = true
+				cur = append(cur, item{int32(ei), int32(ri)})
+			}
+		}
+	}
+
+	// rowsOfRoot maps a union-find root to the work items whose LHS key
+	// mentions a term of that class.  When the class is absorbed in a
+	// merge those items' keys change, so they are requeued and the list
+	// transfers to the winning root.
+	rowsOfRoot := make(map[int][]item)
+	for ei := range egds {
+		for ri := range t.rows {
+			if t.rows[ri].rel != egds[ei].rel {
+				continue
+			}
+			for _, p := range egds[ei].x {
+				root := t.find(int(t.rows[ri].cells[p]))
+				rowsOfRoot[root] = append(rowsOfRoot[root], item{int32(ei), int32(ri)})
+			}
+		}
+	}
+
+	merge := func(a, b Term) error {
+		ra, rb := t.find(int(a)), t.find(int(b))
+		if ra == rb {
+			return nil
+		}
+		if err := t.Assert(a, b); err != nil {
+			return err
+		}
+		stats.Merges++
+		winner := t.find(ra)
+		loser := rb
+		if winner == rb {
+			loser = ra
+		}
+		for _, it := range rowsOfRoot[loser] {
+			if !queued[it.egd][it.row] {
+				queued[it.egd][it.row] = true
+				next = append(next, it)
+			}
+		}
+		rowsOfRoot[winner] = append(rowsOfRoot[winner], rowsOfRoot[loser]...)
+		delete(rowsOfRoot, loser)
+		return nil
+	}
+
+	// buckets[e] maps an LHS key to the first row seen with it; later
+	// rows with the same key merge their RHS cells into that row's.
+	buckets := make([]map[string]int32, len(egds))
+	for ei := range buckets {
+		buckets[ei] = make(map[string]int32)
+	}
+	for len(cur) > 0 && !t.failed {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		stats.Iterations++
+		for _, it := range cur {
+			if t.failed {
+				break
+			}
+			queued[it.egd][it.row] = false
+			e := &egds[it.egd]
+			r := t.rows[it.row]
+			key := t.projKey(r, e.x)
+			stats.Revisited++
+			first, ok := buckets[it.egd][key]
+			if !ok {
+				buckets[it.egd][key] = it.row
+				continue
+			}
+			if first == it.row {
+				continue
+			}
+			fr := t.rows[first]
+			for _, p := range e.y {
+				if !t.Same(fr.cells[p], r.cells[p]) {
+					if err := merge(fr.cells[p], r.cells[p]); err != nil {
+						return stats, err
+					}
+				}
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+	if stats.Iterations == 0 {
+		// An empty tableau or dependency set still counts as one pass,
+		// matching the naive chase's single no-op scan.
+		stats.Iterations = 1
+	}
+	if invariant.Debug {
+		// The chase is monotone: every merge collapses exactly two
+		// classes into one and nothing ever splits, so the class count
+		// must drop by precisely the number of merges.  This is what
+		// makes the worklist drain a fixpoint.
+		classesAfter := t.classCount()
+		invariant.Assertf(classesBefore-classesAfter == stats.Merges,
+			"chase: run went from %d to %d classes with %d merges",
+			classesBefore, classesAfter, stats.Merges)
+	}
+	return stats, nil
+}
+
+// RunNaive chases to fixpoint by full rescans: every pass regroups every
+// row of every dependency's relation.  It is the reference
+// implementation the semi-naive RunCtx is differentially tested against.
+func (t *Tableau) RunNaive(deps []fd.FD) (Stats, error) {
+	return t.RunNaiveCtx(context.Background(), deps)
+}
+
+// RunNaiveCtx is RunNaive with cancellation: the chase polls ctx once
+// per pass over the dependencies and aborts with ctx's error when it is
+// done.
+func (t *Tableau) RunNaiveCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
+	egds, err := t.compileEGDs(deps)
+	if err != nil {
+		return Stats{}, err
+	}
 	var stats Stats
 	for {
 		if err := ctx.Err(); err != nil {

@@ -55,21 +55,26 @@ func TestChaseLeavesDistinctKeysAlone(t *testing.T) {
 }
 
 func TestChaseCascades(t *testing.T) {
-	// Rows 1,2 agree on key; merging makes rows 2,3 agree; cascade.
+	// R(a1,x), R(a2,y) only agree on their key after R(k1,a1), R(k1,a2)
+	// force a1 = a2.  The dependent rows come first, so the delta chase
+	// has already bucketed them when the trigger fires and must requeue
+	// them into a second wave — exercising the rowsOfRoot machinery.
 	s := schema.MustParse("R(k*:T1, a:T1)")
-	tb := NewTableau(s)
-	k1 := tb.NewNull(1)
-	a1 := tb.NewNull(1)
-	a2 := tb.NewNull(1)
-	b := tb.NewNull(1)
-	// R(k1, a1), R(k1, a2): forces a1 = a2.
-	tb.AddRow("R", []Term{k1, a1})
-	tb.AddRow("R", []Term{k1, a2})
-	// R(a1, x), R(a2, y): after a1=a2 forces x=y.
-	x, y := tb.NewNull(1), tb.NewNull(1)
-	tb.AddRow("R", []Term{a1, x})
-	tb.AddRow("R", []Term{a2, y})
-	_ = b
+	build := func() (tb *Tableau, x, y Term) {
+		tb = NewTableau(s)
+		k1 := tb.NewNull(1)
+		a1 := tb.NewNull(1)
+		a2 := tb.NewNull(1)
+		x, y = tb.NewNull(1), tb.NewNull(1)
+		// R(a1, x), R(a2, y): after a1=a2 forces x=y.
+		tb.AddRow("R", []Term{a1, x})
+		tb.AddRow("R", []Term{a2, y})
+		// R(k1, a1), R(k1, a2): forces a1 = a2.
+		tb.AddRow("R", []Term{k1, a1})
+		tb.AddRow("R", []Term{k1, a2})
+		return tb, x, y
+	}
+	tb, x, y := build()
 	stats, err := tb.Run(keyDeps(s))
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +83,18 @@ func TestChaseCascades(t *testing.T) {
 		t.Error("cascading merge missed")
 	}
 	if stats.Iterations < 2 {
-		t.Errorf("Iterations = %d, want >= 2 (cascade needs a second pass)", stats.Iterations)
+		t.Errorf("Iterations = %d, want >= 2 (cascade needs a second wave)", stats.Iterations)
+	}
+	tbn, xn, yn := build()
+	nstats, err := tbn.RunNaive(keyDeps(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbn.Same(xn, yn) {
+		t.Error("naive chase missed the cascading merge")
+	}
+	if nstats.Iterations < 2 {
+		t.Errorf("naive Iterations = %d, want >= 2 (cascade needs a second pass)", nstats.Iterations)
 	}
 }
 

@@ -1,0 +1,204 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/schema"
+)
+
+// fingerprint canonicalizes a tableau's fixpoint: every term labeled by
+// the first-seen index of its class representative, plus the constant
+// (if any) bound to that class.  Two chases of the same frozen query are
+// equivalent iff their fingerprints match, regardless of which term of a
+// class ended up the union-find root.
+type classLabel struct {
+	id       int
+	hasConst bool
+	constKey string
+}
+
+func fingerprint(t *Tableau) []classLabel {
+	labelOf := make(map[int]int)
+	out := make([]classLabel, len(t.parent))
+	for id := range t.parent {
+		root := t.find(id)
+		lbl, ok := labelOf[root]
+		if !ok {
+			lbl = len(labelOf)
+			labelOf[root] = lbl
+		}
+		out[id] = classLabel{id: lbl}
+		if c, has := t.constOf[root]; has {
+			out[id].hasConst = true
+			out[id].constKey = c.String()
+		}
+	}
+	return out
+}
+
+func sameFingerprint(a, b []classLabel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chaseBoth freezes q twice over s and chases one tableau semi-naively
+// and the other with full rescans.
+func chaseBoth(t *testing.T, s *schema.Schema, deps []fd.FD, q *cq.Query) (semi, naive *Tableau, semiStats, naiveStats Stats) {
+	t.Helper()
+	semi = NewTableau(s)
+	if _, err := Freeze(semi, q); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	naive = NewTableau(s)
+	if _, err := Freeze(naive, q); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	var err error
+	semiStats, err = semi.Run(deps)
+	if err != nil {
+		t.Fatalf("semi-naive chase: %v", err)
+	}
+	naiveStats, err = naive.RunNaive(deps)
+	if err != nil {
+		t.Fatalf("naive chase: %v", err)
+	}
+	return semi, naive, semiStats, naiveStats
+}
+
+// TestSemiNaiveMatchesNaiveOnKeyedCorpus chases every query of a large
+// keyed corpus both ways and demands identical fixpoints: same failure
+// flag, same term partition, same constants per class.  This is the
+// differential gate for the delta chase.
+func TestSemiNaiveMatchesNaiveOnKeyedCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fam, err := gen.PairCorpus(rng, "keyed", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range fam.Pairs {
+		for _, q := range []*cq.Query{p.Left, p.Right} {
+			semi, naive, semiStats, naiveStats := chaseBoth(t, fam.Schema, fam.Deps, q)
+			if semi.Failed() != naive.Failed() {
+				t.Fatalf("%s: failed mismatch: semi=%v naive=%v for %s", p.Note, semi.Failed(), naive.Failed(), q)
+			}
+			if semiStats.Merges != naiveStats.Merges {
+				// The fixpoint is confluent: the same classes must merge no
+				// matter the order, so the merge counts agree exactly.
+				t.Fatalf("%s: merges mismatch: semi=%d naive=%d for %s", p.Note, semiStats.Merges, naiveStats.Merges, q)
+			}
+			if !semi.Failed() && !sameFingerprint(fingerprint(semi), fingerprint(naive)) {
+				t.Fatalf("%s: partition mismatch for %s", p.Note, q)
+			}
+			checked++
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("corpus too small: %d chases", checked)
+	}
+}
+
+// TestSemiNaiveMatchesNaiveOnWideCorpus repeats the differential check
+// on the wide keyed family, whose multi-attribute keys exercise
+// composite LHS bucket keys.
+func TestSemiNaiveMatchesNaiveOnWideCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fam, err := gen.PairCorpus(rng, "wide", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Deps) == 0 {
+		t.Fatal("wide family must carry key dependencies")
+	}
+	for _, p := range fam.Pairs {
+		for _, q := range []*cq.Query{p.Left, p.Right} {
+			semi, naive, _, _ := chaseBoth(t, fam.Schema, fam.Deps, q)
+			if semi.Failed() != naive.Failed() {
+				t.Fatalf("%s: failed mismatch for %s", p.Note, q)
+			}
+			if !semi.Failed() && !sameFingerprint(fingerprint(semi), fingerprint(naive)) {
+				t.Fatalf("%s: partition mismatch for %s", p.Note, q)
+			}
+		}
+	}
+}
+
+// TestSemiNaiveRevisitsLessThanRescan builds a long merge chain where
+// full rescans are quadratic in the row count but the delta chase only
+// requeues the rows a merge actually touches.
+func TestSemiNaiveRevisitsLessThanRescan(t *testing.T) {
+	s := schema.MustParse("R(k*:T1, a:T1)")
+	const n = 60
+	build := func() (*Tableau, []Term) {
+		tb := NewTableau(s)
+		// A chain k_i = a-cell of row i equals key of rows 2i+1, 2i+2 …
+		// simplest cascade chain: R(c_i, c_{i+1}) pairs sharing keys so a
+		// merge at level i triggers exactly one at level i+1.
+		terms := make([]Term, 2*n+2)
+		for i := range terms {
+			terms[i] = tb.NewNull(1)
+		}
+		// R(t_{2i}, t_{2i+2}) and R(t_{2i+1}, t_{2i+3}); equate t_0, t_1
+		// via two rows sharing a key, then each merge of (t_{2i}, t_{2i+1})
+		// makes the next pair of rows agree on their key.
+		// Deepest links first and the trigger rows last: a rescan pass
+		// sees each level's rows before the merge that equates their
+		// keys, so the naive chase needs one full pass per level.
+		seed := tb.NewNull(1)
+		for i := n - 1; i >= 0; i-- {
+			tb.AddRow("R", []Term{terms[2*i], terms[2*i+2]})
+			tb.AddRow("R", []Term{terms[2*i+1], terms[2*i+3]})
+		}
+		tb.AddRow("R", []Term{seed, terms[0]})
+		tb.AddRow("R", []Term{seed, terms[1]})
+		return tb, terms
+	}
+	semi, sterms := build()
+	semiStats, err := semi.Run(keyDeps(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, nterms := build()
+	naiveStats, err := naive.RunNaive(keyDeps(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semi.Same(sterms[2*n], sterms[2*n+1]) || !naive.Same(nterms[2*n], nterms[2*n+1]) {
+		t.Fatal("cascade chain did not propagate to the end")
+	}
+	if semiStats.Merges != naiveStats.Merges {
+		t.Fatalf("merges mismatch: semi=%d naive=%d", semiStats.Merges, naiveStats.Merges)
+	}
+	// The naive chase rescans all 2n+2 rows once per cascade level; the
+	// delta chase seeds every row once and then revisits O(1) rows per
+	// merge.  Iterations * rows is the naive work bound.
+	naiveWork := naiveStats.Iterations * (2*n + 2)
+	if semiStats.Revisited*10 > naiveWork {
+		t.Fatalf("semi-naive revisited %d items; naive rescan work %d — want >= 10x reduction", semiStats.Revisited, naiveWork)
+	}
+	if naiveStats.Iterations < n {
+		t.Fatalf("naive Iterations = %d, want >= %d (one pass per cascade level)", naiveStats.Iterations, n)
+	}
+}
+
+// TestSemiNaiveFailureMatchesNaive checks that a failing chase
+// (conflicting constants under a key) fails in both modes.
+func TestSemiNaiveFailureMatchesNaive(t *testing.T) {
+	q := cq.MustParse("V(X) :- R(X, A), R(Y, B), X = Y, A = T2:1, B = T2:2.")
+	s := schema.MustParse("R(k*:T1, a:T2)")
+	semi, naive, _, _ := chaseBoth(t, s, fd.KeyFDs(s), q)
+	if !semi.Failed() || !naive.Failed() {
+		t.Fatalf("both chases must fail: semi=%v naive=%v", semi.Failed(), naive.Failed())
+	}
+}

@@ -49,6 +49,13 @@ func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Sta
 // and the homomorphism search poll ctx and abort with its error when it
 // is done.
 func ContainedUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
+	return ContainedUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchPlanned)
+}
+
+// ContainedUnderCtxMode is ContainedUnderCtx with an explicit
+// homomorphism search mode; the naive mode drives the differential tests
+// and the planned-vs-naive benchmark record.
+func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode cq.SearchMode) (bool, Stats, error) {
 	var stats Stats
 	if err := CheckComparable(q1, q2, s); err != nil {
 		return false, stats, err
@@ -90,7 +97,7 @@ func ContainedUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, 
 	for i, h := range head {
 		want[i] = valOf[h]
 	}
-	ok, es, err := cq.HasAnswerCtx(ctx, q2, db, want)
+	ok, _, es, err := cq.FindAnswerBindingCtxMode(ctx, q2, db, want, mode)
 	stats.Nodes = es.Nodes
 	return ok, stats, err
 }
@@ -106,13 +113,25 @@ func EquivalentUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, St
 	return EquivalentUnderCtx(context.Background(), q1, q2, s, deps)
 }
 
+// EquivalentUnderMode is EquivalentUnder with an explicit homomorphism
+// search mode; the naive mode drives differential tests and benchmarks.
+func EquivalentUnderMode(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode cq.SearchMode) (bool, Stats, error) {
+	return EquivalentUnderCtxMode(context.Background(), q1, q2, s, deps, mode)
+}
+
 // EquivalentUnderCtx is EquivalentUnder with cancellation via ctx.
 func EquivalentUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
-	ok, st1, err := ContainedUnderCtx(ctx, q1, q2, s, deps)
+	return EquivalentUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchPlanned)
+}
+
+// EquivalentUnderCtxMode is EquivalentUnderCtx with an explicit
+// homomorphism search mode.
+func EquivalentUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode cq.SearchMode) (bool, Stats, error) {
+	ok, st1, err := ContainedUnderCtxMode(ctx, q1, q2, s, deps, mode)
 	if err != nil || !ok {
 		return false, st1, err
 	}
-	ok, st2, err := ContainedUnderCtx(ctx, q2, q1, s, deps)
+	ok, st2, err := ContainedUnderCtxMode(ctx, q2, q1, s, deps, mode)
 	st := Stats{
 		Nodes:           st1.Nodes + st2.Nodes,
 		ChaseIterations: st1.ChaseIterations + st2.ChaseIterations,

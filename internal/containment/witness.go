@@ -38,6 +38,12 @@ func (h Homomorphism) String() string {
 // canonical database; a vacuous containment (failing chase) returns
 // ok=true with a nil homomorphism.
 func FindHomomorphism(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (Homomorphism, bool, error) {
+	return FindHomomorphismMode(q1, q2, s, deps, cq.SearchPlanned)
+}
+
+// FindHomomorphismMode is FindHomomorphism with an explicit homomorphism
+// search mode; differential tests verify both modes' witnesses.
+func FindHomomorphismMode(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode cq.SearchMode) (Homomorphism, bool, error) {
 	if err := CheckComparable(q1, q2, s); err != nil {
 		return nil, false, err
 	}
@@ -73,7 +79,7 @@ func FindHomomorphism(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (Homomor
 	for i, h := range head {
 		want[i] = valOf[h]
 	}
-	ok, binding, _, err := cq.FindAnswerBinding(q2, db, want)
+	ok, binding, _, err := cq.FindAnswerBindingMode(q2, db, want, mode)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
@@ -167,29 +173,28 @@ func VerifyHomomorphism(q1, q2 *cq.Query, h Homomorphism, s *schema.Schema, deps
 		}
 	}
 	// Also respect q2's own equality list: equated variables must map to
-	// equal terms, and constant bindings must be honored.
+	// equal terms, and constant bindings must be honored.  One pass over
+	// the variables suffices: within a class, equality of images is
+	// transitive, so comparing each member against the class's first seen
+	// member checks every pair.
 	eq2 := cq.NewEqClasses(q2)
+	firstOf := make(map[cq.Var]cq.Var)
+	firstImg := make(map[cq.Var]cq.Term)
 	for _, v := range q2.BodyVars() {
-		for _, w := range q2.BodyVars() {
-			if v < w && eq2.Same(v, w) {
-				iv, err := apply(v)
-				if err != nil {
-					return err
-				}
-				iw, err := apply(w)
-				if err != nil {
-					return err
-				}
-				if !sameTerm(iv, iw) {
-					return fmt.Errorf("containment: equality %s = %s not preserved", v, w)
-				}
+		iv, err := apply(v)
+		if err != nil {
+			return err
+		}
+		root := eq2.Find(v)
+		if w, seen := firstOf[root]; seen {
+			if !sameTerm(firstImg[root], iv) {
+				return fmt.Errorf("containment: equality %s = %s not preserved", w, v)
 			}
+		} else {
+			firstOf[root] = v
+			firstImg[root] = iv
 		}
 		if c, ok := eq2.Const(v); ok {
-			iv, err := apply(v)
-			if err != nil {
-				return err
-			}
 			if !sameTerm(iv, cq.C(c)) {
 				return fmt.Errorf("containment: selection %s = %s not preserved", v, c)
 			}

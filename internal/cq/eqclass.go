@@ -25,9 +25,13 @@ type EqClasses struct {
 // NewEqClasses computes the equality classes of q.  Every placeholder
 // variable of the body gets a (possibly singleton) class.
 func NewEqClasses(q *Query) *EqClasses {
+	n := len(q.Eqs)
+	for _, a := range q.Body {
+		n += len(a.Vars)
+	}
 	e := &EqClasses{
-		parent:  make(map[Var]Var),
-		rank:    make(map[Var]int),
+		parent:  make(map[Var]Var, n),
+		rank:    make(map[Var]int, n),
 		constOf: make(map[Var]value.Value),
 	}
 	for _, a := range q.Body {

@@ -20,35 +20,11 @@ type EvalStats struct {
 // costs nothing measurable on the hot path.
 const cancelCheckMask = 0x3ff
 
-// atomTuples lazily materializes each body atom's sorted tuple slice
-// once per search.  Relation.Tuples sorts on every call, so fetching it
-// inside the backtracking recursion would redo an O(n log n) sort at
-// every search node.
-type atomTuples struct {
-	rels []*instance.Relation
-	tups [][]instance.Tuple
-}
-
-func newAtomTuples(rels []*instance.Relation) *atomTuples {
-	return &atomTuples{rels: rels, tups: make([][]instance.Tuple, len(rels))}
-}
-
-func (at *atomTuples) of(i int) []instance.Tuple {
-	if at.tups[i] == nil {
-		ts := at.rels[i].Tuples()
-		if ts == nil {
-			ts = []instance.Tuple{}
-		}
-		at.tups[i] = ts
-	}
-	return at.tups[i]
-}
-
 // Eval evaluates q over database d, returning the answer as a relation
 // instance with a synthesized scheme (named by q.HeadRel, attributes
-// c0..cn-1, no key).  Evaluation is the standard backtracking join over
-// the body atoms with the equality classes acting as the binding
-// environment.
+// c0..cn-1, no key).  Evaluation uses the planned, indexed join of
+// plan.go/search.go; the classical naive backtracking join remains
+// available through EvalWithStatsMode(SearchNaive).
 func Eval(q *Query, d *instance.Database) (*instance.Relation, error) {
 	rel, _, err := EvalWithStats(q, d)
 	return rel, err
@@ -69,12 +45,18 @@ func EvalInto(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 			return nil, fmt.Errorf("cq: head position %d has type %v, scheme %q wants %v", i, t, scheme.Name, scheme.Attrs[i].Type)
 		}
 	}
-	rel, _, err := evalCore(q, d, scheme)
+	rel, _, err := evalCore(q, d, scheme, SearchPlanned)
 	return rel, err
 }
 
 // EvalWithStats is Eval returning search statistics.
 func EvalWithStats(q *Query, d *instance.Database) (*instance.Relation, EvalStats, error) {
+	return EvalWithStatsMode(q, d, SearchPlanned)
+}
+
+// EvalWithStatsMode is EvalWithStats with an explicit search mode; the
+// naive mode exists for differential testing and benchmarking.
+func EvalWithStatsMode(q *Query, d *instance.Database, mode SearchMode) (*instance.Relation, EvalStats, error) {
 	ht, err := q.HeadType(d.Schema)
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -87,30 +69,34 @@ func EvalWithStats(q *Query, d *instance.Database) (*instance.Relation, EvalStat
 	for i, t := range ht {
 		scheme.Attrs = append(scheme.Attrs, schema.Attribute{Name: fmt.Sprintf("c%d", i), Type: t})
 	}
-	return evalCore(q, d, scheme)
+	return evalCore(q, d, scheme, mode)
 }
 
-func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instance.Relation, EvalStats, error) {
+func evalCore(q *Query, d *instance.Database, scheme *schema.Relation, mode SearchMode) (*instance.Relation, EvalStats, error) {
 	out := instance.NewRelation(scheme)
-	var stats EvalStats
 	if len(q.Body) == 0 {
-		return out, stats, fmt.Errorf("cq: empty body")
+		return out, EvalStats{}, fmt.Errorf("cq: empty body")
 	}
+	if mode == SearchNaive {
+		stats, err := evalNaive(q, d, out)
+		return out, stats, err
+	}
+	stats, err := evalPlanned(context.Background(), q, d, out)
+	return out, stats, err
+}
+
+// evalNaive is the reference evaluation: a backtracking join matching
+// atoms against full relation scans, picking the next atom dynamically
+// by bound-position count.
+func evalNaive(q *Query, d *instance.Database, out *instance.Relation) (EvalStats, error) {
+	var stats EvalStats
 	eq := NewEqClasses(q)
 	if eq.Unsatisfiable() {
-		return out, stats, nil
+		return stats, nil
 	}
-	// Resolve body relations up front.
-	rels := make([]*instance.Relation, len(q.Body))
-	for i, a := range q.Body {
-		r := d.Relation(a.Rel)
-		if r == nil {
-			return nil, stats, fmt.Errorf("cq: no relation %q in database", a.Rel)
-		}
-		if r.Scheme != nil && len(a.Vars) != r.Scheme.Arity() {
-			return nil, stats, fmt.Errorf("cq: %s arity mismatch", a.Rel)
-		}
-		rels[i] = r
+	rels, err := resolveRelations(q, d)
+	if err != nil {
+		return stats, err
 	}
 	// Binding environment: class representative -> value.
 	binding := make(map[Var]value.Value)
@@ -124,7 +110,6 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 	}
 
 	used := make([]bool, len(q.Body))
-	tuples := newAtomTuples(rels)
 	var emit func()
 	emit = func() {
 		t := make(instance.Tuple, len(q.Head))
@@ -171,7 +156,7 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 		a := q.Body[ai]
 		used[ai] = true
 		defer func() { used[ai] = false }()
-		for _, t := range tuples.of(ai) {
+		for _, t := range rels[ai].Tuples() {
 			stats.Nodes++
 			// Check consistency and collect new bindings.
 			var added []Var
@@ -197,7 +182,7 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation) (*instanc
 		}
 	}
 	recurse(len(q.Body))
-	return out, stats, nil
+	return stats, nil
 }
 
 // NonEmpty reports whether q has at least one answer on d.
@@ -234,13 +219,34 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 
 // FindAnswerBindingCtx is FindAnswerBinding with cancellation via ctx.
 func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
-	var stats EvalStats
+	return FindAnswerBindingCtxMode(ctx, q, d, want, SearchPlanned)
+}
+
+// FindAnswerBindingMode is FindAnswerBinding with an explicit search
+// mode; the naive mode exists for differential testing and benchmarking.
+func FindAnswerBindingMode(q *Query, d *instance.Database, want instance.Tuple, mode SearchMode) (bool, map[Var]value.Value, EvalStats, error) {
+	return FindAnswerBindingCtxMode(context.Background(), q, d, want, mode)
+}
+
+// FindAnswerBindingCtxMode is FindAnswerBindingCtx with an explicit
+// search mode.
+func FindAnswerBindingCtxMode(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple, mode SearchMode) (bool, map[Var]value.Value, EvalStats, error) {
 	if len(q.Head) != len(want) {
-		return false, nil, stats, fmt.Errorf("cq: want arity %d, head arity %d", len(want), len(q.Head))
+		return false, nil, EvalStats{}, fmt.Errorf("cq: want arity %d, head arity %d", len(want), len(q.Head))
 	}
 	if len(q.Body) == 0 {
-		return false, nil, stats, fmt.Errorf("cq: empty body")
+		return false, nil, EvalStats{}, fmt.Errorf("cq: empty body")
 	}
+	if mode == SearchNaive {
+		return findAnswerNaive(ctx, q, d, want)
+	}
+	return findAnswerPlanned(ctx, q, d, want)
+}
+
+// findAnswerNaive is the reference homomorphism search: dynamic
+// most-bound-first atom picking over full relation scans.
+func findAnswerNaive(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
+	var stats EvalStats
 	eq := NewEqClasses(q)
 	if eq.Unsatisfiable() {
 		return false, nil, stats, nil
@@ -297,7 +303,6 @@ func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, w
 		}
 		return best
 	}
-	tuples := newAtomTuples(rels)
 	var found bool
 	var canceled error
 	var witness map[Var]value.Value
@@ -322,7 +327,7 @@ func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, w
 		a := q.Body[ai]
 		used[ai] = true
 		defer func() { used[ai] = false }()
-		for _, t := range tuples.of(ai) {
+		for _, t := range rels[ai].Tuples() {
 			if found || canceled != nil {
 				return
 			}

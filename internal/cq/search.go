@@ -1,0 +1,407 @@
+package cq
+
+import (
+	"context"
+	"strconv"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+// This file runs the planned, indexed homomorphism search compiled by
+// plan.go: per-relation hash indexes keyed by the positions bound at
+// each step, matched component by component.  It threads the same
+// EvalStats.Nodes accounting and cancelCheckMask context polling as the
+// naive backtracking search in eval.go, so engine timeouts and stats
+// behave identically across modes.
+
+// SearchMode selects the homomorphism search implementation.
+type SearchMode int
+
+const (
+	// SearchPlanned is the default: indexed matching under a
+	// most-constrained-first join order with component decomposition.
+	SearchPlanned SearchMode = iota
+	// SearchNaive is the reference implementation: source-order dynamic
+	// atom picking with full relation scans.  It exists for differential
+	// testing and the planned-vs-naive benchmark record.
+	SearchNaive
+)
+
+// String renders the mode tag used in benchmark tables.
+func (m SearchMode) String() string {
+	if m == SearchNaive {
+		return "naive"
+	}
+	return "planned"
+}
+
+// searcher carries the mutable state of one planned search.  Bindings
+// live in flat slices indexed by plan class id — the hot path hashes
+// nothing but the index-probe keys.
+type searcher struct {
+	ctx      context.Context
+	plan     *searchPlan
+	binding  []value.Value
+	bound    []bool
+	stats    *EvalStats
+	canceled error
+	// indexes holds one lazily built bucket map per plan index slot;
+	// steps sharing a slot share the index.  Single-position keys use
+	// indexes1 (keyed by the value itself, no encoding); wider keys use
+	// indexes with an encoded byte-string key.
+	indexes1 []map[value.Value][]instance.Tuple
+	indexes  []map[string][]instance.Tuple
+	// keyBuf is the reusable scratch for probe-key encoding.
+	keyBuf []byte
+}
+
+func newSearcher(ctx context.Context, plan *searchPlan, stats *EvalStats) *searcher {
+	return &searcher{
+		ctx:      ctx,
+		plan:     plan,
+		binding:  make([]value.Value, plan.numClasses),
+		bound:    make([]bool, plan.numClasses),
+		stats:    stats,
+		indexes1: make([]map[value.Value][]instance.Tuple, plan.numSlots),
+		indexes:  make([]map[string][]instance.Tuple, plan.numSlots),
+	}
+}
+
+// prebinding fixes one equality class's value before the search starts
+// (a constant from the equality list, or a wanted head value).  The
+// slice stays tiny, so lookups are linear scans rather than map probes.
+type prebinding struct {
+	root Var
+	val  value.Value
+}
+
+// lookupPre returns the prebound value of root, if any.
+func lookupPre(pres []prebinding, root Var) (value.Value, bool) {
+	for _, pb := range pres {
+		if pb.root == root {
+			return pb.val, true
+		}
+	}
+	return value.Value{}, false
+}
+
+// collectConstPrebindings gathers the constant-bound classes touched by
+// the body into pres (deduplicated by representative).
+func collectConstPrebindings(q *Query, eq *EqClasses, pres []prebinding) []prebinding {
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			if c, ok := eq.Const(v); ok {
+				root := eq.Find(v)
+				if _, seen := lookupPre(pres, root); !seen {
+					pres = append(pres, prebinding{root: root, val: c})
+				}
+			}
+		}
+	}
+	return pres
+}
+
+// prebind seeds the binding slices from root-variable values fixed
+// before the search (constants and wanted head values).
+func (s *searcher) prebind(pres []prebinding) {
+	for _, pb := range pres {
+		if id, ok := s.plan.classOf[pb.root]; ok {
+			s.binding[id] = pb.val
+			s.bound[id] = true
+		}
+	}
+}
+
+// posSig encodes a key-position list for index-slot sharing (plan time
+// only; the search itself probes by slot number).
+func posSig(pos []int) string {
+	b := make([]byte, 0, len(pos)*3)
+	for _, p := range pos {
+		b = strconv.AppendInt(b, int64(p), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// appendValue encodes one value into an index key.
+func appendValue(b []byte, v value.Value) []byte {
+	b = strconv.AppendInt(b, int64(v.Type), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, v.N, 10)
+	b = append(b, '|')
+	return b
+}
+
+// candidates returns the tuples step st can match given the current
+// binding: the full (memoized) sorted order when the step has no bound
+// positions, else the step's index bucket for the bound values.
+func (s *searcher) candidates(st *planStep) []instance.Tuple {
+	if st.indexSlot < 0 {
+		return st.rel.Tuples()
+	}
+	if len(st.keyPos) == 1 {
+		p := st.keyPos[0]
+		idx := s.indexes1[st.indexSlot]
+		if idx == nil {
+			idx = make(map[value.Value][]instance.Tuple, st.rel.Len())
+			for _, t := range st.rel.Tuples() {
+				idx[t[p]] = append(idx[t[p]], t)
+			}
+			s.indexes1[st.indexSlot] = idx
+		}
+		return idx[s.binding[st.roots[p]]]
+	}
+	idx := s.indexes[st.indexSlot]
+	if idx == nil {
+		idx = make(map[string][]instance.Tuple, st.rel.Len())
+		for _, t := range st.rel.Tuples() {
+			b := make([]byte, 0, len(st.keyPos)*8)
+			for _, p := range st.keyPos {
+				b = appendValue(b, t[p])
+			}
+			k := string(b)
+			idx[k] = append(idx[k], t)
+		}
+		s.indexes[st.indexSlot] = idx
+	}
+	b := s.keyBuf[:0]
+	for _, p := range st.keyPos {
+		b = appendValue(b, s.binding[st.roots[p]])
+	}
+	s.keyBuf = b
+	return idx[string(b)]
+}
+
+// tryBind extends the binding with tuple t at step st.  It returns the
+// newly bound class ids and whether every position was consistent; on
+// inconsistency the caller unwinds the partial adds.
+func (s *searcher) tryBind(st *planStep, t instance.Tuple) ([]int32, bool) {
+	var added []int32
+	for p, id := range st.roots {
+		if s.bound[id] {
+			if s.binding[id] != t[p] {
+				return added, false
+			}
+			continue
+		}
+		s.binding[id] = t[p]
+		s.bound[id] = true
+		added = append(added, id)
+	}
+	return added, true
+}
+
+func (s *searcher) unbind(added []int32) {
+	for _, id := range added {
+		s.bound[id] = false
+	}
+}
+
+// countNode advances the node counter and polls the context once every
+// cancelCheckMask+1 nodes.  It reports whether the search may continue.
+func (s *searcher) countNode() bool {
+	s.stats.Nodes++
+	if s.stats.Nodes&cancelCheckMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.canceled = err
+			return false
+		}
+	}
+	return s.canceled == nil
+}
+
+// findFrom searches for one match of steps[i:], leaving the successful
+// bindings in place (the caller reads the witness out of s.binding).
+func (s *searcher) findFrom(steps []planStep, i int) bool {
+	if i == len(steps) {
+		return true
+	}
+	st := &steps[i]
+	for _, t := range s.candidates(st) {
+		if !s.countNode() {
+			return false
+		}
+		added, ok := s.tryBind(st, t)
+		if ok && s.findFrom(steps, i+1) {
+			return true
+		}
+		s.unbind(added)
+	}
+	return false
+}
+
+// eachMatch enumerates every match of steps[i:], calling emit at each
+// complete assignment.  emit returns false to stop the enumeration
+// early; eachMatch unwinds all bindings before returning either way.
+func (s *searcher) eachMatch(steps []planStep, i int, emit func() bool) bool {
+	if i == len(steps) {
+		return emit()
+	}
+	st := &steps[i]
+	for _, t := range s.candidates(st) {
+		if !s.countNode() {
+			return false
+		}
+		added, ok := s.tryBind(st, t)
+		if ok && !s.eachMatch(steps, i+1, emit) {
+			s.unbind(added)
+			return false
+		}
+		s.unbind(added)
+	}
+	return true
+}
+
+// findAnswerPlanned is the planned-search implementation behind
+// FindAnswerBindingCtx: pre-bind the wanted head values, then satisfy
+// each join-graph component independently.
+func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
+	var stats EvalStats
+	eq := NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return false, nil, stats, nil
+	}
+	rels, err := resolveRelations(q, d)
+	if err != nil {
+		return false, nil, stats, err
+	}
+	pres := collectConstPrebindings(q, eq, make([]prebinding, 0, len(q.Head)+2))
+	// Pre-bind head variables to the wanted values; constants and
+	// already-bound classes must agree with want.
+	for i, term := range q.Head {
+		if term.IsConst {
+			if term.Const != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		root := eq.Find(term.Var)
+		if bv, ok := lookupPre(pres, root); ok {
+			if bv != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		pres = append(pres, prebinding{root: root, val: want[i]})
+	}
+	plan := buildPlan(q, rels, eq, pres)
+	s := newSearcher(ctx, plan, &stats)
+	s.prebind(pres)
+	for ci := range plan.comps {
+		if !s.findFrom(plan.comps[ci].steps, 0) {
+			if s.canceled != nil {
+				return false, nil, stats, s.canceled
+			}
+			return false, nil, stats, nil
+		}
+	}
+	// Every component succeeded with its bindings left in place; resolve
+	// the witness per body variable through its class representative.
+	witness := make(map[Var]value.Value)
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			witness[v] = s.binding[plan.classOf[eq.Find(v)]]
+		}
+	}
+	return true, witness, stats, nil
+}
+
+// evalPlanned is the planned-search implementation behind EvalWithStats:
+// every component's head projections are enumerated (deduplicated) once,
+// head-free components are checked for a single match, and the answer is
+// the cross product — so independent components never multiply each
+// other's backtracking.
+func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *instance.Relation) (EvalStats, error) {
+	var stats EvalStats
+	eq := NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return stats, nil
+	}
+	rels, err := resolveRelations(q, d)
+	if err != nil {
+		return stats, err
+	}
+	pres := collectConstPrebindings(q, eq, nil)
+	plan := buildPlan(q, rels, eq, pres)
+	s := newSearcher(ctx, plan, &stats)
+	s.prebind(pres)
+
+	// solutions[i] holds component i's distinct head-class projections
+	// (nil for head-free components, which only need one match).
+	solutions := make([][][]value.Value, len(plan.comps))
+	for ci := range plan.comps {
+		comp := &plan.comps[ci]
+		if len(comp.headRoots) == 0 {
+			found := false
+			s.eachMatch(comp.steps, 0, func() bool {
+				found = true
+				return false
+			})
+			if s.canceled != nil {
+				return stats, s.canceled
+			}
+			if !found {
+				return stats, nil
+			}
+			continue
+		}
+		seen := make(map[string]bool)
+		var sols [][]value.Value
+		s.eachMatch(comp.steps, 0, func() bool {
+			vals := make([]value.Value, len(comp.headRoots))
+			b := make([]byte, 0, len(vals)*8)
+			for i, id := range comp.headRoots {
+				vals[i] = s.binding[id]
+				b = appendValue(b, vals[i])
+			}
+			if k := string(b); !seen[k] {
+				seen[k] = true
+				sols = append(sols, vals)
+			}
+			return true
+		})
+		if s.canceled != nil {
+			return stats, s.canceled
+		}
+		if len(sols) == 0 {
+			return stats, nil
+		}
+		solutions[ci] = sols
+	}
+
+	// Cross product: fix one projection per head-bearing component, then
+	// emit the head tuple (constant-bound classes read from the initial
+	// binding, which the per-component searches restored on unwind).
+	var emit func(ci int)
+	emit = func(ci int) {
+		for ci < len(plan.comps) && solutions[ci] == nil {
+			ci++
+		}
+		if ci == len(plan.comps) {
+			t := make(instance.Tuple, len(q.Head))
+			for i, term := range q.Head {
+				if term.IsConst {
+					t[i] = term.Const
+					continue
+				}
+				t[i] = s.binding[plan.classOf[eq.Find(term.Var)]]
+			}
+			out.MustInsert(t)
+			return
+		}
+		roots := plan.comps[ci].headRoots
+		for _, vals := range solutions[ci] {
+			for i, id := range roots {
+				s.binding[id] = vals[i]
+				s.bound[id] = true
+			}
+			emit(ci + 1)
+		}
+		for _, id := range roots {
+			s.bound[id] = false
+		}
+	}
+	emit(0)
+	return stats, nil
+}

@@ -39,6 +39,7 @@ func All(cfg Config) []*Table {
 		enginePairs = 1000
 	}
 	e1, _ := E1EngineBatch(enginePairs, engineWorkers, 0, 11)
+	h1, _ := H1HomSearch(enginePairs, 21)
 	return []*Table{
 		T1TheoremExhaustive(t1Space, t1Bounds),
 		T2SaturationProduct(trials, 1),
@@ -54,6 +55,7 @@ func All(cfg Config) []*Table {
 		T11Yannakakis([]int{2, 4, 6, 8}, 40),
 		T12UCQContainment([]int{1, 2, 4, 8}, 3),
 		e1,
+		h1,
 		F1ContainmentCurve(chainMax, starMax, cliqueMax),
 		F2SearchSpace(searchAttrs+1, searchBounds),
 		F3ChaseCurve(chaseSizes, chaseDeps, 8),

@@ -139,7 +139,7 @@ func TestAllQuickRuns(t *testing.T) {
 		t.Skip("full suite; skipped in -short")
 	}
 	tables := All(Config{Quick: true})
-	if len(tables) != 17 {
+	if len(tables) != 18 {
 		t.Fatalf("All returned %d tables", len(tables))
 	}
 	for _, tb := range tables {

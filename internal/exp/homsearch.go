@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+// HomFamilyResult is one corpus family's planned-vs-naive comparison,
+// serialized into BENCH_homsearch.json by `keyedeq-bench -record hom -json`.
+type HomFamilyResult struct {
+	Family string `json:"family"`
+	Pairs  int    `json:"pairs"`
+	// Searches counts homomorphism search instances (up to two per
+	// pair: one per containment direction, minus failing chases).
+	Searches      int   `json:"searches"`
+	NaiveWallNs   int64 `json:"naive_wall_ns"`
+	PlannedWallNs int64 `json:"planned_wall_ns"`
+	NaiveNodes    int64 `json:"naive_nodes"`
+	PlannedNodes  int64 `json:"planned_nodes"`
+	// NodeRatio is naive search nodes over planned search nodes.
+	NodeRatio float64 `json:"node_ratio"`
+	Speedup   float64 `json:"speedup"`
+	Holding   int     `json:"holding"`
+}
+
+// HomBenchResult is the planned-vs-naive homomorphism search regression
+// record.  CI's bench gate parses this and fails when the planner stops
+// paying for itself.
+type HomBenchResult struct {
+	Families []HomFamilyResult `json:"families"`
+	NaiveNs  int64             `json:"naive_wall_ns"`
+	PlanNs   int64             `json:"planned_wall_ns"`
+	// Speedup is total naive search wall time over total planned
+	// search wall time.
+	Speedup float64 `json:"speedup"`
+	// WideNodeRatio is the node ratio on the wide family, where the
+	// index probes shine brightest.
+	WideNodeRatio float64 `json:"wide_node_ratio"`
+	// Mismatches counts searches the two modes decided differently
+	// (must be zero: the planner is an optimization, not a semantics
+	// change).
+	Mismatches int `json:"mismatches"`
+}
+
+// homCase is one prepared homomorphism search instance: does q have the
+// answer want on the (chased) canonical database db?
+type homCase struct {
+	q    *cq.Query
+	db   *instance.Database
+	want instance.Tuple
+}
+
+// prepareHomCases freezes and chases both containment directions of
+// every pair into concrete search instances.  The freeze/chase work is
+// identical in both search modes, so the benchmark shares it up front
+// and times only the searches.
+func prepareHomCases(f *gen.Family) ([]homCase, error) {
+	var cases []homCase
+	add := func(q1, q2 *cq.Query) error {
+		tb := chase.NewTableau(f.Schema)
+		vars, err := chase.Freeze(tb, q1)
+		if err != nil {
+			return err
+		}
+		head, err := chase.HeadTerms(tb, q1, vars)
+		if err != nil {
+			return err
+		}
+		if len(f.Deps) > 0 {
+			if _, err := tb.Run(f.Deps); err != nil {
+				return err
+			}
+		}
+		if tb.Failed() {
+			// Vacuous containment: no search happens in either mode.
+			return nil
+		}
+		var alloc value.Allocator
+		for _, c := range q1.Constants() {
+			alloc.Reserve(c)
+		}
+		for _, c := range q2.Constants() {
+			alloc.Reserve(c)
+		}
+		db, valOf, err := tb.ToDatabase(&alloc)
+		if err != nil {
+			return err
+		}
+		want := make(instance.Tuple, len(head))
+		for i, h := range head {
+			want[i] = valOf[h]
+		}
+		cases = append(cases, homCase{q: q2, db: db, want: want})
+		return nil
+	}
+	for _, p := range f.Pairs {
+		if err := add(p.Left, p.Right); err != nil {
+			return nil, err
+		}
+		if err := add(p.Right, p.Left); err != nil {
+			return nil, err
+		}
+	}
+	return cases, nil
+}
+
+// H1HomSearch prepares the homomorphism search instances behind the
+// generated pair corpus of every schema family (freeze + chase, shared
+// across modes) and runs each search twice — once with the naive
+// full-scan backtracking search and once with the planned, indexed
+// search — reporting wall time, search nodes, and verdict agreement.
+func H1HomSearch(pairsPerFamily, seed int) (*Table, *HomBenchResult) {
+	t := &Table{
+		ID:    "H1",
+		Title: "planned vs naive homomorphism search (generated pair corpus)",
+		Columns: []string{"family", "searches", "naive wall", "planned wall", "speedup",
+			"naive nodes", "planned nodes", "node ratio", "holding"},
+	}
+	res := &HomBenchResult{}
+	for fi, fam := range gen.FamilyNames() {
+		rng := rand.New(rand.NewSource(int64(seed + fi)))
+		f, err := gen.PairCorpus(rng, fam, pairsPerFamily)
+		if err != nil {
+			t.Note("%s: %v", fam, err)
+			continue
+		}
+		cases, err := prepareHomCases(f)
+		if err != nil {
+			t.Note("%s: prepare: %v", fam, err)
+			continue
+		}
+		fr := HomFamilyResult{Family: fam, Pairs: len(f.Pairs), Searches: len(cases)}
+		verdicts := make([]bool, len(cases))
+
+		naiveWall := timed(func() {
+			for i, c := range cases {
+				ok, _, st, err := cq.FindAnswerBindingMode(c.q, c.db, c.want, cq.SearchNaive)
+				if err != nil {
+					t.Note("%s: naive: %v", fam, err)
+					continue
+				}
+				verdicts[i] = ok
+				fr.NaiveNodes += st.Nodes
+			}
+		})
+		plannedWall := timed(func() {
+			for i, c := range cases {
+				ok, _, st, err := cq.FindAnswerBindingMode(c.q, c.db, c.want, cq.SearchPlanned)
+				if err != nil {
+					t.Note("%s: planned: %v", fam, err)
+					continue
+				}
+				if ok != verdicts[i] {
+					res.Mismatches++
+					t.Note("%s: VERDICT MISMATCH on search %d", fam, i)
+				}
+				if ok {
+					fr.Holding++
+				}
+				fr.PlannedNodes += st.Nodes
+			}
+		})
+
+		fr.NaiveWallNs = naiveWall.Nanoseconds()
+		fr.PlannedWallNs = plannedWall.Nanoseconds()
+		if fr.PlannedNodes > 0 {
+			fr.NodeRatio = float64(fr.NaiveNodes) / float64(fr.PlannedNodes)
+		}
+		if fr.PlannedWallNs > 0 {
+			fr.Speedup = float64(fr.NaiveWallNs) / float64(fr.PlannedWallNs)
+		}
+		if fam == "wide" {
+			res.WideNodeRatio = fr.NodeRatio
+		}
+		res.NaiveNs += fr.NaiveWallNs
+		res.PlanNs += fr.PlannedWallNs
+		res.Families = append(res.Families, fr)
+		t.Add(fam, fr.Searches, naiveWall, plannedWall, fr.Speedup,
+			fr.NaiveNodes, fr.PlannedNodes, fr.NodeRatio, fr.Holding)
+	}
+	if res.PlanNs > 0 {
+		res.Speedup = float64(res.NaiveNs) / float64(res.PlanNs)
+	}
+	t.Note("total: naive %s, planned %s, speedup %.2fx, wide node ratio %.1fx, mismatches %d",
+		time.Duration(res.NaiveNs).Round(time.Millisecond),
+		time.Duration(res.PlanNs).Round(time.Millisecond),
+		res.Speedup, res.WideNodeRatio, res.Mismatches)
+	return t, res
+}

@@ -28,7 +28,7 @@ type Family struct {
 
 // FamilyNames lists the built-in corpus families, in generation order.
 func FamilyNames() []string {
-	return []string{"graph-chain", "graph-star", "graph-mixed", "graph-long", "keyed"}
+	return []string{"graph-chain", "graph-star", "graph-mixed", "graph-long", "keyed", "wide"}
 }
 
 // PairCorpus generates n query pairs of the named family, reproducibly
@@ -72,6 +72,16 @@ func PairCorpus(rng *rand.Rand, name string, n int) (*Family, error) {
 		f.Deps = fd.KeyFDs(f.Schema)
 		for i := 0; i < 12; i++ {
 			bases = append(bases, randomKeyedQuery(rng))
+		}
+	case "wide":
+		// Wide keyed relations with many body atoms and dense variable
+		// sharing: the regime where naive full-scan matching pays the whole
+		// relation per atom and the planner's index probes pay O(1).
+		f.Schema = WideSchema()
+		f.Deps = fd.KeyFDs(f.Schema)
+		for _, k := range []int{12, 16, 20} {
+			bases = append(bases, WideChainQuery(k))
+			bases = append(bases, WideChainVariant(rng, k, 1+rng.Intn(2)))
 		}
 	default:
 		return nil, fmt.Errorf("gen: unknown corpus family %q", name)

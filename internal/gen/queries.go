@@ -133,6 +133,74 @@ func CompleteGraph(n int) *instance.Database {
 	return d
 }
 
+// WideSchema is the wide keyed substrate for the planner benchmark: one
+// relation of arity 6 over a single type, keyed on the first attribute.
+// Queries over it have long per-atom tuples, so naive full-scan matching
+// pays the relation's whole cardinality at every step while the indexed
+// search pays one bucket probe.
+func WideSchema() *schema.Schema {
+	return schema.MustParse("W(k*:T1, a1:T1, a2:T1, a3:T1, a4:T1, a5:T1)")
+}
+
+// WideChainQuery builds an n-atom chain over WideSchema: atom i's last
+// attribute equals atom i+1's key, every other position a fresh
+// variable.
+//
+//	V(K0, L{n-1}) :- W(K0, A0_1..A0_4, L0), ..., L{i} = K{i+1}, ...
+func WideChainQuery(n int) *cq.Query {
+	q := &cq.Query{HeadRel: "V"}
+	for i := 0; i < n; i++ {
+		vars := []cq.Var{cq.Var(fmt.Sprintf("K%d", i))}
+		for p := 1; p <= 4; p++ {
+			vars = append(vars, cq.Var(fmt.Sprintf("A%d_%d", i, p)))
+		}
+		vars = append(vars, cq.Var(fmt.Sprintf("L%d", i)))
+		q.Body = append(q.Body, cq.Atom{Rel: "W", Vars: vars})
+		if i > 0 {
+			q.Eqs = append(q.Eqs, cq.Equality{
+				Left:  cq.Var(fmt.Sprintf("L%d", i-1)),
+				Right: cq.Term{Var: cq.Var(fmt.Sprintf("K%d", i))},
+			})
+		}
+	}
+	q.Head = []cq.Term{
+		{Var: "K0"},
+		{Var: cq.Var(fmt.Sprintf("L%d", n-1))},
+	}
+	return q
+}
+
+// WideChainVariant returns WideChainQuery(n) with extra redundant atoms
+// whose key and last position are tied into random links of the chain,
+// plus rng-chosen cross-position equalities between interior attributes —
+// the shared-variable density the planner's index keys feed on.
+func WideChainVariant(rng *rand.Rand, n, extra int) *cq.Query {
+	q := WideChainQuery(n)
+	for e := 0; e < extra; e++ {
+		i := rng.Intn(n)
+		vars := []cq.Var{cq.Var(fmt.Sprintf("RK%d", e))}
+		for p := 1; p <= 4; p++ {
+			vars = append(vars, cq.Var(fmt.Sprintf("RA%d_%d", e, p)))
+		}
+		vars = append(vars, cq.Var(fmt.Sprintf("RL%d", e)))
+		q.Body = append(q.Body, cq.Atom{Rel: "W", Vars: vars})
+		q.Eqs = append(q.Eqs,
+			cq.Equality{Left: cq.Var(fmt.Sprintf("K%d", i)), Right: cq.Term{Var: vars[0]}},
+			cq.Equality{Left: cq.Var(fmt.Sprintf("L%d", i)), Right: cq.Term{Var: vars[5]}},
+		)
+	}
+	// A few interior cross links between random atoms' middle attributes.
+	for c := 0; c < 1+rng.Intn(2); c++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		p, r := 1+rng.Intn(4), 1+rng.Intn(4)
+		q.Eqs = append(q.Eqs, cq.Equality{
+			Left:  cq.Var(fmt.Sprintf("A%d_%d", i, p)),
+			Right: cq.Term{Var: cq.Var(fmt.Sprintf("A%d_%d", j, r))},
+		})
+	}
+	return q
+}
+
 // RandomChainVariant returns ChainQuery(n) with rng-chosen redundant atoms
 // folded in (used to exercise minimization).
 func RandomChainVariant(rng *rand.Rand, n, extra int) *cq.Query {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"keyedeq/internal/invariant"
 	"keyedeq/internal/schema"
@@ -89,6 +90,12 @@ func (t Tuple) key() string {
 type Relation struct {
 	Scheme *schema.Relation
 	tuples map[string]Tuple
+	// sortedMu guards sorted, the memoized Tuples() result.  Reads far
+	// outnumber writes (the homomorphism search fetches the sorted order
+	// once per atom per search, concurrently across engine workers), so
+	// the sort runs once per mutation rather than once per call.
+	sortedMu sync.RWMutex
+	sorted   []Tuple
 }
 
 // NewRelation returns an empty instance of the given scheme.
@@ -117,6 +124,7 @@ func (r *Relation) Insert(t Tuple) error {
 		r.tuples = make(map[string]Tuple)
 	}
 	r.tuples[t.key()] = t.Clone()
+	r.invalidateSorted()
 	return nil
 }
 
@@ -134,16 +142,38 @@ func (r *Relation) Has(t Tuple) bool {
 // Delete removes t if present.
 func (r *Relation) Delete(t Tuple) {
 	delete(r.tuples, t.key())
+	r.invalidateSorted()
 }
 
-// Tuples returns the tuples in deterministic (lexicographic) order.
+// invalidateSorted drops the memoized sorted order after a mutation.
+func (r *Relation) invalidateSorted() {
+	r.sortedMu.Lock()
+	r.sorted = nil
+	r.sortedMu.Unlock()
+}
+
+// Tuples returns the tuples in deterministic (lexicographic) order.  The
+// order is computed once per mutation and memoized, so repeated calls on
+// a stable instance are O(1); callers must treat the returned slice as
+// read-only.  Concurrent readers are safe as long as no writer runs.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
+	r.sortedMu.RLock()
+	out := r.sorted
+	r.sortedMu.RUnlock()
+	if out != nil {
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+	r.sortedMu.Lock()
+	defer r.sortedMu.Unlock()
+	if r.sorted == nil {
+		out = make([]Tuple, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			out = append(out, t)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+		r.sorted = out
+	}
+	return r.sorted
 }
 
 // Clone returns a deep copy sharing the scheme.
