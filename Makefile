@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint qvet fuzz-smoke vet bench bench-verify bench-hom bench-hom-verify cover all
+.PHONY: build test debug race lint qvet fuzz-smoke vet bench bench-verify bench-hom bench-hom-verify obs-verify cover all
 
 all: build vet test lint qvet
 
@@ -64,10 +64,20 @@ bench-hom:
 bench-hom-verify:
 	$(GO) run ./cmd/keyedeq-bench -record hom -verify-bench BENCH_homsearch.json
 
+# obs-verify gates the observability layer: the reconciliation smoke
+# tests (exported metric totals must equal the summed per-job Stats)
+# plus the in-process overhead measurement (metrics collection at most
+# 2% over the unobserved path, planned node totals identical to the
+# committed H1 record).
+obs-verify:
+	$(GO) test ./internal/obs -run 'TestBatchMetricsReconcile|TestMetamorphicComponentNodes' -count=1
+	$(GO) run ./cmd/keyedeq-bench -verify-obs BENCH_homsearch.json
+
 # cover enforces the decision-path coverage floor (engine, containment,
-# chase must each stay at or above 75% statement coverage).
+# chase, and the obs layer must each stay at or above 75% statement
+# coverage).
 COVER_FLOOR ?= 75
-COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase
+COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase ./internal/obs
 
 cover:
 	@for pkg in $(COVER_PKGS); do \

@@ -12,6 +12,12 @@
 // search and -cache bounds the batch engine's verdict cache (0 picks
 // the defaults; -cache -1 disables caching).
 //
+// Observability (most useful with -search, whose decisions run the
+// instrumented batch engine): -metrics prints Prometheus-text counters
+// on exit, -trace out.jsonl writes one JSON span per pipeline stage,
+// and -pprof-http :6060 serves /debug/pprof, /debug/vars, and
+// /metrics while the process runs.
+//
 // With -alpha and -beta, sqeq verifies a USER-SUPPLIED dominance pair
 // instead: both mapping files (one view per line, named for the
 // destination relation) are checked for validity and β∘α = id
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"keyedeq"
 	"keyedeq/internal/cli"
@@ -51,11 +58,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	betaFile := fs.String("beta", "", "file with a candidate mapping schema2 → schema1 to verify")
 	parallel := fs.Int("parallel", 0, "worker pool size for -search (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := fs.Int("cache", 0, "verdict cache entries for -search (0 = default, <0 = disable)")
+	var of cli.ObsFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	fail := cli.Fail(stderr, "sqeq")
+	ob, err := of.Setup(time.Now)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if cerr := ob.Close(stdout); cerr != nil {
+			fmt.Fprintf(stderr, "sqeq: %v\n", cerr)
+		}
+	}()
 	s1, err := loadSchema(fs, *inline1, 0)
 	if err != nil {
 		return fail(err)
@@ -105,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Workers:      *parallel,
 			CacheSize:    *cacheSize,
 			DisableCache: *cacheSize < 0,
+			Obs:          ob.Obs,
 		})
 		found, stats, err := keyedeq.SearchEquivalenceOpts(s1, s2, b, keyedeq.SearchOptions{
 			Workers: *parallel,

@@ -23,6 +23,7 @@ import (
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
 	"keyedeq/internal/invariant"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -181,6 +182,27 @@ type Stats struct {
 	Revisited int
 }
 
+// reportRun emits a finished (or aborted) chase run's counters to the
+// obs layer carried by ctx, if any.  It is deferred right after
+// dependency compilation succeeds, so it fires on cancellation too:
+// exported chase totals account for partial work, matching the partial
+// Stats that callers record on the error path.  Compilation failures
+// never ran a fixpoint and are not counted as runs.
+func (t *Tableau) reportRun(ctx context.Context, stats *Stats) {
+	o := obs.FromContext(ctx)
+	if o == nil {
+		return
+	}
+	o.C(obs.CChaseRuns).Inc()
+	o.C(obs.CChaseIterations).Add(int64(stats.Iterations))
+	o.C(obs.CChaseMerges).Add(int64(stats.Merges))
+	o.C(obs.CChaseRevisited).Add(int64(stats.Revisited))
+	if t.failed {
+		o.C(obs.CChaseFailed).Inc()
+	}
+	o.H(obs.HChaseIterations).Observe(int64(stats.Iterations))
+}
+
 // egd is one compiled equality-generating dependency: a relation index
 // and the LHS/RHS attribute positions.
 type egd struct {
@@ -246,6 +268,7 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 		return Stats{}, err
 	}
 	var stats Stats
+	defer t.reportRun(ctx, &stats)
 	classesBefore := 0
 	if invariant.Debug {
 		classesBefore = t.classCount()
@@ -382,6 +405,7 @@ func (t *Tableau) RunNaiveCtx(ctx context.Context, deps []fd.FD) (Stats, error) 
 		return Stats{}, err
 	}
 	var stats Stats
+	defer t.reportRun(ctx, &stats)
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err

@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"expvar"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"keyedeq/internal/obs"
+)
+
+// ObsFlags bundles the observability flags the keyedeq commands share:
+//
+//	-metrics          collect pipeline metrics, print Prometheus text on exit
+//	-trace out.jsonl  write per-stage spans as JSON lines
+//	-pprof-http :addr serve /debug/pprof, /debug/vars, and /metrics
+//
+// Register installs the flags; after parsing, Setup builds the *obs.Obs
+// to thread into the pipeline (nil when no flag was given, keeping the
+// unobserved fast path).
+type ObsFlags struct {
+	Metrics   bool
+	TracePath string
+	PprofAddr string
+}
+
+// Register installs the shared flags on fs.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Metrics, "metrics", false,
+		"collect pipeline metrics and print them (Prometheus text) on exit")
+	fs.StringVar(&f.TracePath, "trace", "",
+		"write per-stage spans as JSON lines to this `file`")
+	fs.StringVar(&f.PprofAddr, "pprof-http", "",
+		"serve /debug/pprof, /debug/vars, and /metrics on this `address` (e.g. :6060)")
+}
+
+// enabled reports whether any observability flag was given.
+func (f *ObsFlags) enabled() bool {
+	return f.Metrics || f.TracePath != "" || f.PprofAddr != ""
+}
+
+// ObsSetup is the live observability state behind the flags.  Obs is
+// nil when no flag was given; Close is always safe to call.
+type ObsSetup struct {
+	Obs *obs.Obs
+
+	reg     *obs.Registry
+	sink    *obs.JSONLSink
+	trace   *os.File
+	srv     *http.Server
+	addr    string
+	metrics bool
+}
+
+// Addr returns the pprof server's bound address ("" when -pprof-http
+// was not given); with a ":0" flag value this is where the kernel put
+// the listener.
+func (s *ObsSetup) Addr() string { return s.addr }
+
+// expvarOnce guards the process-global expvar name, which panics on
+// double publication (tests call Setup repeatedly).
+var expvarOnce sync.Once
+
+// Setup builds the observability state the parsed flags ask for.  The
+// clock is injected by the command layer (library code stays
+// wall-clock-free); it may be nil when no flag needs timestamps.
+func (f *ObsFlags) Setup(now func() time.Time) (*ObsSetup, error) {
+	s := &ObsSetup{metrics: f.Metrics}
+	if !f.enabled() {
+		return s, nil
+	}
+	s.reg = obs.NewRegistry()
+	s.Obs = &obs.Obs{Reg: s.reg, Now: now}
+
+	if f.TracePath != "" {
+		file, err := os.Create(f.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.trace = file
+		s.sink = obs.NewJSONLSink(file)
+		s.Obs.Sink = s.sink
+	}
+
+	if f.PprofAddr != "" {
+		expvarOnce.Do(func() {
+			expvar.Publish("keyedeq", expvar.Func(func() interface{} {
+				return s.reg.Snapshot()
+			}))
+		})
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.reg.WritePrometheus(w)
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		ln, err := net.Listen("tcp", f.PprofAddr)
+		if err != nil {
+			s.Close(io.Discard)
+			return nil, err
+		}
+		s.addr = ln.Addr().String()
+		s.srv = &http.Server{Handler: mux}
+		go s.srv.Serve(ln)
+	}
+	return s, nil
+}
+
+// Close flushes and tears down: prints the Prometheus exposition to w
+// when -metrics was given, closes the trace file (reporting the first
+// write error a span hit), and stops the pprof server.  It returns the
+// first error encountered.
+func (s *ObsSetup) Close(w io.Writer) error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.reg != nil && s.metrics {
+		keep(s.reg.WritePrometheus(w))
+	}
+	if s.sink != nil {
+		keep(s.sink.Err())
+	}
+	if s.trace != nil {
+		keep(s.trace.Close())
+	}
+	if s.srv != nil {
+		keep(s.srv.Close())
+	}
+	return first
+}

@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"keyedeq/internal/obs"
+)
+
+func parseObs(t *testing.T, args ...string) *ObsFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var f ObsFlags
+	f.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &f
+}
+
+func TestObsFlagsDisabled(t *testing.T) {
+	s, err := parseObs(t).Setup(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs != nil {
+		t.Fatal("Obs built with no flag given; the unobserved path must stay nil")
+	}
+	var buf bytes.Buffer
+	if err := s.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Close wrote %q with observability off", buf.String())
+	}
+}
+
+func TestObsFlagsMetricsAndTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	f := parseObs(t, "-metrics", "-trace", trace)
+	s, err := f.Setup(time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obs == nil || s.Obs.Reg == nil || s.Obs.Sink == nil {
+		t.Fatal("flags on but Obs incomplete")
+	}
+	s.Obs.C(obs.CPairs).Add(3)
+	s.Obs.Emit(&obs.Span{Stage: obs.StageSearch, Attrs: []obs.Attr{obs.I("nodes", 7)}})
+
+	var buf bytes.Buffer
+	if err := s.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "keyedeq_pairs_total 3") {
+		t.Fatalf("Close output lacks the counter line:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp obs.Span
+	if err := json.Unmarshal(bytes.TrimSpace(data), &sp); err != nil {
+		t.Fatalf("trace line does not parse: %v (%q)", err, data)
+	}
+	if sp.Stage != obs.StageSearch {
+		t.Fatalf("trace span stage %q, want %q", sp.Stage, obs.StageSearch)
+	}
+	if n, ok := sp.IntAttr("nodes"); !ok || n != 7 {
+		t.Fatalf("trace span nodes attr = %d, %v", n, ok)
+	}
+}
+
+func TestObsFlagsPprofServer(t *testing.T) {
+	f := parseObs(t, "-pprof-http", "127.0.0.1:0")
+	s, err := f.Setup(time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(io.Discard)
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	s.Obs.C(obs.CSearches).Inc()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "keyedeq_searches_total 1") {
+		t.Fatalf("/metrics lacks the live counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "keyedeq") {
+		t.Fatalf("/debug/vars lacks the keyedeq snapshot:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

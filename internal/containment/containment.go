@@ -9,6 +9,15 @@
 // q's frozen head among the answers.  Under dependencies, chase the
 // canonical database first; a failing chase means q returns no answers on
 // any dependency-satisfying database, so containment holds vacuously.
+//
+// Every check reports a Stats value accounting for the work performed.
+// Stats values are combined only through Stats.Merge — numeric fields
+// add, boolean fields OR — never by hand-picking fields; a reflection
+// test asserts Merge covers every field, so adding a counter without
+// extending Merge fails the suite.  On error (cancellation, timeout)
+// the returned Stats still carries the partial work done, so callers
+// summing Stats reconcile exactly with the obs metrics exported from
+// the chase and search layers.
 package containment
 
 import (
@@ -19,6 +28,7 @@ import (
 	"keyedeq/internal/cq"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -27,10 +37,32 @@ import (
 type Stats struct {
 	// Nodes is the homomorphism search tree size.
 	Nodes int64
+	// Searches counts homomorphism search invocations (one per
+	// containment direction that reaches the search, so ≤2 for an
+	// equivalence check).
+	Searches int
 	// ChaseIterations counts chase passes (zero without dependencies).
 	ChaseIterations int
+	// ChaseMerges counts equality-class unions the chase performed.
+	ChaseMerges int
+	// ChaseRevisited counts tuples the semi-naive chase re-examined.
+	ChaseRevisited int
 	// ChaseFailed records that the chase detected unsatisfiability.
 	ChaseFailed bool
+}
+
+// Merge folds other into s: numeric fields add, boolean fields OR.
+// All Stats combination goes through Merge; a reflection test asserts
+// it covers every field of Stats, so a counter added to the struct but
+// not to Merge is caught by the suite instead of being silently
+// dropped at merge points.
+func (s *Stats) Merge(other Stats) {
+	s.Nodes += other.Nodes
+	s.Searches += other.Searches
+	s.ChaseIterations += other.ChaseIterations
+	s.ChaseMerges += other.ChaseMerges
+	s.ChaseRevisited += other.ChaseRevisited
+	s.ChaseFailed = s.ChaseFailed || other.ChaseFailed
 }
 
 // Contained reports whether q1 ⊑ q2 over all instances of s.
@@ -60,6 +92,8 @@ func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sche
 	if err := CheckComparable(q1, q2, s); err != nil {
 		return false, stats, err
 	}
+	o := obs.FromContext(ctx)
+	chaseStart := o.Time()
 	// Freeze q1 into its canonical database.
 	tb := chase.NewTableau(s)
 	vars, err := chase.Freeze(tb, q1)
@@ -71,14 +105,29 @@ func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sche
 		return false, stats, err
 	}
 	if len(deps) > 0 {
-		cs, err := tb.RunCtx(ctx, deps)
-		if err != nil {
-			return false, stats, err
-		}
+		// Record the chase's partial work even when it is cut short by
+		// cancellation, so summed Stats reconcile with the obs counters
+		// the chase emitted before aborting.
+		cs, cerr := tb.RunCtx(ctx, deps)
 		stats.ChaseIterations = cs.Iterations
+		stats.ChaseMerges = cs.Merges
+		stats.ChaseRevisited = cs.Revisited
+		stats.ChaseFailed = tb.Failed()
+		if o.SpansOn() {
+			o.EmitSpan(ctx, obs.StageFreezeChase, chaseStart, cerr,
+				obs.I("iterations", int64(cs.Iterations)),
+				obs.I("merges", int64(cs.Merges)),
+				obs.I("revisited", int64(cs.Revisited)),
+				obs.B("failed", tb.Failed()))
+		}
+		if cerr != nil {
+			return false, stats, cerr
+		}
 	}
 	if tb.Failed() {
-		// q1 is empty on every deps-satisfying database.
+		// q1 is empty on every deps-satisfying database.  Freezing alone
+		// can fail (query equalities forcing distinct constants), so set
+		// the flag here too, not only on the chase path above.
 		stats.ChaseFailed = true
 		return true, stats, nil
 	}
@@ -99,6 +148,7 @@ func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sche
 	}
 	ok, _, es, err := cq.FindAnswerBindingCtxMode(ctx, q2, db, want, mode)
 	stats.Nodes = es.Nodes
+	stats.Searches = 1
 	return ok, stats, err
 }
 
@@ -132,12 +182,8 @@ func EquivalentUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sch
 		return false, st1, err
 	}
 	ok, st2, err := ContainedUnderCtxMode(ctx, q2, q1, s, deps, mode)
-	st := Stats{
-		Nodes:           st1.Nodes + st2.Nodes,
-		ChaseIterations: st1.ChaseIterations + st2.ChaseIterations,
-		ChaseFailed:     st1.ChaseFailed || st2.ChaseFailed,
-	}
-	return ok, st, err
+	st1.Merge(st2)
+	return ok, st1, err
 }
 
 // CheckComparable validates both queries against s and requires equal

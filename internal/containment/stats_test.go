@@ -1,0 +1,73 @@
+package containment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeCoversEveryField guards the Stats.Merge contract: numeric
+// fields add, boolean fields OR, and no field of Stats may be skipped.
+// It builds a probe value via reflection with every numeric field set
+// to a distinct non-zero value and every bool set, merges it into a
+// zero Stats twice, and checks each field doubled (numeric) or stayed
+// set (bool).  A field added to Stats but forgotten in Merge surfaces
+// here as an unchanged zero.
+func TestMergeCoversEveryField(t *testing.T) {
+	probe := Stats{}
+	pv := reflect.ValueOf(&probe).Elem()
+	st := pv.Type()
+	for i := 0; i < st.NumField(); i++ {
+		f := pv.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(i + 3)) // distinct, non-zero per field
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(i + 3))
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(i + 3))
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("Stats.%s has kind %v: extend Merge and this test for it",
+				st.Field(i).Name, f.Kind())
+		}
+	}
+
+	var acc Stats
+	acc.Merge(probe)
+	acc.Merge(probe)
+	av := reflect.ValueOf(acc)
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		got, want := av.Field(i), pv.Field(i)
+		switch got.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if got.Int() != 2*want.Int() {
+				t.Errorf("Merge drops or mishandles Stats.%s: got %d, want %d",
+					name, got.Int(), 2*want.Int())
+			}
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if got.Uint() != 2*want.Uint() {
+				t.Errorf("Merge drops or mishandles Stats.%s: got %d, want %d",
+					name, got.Uint(), 2*want.Uint())
+			}
+		case reflect.Float32, reflect.Float64:
+			if got.Float() != 2*want.Float() {
+				t.Errorf("Merge drops or mishandles Stats.%s: got %v, want %v",
+					name, got.Float(), 2*want.Float())
+			}
+		case reflect.Bool:
+			if !got.Bool() {
+				t.Errorf("Merge drops Stats.%s: bool did not OR through", name)
+			}
+		}
+	}
+
+	// ORing a set bool into an already-set accumulator must not clear it,
+	// and merging a zero value must change nothing.
+	before := acc
+	acc.Merge(Stats{})
+	if acc != before {
+		t.Errorf("merging zero Stats changed the accumulator: %+v -> %+v", before, acc)
+	}
+}

@@ -3,8 +3,10 @@ package cq
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"keyedeq/internal/instance"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -13,6 +15,12 @@ import (
 // attempted in the backtracking join (the homomorphism search tree size).
 type EvalStats struct {
 	Nodes int64
+	// CompNodes breaks Nodes down by join-graph connected component on
+	// the planned search path (nil for the naive search).  Components
+	// the search never reached — a miss or cancellation in an earlier
+	// component ends the search — contribute no entry, so the recorded
+	// entries always sum to Nodes.
+	CompNodes []int64
 }
 
 // cancelCheckMask bounds how often the backtracking search polls its
@@ -230,7 +238,38 @@ func FindAnswerBindingMode(q *Query, d *instance.Database, want instance.Tuple, 
 
 // FindAnswerBindingCtxMode is FindAnswerBindingCtx with an explicit
 // search mode.
+//
+// It is also the obs reporting funnel for the homomorphism search:
+// every invocation bumps the search counters and, with a sink
+// installed, emits one search span — on success, cancellation, and
+// validation failure alike — so exported totals reconcile exactly with
+// the EvalStats callers accumulate.
 func FindAnswerBindingCtxMode(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple, mode SearchMode) (bool, map[Var]value.Value, EvalStats, error) {
+	o := obs.FromContext(ctx)
+	start := o.Time()
+	ok, w, es, err := findAnswer(ctx, q, d, want, mode)
+	if o != nil {
+		o.C(obs.CSearches).Inc()
+		o.C(obs.CSearchNodes).Add(es.Nodes)
+		o.H(obs.HSearchNodes).Observe(es.Nodes)
+		if o.SpansOn() {
+			attrs := make([]obs.Attr, 0, 3+len(es.CompNodes))
+			attrs = append(attrs,
+				obs.S("mode", mode.String()),
+				obs.I("nodes", es.Nodes),
+				obs.B("found", ok))
+			for i, n := range es.CompNodes {
+				attrs = append(attrs, obs.I("comp_nodes_"+strconv.Itoa(i), n))
+			}
+			o.EmitSpan(ctx, obs.StageSearch, start, err, attrs...)
+		}
+	}
+	return ok, w, es, err
+}
+
+// findAnswer dispatches to the selected search implementation after the
+// shared validation.
+func findAnswer(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple, mode SearchMode) (bool, map[Var]value.Value, EvalStats, error) {
 	if len(q.Head) != len(want) {
 		return false, nil, EvalStats{}, fmt.Errorf("cq: want arity %d, head arity %d", len(want), len(q.Head))
 	}

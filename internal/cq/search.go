@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"keyedeq/internal/instance"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/value"
 )
 
@@ -200,7 +201,15 @@ func (s *searcher) unbind(added []int32) {
 
 // countNode advances the node counter and polls the context once every
 // cancelCheckMask+1 nodes.  It reports whether the search may continue.
+// The canceled check comes before the increment: when a poll deep in
+// the recursion trips, every unwinding ancestor's candidate loop calls
+// countNode once more, and counting those visits would overshoot the
+// "observed within cancelCheckMask+1 nodes" contract by the recursion
+// depth.
 func (s *searcher) countNode() bool {
+	if s.canceled != nil {
+		return false
+	}
 	s.stats.Nodes++
 	if s.stats.Nodes&cancelCheckMask == 0 {
 		if err := s.ctx.Err(); err != nil {
@@ -208,7 +217,7 @@ func (s *searcher) countNode() bool {
 			return false
 		}
 	}
-	return s.canceled == nil
+	return true
 }
 
 // findFrom searches for one match of steps[i:], leaving the successful
@@ -285,11 +294,25 @@ func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want
 		}
 		pres = append(pres, prebinding{root: root, val: want[i]})
 	}
+	o := obs.FromContext(ctx)
+	planStart := o.Time()
 	plan := buildPlan(q, rels, eq, pres)
+	if o.SpansOn() {
+		steps := 0
+		for ci := range plan.comps {
+			steps += len(plan.comps[ci].steps)
+		}
+		o.EmitSpan(ctx, obs.StagePlan, planStart, nil,
+			obs.I("components", int64(len(plan.comps))),
+			obs.I("steps", int64(steps)))
+	}
 	s := newSearcher(ctx, plan, &stats)
 	s.prebind(pres)
 	for ci := range plan.comps {
-		if !s.findFrom(plan.comps[ci].steps, 0) {
+		before := stats.Nodes
+		found := s.findFrom(plan.comps[ci].steps, 0)
+		stats.CompNodes = append(stats.CompNodes, stats.Nodes-before)
+		if !found {
 			if s.canceled != nil {
 				return false, nil, stats, s.canceled
 			}
@@ -332,12 +355,14 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 	solutions := make([][][]value.Value, len(plan.comps))
 	for ci := range plan.comps {
 		comp := &plan.comps[ci]
+		before := stats.Nodes
 		if len(comp.headRoots) == 0 {
 			found := false
 			s.eachMatch(comp.steps, 0, func() bool {
 				found = true
 				return false
 			})
+			stats.CompNodes = append(stats.CompNodes, stats.Nodes-before)
 			if s.canceled != nil {
 				return stats, s.canceled
 			}
@@ -361,6 +386,7 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 			}
 			return true
 		})
+		stats.CompNodes = append(stats.CompNodes, stats.Nodes-before)
 		if s.canceled != nil {
 			return stats, s.canceled
 		}
@@ -373,12 +399,24 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 	// Cross product: fix one projection per head-bearing component, then
 	// emit the head tuple (constant-bound classes read from the initial
 	// binding, which the per-component searches restored on unwind).
-	var emit func(ci int)
-	emit = func(ci int) {
+	// The product can dwarf the per-component searches (k components of
+	// n solutions emit n^k tuples), so it polls the context on its own
+	// emission counter — deliberately not stats.Nodes, which counts only
+	// search-tree assignments and must stay comparable across modes.
+	var emitted int64
+	var emit func(ci int) bool
+	emit = func(ci int) bool {
 		for ci < len(plan.comps) && solutions[ci] == nil {
 			ci++
 		}
 		if ci == len(plan.comps) {
+			emitted++
+			if emitted&cancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					s.canceled = err
+					return false
+				}
+			}
 			t := make(instance.Tuple, len(q.Head))
 			for i, term := range q.Head {
 				if term.IsConst {
@@ -388,7 +426,7 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 				t[i] = s.binding[plan.classOf[eq.Find(term.Var)]]
 			}
 			out.MustInsert(t)
-			return
+			return true
 		}
 		roots := plan.comps[ci].headRoots
 		for _, vals := range solutions[ci] {
@@ -396,12 +434,18 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 				s.binding[id] = vals[i]
 				s.bound[id] = true
 			}
-			emit(ci + 1)
+			if !emit(ci + 1) {
+				return false
+			}
 		}
 		for _, id := range roots {
 			s.bound[id] = false
 		}
+		return true
 	}
 	emit(0)
+	if s.canceled != nil {
+		return stats, s.canceled
+	}
 	return stats, nil
 }

@@ -5,19 +5,19 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"keyedeq/internal/containment"
 )
 
 // Verdict is a cached decision for one canonical pair.
 type Verdict struct {
 	// Holds is the containment/equivalence answer.
 	Holds bool
-	// Nodes and ChaseIterations record the work the original
-	// computation spent, so reports can show what the cache saved.
-	Nodes           int64
-	ChaseIterations int
-	// ChaseFailed records that the left query was empty under the
-	// dependencies (a failing chase).
-	ChaseFailed bool
+	// Stats records the work the original computation spent, so reports
+	// can show what the cache saved.  Carrying the whole Stats (rather
+	// than hand-picked fields) means counters added to containment.Stats
+	// survive the cache round trip automatically.
+	Stats containment.Stats
 }
 
 // CacheStats aggregates cache behavior across all shards.

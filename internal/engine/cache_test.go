@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"keyedeq/internal/containment"
 )
 
 func TestCacheGetPut(t *testing.T) {
@@ -11,9 +13,9 @@ func TestCacheGetPut(t *testing.T) {
 	if _, ok := c.get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.put("a", Verdict{Holds: true, Nodes: 7})
+	c.put("a", Verdict{Holds: true, Stats: containment.Stats{Nodes: 7}})
 	v, ok := c.get("a")
-	if !ok || !v.Holds || v.Nodes != 7 {
+	if !ok || !v.Holds || v.Stats.Nodes != 7 {
 		t.Fatalf("got %+v ok=%v", v, ok)
 	}
 	st := c.stats()
@@ -75,7 +77,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				k := fmt.Sprintf("k%d", i%64)
-				c.put(k, Verdict{Holds: i%2 == 0, Nodes: int64(i)})
+				c.put(k, Verdict{Holds: i%2 == 0, Stats: containment.Stats{Nodes: int64(i)}})
 				c.get(k)
 			}
 		}(w)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"keyedeq/internal/chase"
@@ -14,6 +15,7 @@ import (
 	"keyedeq/internal/cq"
 	"keyedeq/internal/fd"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
 )
@@ -53,6 +55,12 @@ type Options struct {
 	// It is injected (rather than calling time.Now here) because
 	// library code must stay clock-free; command layers pass time.Now.
 	Now func() time.Time
+	// Obs, when set, is installed into every Decide/Run context so the
+	// whole pipeline — canonicalization, chase, planning, search —
+	// reports through its registry and sink.  When nil, an Obs already
+	// carried by the caller's context is used instead; with neither the
+	// pipeline runs unobserved at near-zero cost.
+	Obs *obs.Obs
 }
 
 // DefaultCacheSize is the verdict cache bound used when Options.CacheSize
@@ -155,20 +163,91 @@ func pairKey(op Op, k1, k2 string) string {
 	return op.String() + "\x1e" + k1 + "\x1f" + k2
 }
 
+// withObs resolves the observability handle for a call: the engine's
+// configured Obs is installed into ctx (so the chase and search layers
+// see it), else whatever Obs the caller's ctx already carries is used.
+func (e *Engine) withObs(ctx context.Context) (context.Context, *obs.Obs) {
+	if e.opts.Obs != nil {
+		return obs.NewContext(ctx, e.opts.Obs), e.opts.Obs
+	}
+	return ctx, obs.FromContext(ctx)
+}
+
+// canonicalize computes a query's canonical key, counting the work and
+// emitting a canonicalize span when tracing is on.
+func (e *Engine) canonicalize(ctx context.Context, o *obs.Obs, q *cq.Query) string {
+	start := o.Time()
+	k := CanonicalizeQuery(q, e.s).Key
+	o.C(obs.CCanonicalized).Inc()
+	if o.SpansOn() {
+		o.EmitSpan(ctx, obs.StageCanonicalize, start, nil,
+			obs.I("atoms", int64(len(q.Body))))
+	}
+	return k
+}
+
+// countResult bumps the per-pair counters for one finished Result.
+// Shared by Decide and Run's aggregation loop so both entry points
+// reconcile against the same counter semantics.
+func countResult(o *obs.Obs, r *Result) {
+	if o == nil {
+		return
+	}
+	o.C(obs.CPairs).Inc()
+	switch {
+	case r.Err != nil:
+		o.C(obs.CPairsErrors).Inc()
+	case r.CacheHit:
+		o.C(obs.CCacheHits).Inc()
+	case r.Deduped:
+		o.C(obs.CDeduped).Inc()
+	default:
+		o.C(obs.CPairsComputed).Inc()
+		o.H(obs.HPairNodes).Observe(r.Stats.Nodes)
+	}
+	if r.Err == nil && r.Holds {
+		o.C(obs.CPairsHolding).Inc()
+	}
+}
+
+// emitVerify sends the closing span of one pair's decision, carrying
+// the verdict and the pair's merged containment.Stats.
+func emitVerify(ctx context.Context, o *obs.Obs, start time.Time, r *Result) {
+	if !o.SpansOn() {
+		return
+	}
+	o.EmitSpan(obs.WithPair(ctx, r.PairKey), obs.StageVerify, start, r.Err,
+		obs.B("holds", r.Holds),
+		obs.B("cache_hit", r.CacheHit),
+		obs.B("deduped", r.Deduped),
+		obs.I("nodes", r.Stats.Nodes),
+		obs.I("searches", int64(r.Stats.Searches)),
+		obs.I("chase_iterations", int64(r.Stats.ChaseIterations)),
+		obs.I("chase_merges", int64(r.Stats.ChaseMerges)),
+		obs.I("chase_revisited", int64(r.Stats.ChaseRevisited)),
+		obs.B("chase_failed", r.Stats.ChaseFailed))
+}
+
 // Decide answers a single pair, consulting and filling the cache.  It
 // is the single-query entry point behind EquivFunc; batches should use
 // Run, which additionally memoizes chase results and parallelizes.
-func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) Result {
+func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) (res Result) {
+	ctx, o := e.withObs(ctx)
+	start := o.Time()
+	defer func() {
+		countResult(o, &res)
+		emitVerify(ctx, o, start, &res)
+	}()
 	if err := containment.CheckComparable(q1, q2, e.s); err != nil {
 		return Result{Err: err}
 	}
-	k1 := CanonicalizeQuery(q1, e.s).Key
-	k2 := CanonicalizeQuery(q2, e.s).Key
+	k1 := e.canonicalize(ctx, o, q1)
+	k2 := e.canonicalize(ctx, o, q2)
 	key := pairKey(op, k1, k2)
+	ctx = obs.WithPair(ctx, key)
 	if e.cache != nil {
 		if v, ok := e.cache.get(key); ok {
-			return Result{Holds: v.Holds, CacheHit: true, PairKey: key,
-				Stats: containment.Stats{Nodes: v.Nodes, ChaseIterations: v.ChaseIterations, ChaseFailed: v.ChaseFailed}}
+			return Result{Holds: v.Holds, CacheHit: true, PairKey: key, Stats: v.Stats}
 		}
 	}
 	// Isomorphic queries (equal canonical keys) are interchangeable, so
@@ -195,10 +274,15 @@ func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) Result {
 		ok, st, err = containment.EquivalentUnderCtx(ctx, q1, q2, e.s, e.deps)
 	}
 	if err != nil {
+		// Cancellation and timeout never reach the cache: the partial
+		// verdict would otherwise shadow a real decision on retry.
 		return Result{Err: err, Stats: st, PairKey: key}
 	}
 	if e.cache != nil {
-		e.cache.put(key, Verdict{Holds: ok, Nodes: st.Nodes, ChaseIterations: st.ChaseIterations, ChaseFailed: st.ChaseFailed})
+		e.cache.put(key, Verdict{Holds: ok, Stats: st})
+		if o != nil {
+			o.G(obs.GCacheEntries).Set(int64(e.cache.stats().Entries))
+		}
 	}
 	return Result{Holds: ok, Stats: st, PairKey: key}
 }
@@ -223,8 +307,31 @@ type frozen struct {
 	db     *instance.Database
 	want   instance.Tuple
 	failed bool
-	iters  int
-	err    error
+	// cs is the chase's work, recorded even when the run was cut short
+	// by cancellation so partial work is never lost from the books.
+	cs  chase.Stats
+	err error
+	// claimed hands the chase stats to exactly one pair.  The artifact
+	// is shared by every pair mentioning the query, but the chase ran
+	// once; attributing cs to each sharer would overcount, attributing
+	// to none would lose it.  The first claimant — whichever pair's
+	// worker gets there first — books it.
+	claimed atomic.Bool
+}
+
+// claim returns the artifact's chase stats exactly once; later calls
+// (other pairs sharing the artifact) get zero.  Summing claimed stats
+// over a batch therefore equals the chase work actually performed,
+// which is what the obs reconciliation check enforces.
+func (f *frozen) claim() containment.Stats {
+	if !f.claimed.CompareAndSwap(false, true) {
+		return containment.Stats{}
+	}
+	return containment.Stats{
+		ChaseIterations: f.cs.Iterations,
+		ChaseMerges:     f.cs.Merges,
+		ChaseRevisited:  f.cs.Revisited,
+	}
 }
 
 // batchState carries the per-Run shared structures.
@@ -249,6 +356,8 @@ func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
 	}
 	b.mu.Unlock()
 	f.once.Do(func() {
+		o := obs.FromContext(b.ctx)
+		start := o.Time()
 		tb := chase.NewTableau(e.s)
 		vars, err := chase.Freeze(tb, q)
 		if err != nil {
@@ -261,12 +370,22 @@ func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
 			return
 		}
 		if len(e.deps) > 0 {
-			cs, err := tb.RunCtx(b.ctx, e.deps)
-			if err != nil {
-				f.err = err
+			// Keep the partial stats on cancellation: the chase layer
+			// already counted them, and claim() must hand the same
+			// numbers to the claiming pair or the books diverge.
+			cs, cerr := tb.RunCtx(b.ctx, e.deps)
+			f.cs = cs
+			if o.SpansOn() {
+				o.EmitSpan(b.ctx, obs.StageFreezeChase, start, cerr,
+					obs.I("iterations", int64(cs.Iterations)),
+					obs.I("merges", int64(cs.Merges)),
+					obs.I("revisited", int64(cs.Revisited)),
+					obs.B("failed", tb.Failed()))
+			}
+			if cerr != nil {
+				f.err = cerr
 				return
 			}
-			f.iters = cs.Iterations
 		}
 		if tb.Failed() {
 			f.failed = true
@@ -302,6 +421,7 @@ func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, conta
 	}
 	ok, es, err := cq.HasAnswerCtx(ctx, right, f.db, f.want)
 	st.Nodes = es.Nodes
+	st.Searches = 1
 	return ok, st, err
 }
 
@@ -311,6 +431,7 @@ func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, conta
 // homomorphism searches of each pair run under the per-job timeout.
 // Results are positionally aligned with jobs.
 func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
+	ctx, o := e.withObs(ctx)
 	rep := &Report{Results: make([]Result, len(jobs)), Pairs: len(jobs), Workers: e.opts.Workers}
 	var started time.Time
 	if e.opts.Now != nil {
@@ -331,7 +452,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 		p := q.String()
 		k, ok := byPresentation[p]
 		if !ok {
-			k = CanonicalizeQuery(q, e.s).Key
+			k = e.canonicalize(ctx, o, q)
 			byPresentation[p] = k
 		}
 		canonOf[q] = k
@@ -377,7 +498,8 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 			for _, i := range groups[pk].indexes {
 				rep.Results[i].Holds = v.Holds
 				rep.Results[i].CacheHit = true
-				rep.Results[i].Stats = containment.Stats{Nodes: v.Nodes, ChaseIterations: v.ChaseIterations, ChaseFailed: v.ChaseFailed}
+				rep.Results[i].Stats = v.Stats
+				emitVerify(ctx, o, o.Time(), &rep.Results[i])
 			}
 			continue
 		}
@@ -400,17 +522,22 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 			for pk := range ch {
 				g := groups[pk]
 				j := jobs[g.leader]
+				start := o.Time()
 				res := e.runLeader(bs, j, leftKey[g.leader], rightKey[g.leader])
 				res.PairKey = pk
 				rep.Results[g.leader] = res
+				// Cancellation and timeout never reach the cache: the
+				// partial verdict would shadow a real decision on retry.
 				if res.Err == nil && e.cache != nil {
-					e.cache.put(pk, Verdict{Holds: res.Holds, Nodes: res.Stats.Nodes, ChaseIterations: res.Stats.ChaseIterations, ChaseFailed: res.Stats.ChaseFailed})
+					e.cache.put(pk, Verdict{Holds: res.Holds, Stats: res.Stats})
 				}
+				emitVerify(ctx, o, start, &res)
 				for _, i := range g.indexes[1:] {
 					dup := res
 					dup.Deduped = true
 					dup.Stats = containment.Stats{ChaseFailed: res.Stats.ChaseFailed}
 					rep.Results[i] = dup
+					emitVerify(ctx, o, start, &dup)
 				}
 			}
 		}()
@@ -423,6 +550,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 
 	for i := range rep.Results {
 		r := &rep.Results[i]
+		countResult(o, r)
 		switch {
 		case r.Err != nil:
 			rep.Errors++
@@ -441,6 +569,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 	}
 	if e.cache != nil {
 		rep.Cache = e.cache.stats()
+		o.G(obs.GCacheEntries).Set(int64(rep.Cache.Entries))
 	}
 	if e.opts.Now != nil {
 		rep.Wall = e.opts.Now().Sub(started)
@@ -468,16 +597,17 @@ func (e *Engine) runLeader(bs *batchState, j Job, lk, rk string) Result {
 	}
 	fl := e.frozenOf(bs, lk, j.Left)
 	ok, st, err := containedFrom(jctx, fl, j.Right)
-	// Chase work is attributed to the first pair that froze the query.
-	st.ChaseIterations = fl.iters
+	// Chase work is attributed to exactly one pair: the first to claim
+	// the shared artifact.  Sharers after that merge a zero value, so
+	// batch-wide sums match the chase work actually performed.
+	st.Merge(fl.claim())
 	if err != nil || !ok || j.Op == OpContained {
 		return Result{Holds: ok, Stats: st, Err: err}
 	}
 	fr := e.frozenOf(bs, rk, j.Right)
 	ok2, st2, err := containedFrom(jctx, fr, j.Left)
-	st.Nodes += st2.Nodes
-	st.ChaseIterations += fr.iters
-	st.ChaseFailed = st.ChaseFailed || st2.ChaseFailed
+	st.Merge(st2)
+	st.Merge(fr.claim())
 	return Result{Holds: ok2, Stats: st, Err: err}
 }
 

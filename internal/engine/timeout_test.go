@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/schema"
+)
+
+// The pair used throughout: equivalent under the key of R (the chase
+// merges Y and Y2 through the shared key X) but not isomorphic, so the
+// canonical keys differ and every decision does real chase + search
+// work under the job context.
+func timeoutPair(t *testing.T) (*schema.Schema, []fd.FD, *cq.Query, *cq.Query) {
+	t.Helper()
+	s := schema.MustParse("R(k*:T1, a:T1)")
+	deps := fd.KeyFDs(s)
+	q1 := cq.MustParse("V(X) :- R(X, Y).")
+	q2 := cq.MustParse("V(X) :- R(X, Y), R(X2, Y2), X = X2.")
+	ok, _, err := containment.EquivalentUnder(q1, q2, s, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("fixture pair is not equivalent; the test needs Holds=true ground truth")
+	}
+	if k1, k2 := CanonicalizeQuery(q1, s).Key, CanonicalizeQuery(q2, s).Key; k1 == k2 {
+		t.Fatal("fixture pair is isomorphic; the test needs the full decision path")
+	}
+	return s, deps, q1, q2
+}
+
+// TestDecideTimeoutErrorNotCached is the regression for the cache-path
+// audit: a JobTimeout expiry must never be stored as a verdict.  The
+// tiny-timeout engine fails every attempt — if the first failure were
+// cached, the second attempt would come back as a (bogus) cache hit —
+// and a generous-timeout engine then decides the pair correctly.
+func TestDecideTimeoutErrorNotCached(t *testing.T) {
+	s, deps, q1, q2 := timeoutPair(t)
+
+	tiny := New(s, deps, Options{JobTimeout: time.Nanosecond})
+	r1 := tiny.Decide(context.Background(), q1, q2, OpEquivalent)
+	if r1.Err == nil {
+		t.Fatalf("1ns timeout decision succeeded (holds=%v); expected an error", r1.Holds)
+	}
+	r2 := tiny.Decide(context.Background(), q1, q2, OpEquivalent)
+	if r2.CacheHit {
+		t.Fatalf("timeout error was cached: second attempt hit the cache with holds=%v", r2.Holds)
+	}
+	if r2.Err == nil {
+		t.Fatal("second 1ns attempt succeeded; expected a repeat timeout, not a cached verdict")
+	}
+
+	generous := New(s, deps, Options{JobTimeout: time.Hour})
+	r3 := generous.Decide(context.Background(), q1, q2, OpEquivalent)
+	if r3.Err != nil {
+		t.Fatalf("generous timeout: %v", r3.Err)
+	}
+	if !r3.Holds || r3.CacheHit {
+		t.Fatalf("generous timeout: holds=%v cacheHit=%v, want holds=true fresh", r3.Holds, r3.CacheHit)
+	}
+}
+
+// TestDecideCancellationNotCached drives the same audit through
+// caller-context cancellation on a single engine: after a canceled
+// decision, the next call must recompute (no hit), and only a real
+// verdict may populate the cache.
+func TestDecideCancellationNotCached(t *testing.T) {
+	s, deps, q1, q2 := timeoutPair(t)
+	e := New(s, deps, Options{})
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	r1 := e.Decide(canceled, q1, q2, OpEquivalent)
+	if r1.Err == nil {
+		t.Fatalf("canceled-context decision succeeded (holds=%v)", r1.Holds)
+	}
+
+	r2 := e.Decide(context.Background(), q1, q2, OpEquivalent)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.CacheHit {
+		t.Fatal("decision after cancellation was a cache hit; the error must not have been stored")
+	}
+	if !r2.Holds {
+		t.Fatal("retry decided holds=false, want true")
+	}
+
+	r3 := e.Decide(context.Background(), q1, q2, OpEquivalent)
+	if !r3.CacheHit || !r3.Holds {
+		t.Fatalf("third call: cacheHit=%v holds=%v, want a true cache hit", r3.CacheHit, r3.Holds)
+	}
+}
+
+// TestRunCancellationNotCached covers the batch path: a canceled batch
+// context fails every job without polluting the cache, and a fresh
+// batch on the same engine recomputes everything.
+func TestRunCancellationNotCached(t *testing.T) {
+	s, deps, q1, q2 := timeoutPair(t)
+	e := New(s, deps, Options{Workers: 2})
+	jobs := []Job{
+		{Left: q1, Right: q2, Op: OpEquivalent},
+		{Left: q2, Right: q1, Op: OpContained},
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := e.Run(canceled, jobs)
+	for i, r := range rep.Results {
+		if r.Err == nil {
+			t.Fatalf("job %d of canceled batch succeeded (holds=%v)", i, r.Holds)
+		}
+	}
+
+	rep = e.Run(context.Background(), jobs)
+	for i, r := range rep.Results {
+		if r.Err != nil {
+			t.Fatalf("job %d of retry batch: %v", i, r.Err)
+		}
+		if r.CacheHit {
+			t.Fatalf("job %d of retry batch hit the cache; errors must not be stored", i)
+		}
+		if !r.Holds {
+			t.Fatalf("job %d of retry batch: holds=false, want true", i)
+		}
+	}
+
+	rep = e.Run(context.Background(), jobs)
+	for i, r := range rep.Results {
+		if !r.CacheHit || !r.Holds {
+			t.Fatalf("job %d of third batch: cacheHit=%v holds=%v, want true hit", i, r.CacheHit, r.Holds)
+		}
+	}
+}
+
+// searchHeavyPair builds a containment job whose homomorphism search
+// must visit far more than cancelCheckMask nodes before exhausting:
+// the left query freezes to two disconnected complete digraphs and the
+// right is a 12-step chain whose required endpoints straddle the
+// components, so the search fans out exponentially and never succeeds.
+// Run applies JobTimeout to the searches only (the chase artifact is
+// shared batch-wide), so a timeout test on the batch path needs the
+// search itself to cross a poll point.
+func searchHeavyPair(t *testing.T) (*schema.Schema, *cq.Query, *cq.Query) {
+	t.Helper()
+	s := schema.MustParse("E(a:T1, b:T1)")
+
+	// The paper's syntax wants every placeholder distinct, with joins in
+	// the equality list, so both queries are generated: each atom gets
+	// fresh variables and equalities tie the endpoints together.
+	edges := [][2]int{
+		{1, 2}, {2, 1}, {1, 3}, {3, 1}, {2, 3}, {3, 2},
+		{4, 5}, {5, 4}, {4, 6}, {6, 4}, {5, 6}, {6, 5},
+	}
+	rep := map[int]string{}
+	var parts []string
+	bind := func(v string, class int) {
+		if rep[class] == "" {
+			rep[class] = v
+			return
+		}
+		parts = append(parts, v+" = "+rep[class])
+	}
+	var eqs []string
+	for i, e := range edges {
+		p, q := fmt.Sprintf("P%d", i+1), fmt.Sprintf("Q%d", i+1)
+		parts = append(parts, fmt.Sprintf("E(%s, %s)", p, q))
+		save := parts
+		parts = nil
+		bind(p, e[0])
+		bind(q, e[1])
+		eqs = append(eqs, parts...)
+		parts = save
+	}
+	parts = append(parts, eqs...)
+	left := cq.MustParse(fmt.Sprintf("V(%s, %s) :- %s.", rep[1], rep[4], strings.Join(parts, ", ")))
+
+	parts, eqs = nil, nil
+	for i := 1; i <= 12; i++ {
+		parts = append(parts, fmt.Sprintf("E(A%d, B%d)", i, i))
+		if i > 1 {
+			eqs = append(eqs, fmt.Sprintf("B%d = A%d", i-1, i))
+		}
+	}
+	parts = append(parts, eqs...)
+	right := cq.MustParse(fmt.Sprintf("V(A1, B12) :- %s.", strings.Join(parts, ", ")))
+	ok, _, err := containment.ContainedUnder(left, right, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fixture containment unexpectedly holds; the test needs an exhaustive failed search")
+	}
+	return s, left, right
+}
+
+// TestRunTimeoutErrorNotCached is the batch-path half of the timeout
+// audit: a job whose search blows the deadline must report an error,
+// leave the cache untouched, and carry the partial search stats it
+// accrued before the cut.
+func TestRunTimeoutErrorNotCached(t *testing.T) {
+	s, left, right := searchHeavyPair(t)
+	jobs := []Job{{Left: left, Right: right, Op: OpContained}}
+
+	tiny := New(s, nil, Options{JobTimeout: time.Nanosecond, Workers: 1})
+	rep := tiny.Run(context.Background(), jobs)
+	r := rep.Results[0]
+	if r.Err == nil {
+		t.Fatalf("1ns-timeout job succeeded (holds=%v, %d nodes)", r.Holds, r.Stats.Nodes)
+	}
+	if r.Stats.Nodes == 0 {
+		t.Fatal("timed-out job reports zero search nodes; partial stats were dropped")
+	}
+	rep = tiny.Run(context.Background(), jobs)
+	if r := rep.Results[0]; r.CacheHit {
+		t.Fatalf("timeout error was cached: retry hit the cache with holds=%v", r.Holds)
+	} else if r.Err == nil {
+		t.Fatalf("expected repeat timeout, got holds=%v", r.Holds)
+	}
+
+	generous := New(s, nil, Options{JobTimeout: time.Hour, Workers: 1})
+	rep = generous.Run(context.Background(), jobs)
+	if r := rep.Results[0]; r.Err != nil {
+		t.Fatal(r.Err)
+	} else if r.Holds || r.CacheHit {
+		t.Fatalf("generous run: holds=%v cacheHit=%v, want a fresh holds=false", r.Holds, r.CacheHit)
+	}
+	rep = generous.Run(context.Background(), jobs)
+	if r := rep.Results[0]; !r.CacheHit || r.Holds {
+		t.Fatalf("second generous run: cacheHit=%v holds=%v, want a true-negative cache hit", r.CacheHit, r.Holds)
+	}
+}

@@ -38,8 +38,8 @@ func All(cfg Config) []*Table {
 	if !cfg.Quick {
 		enginePairs = 1000
 	}
-	e1, _ := E1EngineBatch(enginePairs, engineWorkers, 0, 11)
-	h1, _ := H1HomSearch(enginePairs, 21)
+	e1, _ := E1EngineBatch(enginePairs, engineWorkers, 0, 11, nil)
+	h1, _ := H1HomSearch(enginePairs, 21, nil)
 	return []*Table{
 		T1TheoremExhaustive(t1Space, t1Bounds),
 		T2SaturationProduct(trials, 1),

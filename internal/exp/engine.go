@@ -8,6 +8,7 @@ import (
 	"keyedeq/internal/containment"
 	"keyedeq/internal/engine"
 	"keyedeq/internal/gen"
+	"keyedeq/internal/obs"
 )
 
 // EngineModeResult is one side of the engine-vs-sequential comparison,
@@ -45,7 +46,9 @@ type EngineBenchResult struct {
 // corpus of every schema family, and reports both the printable table
 // and the machine-readable regression record.  cacheSize 0 picks a
 // bound fitting the whole corpus; negative disables the verdict cache.
-func E1EngineBatch(pairsPerFamily, workers, cacheSize, seed int) (*Table, *EngineBenchResult) {
+// A non-nil o observes the engine runs (the sequential baseline stays
+// unobserved, so exported totals describe the engine's work only).
+func E1EngineBatch(pairsPerFamily, workers, cacheSize, seed int, o *obs.Obs) (*Table, *EngineBenchResult) {
 	t := &Table{
 		ID:    "E1",
 		Title: "batch engine vs sequential equivalence (generated pair corpus)",
@@ -99,6 +102,7 @@ func E1EngineBatch(pairsPerFamily, workers, cacheSize, seed int) (*Table, *Engin
 			CacheSize:    size,
 			DisableCache: cacheSize < 0,
 			Now:          time.Now,
+			Obs:          o,
 		})
 		rep := e.Run(context.Background(), jobs)
 		res.Eng.Nodes += rep.Nodes

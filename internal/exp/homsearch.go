@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"keyedeq/internal/cq"
 	"keyedeq/internal/gen"
 	"keyedeq/internal/instance"
+	"keyedeq/internal/obs"
 	"keyedeq/internal/value"
 )
 
@@ -48,20 +50,20 @@ type HomBenchResult struct {
 	Mismatches int `json:"mismatches"`
 }
 
-// homCase is one prepared homomorphism search instance: does q have the
-// answer want on the (chased) canonical database db?
-type homCase struct {
-	q    *cq.Query
-	db   *instance.Database
-	want instance.Tuple
+// HomCase is one prepared homomorphism search instance: does Q have the
+// answer Want on the (chased) canonical database DB?
+type HomCase struct {
+	Q    *cq.Query
+	DB   *instance.Database
+	Want instance.Tuple
 }
 
-// prepareHomCases freezes and chases both containment directions of
+// PrepareHomCases freezes and chases both containment directions of
 // every pair into concrete search instances.  The freeze/chase work is
-// identical in both search modes, so the benchmark shares it up front
-// and times only the searches.
-func prepareHomCases(f *gen.Family) ([]homCase, error) {
-	var cases []homCase
+// identical in both search modes, so benchmarks and the observability
+// reconciliation tests share it up front and drive only the searches.
+func PrepareHomCases(f *gen.Family) ([]HomCase, error) {
+	var cases []HomCase
 	add := func(q1, q2 *cq.Query) error {
 		tb := chase.NewTableau(f.Schema)
 		vars, err := chase.Freeze(tb, q1)
@@ -96,7 +98,7 @@ func prepareHomCases(f *gen.Family) ([]homCase, error) {
 		for i, h := range head {
 			want[i] = valOf[h]
 		}
-		cases = append(cases, homCase{q: q2, db: db, want: want})
+		cases = append(cases, HomCase{Q: q2, DB: db, Want: want})
 		return nil
 	}
 	for _, p := range f.Pairs {
@@ -115,7 +117,10 @@ func prepareHomCases(f *gen.Family) ([]homCase, error) {
 // across modes) and runs each search twice — once with the naive
 // full-scan backtracking search and once with the planned, indexed
 // search — reporting wall time, search nodes, and verdict agreement.
-func H1HomSearch(pairsPerFamily, seed int) (*Table, *HomBenchResult) {
+// A non-nil o observes the planned arm only, so exported search totals
+// line up with the record's planned_nodes.
+func H1HomSearch(pairsPerFamily, seed int, o *obs.Obs) (*Table, *HomBenchResult) {
+	plannedCtx := obs.NewContext(context.Background(), o)
 	t := &Table{
 		ID:    "H1",
 		Title: "planned vs naive homomorphism search (generated pair corpus)",
@@ -130,7 +135,7 @@ func H1HomSearch(pairsPerFamily, seed int) (*Table, *HomBenchResult) {
 			t.Note("%s: %v", fam, err)
 			continue
 		}
-		cases, err := prepareHomCases(f)
+		cases, err := PrepareHomCases(f)
 		if err != nil {
 			t.Note("%s: prepare: %v", fam, err)
 			continue
@@ -140,7 +145,7 @@ func H1HomSearch(pairsPerFamily, seed int) (*Table, *HomBenchResult) {
 
 		naiveWall := timed(func() {
 			for i, c := range cases {
-				ok, _, st, err := cq.FindAnswerBindingMode(c.q, c.db, c.want, cq.SearchNaive)
+				ok, _, st, err := cq.FindAnswerBindingMode(c.Q, c.DB, c.Want, cq.SearchNaive)
 				if err != nil {
 					t.Note("%s: naive: %v", fam, err)
 					continue
@@ -151,7 +156,7 @@ func H1HomSearch(pairsPerFamily, seed int) (*Table, *HomBenchResult) {
 		})
 		plannedWall := timed(func() {
 			for i, c := range cases {
-				ok, _, st, err := cq.FindAnswerBindingMode(c.q, c.db, c.want, cq.SearchPlanned)
+				ok, _, st, err := cq.FindAnswerBindingCtxMode(plannedCtx, c.Q, c.DB, c.Want, cq.SearchPlanned)
 				if err != nil {
 					t.Note("%s: planned: %v", fam, err)
 					continue

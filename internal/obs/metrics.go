@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterID names a standard pipeline counter.  Standard instruments
+// live in a fixed array inside the Registry, so the hot path resolves a
+// handle by array index — no name hashing, no locks.
+type CounterID int
+
+const (
+	// CPairs counts decision requests (jobs plus single Decide calls).
+	CPairs CounterID = iota
+	// CPairsHolding counts true verdicts.
+	CPairsHolding
+	// CPairsErrors counts undecidable pairs (validation failure,
+	// cancellation, timeout).
+	CPairsErrors
+	// CPairsComputed counts pairs decided by fresh work (neither cache
+	// hit nor batch dedup), excluding errors.
+	CPairsComputed
+	// CCacheHits counts pairs answered from the verdict cache.
+	CCacheHits
+	// CDeduped counts pairs answered by another job of the same batch.
+	CDeduped
+	// CCanonicalized counts canonical-form computations (cache-missed
+	// canonicalizations, not memo lookups).
+	CCanonicalized
+	// CSearches counts homomorphism search invocations.
+	CSearches
+	// CSearchNodes totals homomorphism search tree nodes.
+	CSearchNodes
+	// CChaseRuns counts chase fixpoint runs.
+	CChaseRuns
+	// CChaseIterations totals chase fixpoint rounds.
+	CChaseIterations
+	// CChaseMerges totals chase union operations.
+	CChaseMerges
+	// CChaseRevisited totals semi-naive chase work items revisited.
+	CChaseRevisited
+	// CChaseFailed counts failing chases (unsatisfiable tableaux).
+	CChaseFailed
+
+	numCounterIDs
+)
+
+// counterNames maps CounterID to the Prometheus exposition name.
+var counterNames = [numCounterIDs]string{
+	CPairs:           "keyedeq_pairs_total",
+	CPairsHolding:    "keyedeq_pairs_holding_total",
+	CPairsErrors:     "keyedeq_pairs_errors_total",
+	CPairsComputed:   "keyedeq_pairs_computed_total",
+	CCacheHits:       "keyedeq_cache_hits_total",
+	CDeduped:         "keyedeq_pairs_deduped_total",
+	CCanonicalized:   "keyedeq_canonicalizations_total",
+	CSearches:        "keyedeq_searches_total",
+	CSearchNodes:     "keyedeq_search_nodes_total",
+	CChaseRuns:       "keyedeq_chase_runs_total",
+	CChaseIterations: "keyedeq_chase_iterations_total",
+	CChaseMerges:     "keyedeq_chase_merges_total",
+	CChaseRevisited:  "keyedeq_chase_revisited_total",
+	CChaseFailed:     "keyedeq_chase_failed_total",
+}
+
+// GaugeID names a standard pipeline gauge.
+type GaugeID int
+
+const (
+	// GCacheEntries is the verdict cache's current entry count.
+	GCacheEntries GaugeID = iota
+
+	numGaugeIDs
+)
+
+var gaugeNames = [numGaugeIDs]string{
+	GCacheEntries: "keyedeq_cache_entries",
+}
+
+// HistID names a standard pipeline histogram.
+type HistID int
+
+const (
+	// HSearchNodes is nodes per homomorphism search.
+	HSearchNodes HistID = iota
+	// HPairNodes is nodes per freshly computed pair.
+	HPairNodes
+	// HChaseIterations is fixpoint rounds per chase run.
+	HChaseIterations
+
+	numHistIDs
+)
+
+var histNames = [numHistIDs]string{
+	HSearchNodes:     "keyedeq_search_nodes",
+	HPairNodes:       "keyedeq_pair_nodes",
+	HChaseIterations: "keyedeq_chase_iterations",
+}
+
+// nodeBuckets are the fixed bucket boundaries for node-count
+// histograms: powers of four, spanning trivial searches to the
+// exponential corners.
+var nodeBuckets = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// iterBuckets are the fixed bucket boundaries for chase-round counts.
+var iterBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// histBounds maps HistID to its bucket boundaries.
+var histBounds = [numHistIDs][]int64{
+	HSearchNodes:     nodeBuckets,
+	HPairNodes:       nodeBuckets,
+	HChaseIterations: iterBuckets,
+}
+
+// stripe is one cache-line-padded counter cell.  Padding keeps
+// concurrent writers on different CPUs from false-sharing a line.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter, striped across
+// roughly one cell per CPU.  Stripe indices are handed out round-robin
+// through a sync.Pool, whose per-P caching parks each index on the
+// processor that last used it — steady-state writers touch only their
+// own cell.  A nil *Counter is a no-op.
+type Counter struct {
+	stripes []stripe
+	next    atomic.Uint32
+	pool    sync.Pool
+}
+
+// initCounter sizes the stripe array and wires the index pool.
+func (c *Counter) initCounter() {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	c.stripes = make([]stripe, n)
+	mask := uint32(n - 1)
+	c.pool.New = func() interface{} {
+		idx := new(uint32)
+		*idx = (c.next.Add(1) - 1) & mask
+		return idx
+	}
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	ip := c.pool.Get().(*uint32)
+	c.stripes[*ip].v.Add(n)
+	c.pool.Put(ip)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value.  A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-boundary histogram over int64 observations
+// (node counts, chase rounds).  Observations and reads are lock-free.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+}
+
+// initHistogram wires the bucket array for the given ascending bounds.
+func (h *Histogram) initHistogram(bounds []int64) {
+	h.bounds = bounds
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds the standard pipeline instruments plus any named
+// instruments registered at runtime.  The standard set is resolved by
+// array index (no locks, no hashing); named instruments go through a
+// mutex-guarded map and are meant for cold paths.  A nil *Registry
+// yields nil handles everywhere, so "metrics off" costs nil checks.
+type Registry struct {
+	std   [numCounterIDs]Counter
+	stdG  [numGaugeIDs]Gauge
+	stdH  [numHistIDs]Histogram
+	mu    sync.Mutex
+	named map[string]*Counter
+}
+
+// NewRegistry builds a registry with every standard instrument ready.
+func NewRegistry() *Registry {
+	r := &Registry{named: make(map[string]*Counter)}
+	for i := range r.std {
+		r.std[i].initCounter()
+	}
+	for i := range r.stdH {
+		r.stdH[i].initHistogram(histBounds[i])
+	}
+	return r
+}
+
+// C returns the standard counter, nil when r is nil.
+func (r *Registry) C(id CounterID) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &r.std[id]
+}
+
+// G returns the standard gauge, nil when r is nil.
+func (r *Registry) G(id GaugeID) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &r.stdG[id]
+}
+
+// H returns the standard histogram, nil when r is nil.
+func (r *Registry) H(id HistID) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &r.stdH[id]
+}
+
+// Named returns (creating on first use) a counter outside the standard
+// set.  Intended for cold paths: the lookup takes the registry lock.
+func (r *Registry) Named(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.named[name]
+	if !ok {
+		c = &Counter{}
+		c.initCounter()
+		r.named[name] = c
+	}
+	return c
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format: standard counters and gauges in ID order, named
+// counters sorted by name, histograms with cumulative buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for id := CounterID(0); id < numCounterIDs; id++ {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			counterNames[id], counterNames[id], r.std[id].Value()); err != nil {
+			return err
+		}
+	}
+	for id := GaugeID(0); id < numGaugeIDs; id++ {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+			gaugeNames[id], gaugeNames[id], r.stdG[id].Value()); err != nil {
+			return err
+		}
+	}
+	for id := HistID(0); id < numHistIDs; id++ {
+		h := &r.stdH[id]
+		name := histNames[id]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, cum, name, h.Sum(), name, cum); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(r.named))
+	r.mu.Lock()
+	for name := range r.named {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.Lock()
+		c := r.named[name]
+		r.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every instrument's current value keyed by
+// exposition name (histograms contribute _sum and _count entries).
+// It backs the expvar export: publish it with
+// expvar.Publish("keyedeq", expvar.Func(func() any { return r.Snapshot() })).
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	for id := CounterID(0); id < numCounterIDs; id++ {
+		out[counterNames[id]] = r.std[id].Value()
+	}
+	for id := GaugeID(0); id < numGaugeIDs; id++ {
+		out[gaugeNames[id]] = r.stdG[id].Value()
+	}
+	for id := HistID(0); id < numHistIDs; id++ {
+		out[histNames[id]+"_sum"] = r.stdH[id].Sum()
+		out[histNames[id]+"_count"] = r.stdH[id].Count()
+	}
+	r.mu.Lock()
+	for name, c := range r.named {
+		out[name] = c.Value()
+	}
+	r.mu.Unlock()
+	return out
+}

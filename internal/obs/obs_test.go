@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.C(CSearchNodes)
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterAddAndNamed(t *testing.T) {
+	r := NewRegistry()
+	r.C(CPairs).Add(5)
+	r.C(CPairs).Add(3)
+	if got := r.C(CPairs).Value(); got != 8 {
+		t.Fatalf("CPairs = %d, want 8", got)
+	}
+	n := r.Named("keyedeq_custom_total")
+	n.Add(2)
+	if r.Named("keyedeq_custom_total") != n {
+		t.Fatal("Named did not return the same counter on second lookup")
+	}
+	if got := n.Value(); got != 2 {
+		t.Fatalf("named = %d, want 2", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.G(GCacheEntries)
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.H(HChaseIterations) // bounds 1,2,4,8,16,32,64,128
+	for _, v := range []int64{0, 1, 2, 3, 128, 129, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 0+1+2+3+128+129+1000 {
+		t.Fatalf("sum = %d, want 1263", got)
+	}
+	// Bucket placement: le=1 gets {0,1}, le=2 gets {2}, le=4 gets {3},
+	// le=128 gets {128}, +Inf gets {129,1000}.
+	want := []int64{2, 1, 1, 0, 0, 0, 0, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket[%d] (le=%d) = %d, want %d", i, h.bounds[i], got, w)
+		}
+	}
+	if got := h.counts[len(h.bounds)].Load(); got != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	var r *Registry
+	o.C(CPairs).Inc()
+	o.G(GCacheEntries).Set(1)
+	o.H(HSearchNodes).Observe(1)
+	r.C(CPairs).Add(1)
+	r.Named("x").Inc()
+	if r.C(CPairs) != nil || r.G(GCacheEntries) != nil || r.H(HSearchNodes) != nil || r.Named("x") != nil {
+		t.Fatal("nil registry must yield nil handles")
+	}
+	if o.SpansOn() {
+		t.Fatal("nil Obs must report spans off")
+	}
+	if !o.Time().IsZero() {
+		t.Fatal("nil Obs must report zero time")
+	}
+	o.Emit(&Span{Stage: StageVerify})
+	o.EmitSpan(context.Background(), StageVerify, time.Time{}, nil)
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if got := len(r.Snapshot()); got != 0 {
+		t.Fatalf("nil Snapshot has %d entries, want 0", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.C(CSearchNodes).Add(42)
+	r.G(GCacheEntries).Set(9)
+	r.H(HChaseIterations).Observe(3)
+	r.H(HChaseIterations).Observe(200)
+	r.Named("keyedeq_zzz_total").Add(1)
+	r.Named("keyedeq_aaa_total").Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE keyedeq_search_nodes_total counter\nkeyedeq_search_nodes_total 42\n",
+		"# TYPE keyedeq_cache_entries gauge\nkeyedeq_cache_entries 9\n",
+		"# TYPE keyedeq_chase_iterations histogram\n",
+		"keyedeq_chase_iterations_bucket{le=\"4\"} 1\n",
+		"keyedeq_chase_iterations_bucket{le=\"128\"} 1\n",
+		"keyedeq_chase_iterations_bucket{le=\"+Inf\"} 2\n",
+		"keyedeq_chase_iterations_sum 203\n",
+		"keyedeq_chase_iterations_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Named counters render sorted.
+	if a, z := strings.Index(out, "keyedeq_aaa_total"), strings.Index(out, "keyedeq_zzz_total"); a < 0 || z < 0 || a > z {
+		t.Errorf("named counters not sorted: aaa at %d, zzz at %d", a, z)
+	}
+	// Every standard instrument appears even at zero.
+	for _, name := range counterNames {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("output missing standard counter %s", name)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.C(CChaseRuns).Add(4)
+	r.H(HSearchNodes).Observe(10)
+	snap := r.Snapshot()
+	if snap["keyedeq_chase_runs_total"] != 4 {
+		t.Errorf("chase_runs = %d, want 4", snap["keyedeq_chase_runs_total"])
+	}
+	if snap["keyedeq_search_nodes_sum"] != 10 || snap["keyedeq_search_nodes_count"] != 1 {
+		t.Errorf("histogram snapshot = %d/%d, want 10/1",
+			snap["keyedeq_search_nodes_sum"], snap["keyedeq_search_nodes_count"])
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(&Span{Stage: StageSearch, Pair: "p1", Attrs: []Attr{I("nodes", 7), B("failed", true), S("mode", "planned")}})
+	s.Emit(&Span{Stage: StageVerify, Err: "boom"})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var sp Span
+	if err := json.Unmarshal([]byte(lines[0]), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stage != StageSearch || sp.Pair != "p1" || len(sp.Attrs) != 3 {
+		t.Fatalf("round trip mismatch: %+v", sp)
+	}
+	if n, ok := sp.IntAttr("nodes"); !ok || n != 7 {
+		t.Fatalf("nodes attr = %d,%v", n, ok)
+	}
+	if f, ok := sp.IntAttr("failed"); !ok || f != 1 {
+		t.Fatalf("failed attr = %d,%v", f, ok)
+	}
+	if _, ok := sp.IntAttr("missing"); ok {
+		t.Fatal("missing attr reported present")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLSinkRetainsFirstError(t *testing.T) {
+	w := &failWriter{}
+	s := NewJSONLSink(w)
+	s.Emit(&Span{Stage: StageSearch})
+	s.Emit(&Span{Stage: StageSearch})
+	if s.Err() == nil {
+		t.Fatal("want retained error")
+	}
+	if w.n != 1 {
+		t.Fatalf("writer called %d times after error, want 1", w.n)
+	}
+}
+
+func TestCollectSink(t *testing.T) {
+	s := &CollectSink{}
+	s.Emit(&Span{Stage: StageSearch})
+	s.Emit(&Span{Stage: StagePlan})
+	s.Emit(&Span{Stage: StageSearch})
+	if got := len(s.Spans()); got != 3 {
+		t.Fatalf("spans = %d, want 3", got)
+	}
+	if got := len(s.Stage(StageSearch)); got != 2 {
+		t.Fatalf("search spans = %d, want 2", got)
+	}
+	s.Reset()
+	if got := len(s.Spans()); got != 0 {
+		t.Fatalf("spans after reset = %d, want 0", got)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	base := context.Background()
+	if FromContext(base) != nil {
+		t.Fatal("empty context must carry nil Obs")
+	}
+	if PairFromContext(base) != "" {
+		t.Fatal("empty context must carry no pair")
+	}
+	if NewContext(base, nil) != base {
+		t.Fatal("NewContext(nil) must return ctx unchanged")
+	}
+	o := &Obs{Reg: NewRegistry()}
+	ctx := WithPair(NewContext(base, o), "k1|k2")
+	if FromContext(ctx) != o {
+		t.Fatal("FromContext lost the Obs")
+	}
+	if got := PairFromContext(ctx); got != "k1|k2" {
+		t.Fatalf("pair = %q", got)
+	}
+}
+
+func TestEmitSpan(t *testing.T) {
+	sink := &CollectSink{}
+	now := time.Unix(100, 0)
+	o := &Obs{Reg: NewRegistry(), Sink: sink, Now: func() time.Time { return now }}
+	ctx := WithPair(context.Background(), "p")
+	start := o.Time()
+	now = now.Add(5 * time.Millisecond)
+	o.EmitSpan(ctx, StageSearch, start, errors.New("canceled"), I("nodes", 3))
+	spans := sink.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Stage != StageSearch || sp.Pair != "p" || sp.Err != "canceled" {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.DurNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("dur = %d", sp.DurNs)
+	}
+	// Without a clock, spans omit timestamps but still carry attrs.
+	o2 := &Obs{Sink: sink}
+	o2.EmitSpan(context.Background(), StageVerify, time.Time{}, nil, I("x", 1))
+	sp2 := sink.Spans()[1]
+	if !sp2.Start.IsZero() || sp2.DurNs != 0 {
+		t.Fatalf("clockless span carries time: %+v", sp2)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.C(CSearchNodes)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one pipeline stage's trace record.  Emitting packages
+// flatten their stage-specific stats (containment.Stats, chase.Stats,
+// cq.EvalStats) into Attrs, so a pair's verdict can be reconstructed
+// from its spans alone.
+type Span struct {
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Pair is the canonical pair key the work belongs to (installed by
+	// WithPair); empty for work outside a pair's decision.
+	Pair string `json:"pair,omitempty"`
+	// Start is the wall time the stage began, zero when no clock was
+	// injected.
+	Start time.Time `json:"start,omitempty"`
+	// DurNs is the stage's wall duration in nanoseconds (zero without
+	// an injected clock).
+	DurNs int64 `json:"dur_ns,omitempty"`
+	// Err is the stage's error message, if it failed.
+	Err string `json:"err,omitempty"`
+	// Attrs carries the stage's counters and tags.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr is one span attribute: a key with an integer or string value.
+// Booleans are encoded as 0/1 integers.
+type Attr struct {
+	Key string `json:"k"`
+	Int int64  `json:"i,omitempty"`
+	Str string `json:"s,omitempty"`
+}
+
+// I builds an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// S builds a string attribute.
+func S(key, v string) Attr { return Attr{Key: key, Str: v} }
+
+// B builds a boolean attribute (encoded 0/1).
+func B(key string, v bool) Attr {
+	if v {
+		return Attr{Key: key, Int: 1}
+	}
+	return Attr{Key: key}
+}
+
+// Int returns the integer value of the named attribute and whether it
+// is present.
+func (sp *Span) IntAttr(key string) (int64, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// Sink receives spans.  Implementations must be safe for concurrent
+// use; Emit takes ownership of the span.
+type Sink interface {
+	Emit(sp *Span)
+}
+
+// JSONLSink writes one JSON object per span to an io.Writer — the
+// `-trace out.jsonl` format.  Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit implements Sink.  The first write or marshal error is retained
+// and subsequent spans are dropped; Err exposes it.
+func (s *JSONLSink) Emit(sp *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(sp)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first error the sink hit, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CollectSink retains every span in memory — the test and smoke-check
+// sink.  Safe for concurrent use.
+type CollectSink struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(sp *Span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+// Spans snapshots the collected spans in emission order.
+func (s *CollectSink) Spans() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.spans...)
+}
+
+// Stage returns the collected spans of one stage, in emission order.
+func (s *CollectSink) Stage(stage string) []*Span {
+	var out []*Span
+	for _, sp := range s.Spans() {
+		if sp.Stage == stage {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Reset drops every collected span.
+func (s *CollectSink) Reset() {
+	s.mu.Lock()
+	s.spans = nil
+	s.mu.Unlock()
+}
