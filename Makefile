@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: build test debug race lint qvet fuzz-smoke vet bench bench-verify bench-hom bench-hom-verify obs-verify cover all
+.PHONY: build test debug race lint lint-json qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify obs-verify cover all
 
-all: build vet test lint qvet
+all: build vet vet-debug test lint qvet
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet-debug repeats the stdlib analyzers with the keyedeq_debug tag so
+# the invariant-assertion build stays vet-clean too.
+vet-debug:
+	$(GO) vet -tags keyedeq_debug ./...
 
 test:
 	$(GO) test ./...
@@ -23,6 +28,11 @@ race:
 
 lint:
 	$(GO) run ./cmd/keyedeq-lint ./...
+
+# lint-json emits the machine-readable report (findings + suppression
+# count) that CI turns into PR annotations.
+lint-json:
+	$(GO) run ./cmd/keyedeq-lint -format=json ./...
 
 # qvet runs the semantic query analyzer over the repo's shipped query,
 # program, mapping, and schema inputs (see internal/qvet).
@@ -45,6 +55,7 @@ fuzz-smoke:
 	$(GO) test ./internal/schema -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/qvet -run '^$$' -fuzz '^FuzzQVet$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzAllowDirective$$' -fuzztime $(FUZZTIME)
 
 # bench writes the batch engine's machine-readable regression record
 # (engine-vs-sequential wall time, node counts, cache hit rates).

@@ -1,21 +1,30 @@
 // Command keyedeq-lint runs the repo's static analyzer over the module
-// and reports violations of its determinism and error-discipline
-// invariants (see internal/analysis for the rule catalogue).
+// and reports violations of its determinism, error-discipline, and
+// concurrency invariants (see internal/analysis for the rule
+// catalogue).
 //
 // Usage:
 //
-//	keyedeq-lint [-rules detmap,norand,...] [packages]
+//	keyedeq-lint [-rules detmap,norand,...] [-format text|json|sarif|github] [packages]
 //
 // The package arguments are accepted for familiarity ("./..." is the
 // conventional spelling) but the analyzer always loads the whole module
 // containing the working directory: the rules are module-global
 // invariants, not per-package style checks.
 //
+// Output formats:
+//
+//	text    one finding per line plus a summary footer (default)
+//	json    a single object {"findings": [...], "suppressed": N}
+//	sarif   SARIF 2.1.0, for code-scanning upload
+//	github  GitHub Actions workflow commands (::error annotations)
+//
 // Exit status: 0 when clean, 1 when findings were reported, 2 on a
 // load or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	ruleNames := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	rootFlag := fs.String("C", "", "run as if started in this directory")
+	format := fs.String("format", "text", "output format: text, json, sarif, or github")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,6 +52,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "keyedeq-lint:", err)
 		return 2
+	}
+
+	emit, ok := formats[*format]
+	if !ok {
+		return fail(fmt.Errorf("unknown format %q (have: text, json, sarif, github)", *format))
 	}
 
 	start := *rootFlag
@@ -66,19 +81,161 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	diags := analysis.Run(pkgs, rules)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
-		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+	sum := analysis.RunSummary(pkgs, rules)
+	for i := range sum.Diagnostics {
+		relativize(root, &sum.Diagnostics[i])
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stdout, "keyedeq-lint: %d finding(s)\n", len(diags))
+	if err := emit(stdout, sum); err != nil {
+		return fail(err)
+	}
+	if len(sum.Diagnostics) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites a diagnostic's filename relative to the module
+// root when it lies inside it, so output is stable across checkouts.
+func relativize(root string, d *analysis.Diagnostic) {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = filepath.ToSlash(rel)
+	}
+}
+
+var formats = map[string]func(io.Writer, analysis.Summary) error{
+	"text":   emitText,
+	"json":   emitJSON,
+	"sarif":  emitSARIF,
+	"github": emitGitHub,
+}
+
+func emitText(w io.Writer, sum analysis.Summary) error {
+	for _, d := range sum.Diagnostics {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	switch {
+	case len(sum.Diagnostics) > 0:
+		fmt.Fprintf(w, "keyedeq-lint: %d finding(s), %d suppressed\n", len(sum.Diagnostics), sum.Suppressed)
+	case sum.Suppressed > 0:
+		fmt.Fprintf(w, "keyedeq-lint: clean, %d suppressed\n", sum.Suppressed)
+	}
+	return nil
+}
+
+// jsonFinding is the stable machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+func emitJSON(w io.Writer, sum analysis.Summary) error {
+	out := struct {
+		Findings   []jsonFinding `json:"findings"`
+		Suppressed int           `json:"suppressed"`
+	}{Findings: []jsonFinding{}, Suppressed: sum.Suppressed}
+	for _, d := range sum.Diagnostics {
+		out.Findings = append(out.Findings, jsonFinding{
+			Rule: d.Rule, File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitSARIF writes a minimal SARIF 2.1.0 log: one run, one result per
+// finding, rule metadata derived from the catalogue.
+func emitSARIF(w io.Writer, sum analysis.Summary) error {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	type sarifRule struct {
+		ID string `json:"id"`
+	}
+
+	ruleIDs := make(map[string]bool)
+	results := []sarifResult{}
+	for _, d := range sum.Diagnostics {
+		ruleIDs[d.Rule] = true
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = d.Pos.Filename
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	rules := []sarifRule{}
+	for _, r := range analysis.AllRules() {
+		if ruleIDs[r.Name()] {
+			rules = append(rules, sarifRule{ID: r.Name()})
+		}
+	}
+	if ruleIDs["directive"] {
+		rules = append(rules, sarifRule{ID: "directive"})
+	}
+
+	log := map[string]any{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":  "keyedeq-lint",
+					"rules": rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// emitGitHub writes GitHub Actions workflow commands so findings show
+// up as inline PR annotations.
+func emitGitHub(w io.Writer, sum analysis.Summary) error {
+	for _, d := range sum.Diagnostics {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=keyedeq-lint %s::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, githubEscape(d.Message))
+	}
+	if sum.Suppressed > 0 {
+		fmt.Fprintf(w, "::notice title=keyedeq-lint::%d finding(s) suppressed by justified directives\n", sum.Suppressed)
+	}
+	return nil
+}
+
+// githubEscape encodes the characters workflow commands reserve in
+// message data.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // selectRules resolves a comma-separated rule list against the
@@ -89,8 +246,10 @@ func selectRules(names string) ([]analysis.Rule, error) {
 		return all, nil
 	}
 	byName := make(map[string]analysis.Rule, len(all))
+	known := make([]string, 0, len(all))
 	for _, r := range all {
 		byName[r.Name()] = r
+		known = append(known, r.Name())
 	}
 	var out []analysis.Rule
 	for _, name := range strings.Split(names, ",") {
@@ -100,7 +259,7 @@ func selectRules(names string) ([]analysis.Rule, error) {
 		}
 		r, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown rule %q (have: detmap, norand, nowallclock, panicgate, errdrop)", name)
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", name, strings.Join(known, ", "))
 		}
 		out = append(out, r)
 	}

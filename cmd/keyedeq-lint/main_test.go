@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,6 +96,163 @@ func TestUnknownRuleIsUsageError(t *testing.T) {
 	}
 	if !strings.Contains(out, "unknown rule") {
 		t.Errorf("output missing rule diagnostics:\n%s", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func MustThing() {
+	panic("raw")
+}
+
+func allowed() {
+	//keyedeq:allow panicgate -- fixture exercises suppression counting
+	panic("also raw")
+}
+`,
+	})
+	code, out := runCLI(t, "-C", dir, "-format", "json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var report struct {
+		Findings []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 1 || report.Findings[0].Rule != "panicgate" {
+		t.Errorf("findings = %+v, want one panicgate", report.Findings)
+	}
+	if len(report.Findings) == 1 && report.Findings[0].File != "internal/lib/lib.go" {
+		t.Errorf("finding file = %q, want module-relative path", report.Findings[0].File)
+	}
+	if report.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", report.Suppressed)
+	}
+}
+
+func TestSARIFFormat(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func MustThing() {
+	panic("raw")
+}
+`,
+	})
+	code, out := runCLI(t, "-C", dir, "-format", "sarif")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("not a single-run SARIF 2.1.0 log:\n%s", out)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "keyedeq-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "panicgate" || run.Results[0].Level != "error" {
+		t.Fatalf("results = %+v, want one panicgate error", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/lib/lib.go" || loc.Region.StartLine != 4 {
+		t.Errorf("location = %+v, want internal/lib/lib.go:4", loc)
+	}
+	if len(run.Tool.Driver.Rules) != 1 || run.Tool.Driver.Rules[0].ID != "panicgate" {
+		t.Errorf("rule metadata = %+v, want [panicgate]", run.Tool.Driver.Rules)
+	}
+}
+
+func TestGitHubFormat(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func MustThing() {
+	panic("raw")
+}
+`,
+	})
+	code, out := runCLI(t, "-C", dir, "-format", "github")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "::error file=internal/lib/lib.go,line=4,") {
+		t.Errorf("output missing annotation command:\n%s", out)
+	}
+	if !strings.Contains(out, "title=keyedeq-lint panicgate::") {
+		t.Errorf("output missing rule title:\n%s", out)
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	code, out := runCLI(t, "-format", "xml")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown format") {
+		t.Errorf("output missing format diagnostics:\n%s", out)
+	}
+}
+
+func TestSuppressedCountInTextOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/lib/lib.go": `package lib
+
+func allowed() {
+	//keyedeq:allow panicgate -- fixture exercises suppression counting
+	panic("raw")
+}
+`,
+	})
+	code, out := runCLI(t, "-C", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "clean, 1 suppressed") {
+		t.Errorf("output missing suppression count:\n%s", out)
 	}
 }
 

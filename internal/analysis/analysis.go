@@ -10,10 +10,27 @@
 //	panicgate   internal packages panic only via internal/invariant
 //	errdrop     no discarded errors from Parse*/Chase*/Check* APIs
 //
-// A finding can be suppressed — with justification — by a directive
-// comment on the flagged line or the line above it:
+// and six concurrency/resource-discipline invariants, each the
+// generalization of a bug class the repo has already paid for (see
+// DESIGN.md §12 for the bug-class → rule mapping):
+//
+//	ctxpoll     context-taking tuple/relation loops must poll cancellation
+//	mergeonly   Merge-owning stats/report structs are written only by
+//	            their defining package
+//	nocacheerr  error-path values must not flow into cache Put/Add
+//	spanbalance every obs span begin is emitted on every return path
+//	lockorder   Lock/Unlock balance on every path, acyclic nesting order
+//	goroleak    every spawned goroutine has a join or cancel path
+//
+// A finding can be suppressed — the justification after “--” is
+// mandatory — by a directive comment on the flagged line or the line
+// above it:
 //
 //	//keyedeq:allow detmap -- iteration is order-insensitive
+//
+// A directive without a justification, or naming no known rule, is
+// itself a finding (rule "directive"), and suppressions are counted so
+// CI output shows how much is being waved through.
 //
 // The driver is cmd/keyedeq-lint.
 package analysis
@@ -65,24 +82,47 @@ type Rule interface {
 
 // AllRules returns the repo rule set in reporting order.
 func AllRules() []Rule {
-	return []Rule{DetMap{}, NoRand{}, NoWallClock{}, PanicGate{}, ErrDrop{}}
+	return []Rule{
+		DetMap{}, NoRand{}, NoWallClock{}, PanicGate{}, ErrDrop{},
+		CtxPoll{}, MergeOnly{}, NoCacheErr{}, SpanBalance{}, LockOrder{}, GoroLeak{},
+	}
+}
+
+// Summary is the full outcome of one analyzer run: the surviving
+// findings plus an account of what directive suppression removed, so
+// drivers (and CI) can report how much is being waved through.
+type Summary struct {
+	// Diagnostics are the unsuppressed findings, sorted by position.
+	// Malformed //keyedeq:allow directives are included under the
+	// pseudo-rule "directive".
+	Diagnostics []Diagnostic
+	// Suppressed counts findings dropped by a justified directive.
+	Suppressed int
 }
 
 // Run applies the rules to every package, drops suppressed findings,
 // and returns the rest sorted by position.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
-	var out []Diagnostic
+	return RunSummary(pkgs, rules).Diagnostics
+}
+
+// RunSummary is Run returning the suppression accounting as well.
+func RunSummary(pkgs []*Package, rules []Rule) Summary {
+	var sum Summary
 	for _, p := range pkgs {
-		allow := collectAllows(p)
+		allow, bad := collectAllows(p)
+		sum.Diagnostics = append(sum.Diagnostics, bad...)
 		for _, r := range rules {
 			for _, d := range r.Check(p) {
 				if allow.covers(r.Name(), d.Pos) {
+					sum.Suppressed++
 					continue
 				}
-				out = append(out, d)
+				sum.Diagnostics = append(sum.Diagnostics, d)
 			}
 		}
 	}
+	out := sum.Diagnostics
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -96,7 +136,7 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+	return sum
 }
 
 // allowSet maps file -> line -> rule names suppressed on that line.
@@ -112,18 +152,71 @@ func (a allowSet) covers(rule string, pos token.Position) bool {
 	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
 }
 
-// collectAllows gathers //keyedeq:allow <rules> [-- reason] directives.
-func collectAllows(p *Package) allowSet {
+// ParseAllowDirective parses one comment's text as a //keyedeq:allow
+// directive.  It returns the rule names and the justification after
+// "--", with ok reporting whether the comment is a directive at all.
+// The justification is mandatory: a directive with an empty reason or
+// naming no known rule is malformed, which Run reports as a finding
+// rather than silently honoring (or silently ignoring) it.
+func ParseAllowDirective(comment string) (rules []string, reason string, ok bool) {
+	text, ok := strings.CutPrefix(comment, "//keyedeq:allow")
+	if !ok {
+		return nil, "", false
+	}
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		// "//keyedeq:allowx" is not a directive.
+		return nil, "", false
+	}
+	names, reason, _ := strings.Cut(text, "--")
+	return strings.Fields(names), strings.TrimSpace(reason), true
+}
+
+// knownRuleNames is the directive vocabulary: every catalogue rule.
+func knownRuleNames() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range AllRules() {
+		out[r.Name()] = true
+	}
+	return out
+}
+
+// collectAllows gathers //keyedeq:allow <rules> -- <reason> directives,
+// returning the suppression set plus a finding for every malformed
+// directive (missing justification, or no known rule named).
+func collectAllows(p *Package) (allowSet, []Diagnostic) {
 	out := make(allowSet)
+	var bad []Diagnostic
+	known := knownRuleNames()
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//keyedeq:allow")
+				names, reason, ok := ParseAllowDirective(c.Text)
 				if !ok {
 					continue
 				}
-				text, _, _ = strings.Cut(text, "--")
 				pos := p.Fset.Position(c.Pos())
+				anyKnown := false
+				for _, name := range names {
+					if known[name] {
+						anyKnown = true
+					}
+				}
+				switch {
+				case reason == "":
+					bad = append(bad, Diagnostic{
+						Rule:    "directive",
+						Pos:     pos,
+						Message: "suppression without justification; write //keyedeq:allow <rules> -- <reason>",
+					})
+					continue
+				case !anyKnown:
+					bad = append(bad, Diagnostic{
+						Rule:    "directive",
+						Pos:     pos,
+						Message: fmt.Sprintf("suppression names no known rule (got %q)", strings.Join(names, " ")),
+					})
+					continue
+				}
 				lines := out[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
@@ -134,13 +227,13 @@ func collectAllows(p *Package) allowSet {
 					rules = make(map[string]bool)
 					lines[pos.Line] = rules
 				}
-				for _, name := range strings.Fields(text) {
+				for _, name := range names {
 					rules[name] = true
 				}
 			}
 		}
 	}
-	return out
+	return out, bad
 }
 
 // relPath returns the module-relative path of an import path, e.g.

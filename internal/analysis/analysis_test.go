@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -30,12 +29,13 @@ func checkFixture(t *testing.T, importPath, filename string, rule Rule) (got []D
 		t.Fatalf("fixture does not parse: %v", err)
 	}
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Uses:  make(map[*ast.Ident]types.Object),
-		Defs:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{
-		Importer: &fixtureImporter{source: importer.ForCompiler(fset, "source", nil)},
+		Importer: fixtureImporter{},
 		Error:    func(error) {},
 	}
 	//keyedeq:allow errdrop -- fixtures may reference unresolvable module packages on purpose
@@ -54,27 +54,17 @@ func checkFixture(t *testing.T, importPath, filename string, rule Rule) (got []D
 	return Run([]*Package{p}, []Rule{rule}), wantLines(string(src), rule.Name())
 }
 
-// fixtureImporter resolves stdlib imports from source and stubs
-// anything else (fixtures may reference module paths that do not exist
-// in the test environment).
-type fixtureImporter struct {
-	source types.Importer
-	cache  map[string]*types.Package
-}
+// fixtureImporter resolves stdlib imports through the process-global
+// source-import cache (one stdlib type-check per test binary, not one
+// per fixture) and stubs anything else (fixtures may reference module
+// paths that do not exist in the test environment).
+type fixtureImporter struct{}
 
-func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
-	if fi.cache == nil {
-		fi.cache = make(map[string]*types.Package)
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	if strings.HasPrefix(path, "keyedeq/") {
+		return types.NewPackage(path, pathBase(path)), nil
 	}
-	if p, ok := fi.cache[path]; ok {
-		return p, nil
-	}
-	p, err := fi.source.Import(path)
-	if err != nil || p == nil {
-		p = types.NewPackage(path, pathBase(path))
-	}
-	fi.cache[path] = p
-	return p, nil
+	return sourceImports.Import(path)
 }
 
 var wantRE = regexp.MustCompile(`// want ([a-z ]+)$`)
@@ -129,7 +119,10 @@ func equalInts(a, b []int) bool {
 }
 
 func TestRuleNamesAreStable(t *testing.T) {
-	want := []string{"detmap", "norand", "nowallclock", "panicgate", "errdrop"}
+	want := []string{
+		"detmap", "norand", "nowallclock", "panicgate", "errdrop",
+		"ctxpoll", "mergeonly", "nocacheerr", "spanbalance", "lockorder", "goroleak",
+	}
 	rules := AllRules()
 	if len(rules) != len(want) {
 		t.Fatalf("AllRules returned %d rules, want %d", len(rules), len(want))

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file holds the shared semantic helpers the concurrency and
+// resource-discipline passes (ctxpoll, mergeonly, nocacheerr,
+// spanbalance, lockorder, goroleak) build on: resolving callees through
+// the lenient type info, classifying obs-gating conditions, naming
+// lock/channel expressions, and recognizing the repo's context and
+// observability types structurally (by package-qualified type name, so
+// the rules also fire on fixture modules that mirror the shapes).
+
+// namedOf unwraps pointers and returns the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// typeIs reports whether t (after pointer unwrap) is the named type
+// pkgBase.name, matching the package by import-path base so both
+// "context".Context and a fixture package named context match.
+func typeIs(t types.Type, pkgBase, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		// Universe types (error) have no package.
+		return pkgBase == ""
+	}
+	return pathBase(pkg.Path()) == pkgBase
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return typeIs(t, "context", "Context") }
+
+// isObsType reports whether t is the observability handle type: a named
+// type Obs (conventionally *obs.Obs; matched by name so fixtures can
+// mirror it).
+func isObsType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj() != nil && n.Obj().Name() == "Obs"
+}
+
+// calleeOf resolves a call expression to the *types.Func it statically
+// invokes (plain function calls and method calls), or nil for builtins,
+// conversions, function-typed values, and unresolved callees.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.F.
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcDecls maps each declared function/method object of the package to
+// its declaration, for intra-package (interprocedural-lite) summaries.
+func funcDecls(p *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// gateKind classifies an if-condition for the span walker.
+type gateKind int
+
+const (
+	gateNone gateKind = iota // ordinary condition
+	gateOn                   // then-branch is the "observability on" region
+	gateOff                  // then-branch is the "observability off" region
+)
+
+// obsGate classifies cond as an observability gate: a SpansOn() call or
+// a nil comparison on an Obs-typed value.  Instrumented code guards span
+// emission with these purely to avoid attribute allocation, so the span
+// balance analysis treats the guarded region as the real emission path.
+func obsGate(info *types.Info, cond ast.Expr) gateKind {
+	switch c := cond.(type) {
+	case *ast.CallExpr:
+		if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SpansOn" {
+			return gateOn
+		}
+	case *ast.UnaryExpr:
+		if c.Op.String() == "!" {
+			switch obsGate(info, c.X) {
+			case gateOn:
+				return gateOff
+			case gateOff:
+				return gateOn
+			}
+		}
+	case *ast.BinaryExpr:
+		op := c.Op.String()
+		if op != "==" && op != "!=" {
+			return gateNone
+		}
+		var other ast.Expr
+		if isNilIdent(info, c.X) {
+			other = c.Y
+		} else if isNilIdent(info, c.Y) {
+			other = c.X
+		} else {
+			return gateNone
+		}
+		if !isObsType(info.TypeOf(other)) {
+			return gateNone
+		}
+		if op == "!=" {
+			return gateOn
+		}
+		return gateOff
+	}
+	return gateNone
+}
+
+// isNilIdent reports whether e is the untyped nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	obj, resolved := info.Uses[id]
+	if !resolved {
+		return true
+	}
+	_, isNil := obj.(*types.Nil)
+	return isNil
+}
+
+// exprKey renders a selector/ident chain as a stable per-function key
+// ("sh.mu", "c.shards[].mu"); used to pair Lock/Unlock and channel
+// operations on the same object within one function.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[]"
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.UnaryExpr:
+		return exprKey(x.X)
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	}
+	return "?"
+}
+
+// refersTo reports whether any identifier under n resolves to obj.
+func refersTo(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// eachFuncBody visits every function body of the file exactly once at
+// its outermost level: declarations and any function literals nested in
+// them.  name is a best-effort label for diagnostics.
+func eachFuncBody(f *ast.File, visit func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Type, fd.Body, fd)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(name+".func", lit.Type, lit.Body, fd)
+			}
+			return true
+		})
+	}
+}
+
+// receiverStructCtxField reports whether fd is a method whose receiver
+// struct carries a context.Context field (the searcher pattern: the
+// context rides the struct instead of the parameter list).
+func receiverStructCtxField(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	n := namedOf(p.Info.TypeOf(fd.Recv.List[0].Type))
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter, returning the first one's object when the
+// body's scope resolves it.
+func hasCtxParam(p *Package, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(p.Info.TypeOf(field.Type)) {
+			return true
+		}
+		// Lenient fallback: an unresolved parameter spelled
+		// context.Context still counts.
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sameModulePackage reports whether other is a different package from
+// p's own (nil-safe); used by mergeonly to scope the write restriction
+// to cross-package access.
+func foreignPackage(p *Package, other *types.Package) bool {
+	return other != nil && p.Types != nil && other != p.Types
+}
+
+// methodNamed reports whether named type n declares a method called
+// name (on either receiver form).
+func methodNamed(n *types.Named, name string) bool {
+	if n == nil {
+		return false
+	}
+	for i := 0; i < n.NumMethods(); i++ {
+		if n.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// tupleishElem reports whether t is a container (slice, array, map,
+// channel) whose element type is tuple/row-shaped — the data the
+// cancellation-polling contract is about.
+func tupleishElem(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Map:
+		elem = u.Elem()
+	case *types.Chan:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	n := namedOf(elem)
+	if n == nil || n.Obj() == nil {
+		// A slice of a tuple-ish container ([][]Tuple) still qualifies.
+		return tupleishElem(elem)
+	}
+	switch n.Obj().Name() {
+	case "Tuple", "Row", "row":
+		return true
+	}
+	return false
+}
+
+// rangesOverTuples reports whether the range statement iterates
+// tuple/relation data: the ranged expression has a tuple-ish element
+// type, or is a call to a method named Tuples/Rows (lenient fallback
+// when type info is incomplete).
+func rangesOverTuples(p *Package, rs *ast.RangeStmt) bool {
+	if tupleishElem(p.Info.TypeOf(rs.X)) {
+		return true
+	}
+	if call, ok := rs.X.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Tuples" || sel.Sel.Name == "Rows" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pollMentionRE matches identifiers that carry the masked-poll
+// contract: cancelCheckMask and friends.
+func isPollMaskIdent(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "cancelcheck") || strings.Contains(lower, "pollmask")
+}

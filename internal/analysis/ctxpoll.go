@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the cancellation-polling contract from the indexed
+// homomorphism search work: any cancellable function — one that takes a
+// context.Context parameter, or a method on a struct carrying a context
+// field (the searcher pattern) — that loops over tuple or relation data
+// must reach a cancellation poll from inside the loop.  A poll is a
+// ctx.Err()/ctx.Done() check, a masked poll (an identifier carrying the
+// cancelCheckMask contract), a call to a same-package function that
+// transitively polls, or handing the context to a callee.  Long
+// unpolled scans are exactly how the chase and the search used to
+// outlive their deadline by whole relations.
+type CtxPoll struct{}
+
+func (CtxPoll) Name() string { return "ctxpoll" }
+
+func (CtxPoll) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	polls := pollSummaries(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasCtxParam(p, fd.Type) && !receiverStructCtxField(p, fd) {
+				continue
+			}
+			diags = append(diags, checkPollLoops(p, polls, fd)...)
+		}
+	}
+	return diags
+}
+
+// pollSummaries computes, for every function declared in the package,
+// whether its body reaches a cancellation poll — directly or through a
+// same-package call chain.
+func pollSummaries(p *Package) map[*types.Func]bool {
+	decls := funcDecls(p)
+	polls := make(map[*types.Func]bool, len(decls))
+	calls := make(map[*types.Func][]*types.Func, len(decls))
+	for obj, fd := range decls {
+		if bodyPollsDirectly(p, fd.Body) {
+			polls[obj] = true
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(p.Info, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+	// Transitive closure: a function polls if any same-package callee
+	// polls.  Iterate to fixpoint; the call graphs here are tiny.
+	for changed := true; changed; {
+		changed = false
+		for obj, callees := range calls {
+			if polls[obj] {
+				continue
+			}
+			for _, c := range callees {
+				if polls[c] {
+					polls[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return polls
+}
+
+// bodyPollsDirectly reports whether the subtree contains an immediate
+// cancellation poll: ctx.Err()/ctx.Done() on a context-typed value, or
+// a masked-poll identifier (cancelCheckMask).
+func bodyPollsDirectly(p *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := c.(type) {
+		case *ast.Ident:
+			if isPollMaskIdent(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name != "Err" && x.Sel.Name != "Done" {
+				return true
+			}
+			if isContextType(p.Info.TypeOf(x.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// subtreePolls reports whether the subtree reaches a poll: directly, by
+// calling a transitively-polling same-package function, or by passing a
+// context to any call (delegating the obligation).
+func subtreePolls(p *Package, polls map[*types.Func]bool, n ast.Node) bool {
+	if bodyPollsDirectly(p, n) {
+		return true
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeOf(p.Info, call); callee != nil && polls[callee] {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if isContextType(p.Info.TypeOf(arg)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPollLoops flags tuple/relation range loops in fd that no
+// enclosing loop covers with a poll.  The contract is per-wave, not
+// per-tuple: a poll anywhere inside the outermost enclosing loop chain
+// (the chase polls once per wave, the search once per mask window)
+// covers every loop nested under it.
+func checkPollLoops(p *Package, polls map[*types.Func]bool, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	// loopStack holds the chain of enclosing loop nodes at each visit.
+	var loopStack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Literals are cancellable on their own terms only; their
+			// loops are not this declaration's obligation unless they
+			// take a context themselves (rare; skip for now).
+			return false
+		case *ast.ForStmt:
+			loopStack = append(loopStack, x)
+			ast.Inspect(x.Body, visit)
+			if x.Init != nil {
+				ast.Inspect(x.Init, visit)
+			}
+			loopStack = loopStack[:len(loopStack)-1]
+			return false
+		case *ast.RangeStmt:
+			if rangesOverTuples(p, x) {
+				covered := subtreePolls(p, polls, x.Body)
+				// An enclosing loop that polls per iteration covers the
+				// inner scan (the outermost such loop's subtree includes
+				// everything below, so checking the stack bottom-up is
+				// enough).
+				for i := len(loopStack) - 1; !covered && i >= 0; i-- {
+					covered = subtreePolls(p, polls, loopStack[i])
+				}
+				if !covered {
+					diags = append(diags, Diagnostic{
+						Rule:    "ctxpoll",
+						Pos:     p.Fset.Position(x.Pos()),
+						Message: fmt.Sprintf("%s is cancellable but ranges over tuples without polling cancellation (ctx.Err, a masked poll, or a polling callee)", fd.Name.Name),
+					})
+				}
+			}
+			loopStack = append(loopStack, x)
+			ast.Inspect(x.Body, visit)
+			loopStack = loopStack[:len(loopStack)-1]
+			return false
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+	return diags
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestCtxPollFlagsUnpolledTupleScans(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "ctxpoll/bad.go", CtxPoll{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "ctxpoll/bad.go", got, want)
+}
+
+func TestCtxPollAcceptsPolledAndUncancellable(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "ctxpoll/good.go", CtxPoll{})
+	expectFindings(t, "ctxpoll/good.go", got, nil)
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedDirectivesAreFindings checks that a directive with no
+// "--" justification, or one naming no known rule, is reported under
+// the pseudo-rule "directive" and does not suppress anything.
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	got, wantPanic := checkFixture(t, "keyedeq/internal/fixture", "directive_bad.go", PanicGate{})
+	if len(wantPanic) == 0 {
+		t.Fatal("fixture declares no panicgate want-lines")
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "directive_bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDir := wantLines(string(src), "directive")
+	if len(wantDir) == 0 {
+		t.Fatal("fixture declares no directive want-lines")
+	}
+	expectFindings(t, "directive_bad.go", got, append(wantPanic, wantDir...))
+}
+
+// FuzzAllowDirective checks the directive parser never panics and
+// upholds its contract on arbitrary comment text.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//keyedeq:allow detmap -- sorted upstream")
+	f.Add("//keyedeq:allow detmap norand -- both fine here")
+	f.Add("//keyedeq:allow")
+	f.Add("//keyedeq:allow ")
+	f.Add("//keyedeq:allowx detmap -- not a directive")
+	f.Add("// keyedeq:allow detmap -- not a directive either")
+	f.Add("//keyedeq:allow detmap")
+	f.Add("//keyedeq:allow -- reason with no rules")
+	f.Add("//keyedeq:allow a b -- x -- y")
+	f.Add("//keyedeq:allow\tdetmap\t--\ttabbed")
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, reason, ok := ParseAllowDirective(s)
+		if !ok {
+			if len(rules) != 0 || reason != "" {
+				t.Fatalf("non-directive %q returned rules=%v reason=%q", s, rules, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(s, "//keyedeq:allow") {
+			t.Fatalf("%q accepted as a directive without the prefix", s)
+		}
+		for _, r := range rules {
+			if r == "" || strings.ContainsAny(r, " \t\n") || strings.Contains(r, "--") {
+				t.Fatalf("%q produced malformed rule name %q", s, r)
+			}
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("%q produced untrimmed reason %q", s, reason)
+		}
+		// Rebuilding a directive from the parsed parts must parse back
+		// to the same parts.
+		if len(rules) > 0 && reason != "" && !strings.ContainsAny(reason, "\n\r") {
+			rebuilt := "//keyedeq:allow " + strings.Join(rules, " ") + " -- " + reason
+			rules2, reason2, ok2 := ParseAllowDirective(rebuilt)
+			if !ok2 || reason2 != reason || strings.Join(rules2, " ") != strings.Join(rules, " ") {
+				t.Fatalf("round trip of %q via %q gave rules=%v reason=%q ok=%v",
+					s, rebuilt, rules2, reason2, ok2)
+			}
+		}
+	})
+}

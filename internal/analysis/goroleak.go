@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak requires every spawned goroutine to have a visible join or
+// cancel path.  Acceptable evidence, in the shapes this repo uses:
+//
+//   - WaitGroup discipline: the goroutine body calls Done (with the
+//     matching Add in the spawning function);
+//   - channel discipline: the body sends on or closes a channel, or
+//     receives from one (so a close unblocks it) — completion or
+//     shutdown is observable;
+//   - context discipline: the body references a context.Context, so the
+//     spawner can cancel it.
+//
+// A bare `go f(args)` counts as joined when an argument or the receiver
+// is a channel or context.  Anything else is a fire-and-forget goroutine
+// the spawner can neither await nor stop — the pprof-server bug class:
+// the process exits (or the test ends) with the goroutine still running
+// and its failure unobserved.
+type GoroLeak struct{}
+
+func (GoroLeak) Name() string { return "goroleak" }
+
+func (GoroLeak) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineJoined(p, gs) {
+				diags = append(diags, Diagnostic{
+					Rule:    "goroleak",
+					Pos:     p.Fset.Position(gs.Pos()),
+					Message: "goroutine has no join or cancel path (WaitGroup Done, channel send/close, or context)",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func goroutineJoined(p *Package, gs *ast.GoStmt) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return litJoined(p, lit)
+	}
+	// Bare call: a channel- or context-typed argument (or receiver)
+	// gives the spawner a handle on the goroutine's lifetime.
+	for _, arg := range gs.Call.Args {
+		if chanOrCtx(p.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	if sel, ok := gs.Call.Fun.(*ast.SelectorExpr); ok {
+		if chanOrCtx(p.Info.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+func litJoined(p *Package, lit *ast.FuncLit) bool {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			// A blocking receive parks the goroutine on a channel the
+			// spawner controls.
+			if x.Op.String() == "<-" {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(p.Info.TypeOf(x.X)) {
+				joined = true
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.CallExpr:
+			switch fn := x.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "close" && isBuiltin(p.Info, fn) {
+					joined = true
+				}
+			case *ast.SelectorExpr:
+				if fn.Sel.Name == "Done" && isWaitGroupish(p.Info.TypeOf(fn.X), fn) {
+					joined = true
+				}
+			}
+		case *ast.Ident:
+			if isContextType(p.Info.TypeOf(x)) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+func chanOrCtx(t types.Type) bool {
+	return isChanType(t) || isContextType(t)
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isWaitGroupish accepts sync.WaitGroup receivers, and falls back to
+// the receiver spelling (wg, *wait*group*) when type info is missing.
+func isWaitGroupish(t types.Type, sel *ast.SelectorExpr) bool {
+	if typeIs(t, "sync", "WaitGroup") {
+		return true
+	}
+	if t != nil {
+		return false
+	}
+	key := strings.ToLower(exprKey(sel.X))
+	return key == "wg" || strings.Contains(key, "waitgroup") || strings.Contains(key, "wg.")
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestGoroLeakFlagsFireAndForget(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "goroleak/bad.go", GoroLeak{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "goroleak/bad.go", got, want)
+}
+
+func TestGoroLeakAcceptsJoinedGoroutines(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "goroleak/good.go", GoroLeak{})
+	expectFindings(t, "goroleak/good.go", got, nil)
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // LoadModule parses and type-checks every non-test package under the
@@ -21,6 +22,13 @@ import (
 // lenient: type errors and unresolvable imports degrade the available
 // type information instead of failing the load, so the analyzer can run
 // on a partially broken tree.
+//
+// Type-checking runs concurrently, bounded by GOMAXPROCS: each package
+// waits only for its module-internal imports (by done-channel, so the
+// schedule follows the dependency DAG, not a serial topological walk),
+// and non-module imports are served by a process-global memoized source
+// importer — the dominant cost of a load is resolving the standard
+// library from source, and it is paid at most once per process.
 func LoadModule(root string) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
@@ -29,9 +37,7 @@ func LoadModule(root string) ([]*Package, error) {
 	l := &loader{
 		fset:    token.NewFileSet(),
 		checked: make(map[string]*Package),
-		outside: make(map[string]*types.Package),
 	}
-	l.source = importer.ForCompiler(l.fset, "source", nil)
 
 	dirs, err := packageDirs(root)
 	if err != nil {
@@ -58,14 +64,42 @@ func LoadModule(root string) ([]*Package, error) {
 	}
 
 	order := topoOrder(parsed)
+	// rank breaks would-be wait cycles: a package only waits for deps
+	// that precede it in topological order.  Go forbids import cycles,
+	// but a broken tree must degrade, not deadlock the loader.
+	rank := make(map[string]int, len(order))
+	done := make(map[string]chan struct{}, len(order))
+	for i, ip := range order {
+		rank[ip] = i
+		done[ip] = make(chan struct{})
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, ip := range order {
+		wg.Add(1)
+		go func(ip string) {
+			defer wg.Done()
+			defer close(done[ip])
+			for _, dep := range parsed[ip].imports {
+				if _, internal := parsed[dep]; internal && rank[dep] < rank[ip] {
+					<-done[dep]
+				}
+			}
+			// Take a slot only once the deps are in, so waiting
+			// packages never starve running ones.
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkg := l.check(parsed[ip])
+			l.mu.Lock()
+			l.checked[ip] = pkg
+			l.mu.Unlock()
+		}(ip)
+	}
+	wg.Wait()
+
 	out := make([]*Package, 0, len(order))
 	for _, ip := range order {
-		pkg, err := l.check(parsed[ip])
-		if err != nil {
-			return nil, err
-		}
-		l.checked[ip] = pkg
-		out = append(out, pkg)
+		out = append(out, l.checked[ip])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
@@ -80,28 +114,58 @@ type parsedPkg struct {
 
 type loader struct {
 	fset    *token.FileSet
-	source  types.Importer
-	checked map[string]*Package       // module packages, by import path
-	outside map[string]*types.Package // non-module packages (stdlib), cached
+	mu      sync.Mutex
+	checked map[string]*Package // module packages, by import path
 }
 
 // Import implements types.Importer: module-internal packages come from
-// the already-checked set (topological order guarantees availability);
-// everything else is loaded from source, with an empty stub on failure.
+// the already-checked set (the load schedule guarantees a package's
+// internal deps finished before its own check starts); everything else
+// comes from the process-global source-import cache.
 func (l *loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.checked[path]; ok {
+	l.mu.Lock()
+	p, ok := l.checked[path]
+	l.mu.Unlock()
+	if ok {
 		return p.Types, nil
 	}
-	if p, ok := l.outside[path]; ok {
+	return sourceImports.Import(path)
+}
+
+// sourceImports memoizes source-imported non-module packages for the
+// whole process.  Repeated loads (the lint driver, every fixture test,
+// the self-application test) each used to re-type-check the standard
+// library from scratch; now only the first importer of a path pays.
+// The cache keeps its own FileSet: positions inside imported sources
+// are never reported by the analyzer, only module positions are.
+var sourceImports = &importCache{pkgs: make(map[string]*types.Package)}
+
+type importCache struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	imp  types.Importer
+	pkgs map[string]*types.Package
+}
+
+// Import resolves path from source, memoized; failures become empty
+// stub packages (the lenient checker records errors against them and
+// moves on).  The lock also serializes the underlying source importer,
+// which is not safe for concurrent use.
+func (c *importCache) Import(path string) (*types.Package, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pkgs[path]; ok {
 		return p, nil
 	}
-	p, err := l.source.Import(path)
+	if c.imp == nil {
+		c.fset = token.NewFileSet()
+		c.imp = importer.ForCompiler(c.fset, "source", nil)
+	}
+	p, err := c.imp.Import(path)
 	if err != nil || p == nil {
-		// Stub out what we cannot resolve; the lenient checker records
-		// errors against it and moves on.
 		p = types.NewPackage(path, pathBase(path))
 	}
-	l.outside[path] = p
+	c.pkgs[path] = p
 	return p, nil
 }
 
@@ -147,7 +211,7 @@ func (l *loader) parseDir(dir string) (*parsedPkg, error) {
 	return p, nil
 }
 
-func (l *loader) check(p *parsedPkg) (*Package, error) {
+func (l *loader) check(p *parsedPkg) *Package {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
@@ -170,7 +234,7 @@ func (l *loader) check(p *parsedPkg) (*Package, error) {
 		Files:      p.files,
 		Types:      tp,
 		Info:       info,
-	}, nil
+	}
 }
 
 // topoOrder sorts module packages so every package follows its

@@ -1,0 +1,504 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder checks the two mutex disciplines the sharded cache and the
+// obs registry stripes rely on:
+//
+//  1. Balance: every Lock/RLock acquired in a function is released on
+//     every return path (an Unlock on the same expression, or a defer),
+//     a lock is not re-acquired while held (self-deadlock), and loop
+//     bodies are lock-neutral.
+//  2. Order: the package-wide nesting relation between lock *classes*
+//     (type.field for field mutexes, package.var for globals) is
+//     acyclic, including nesting that happens through a same-package
+//     call made while a lock is held.  A cycle is a potential deadlock
+//     between concurrent goroutines taking the classes in opposite
+//     orders.
+type LockOrder struct{}
+
+func (LockOrder) Name() string { return "lockorder" }
+
+func (LockOrder) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	sums := lockSummaries(p)
+	edges := make(map[string]map[string]token.Position)
+	for _, f := range p.Files {
+		eachFuncBody(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			w := &lockWalker{p: p, fn: name, sums: sums, edges: edges}
+			terminated := w.stmts(body.List)
+			if !terminated {
+				w.checkReturn(body.End())
+			}
+			diags = append(diags, w.diags...)
+		})
+	}
+	diags = append(diags, lockCycles(edges)...)
+	return diags
+}
+
+// lockCall classifies a statement as a mutex operation, returning the
+// per-function key, the package-wide class, and the operation name.
+func lockCall(p *Package, call *ast.CallExpr) (key, class, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	if !isMutexish(p.Info.TypeOf(sel.X)) {
+		return "", "", "", false
+	}
+	key = exprKey(sel.X)
+	if strings.HasPrefix(sel.Sel.Name, "R") {
+		key += "#r"
+	}
+	return key, lockClass(p, sel.X), sel.Sel.Name, true
+}
+
+// isMutexish accepts sync.Mutex/RWMutex and any named type providing
+// both Lock and Unlock (an embedded or wrapped mutex).
+func isMutexish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if typeIs(t, "sync", "Mutex") || typeIs(t, "sync", "RWMutex") {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	has := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(n, true, n.Obj().Pkg(), name)
+		_, isFn := obj.(*types.Func)
+		return isFn
+	}
+	return has("Lock") && has("Unlock")
+}
+
+// lockClass names the package-wide class of a lock expression: the
+// owning struct type and field for field mutexes ("cacheShard.mu"),
+// the package-level variable name for globals, or "" for locals (which
+// take part in balance checking but not in the global order).
+func lockClass(p *Package, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if n := namedOf(sel.Recv()); n != nil && n.Obj() != nil {
+				return n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		return ""
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x].(*types.Var); ok && obj.Parent() == p.Types.Scope() {
+			return "var " + x.Name
+		}
+	case *ast.ParenExpr:
+		return lockClass(p, x.X)
+	case *ast.UnaryExpr:
+		return lockClass(p, x.X)
+	case *ast.IndexExpr:
+		return lockClass(p, x.X)
+	}
+	return ""
+}
+
+// lockSummaries maps each declared function to the set of lock classes
+// its body (transitively, through same-package calls) may acquire.
+func lockSummaries(p *Package) map[*types.Func]map[string]bool {
+	decls := funcDecls(p)
+	sums := make(map[*types.Func]map[string]bool, len(decls))
+	calls := make(map[*types.Func][]*types.Func, len(decls))
+	for obj, fd := range decls {
+		set := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, class, op, isLock := lockCall(p, call); isLock {
+				if class != "" && (op == "Lock" || op == "RLock") {
+					set[class] = true
+				}
+				return true
+			}
+			if callee := calleeOf(p.Info, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+		sums[obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, callees := range calls {
+			for _, c := range callees {
+				for class := range sums[c] {
+					if !sums[obj][class] {
+						sums[obj][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// heldLock is one acquisition on the current path.
+type heldLock struct {
+	key      string
+	class    string
+	pos      token.Position
+	deferred bool // released by a registered defer
+}
+
+type lockWalker struct {
+	p     *Package
+	fn    string
+	sums  map[*types.Func]map[string]bool
+	edges map[string]map[string]token.Position
+	held  []heldLock
+	diags []Diagnostic
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.stmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			w.call(call)
+		}
+	case *ast.DeferStmt:
+		if key, _, op, ok := lockCall(w.p, st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			for i := range w.held {
+				if w.held[i].key == key {
+					w.held[i].deferred = true
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.checkReturn(st.Pos())
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.GOTO || st.Tok == token.BREAK || st.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return w.stmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.exprCalls(st.Cond)
+		saved := w.save()
+		termThen := w.stmts(st.Body.List)
+		afterThen := w.save()
+		w.restoreHeld(saved)
+		termElse := false
+		if st.Else != nil {
+			termElse = w.stmt(st.Else)
+		}
+		afterElse := w.save()
+		switch {
+		case termThen && termElse:
+			return true
+		case termThen:
+			w.restoreHeld(afterElse)
+		case termElse:
+			w.restoreHeld(afterThen)
+		default:
+			// Keep only locks held in both branches (intersection by
+			// key) — asymmetric holds across a join are beyond this
+			// walker's precision, so stay quiet about them.
+			w.restoreHeld(intersectHeld(afterThen, afterElse))
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.exprCalls(st.Cond)
+		w.loopBody(st.Body)
+	case *ast.RangeStmt:
+		w.exprCalls(st.X)
+		w.loopBody(st.Body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.clauses(st)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.exprCalls(r)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs under its own discipline.
+	}
+	return false
+}
+
+// call processes one call expression: a mutex op updates the held set;
+// any other call while holding locks records nesting edges from the
+// callee's summary, and nested calls in arguments are visited first.
+func (w *lockWalker) call(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.exprCalls(a)
+	}
+	key, class, op, ok := lockCall(w.p, call)
+	if !ok {
+		w.nestingEdges(call)
+		return
+	}
+	pos := w.p.Fset.Position(call.Pos())
+	switch op {
+	case "Lock", "RLock":
+		for _, h := range w.held {
+			if h.key == key && op == "Lock" {
+				w.diags = append(w.diags, Diagnostic{
+					Rule:    "lockorder",
+					Pos:     pos,
+					Message: fmt.Sprintf("%s acquired at %s is still held here; re-locking deadlocks", renderLock(key), h.pos),
+				})
+			}
+			if h.class != "" && class != "" && h.class != class {
+				w.addEdge(h.class, class, pos)
+			}
+		}
+		w.held = append(w.held, heldLock{key: key, class: class, pos: pos})
+	case "Unlock", "RUnlock":
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i].key == key {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				return
+			}
+		}
+		// Releasing a lock this path never acquired: the caller may
+		// hold it (an unlock helper) — out of scope, stay quiet.
+	}
+}
+
+// nestingEdges records held-class → callee-acquired-class edges for
+// same-package calls made while locks are held.
+func (w *lockWalker) nestingEdges(call *ast.CallExpr) {
+	if len(w.held) == 0 {
+		return
+	}
+	callee := calleeOf(w.p.Info, call)
+	if callee == nil {
+		return
+	}
+	acquired, ok := w.sums[callee]
+	if !ok {
+		return
+	}
+	pos := w.p.Fset.Position(call.Pos())
+	for _, h := range w.held {
+		if h.class == "" {
+			continue
+		}
+		for class := range acquired {
+			if class != h.class {
+				w.addEdge(h.class, class, pos)
+			}
+		}
+	}
+}
+
+func (w *lockWalker) addEdge(from, to string, pos token.Position) {
+	m := w.edges[from]
+	if m == nil {
+		m = make(map[string]token.Position)
+		w.edges[from] = m
+	}
+	if _, seen := m[to]; !seen {
+		m[to] = pos
+	}
+}
+
+// exprCalls visits calls nested in an expression (lock ops hidden in
+// conditions or arguments still count).
+func (w *lockWalker) exprCalls(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.call(call)
+			return false
+		}
+		return true
+	})
+}
+
+// checkReturn reports locks still held (and not defer-released) at a
+// return point.
+func (w *lockWalker) checkReturn(at token.Pos) {
+	for _, h := range w.held {
+		if !h.deferred {
+			w.diags = append(w.diags, Diagnostic{
+				Rule:    "lockorder",
+				Pos:     h.pos,
+				Message: fmt.Sprintf("%s is not released on the return path at line %d; unlock it or defer the unlock", renderLock(h.key), w.p.Fset.Position(at).Line),
+			})
+		}
+	}
+}
+
+// loopBody requires lock-neutrality: the body walked alone must leave
+// the held set unchanged.
+func (w *lockWalker) loopBody(body *ast.BlockStmt) {
+	saved := w.save()
+	term := w.stmts(body.List)
+	if !term {
+		if after := w.save(); !sameHeldKeys(saved, after) {
+			w.diags = append(w.diags, Diagnostic{
+				Rule:    "lockorder",
+				Pos:     w.p.Fset.Position(body.Pos()),
+				Message: fmt.Sprintf("loop body in %s changes which locks are held across iterations; acquire and release within one iteration", w.fn),
+			})
+		}
+	}
+	w.restoreHeld(saved)
+}
+
+func (w *lockWalker) clauses(s ast.Stmt) {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.exprCalls(st.Tag)
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	saved := w.save()
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm)
+			}
+			list = c.Body
+		}
+		w.stmts(list)
+		w.restoreHeld(saved)
+	}
+}
+
+func (w *lockWalker) save() []heldLock {
+	return append([]heldLock(nil), w.held...)
+}
+
+func (w *lockWalker) restoreHeld(h []heldLock) {
+	w.held = append(w.held[:0], h...)
+}
+
+func intersectHeld(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		for _, g := range b {
+			if h.key == g.key {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameHeldKeys(a, b []heldLock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key != b[i].key {
+			return false
+		}
+	}
+	return true
+}
+
+func renderLock(key string) string {
+	if r, ok := strings.CutSuffix(key, "#r"); ok {
+		return r + ".RLock()"
+	}
+	return key + ".Lock()"
+}
+
+// lockCycles reports one diagnostic per 2-node cycle in the package's
+// nesting relation (longer cycles reduce to reporting each back edge a
+// DFS finds).
+func lockCycles(edges map[string]map[string]token.Position) []Diagnostic {
+	var diags []Diagnostic
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		tos := make([]string, 0, len(edges[n]))
+		for to := range edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case gray:
+				diags = append(diags, Diagnostic{
+					Rule:    "lockorder",
+					Pos:     edges[n][to],
+					Message: fmt.Sprintf("lock nesting cycle: %s is acquired while %s is held, and elsewhere the other way around; pick one global order", to, n),
+				})
+			case white:
+				visit(to)
+			}
+		}
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return diags
+}

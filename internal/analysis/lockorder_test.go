@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestLockOrderFlagsImbalanceAndCycles(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "lockorder/bad.go", LockOrder{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "lockorder/bad.go", got, want)
+}
+
+func TestLockOrderAcceptsDisciplinedLocking(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "lockorder/good.go", LockOrder{})
+	expectFindings(t, "lockorder/good.go", got, nil)
+}

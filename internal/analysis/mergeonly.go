@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MergeOnly generalizes the single-merge-point rule from the stats
+// integrity work: a struct type that owns a Merge method (such as
+// containment.Stats or an engine report type) has exactly two sanctioned
+// write paths — Merge itself, and code in the type's defining package
+// (its constructors).  Any other package assigning to its fields,
+// incrementing them, or building a non-zero composite literal is
+// recreating the ad-hoc accumulation bugs the Merge method exists to
+// prevent; the fix is a constructor or Merge call in the owning package.
+type MergeOnly struct{}
+
+func (MergeOnly) Name() string { return "mergeonly" }
+
+func (MergeOnly) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if d, ok := protectedFieldWrite(p, lhs); ok {
+						diags = append(diags, d)
+					}
+				}
+			case *ast.IncDecStmt:
+				if d, ok := protectedFieldWrite(p, st.X); ok {
+					diags = append(diags, d)
+				}
+			case *ast.CompositeLit:
+				if len(st.Elts) == 0 {
+					return true
+				}
+				named := namedOf(p.Info.TypeOf(st))
+				if owner, prot := protectedBy(p, named); prot {
+					diags = append(diags, Diagnostic{
+						Rule: "mergeonly",
+						Pos:  p.Fset.Position(st.Pos()),
+						Message: fmt.Sprintf("non-zero composite literal of %s.%s outside its defining package; use a %s constructor or Merge",
+							owner, named.Obj().Name(), owner),
+					})
+				}
+			case *ast.UnaryExpr:
+				// &T{...} is handled via the CompositeLit case.
+				_ = st
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// protectedFieldWrite reports whether lhs writes a field of a
+// Merge-owning struct defined in another package.
+func protectedFieldWrite(p *Package, lhs ast.Expr) (Diagnostic, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return Diagnostic{}, false
+	}
+	named := namedOf(selection.Recv())
+	owner, prot := protectedBy(p, named)
+	if !prot {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Rule: "mergeonly",
+		Pos:  p.Fset.Position(sel.Pos()),
+		Message: fmt.Sprintf("field %s of %s.%s written outside its defining package; route the write through %s.Merge or a constructor",
+			sel.Sel.Name, owner, named.Obj().Name(), named.Obj().Name()),
+	}, true
+}
+
+// protectedBy reports whether named is a Merge-owning struct type
+// defined in a package other than p's own, returning the owning
+// package's base name for the message.
+func protectedBy(p *Package, named *types.Named) (string, bool) {
+	if named == nil || named.Obj() == nil {
+		return "", false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return "", false
+	}
+	if !methodNamed(named, "Merge") {
+		return "", false
+	}
+	if !foreignPackage(p, named.Obj().Pkg()) {
+		return "", false
+	}
+	return named.Obj().Pkg().Name(), true
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMergeOnlyModuleFixture runs the rule over a real mini-module
+// under testdata: the rule is about cross-package writes, so its
+// fixture needs genuine cross-package type information (a defining
+// package and a consumer), which the single-file harness cannot give.
+func TestMergeOnlyModuleFixture(t *testing.T) {
+	root := filepath.Join("testdata", "mod_mergeonly")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	diags := Run(pkgs, []Rule{MergeOnly{}})
+
+	want := moduleWantMarks(t, root, "mergeonly")
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line))
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+		t.Errorf("mergeonly module fixture: findings %v, want %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("module fixture declares no want-marks")
+	}
+}
+
+// moduleWantMarks collects `// want <rule>` markers from every Go file
+// of a fixture module, as "base.go:line" strings.
+func moduleWantMarks(t *testing.T, root, rule string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range wantLines(string(src), rule) {
+			out = append(out, fmt.Sprintf("%s:%d", filepath.Base(path), line))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// NoCacheErr is the taint-lite encoding of the never-cache-cancellation
+// rule: a verdict computed on an error path (the `err != nil` branch —
+// cancelled, deadline-exceeded, or failed work) must never be inserted
+// into a cache, or the poisoned entry outlives the error and replays a
+// wrong answer to every later caller.  The rule flags cache insertions
+// that happen inside an error branch, and insertions whose argument was
+// (re)assigned inside one.
+type NoCacheErr struct{}
+
+func (NoCacheErr) Name() string { return "nocacheerr" }
+
+// cachePutNames are the method names treated as cache insertions when
+// the receiver looks cache-like.
+var cachePutNames = map[string]bool{
+	"Put": true, "put": true,
+	"Add": true, "add": true,
+	"Set": true, "set": true,
+	"Insert": true, "insert": true,
+	"Store": true, "store": true,
+}
+
+var cacheRecvRE = regexp.MustCompile(`(?i)(cache|lru|memo)`)
+
+func (NoCacheErr) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		eachFuncBody(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			diags = append(diags, checkCacheErrFlow(p, body)...)
+		})
+	}
+	return diags
+}
+
+func checkCacheErrFlow(p *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	// tainted holds objects assigned inside an error branch of this
+	// function; a later cache insertion taking one is flagged even when
+	// the insertion itself sits outside the branch.
+	tainted := make(map[types.Object]ast.Node)
+
+	regions := errorRegions(p, body)
+	inRegion := func(pos ast.Node) bool {
+		for _, r := range regions {
+			if r.Pos() <= pos.Pos() && pos.End() <= r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range regions {
+		ast.Inspect(r, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := assignedObject(p.Info, id); obj != nil {
+							tainted[obj] = x
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, recv, isPut := cachePutCall(p, call)
+		if !isPut {
+			return true
+		}
+		if inRegion(call) {
+			diags = append(diags, Diagnostic{
+				Rule: "nocacheerr",
+				Pos:  p.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("%s.%s on an error path; never cache cancelled or failed results",
+					recv, sel),
+			})
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if _, bad := tainted[obj]; bad {
+						diags = append(diags, Diagnostic{
+							Rule: "nocacheerr",
+							Pos:  p.Fset.Position(call.Pos()),
+							Message: fmt.Sprintf("%s.%s argument %s was assigned on an error path; never cache cancelled or failed results",
+								recv, sel, id.Name),
+						})
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// errorRegions returns the statement blocks that execute only when an
+// error is present: the then-branch of `if err != nil`, the else-branch
+// of `if err == nil`.
+func errorRegions(p *Package, body *ast.BlockStmt) []ast.Node {
+	var regions []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		switch errNilCheck(p.Info, ifs.Cond) {
+		case errIsNotNil:
+			regions = append(regions, ifs.Body)
+		case errIsNil:
+			if ifs.Else != nil {
+				regions = append(regions, ifs.Else)
+			}
+		}
+		return true
+	})
+	return regions
+}
+
+type errCheck int
+
+const (
+	errCheckNone errCheck = iota
+	errIsNotNil
+	errIsNil
+)
+
+// errNilCheck classifies cond as a nil comparison on an error-typed
+// value.
+func errNilCheck(info *types.Info, cond ast.Expr) errCheck {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return errCheckNone
+	}
+	op := bin.Op.String()
+	if op != "==" && op != "!=" {
+		return errCheckNone
+	}
+	var other ast.Expr
+	if isNilIdent(info, bin.X) {
+		other = bin.Y
+	} else if isNilIdent(info, bin.Y) {
+		other = bin.X
+	} else {
+		return errCheckNone
+	}
+	if !isErrorType(info.TypeOf(other)) {
+		// Lenient fallback: an unresolved identifier literally named
+		// err / cerr / lastErr still counts.
+		if id, ok := other.(*ast.Ident); !ok || info.TypeOf(id) != nil || !errNameRE.MatchString(id.Name) {
+			return errCheckNone
+		}
+	}
+	if op == "!=" {
+		return errIsNotNil
+	}
+	return errIsNil
+}
+
+var errNameRE = regexp.MustCompile(`(?i)^(err|.*err)$`)
+
+// cachePutCall reports whether call is a cache insertion: a method from
+// cachePutNames on a receiver whose type name or expression spells
+// cache/lru/memo.
+func cachePutCall(p *Package, call *ast.CallExpr) (method, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || !cachePutNames[sel.Sel.Name] {
+		return "", "", false
+	}
+	recvKey := exprKey(sel.X)
+	if named := namedOf(p.Info.TypeOf(sel.X)); named != nil && named.Obj() != nil {
+		if cacheRecvRE.MatchString(named.Obj().Name()) {
+			return sel.Sel.Name, recvKey, true
+		}
+		// Typed receiver that is not cache-like: trust the type over
+		// the variable name.
+		return "", "", false
+	}
+	if cacheRecvRE.MatchString(recvKey) {
+		return sel.Sel.Name, recvKey, true
+	}
+	return "", "", false
+}
+
+// assignedObject resolves the object an assignment's LHS identifier
+// denotes, for either := (Defs) or = (Uses).
+func assignedObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestNoCacheErrFlagsErrorPathInsertions(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "nocacheerr/bad.go", NoCacheErr{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "nocacheerr/bad.go", got, want)
+}
+
+func TestNoCacheErrAcceptsSuccessPathInsertions(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "nocacheerr/good.go", NoCacheErr{})
+	expectFindings(t, "nocacheerr/good.go", got, nil)
+}

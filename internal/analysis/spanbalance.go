@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanBalance checks that every observability span that is begun is
+// also ended on every return path.  A span begin is capturing the
+// injected clock — `start := o.Time()` on an Obs-typed receiver — and
+// the end is any later statement that consumes the start value (an
+// EmitSpan call, a defer, a helper taking it).  A begin that can reach
+// a return without its value ever being consumed is a span opened and
+// never emitted: the trace silently loses the stage, which is how the
+// freeze/chase stage used to vanish from traces on early-error returns.
+//
+// The walker understands the repo's gating idiom: `if o.SpansOn()` and
+// `if o != nil` guard the emission path purely to avoid attribute
+// allocation, so consuming the start inside such a gate balances the
+// span (when the gate is false, emission is a no-op and nothing is
+// owed), and code inside the matching "off" region owes nothing.
+type SpanBalance struct{}
+
+func (SpanBalance) Name() string { return "spanbalance" }
+
+func (SpanBalance) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		eachFuncBody(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			w := &spanWalker{p: p, fn: name}
+			terminated := w.stmts(body.List, false)
+			if !terminated {
+				w.checkReturn(false)
+			}
+			w.checkScopeEnd(false)
+			diags = append(diags, w.diags...)
+		})
+	}
+	return diags
+}
+
+// openSpan tracks one begun span within a function walk.
+type openSpan struct {
+	obj      types.Object
+	pos      token.Position
+	sat      bool // consumed on the current path
+	reported bool
+}
+
+type spanWalker struct {
+	p     *Package
+	fn    string
+	open  []*openSpan
+	diags []Diagnostic
+}
+
+// stmts walks a statement list sequentially and reports whether it
+// terminates (returns or branches away) on every path through it.
+func (w *spanWalker) stmts(list []ast.Stmt, off bool) bool {
+	for _, s := range list {
+		if w.stmt(s, off) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *spanWalker) stmt(s ast.Stmt, off bool) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		w.markRefs(st, off)
+		w.noteBegin(st, off)
+	case *ast.DeferStmt, *ast.GoStmt, *ast.ExprStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		w.markRefs(s, off)
+	case *ast.ReturnStmt:
+		w.markRefs(st, off)
+		w.checkReturn(off)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; what they owe is
+		// accounted for where the loop is walked (conservatively).
+		return st.Tok == token.GOTO || st.Tok == token.BREAK || st.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		mark := len(w.open)
+		term := w.stmts(st.List, off)
+		w.closeScope(mark, off, term)
+		return term
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, off)
+		}
+		w.markRefsExpr(st.Cond, off)
+		return w.ifStmt(st, off)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, off)
+		}
+		w.loopBody(st.Body, off)
+	case *ast.RangeStmt:
+		w.markRefsExpr(st.X, off)
+		w.loopBody(st.Body, off)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branchStmt(st, off)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, off)
+	}
+	return false
+}
+
+// noteBegin registers `start := o.Time()` (or plain assignment) as a
+// span begin.  Begins inside an off region are not owed: when spans are
+// off the clock reads zero and nothing will be emitted.
+func (w *spanWalker) noteBegin(st *ast.AssignStmt, off bool) {
+	if off || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return
+	}
+	id, ok := st.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Time" || len(call.Args) != 0 {
+		return
+	}
+	if !isObsType(w.p.Info.TypeOf(sel.X)) {
+		return
+	}
+	obj := assignedObject(w.p.Info, id)
+	if obj == nil {
+		return
+	}
+	w.open = append(w.open, &openSpan{obj: obj, pos: w.p.Fset.Position(st.Pos())})
+}
+
+// markRefs satisfies every open span whose start value the statement
+// consumes (EmitSpan argument, helper call, defer, closure capture).
+func (w *spanWalker) markRefs(n ast.Node, off bool) {
+	for _, sp := range w.open {
+		if !sp.sat && refersTo(w.p.Info, n, sp.obj) {
+			sp.sat = true
+		}
+	}
+}
+
+func (w *spanWalker) markRefsExpr(e ast.Expr, off bool) {
+	if e != nil {
+		w.markRefs(e, off)
+	}
+}
+
+// checkReturn reports every open unsatisfied span at a return point.
+// Returns inside an off region owe nothing.
+func (w *spanWalker) checkReturn(off bool) {
+	if off {
+		return
+	}
+	for _, sp := range w.open {
+		if !sp.sat && !sp.reported {
+			sp.reported = true
+			w.diags = append(w.diags, Diagnostic{
+				Rule:    "spanbalance",
+				Pos:     sp.pos,
+				Message: fmt.Sprintf("span begun in %s can reach a return without being emitted; emit it (or defer the emit) on every path", w.fn),
+			})
+		}
+	}
+}
+
+// closeScope drops spans opened inside a finished block scope; one that
+// leaves its scope unconsumed (and not via a terminating path, which
+// checkReturn already judged) was begun and never emitted at all.
+func (w *spanWalker) closeScope(mark int, off, terminated bool) {
+	for _, sp := range w.open[mark:] {
+		if !off && !terminated && !sp.sat && !sp.reported {
+			sp.reported = true
+			w.diags = append(w.diags, Diagnostic{
+				Rule:    "spanbalance",
+				Pos:     sp.pos,
+				Message: fmt.Sprintf("span begun in %s is never emitted; consume the start value in an EmitSpan call or defer", w.fn),
+			})
+		}
+	}
+	w.open = w.open[:mark]
+}
+
+// checkScopeEnd is closeScope for the function's own body.
+func (w *spanWalker) checkScopeEnd(off bool) {
+	w.closeScope(0, off, false)
+}
+
+// ifStmt handles branching with the obs-gate special cases.
+func (w *spanWalker) ifStmt(st *ast.IfStmt, off bool) bool {
+	switch obsGate(w.p.Info, st.Cond) {
+	case gateOn:
+		// Consumption inside the on-gate balances the span outright —
+		// when the gate is false nothing is owed.  Walk the then-branch
+		// normally (its sat updates stick) and the else-branch as off.
+		mark := len(w.open)
+		termThen := w.stmts(st.Body.List, off)
+		w.closeScope(mark, off, termThen)
+		termElse := false
+		if st.Else != nil {
+			termElse = w.elseBranch(st.Else, true)
+		}
+		return termThen && termElse
+	case gateOff:
+		// Then-branch is the "observability disabled" world: walk it
+		// with nothing owed, discard its effects on satisfaction.
+		saved := w.snapshot()
+		mark := len(w.open)
+		termThen := w.stmts(st.Body.List, true)
+		w.closeScope(mark, true, termThen)
+		w.restore(saved)
+		termElse := false
+		if st.Else != nil {
+			termElse = w.elseBranch(st.Else, off)
+		}
+		// If the off-branch terminates (`if o == nil { return }`), the
+		// fall-through is the on-world; either way fall-through
+		// continues unless both branches terminate.
+		return termThen && termElse
+	}
+	// Ordinary condition: pessimistic merge.  A span is satisfied after
+	// the if only if every non-terminating branch satisfied it.
+	saved := w.snapshot()
+	mark := len(w.open)
+	termThen := w.stmts(st.Body.List, off)
+	w.closeScope(mark, off, termThen)
+	afterThen := w.snapshot()
+	w.restore(saved)
+	termElse := false
+	if st.Else != nil {
+		termElse = w.elseBranch(st.Else, off)
+	}
+	afterElse := w.snapshot()
+	switch {
+	case termThen && termElse:
+		return true
+	case termThen:
+		w.restore(afterElse)
+	case termElse:
+		w.restore(afterThen)
+	default:
+		w.mergePessimistic(afterThen, afterElse)
+	}
+	return false
+}
+
+func (w *spanWalker) elseBranch(e ast.Stmt, off bool) bool {
+	switch el := e.(type) {
+	case *ast.BlockStmt:
+		mark := len(w.open)
+		term := w.stmts(el.List, off)
+		w.closeScope(mark, off, term)
+		return term
+	case *ast.IfStmt:
+		return w.stmt(el, off)
+	}
+	return false
+}
+
+// branchStmt walks switch/select conservatively: each clause on a
+// snapshot, pessimistic merge, never treated as terminating (a missing
+// default falls through).
+func (w *spanWalker) branchStmt(s ast.Stmt, off bool) bool {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, off)
+		}
+		w.markRefsExpr(st.Tag, off)
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, off)
+		}
+		w.markRefs(st.Assign, off)
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	saved := w.snapshot()
+	merged := append([]bool(nil), saved...)
+	first := true
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.markRefsExpr(e, off)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, off)
+			}
+			list = c.Body
+		}
+		mark := len(w.open)
+		term := w.stmts(list, off)
+		w.closeScope(mark, off, term)
+		after := w.snapshot()
+		if !term {
+			if first {
+				merged = after
+				first = false
+			} else {
+				for i := range merged {
+					merged[i] = merged[i] && after[i]
+				}
+			}
+		}
+		w.restore(saved)
+	}
+	if !first {
+		// At least one clause falls through; but so may the untaken
+		// path (no default), so merge against the pre-switch state too.
+		for i := range merged {
+			merged[i] = merged[i] && saved[i]
+		}
+		w.restore(merged)
+	}
+	return false
+}
+
+// loopBody walks a loop body on a snapshot: zero iterations must leave
+// the state unchanged, so satisfaction earned inside the loop does not
+// stick, but begins/returns inside are still judged.
+func (w *spanWalker) loopBody(body *ast.BlockStmt, off bool) {
+	saved := w.snapshot()
+	mark := len(w.open)
+	term := w.stmts(body.List, off)
+	w.closeScope(mark, off, term)
+	w.restore(saved)
+}
+
+// snapshot/restore capture the sat flags of the currently open spans.
+func (w *spanWalker) snapshot() []bool {
+	out := make([]bool, len(w.open))
+	for i, sp := range w.open {
+		out[i] = sp.sat
+	}
+	return out
+}
+
+func (w *spanWalker) restore(sats []bool) {
+	for i := range sats {
+		if i < len(w.open) {
+			w.open[i].sat = sats[i]
+		}
+	}
+}
+
+func (w *spanWalker) mergePessimistic(a, b []bool) {
+	for i := range w.open {
+		sa := i < len(a) && a[i]
+		sb := i < len(b) && b[i]
+		w.open[i].sat = sa && sb
+	}
+}

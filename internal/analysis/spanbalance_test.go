@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestSpanBalanceFlagsLeakedBegins(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "spanbalance/bad.go", SpanBalance{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "spanbalance/bad.go", got, want)
+}
+
+func TestSpanBalanceAcceptsBalancedAndGated(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "spanbalance/good.go", SpanBalance{})
+	expectFindings(t, "spanbalance/good.go", got, nil)
+}

@@ -1,0 +1,3 @@
+module fixture.example/mergeonly
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package stats is the defining package of a Merge-owning type: its
+// own writes and constructors are the sanctioned write path.
+package stats
+
+// Stats is a Merge-owning struct, mirroring containment.Stats.
+type Stats struct {
+	Nodes    int64
+	Searches int
+	Failed   bool
+}
+
+// Merge folds other into s.
+func (s *Stats) Merge(other Stats) {
+	s.Nodes += other.Nodes
+	s.Searches += other.Searches
+	s.Failed = s.Failed || other.Failed
+}
+
+// SearchStats is the sanctioned constructor; the composite literal is
+// fine here, in the defining package.
+func SearchStats(nodes int64) Stats {
+	return Stats{Nodes: nodes, Searches: 1}
+}
+
+// Count bumps a field in the defining package — allowed.
+func (s *Stats) Count(nodes int64) {
+	s.Nodes += nodes
+	s.Searches++
+}

@@ -1,0 +1,36 @@
+// Package user consumes stats.Stats from outside its defining package:
+// field writes and non-zero literals here MUST trigger mergeonly, the
+// Merge/constructor/zeroing paths must not.
+package user
+
+import "fixture.example/mergeonly/stats"
+
+// BadWrites mutates protected fields cross-package.
+func BadWrites(nodes int64) stats.Stats {
+	var st stats.Stats
+	st.Nodes = nodes // want mergeonly
+	st.Searches++    // want mergeonly
+	return st
+}
+
+// BadFlag ORs the failure flag by hand instead of merging.
+func BadFlag(st *stats.Stats, failed bool) {
+	st.Failed = st.Failed || failed // want mergeonly
+}
+
+// BadLiteral builds a non-zero literal cross-package.
+func BadLiteral() stats.Stats {
+	return stats.Stats{Searches: 1} // want mergeonly
+}
+
+// GoodMerge combines through Merge and the constructor.
+func GoodMerge(nodes int64) stats.Stats {
+	st := stats.SearchStats(nodes)
+	st.Merge(stats.SearchStats(0))
+	return st
+}
+
+// GoodZero resets with the zero literal, which carries no counts.
+func GoodZero(st *stats.Stats) {
+	*st = stats.Stats{}
+}

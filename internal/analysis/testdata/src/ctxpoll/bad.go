@@ -1,0 +1,50 @@
+// Fixtures that MUST trigger ctxpoll: cancellable functions scanning
+// tuple data without ever polling.
+package fixture
+
+import "context"
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+// Rel mirrors a relation with a Tuples accessor.
+type Rel struct{ tuples []Tuple }
+
+func (r *Rel) Tuples() []Tuple { return r.tuples }
+
+// ScanAll takes a context but never looks at it again.
+func ScanAll(ctx context.Context, r *Rel) int {
+	n := 0
+	for _, t := range r.Tuples() { // want ctxpoll
+		n += len(t)
+	}
+	return n
+}
+
+// walker carries its context on the struct, searcher-style.
+type walker struct {
+	ctx  context.Context
+	rows []Tuple
+}
+
+// sum is cancellable through the receiver's context field but scans
+// without polling.
+func (w *walker) sum() int {
+	n := 0
+	for _, t := range w.rows { // want ctxpoll
+		n += len(t)
+	}
+	return n
+}
+
+// OuterNoPoll polls nowhere in the whole loop nest: the inner tuple
+// scan is uncovered.
+func OuterNoPoll(ctx context.Context, waves [][]Tuple) int {
+	n := 0
+	for i := 0; i < len(waves); i++ {
+		for _, t := range waves[i] { // want ctxpoll
+			n += len(t)
+		}
+	}
+	return n
+}

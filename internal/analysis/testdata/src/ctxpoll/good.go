@@ -1,0 +1,64 @@
+// Fixtures that must NOT trigger ctxpoll: every tuple scan is covered
+// by a poll, a polling callee, or the function is not cancellable.
+package fixture
+
+import "context"
+
+type Tuple []int
+
+type Rel struct{ tuples []Tuple }
+
+func (r *Rel) Tuples() []Tuple { return r.tuples }
+
+// cancelCheckMask is the masked-poll contract constant.
+const cancelCheckMask = 0x3ff
+
+// ScanMasked polls through the mask, once per window.
+func ScanMasked(ctx context.Context, r *Rel) (int, error) {
+	n := 0
+	for _, t := range r.Tuples() {
+		if n&cancelCheckMask == cancelCheckMask {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		n += len(t)
+	}
+	return n, nil
+}
+
+// Waves polls once per wave; the inner tuple scan is covered by the
+// enclosing loop's poll, exactly like the chase.
+func Waves(ctx context.Context, waves [][]Tuple) error {
+	for len(waves) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, t := range waves[0] {
+			_ = t
+		}
+		waves = waves[1:]
+	}
+	return nil
+}
+
+// ViaCallee delegates the poll to a same-package helper.
+func ViaCallee(ctx context.Context, r *Rel) error {
+	for _, t := range r.Tuples() {
+		if err := visit(ctx, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func visit(ctx context.Context, t Tuple) error { return ctx.Err() }
+
+// NoCtx is not cancellable; it owes no polls.
+func NoCtx(r *Rel) int {
+	n := 0
+	for _, t := range r.Tuples() {
+		n += len(t)
+	}
+	return n
+}

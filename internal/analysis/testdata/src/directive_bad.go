@@ -1,0 +1,17 @@
+// Fixture for malformed suppression directives: a directive without a
+// "--" justification or naming no known rule is itself a finding, and
+// suppresses nothing.
+package fixture
+
+// missingReason carries a directive with no justification: the
+// directive is reported AND the panic stays reported.
+func missingReason() {
+	//keyedeq:allow panicgate // want directive
+	panic("not suppressed") // want panicgate
+}
+
+// unknownRule names a rule that does not exist.
+func unknownRule() {
+	//keyedeq:allow nosuchrule -- justified but misnamed // want directive
+	panic("still reported") // want panicgate
+}

@@ -1,0 +1,22 @@
+// Fixtures that MUST trigger goroleak: fire-and-forget goroutines the
+// spawner can neither await nor stop.
+package fixture
+
+type server struct{ n int }
+
+func (s *server) Serve(backlog int) error {
+	s.n = backlog
+	return nil
+}
+
+// FireAndForget spawns a bare call with no lifetime handle.
+func FireAndForget(s *server) {
+	go s.Serve(0) // want goroleak
+}
+
+// LiteralNoJoin spawns a literal with no Done, channel, or context.
+func LiteralNoJoin(s *server) {
+	go func() { // want goroleak
+		s.n++
+	}()
+}

@@ -1,0 +1,65 @@
+// Fixtures that must NOT trigger goroleak: goroutines joined by
+// WaitGroup, channel, or cancellable by context.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() error { return nil }
+
+// WaitGrouped joins through the WaitGroup.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = work()
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoined delivers its result on a channel the spawner reads.
+func ChannelJoined() error {
+	errc := make(chan error, 1)
+	go func() { errc <- work() }()
+	return <-errc
+}
+
+// ContextCancellable parks on the spawner's context.
+func ContextCancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// BareWithChannel hands the callee the channel that joins it.
+func BareWithChannel() int {
+	ch := make(chan int)
+	go pump(ch)
+	return <-ch
+}
+
+func pump(ch chan int) { ch <- 1 }
+
+// BareWithContext hands the callee a context to watch.
+func BareWithContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Closer closes the channel consumers range over.
+func Closer(vals []int) chan int {
+	out := make(chan int)
+	go func() {
+		for _, v := range vals {
+			out <- v
+		}
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,57 @@
+// Fixtures that MUST trigger lockorder: a lock held across a return, a
+// re-lock while held, lock-unbalanced loop bodies, and a nesting cycle.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// LeakOnEarlyReturn returns with the lock held on the miss path.
+func (s *store) LeakOnEarlyReturn(k string) int {
+	s.mu.Lock() // want lockorder
+	v, ok := s.vals[k]
+	if !ok {
+		return 0
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// DoubleLock re-acquires while already holding.
+func (s *store) DoubleLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want lockorder
+	s.mu.Unlock()
+}
+
+// LockPerIteration leaves the body lock-richer than it entered.
+func (s *store) LockPerIteration(keys []string) {
+	for _, k := range keys { // want lockorder
+		s.mu.Lock()
+		s.vals[k] = 0
+	}
+}
+
+type left struct{ mu sync.Mutex }
+
+type right struct{ mu sync.Mutex }
+
+// nestLR takes left before right.
+func nestLR(l *left, r *right) {
+	l.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// nestRL takes them the other way around: a cycle with nestLR.
+func nestRL(l *left, r *right) {
+	r.mu.Lock()
+	l.mu.Lock() // want lockorder
+	l.mu.Unlock()
+	r.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+// Fixtures that must NOT trigger lockorder: deferred unlocks, per-path
+// unlocks, neutral loops, read locks, and one consistent nesting order.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// Get uses the canonical defer discipline.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// GetOr releases on every path explicitly.
+func (s *store) GetOr(k string) int {
+	s.mu.Lock()
+	if v, ok := s.vals[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Read holds only the read lock, deferred.
+func (t *table) Read(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pool struct {
+	mu     sync.Mutex
+	shards []*shard
+}
+
+// total nests pool.mu over shard.mu — one consistent order, and each
+// loop iteration is lock-neutral.
+func (p *pool) total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sum := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sum += sh.n
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// grow nests in the same direction through a callee.
+func (p *pool) grow() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bump(p.shards)
+}
+
+func bump(shards []*shard) {
+	for _, sh := range shards {
+		sh.mu.Lock()
+		sh.n++
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,42 @@
+// Fixtures that MUST trigger nocacheerr: cache insertions on error
+// paths, directly or through a value assigned there.
+package fixture
+
+import "errors"
+
+type verdict struct{ holds bool }
+
+type resultCache struct{ m map[string]verdict }
+
+func (c *resultCache) Put(k string, v verdict) { c.m[k] = v }
+
+func compute() (verdict, error) { return verdict{}, errors.New("cut short") }
+
+// PutInErrBranch inserts inside the error branch itself.
+func PutInErrBranch(c *resultCache, k string) {
+	v, err := compute()
+	if err != nil {
+		c.Put(k, v) // want nocacheerr
+	}
+}
+
+// PutInElseOfNilCheck inserts in the else of an err == nil check —
+// still the error path.
+func PutInElseOfNilCheck(c *resultCache, k string) {
+	v, err := compute()
+	if err == nil {
+		_ = v
+	} else {
+		c.Put(k, v) // want nocacheerr
+	}
+}
+
+// PutTainted assigns the cached value on the error path and inserts it
+// later, outside the branch.
+func PutTainted(c *resultCache, k string) {
+	v, err := compute()
+	if err != nil {
+		v = verdict{holds: false}
+	}
+	c.Put(k, v) // want nocacheerr
+}

@@ -1,0 +1,45 @@
+// Fixtures that must NOT trigger nocacheerr: insertions guarded to the
+// success path, and non-cache receivers.
+package fixture
+
+import "errors"
+
+type verdict struct{ holds bool }
+
+type resultCache struct{ m map[string]verdict }
+
+func (c *resultCache) Put(k string, v verdict) { c.m[k] = v }
+
+// journal is not cache-like; its Put is out of scope.
+type journal struct{ m map[string]verdict }
+
+func (j *journal) Put(k string, v verdict) { j.m[k] = v }
+
+func compute() (verdict, error) { return verdict{}, errors.New("cut short") }
+
+// PutOnSuccessOnly is the sanctioned shape: the error path returns
+// before the insertion.
+func PutOnSuccessOnly(c *resultCache, k string) {
+	v, err := compute()
+	if err != nil {
+		return
+	}
+	c.Put(k, v)
+}
+
+// PutInNilBranch inserts inside the err == nil branch.
+func PutInNilBranch(c *resultCache, k string) {
+	v, err := compute()
+	if err == nil {
+		c.Put(k, v)
+	}
+}
+
+// JournalOnError records failures deliberately; journals are not
+// caches, the entry is the point.
+func JournalOnError(j *journal, k string) {
+	v, err := compute()
+	if err != nil {
+		j.Put(k, v)
+	}
+}

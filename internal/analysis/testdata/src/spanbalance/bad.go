@@ -1,0 +1,45 @@
+// Fixtures that MUST trigger spanbalance: span begins that can reach a
+// return (or fall out of scope) without being emitted.
+package fixture
+
+import (
+	"errors"
+	"time"
+)
+
+// Obs mirrors the observability handle: matched by type name.
+type Obs struct{ on bool }
+
+func (o *Obs) SpansOn() bool   { return o != nil && o.on }
+func (o *Obs) Time() time.Time { return time.Time{} }
+
+func (o *Obs) EmitSpan(stage string, start time.Time, err error) {}
+
+func work() error { return errors.New("boom") }
+
+// EarlyReturnLoses begins a span, then error-returns before emitting.
+func EarlyReturnLoses(o *Obs) error {
+	start := o.Time() // want spanbalance
+	if err := work(); err != nil {
+		return err
+	}
+	o.EmitSpan("stage", start, nil)
+	return nil
+}
+
+// NeverEmitted begins and never consumes the start at all.
+func NeverEmitted(o *Obs) {
+	start := o.Time() // want spanbalance
+	_ = work()
+}
+
+// BranchMissesEmit emits on one branch and falls off the other.
+func BranchMissesEmit(o *Obs, a bool) {
+	start := o.Time() // want spanbalance
+	if a {
+		o.EmitSpan("stage", start, nil)
+	} else {
+		_ = work()
+	}
+	_ = work()
+}

@@ -1,0 +1,77 @@
+// Fixtures that must NOT trigger spanbalance: deferred emits, per-path
+// emits, obs-gated emission, and helper-owned ends.
+package fixture
+
+import (
+	"errors"
+	"time"
+)
+
+type Obs struct{ on bool }
+
+func (o *Obs) SpansOn() bool   { return o != nil && o.on }
+func (o *Obs) Time() time.Time { return time.Time{} }
+
+func (o *Obs) EmitSpan(stage string, start time.Time, err error) {}
+
+func work() error { return errors.New("boom") }
+
+// DeferEmit covers every return with one defer.
+func DeferEmit(o *Obs) error {
+	start := o.Time()
+	defer o.EmitSpan("stage", start, nil)
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EveryPathEmits emits on both the error and the success path.
+func EveryPathEmits(o *Obs) error {
+	start := o.Time()
+	if err := work(); err != nil {
+		o.EmitSpan("stage", start, err)
+		return err
+	}
+	o.EmitSpan("stage", start, nil)
+	return nil
+}
+
+// GatedEmit consumes the start under the SpansOn gate; when the gate is
+// false, emission is a no-op and nothing is owed.
+func GatedEmit(o *Obs) {
+	start := o.Time()
+	_ = work()
+	if o.SpansOn() {
+		o.EmitSpan("stage", start, nil)
+	}
+}
+
+// OffGateEarlyReturn returns from the spans-off region, where nothing
+// is owed, and emits on the on path.
+func OffGateEarlyReturn(o *Obs) {
+	start := o.Time()
+	if !o.SpansOn() {
+		return
+	}
+	o.EmitSpan("stage", start, nil)
+}
+
+// NilGateReturn returns from the o == nil region before beginning.
+func NilGateReturn(o *Obs) {
+	if o == nil {
+		return
+	}
+	start := o.Time()
+	o.EmitSpan("stage", start, nil)
+}
+
+// HelperOwns hands the start to a helper that emits it.
+func HelperOwns(o *Obs) {
+	start := o.Time()
+	finish(o, start)
+}
+
+func finish(o *Obs, start time.Time) {
+	o.EmitSpan("stage", start, nil)
+}

@@ -281,6 +281,12 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 	queued := make([][]bool, len(egds))
 	var cur, next []item
 	for ei := range egds {
+		// Seeding scans every (dependency, row) pair; poll once per
+		// dependency so a huge tableau cannot outlive its deadline
+		// before the first wave even starts.
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		queued[ei] = make([]bool, len(t.rows))
 		for ri := range t.rows {
 			if t.rows[ri].rel == egds[ei].rel {
@@ -296,6 +302,9 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 	// transfers to the winning root.
 	rowsOfRoot := make(map[int][]item)
 	for ei := range egds {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		for ri := range t.rows {
 			if t.rows[ri].rel != egds[ei].rel {
 				continue

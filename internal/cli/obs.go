@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"io"
@@ -49,12 +50,13 @@ func (f *ObsFlags) enabled() bool {
 type ObsSetup struct {
 	Obs *obs.Obs
 
-	reg     *obs.Registry
-	sink    *obs.JSONLSink
-	trace   *os.File
-	srv     *http.Server
-	addr    string
-	metrics bool
+	reg      *obs.Registry
+	sink     *obs.JSONLSink
+	trace    *os.File
+	srv      *http.Server
+	serveErr chan error
+	addr     string
+	metrics  bool
 }
 
 // Addr returns the pprof server's bound address ("" when -pprof-http
@@ -111,7 +113,8 @@ func (f *ObsFlags) Setup(now func() time.Time) (*ObsSetup, error) {
 		}
 		s.addr = ln.Addr().String()
 		s.srv = &http.Server{Handler: mux}
-		go s.srv.Serve(ln)
+		s.serveErr = make(chan error, 1)
+		go func() { s.serveErr <- s.srv.Serve(ln) }()
 	}
 	return s, nil
 }
@@ -138,6 +141,12 @@ func (s *ObsSetup) Close(w io.Writer) error {
 	}
 	if s.srv != nil {
 		keep(s.srv.Close())
+		// Join the serve goroutine; Serve's return after Close is
+		// ErrServerClosed, anything else is a real serve failure that
+		// would otherwise vanish with the goroutine.
+		if err := <-s.serveErr; !errors.Is(err, http.ErrServerClosed) {
+			keep(err)
+		}
 	}
 	return first
 }

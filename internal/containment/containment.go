@@ -65,6 +65,30 @@ func (s *Stats) Merge(other Stats) {
 	s.ChaseFailed = s.ChaseFailed || other.ChaseFailed
 }
 
+// SearchStats returns the Stats of one completed homomorphism search
+// invocation that visited nodes search-tree nodes.  Callers outside
+// this package build Stats only through these constructors (or Merge);
+// the mergeonly lint rule enforces it.
+func SearchStats(nodes int64) Stats {
+	return Stats{Nodes: nodes, Searches: 1}
+}
+
+// ChaseStats converts one chase run's counters into Stats, ready to be
+// merged into a pair's books.
+func ChaseStats(cs chase.Stats) Stats {
+	return Stats{
+		ChaseIterations: cs.Iterations,
+		ChaseMerges:     cs.Merges,
+		ChaseRevisited:  cs.Revisited,
+	}
+}
+
+// FailedChaseStats returns the Stats of a containment decided vacuously
+// because the chase proved the left query empty under the dependencies.
+func FailedChaseStats() Stats {
+	return Stats{ChaseFailed: true}
+}
+
 // Contained reports whether q1 ⊑ q2 over all instances of s.
 func Contained(q1, q2 *cq.Query, s *schema.Schema) (bool, error) {
 	ok, _, err := ContainedUnder(q1, q2, s, nil)
@@ -93,7 +117,6 @@ func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sche
 		return false, stats, err
 	}
 	o := obs.FromContext(ctx)
-	chaseStart := o.Time()
 	// Freeze q1 into its canonical database.
 	tb := chase.NewTableau(s)
 	vars, err := chase.Freeze(tb, q1)
@@ -107,7 +130,11 @@ func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Sche
 	if len(deps) > 0 {
 		// Record the chase's partial work even when it is cut short by
 		// cancellation, so summed Stats reconcile with the obs counters
-		// the chase emitted before aborting.
+		// the chase emitted before aborting.  The span begins here, not
+		// at function entry: the early-error returns above and the
+		// no-deps path emit no freeze_chase span, so a start captured
+		// up there would be a begun-and-never-ended span in the trace.
+		chaseStart := o.Time()
 		cs, cerr := tb.RunCtx(ctx, deps)
 		stats.ChaseIterations = cs.Iterations
 		stats.ChaseMerges = cs.Merges

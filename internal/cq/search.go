@@ -146,7 +146,20 @@ func (s *searcher) candidates(st *planStep) []instance.Tuple {
 		idx := s.indexes1[st.indexSlot]
 		if idx == nil {
 			idx = make(map[value.Value][]instance.Tuple, st.rel.Len())
-			for _, t := range st.rel.Tuples() {
+			for i, t := range st.rel.Tuples() {
+				// Index builds scan whole relations, so they honor the
+				// same masked polling contract as node visits: one poll
+				// at the end of each cancelCheckMask+1-tuple window
+				// (small relations never poll).  On cancellation the
+				// partial index is discarded, not stored: a later retry
+				// must rebuild it in full rather than probe a map
+				// missing half the relation.
+				if i&cancelCheckMask == cancelCheckMask {
+					if err := s.ctx.Err(); err != nil {
+						s.canceled = err
+						return nil
+					}
+				}
 				idx[t[p]] = append(idx[t[p]], t)
 			}
 			s.indexes1[st.indexSlot] = idx
@@ -156,7 +169,13 @@ func (s *searcher) candidates(st *planStep) []instance.Tuple {
 	idx := s.indexes[st.indexSlot]
 	if idx == nil {
 		idx = make(map[string][]instance.Tuple, st.rel.Len())
-		for _, t := range st.rel.Tuples() {
+		for i, t := range st.rel.Tuples() {
+			if i&cancelCheckMask == cancelCheckMask {
+				if err := s.ctx.Err(); err != nil {
+					s.canceled = err
+					return nil
+				}
+			}
 			b := make([]byte, 0, len(st.keyPos)*8)
 			for _, p := range st.keyPos {
 				b = appendValue(b, t[p])

@@ -327,11 +327,7 @@ func (f *frozen) claim() containment.Stats {
 	if !f.claimed.CompareAndSwap(false, true) {
 		return containment.Stats{}
 	}
-	return containment.Stats{
-		ChaseIterations: f.cs.Iterations,
-		ChaseMerges:     f.cs.Merges,
-		ChaseRevisited:  f.cs.Revisited,
-	}
+	return containment.ChaseStats(f.cs)
 }
 
 // batchState carries the per-Run shared structures.
@@ -357,7 +353,6 @@ func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
 	b.mu.Unlock()
 	f.once.Do(func() {
 		o := obs.FromContext(b.ctx)
-		start := o.Time()
 		tb := chase.NewTableau(e.s)
 		vars, err := chase.Freeze(tb, q)
 		if err != nil {
@@ -372,7 +367,11 @@ func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
 		if len(e.deps) > 0 {
 			// Keep the partial stats on cancellation: the chase layer
 			// already counted them, and claim() must hand the same
-			// numbers to the claiming pair or the books diverge.
+			// numbers to the claiming pair or the books diverge.  The
+			// span begins here, just before the chase: the early-error
+			// and no-deps paths emit no freeze_chase span, so a start
+			// captured at function entry would be begun and never ended.
+			start := o.Time()
 			cs, cerr := tb.RunCtx(b.ctx, e.deps)
 			f.cs = cs
 			if o.SpansOn() {
@@ -416,13 +415,10 @@ func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, conta
 		return false, st, f.err
 	}
 	if f.failed {
-		st.ChaseFailed = true
-		return true, st, nil
+		return true, containment.FailedChaseStats(), nil
 	}
 	ok, es, err := cq.HasAnswerCtx(ctx, right, f.db, f.want)
-	st.Nodes = es.Nodes
-	st.Searches = 1
-	return ok, st, err
+	return ok, containment.SearchStats(es.Nodes), err
 }
 
 // Run decides every job of the batch: canonicalize, dedupe identical
@@ -535,7 +531,12 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 				for _, i := range g.indexes[1:] {
 					dup := res
 					dup.Deduped = true
-					dup.Stats = containment.Stats{ChaseFailed: res.Stats.ChaseFailed}
+					// A dedup copy carries none of the leader's work,
+					// only the vacuity marker the verdict depends on.
+					dup.Stats = containment.Stats{}
+					if res.Stats.ChaseFailed {
+						dup.Stats = containment.FailedChaseStats()
+					}
 					rep.Results[i] = dup
 					emitVerify(ctx, o, start, &dup)
 				}
