@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint lint-json qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify obs-verify cover all
+.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify obs-verify cover all
 
 all: build vet vet-debug test lint qvet
 
@@ -34,6 +34,13 @@ lint:
 lint-json:
 	$(GO) run ./cmd/keyedeq-lint -format=json ./...
 
+# lint-hot runs only the hot-path allocation rules (seeded from
+# //keyedeq:hot markers) in the github format, so CI annotates each
+# per-iteration allocation inline on the PR.
+lint-hot:
+	$(GO) run ./cmd/keyedeq-lint -format=github \
+		-rules hotalloc,preallocate,iface-box,mapkey,escapes ./...
+
 # qvet runs the semantic query analyzer over the repo's shipped query,
 # program, mapping, and schema inputs (see internal/qvet).
 qvet:
@@ -56,6 +63,7 @@ fuzz-smoke:
 	$(GO) test ./internal/qvet -run '^$$' -fuzz '^FuzzQVet$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzAllowDirective$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzHotDirective$$' -fuzztime $(FUZZTIME)
 
 # bench writes the batch engine's machine-readable regression record
 # (engine-vs-sequential wall time, node counts, cache hit rates).
@@ -74,6 +82,16 @@ bench-hom:
 
 bench-hom-verify:
 	$(GO) run ./cmd/keyedeq-bench -record hom -verify-bench BENCH_homsearch.json
+
+# bench-alloc rewrites the hot-path allocs/op record (run after an
+# intentional allocation-profile change); bench-alloc-verify is the CI
+# gate: re-measure in process and require at most 110% of the committed
+# record, which itself must sit at or under the pre-fix seed.
+bench-alloc:
+	$(GO) run ./cmd/keyedeq-bench -record alloc -json BENCH_alloc.json
+
+bench-alloc-verify:
+	$(GO) run ./cmd/keyedeq-bench -record alloc -verify-bench BENCH_alloc.json
 
 # obs-verify gates the observability layer: the reconciliation smoke
 # tests (exported metric totals must equal the summed per-job Stats)

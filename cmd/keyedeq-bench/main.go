@@ -11,8 +11,10 @@
 //	keyedeq-bench -only T3              # one experiment by ID
 //	keyedeq-bench -json BENCH_engine.json                 # run E1 and write the regression record
 //	keyedeq-bench -record hom -json BENCH_homsearch.json  # run H1 (planned vs naive search)
+//	keyedeq-bench -record alloc -json BENCH_alloc.json    # run A1 (hot-path allocs/op)
 //	keyedeq-bench -verify-bench BENCH_engine.json         # gate: parse + engine not slower
 //	keyedeq-bench -record hom -verify-bench BENCH_homsearch.json
+//	keyedeq-bench -record alloc -verify-bench BENCH_alloc.json  # gate: re-measure, <= 110% of record
 //	keyedeq-bench -verify-obs BENCH_homsearch.json        # gate: metrics overhead <= 2%, node totals unchanged
 //
 // -parallel and -cache tune the batch engine E1 benchmarks with (0 =
@@ -54,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "run only the experiment with this ID (e.g. T3, F1)")
 	jsonOut := fs.String("json", "", "run the selected benchmark record and write it to this file")
 	verifyBench := fs.String("verify-bench", "", "verify a previously written regression record and exit")
-	record := fs.String("record", "engine", "which regression record -json/-verify-bench handles: engine (E1) or hom (H1)")
+	record := fs.String("record", "engine", "which regression record -json/-verify-bench handles: engine (E1), hom (H1), or alloc (A1)")
 	parallel := fs.Int("parallel", 0, "engine worker pool size for E1 (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "engine verdict cache entries for E1 (0 = fit corpus, <0 = disable)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -65,8 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *record != "engine" && *record != "hom" {
-		fmt.Fprintf(stderr, "keyedeq-bench: unknown record %q (want engine or hom)\n", *record)
+	if *record != "engine" && *record != "hom" && *record != "alloc" {
+		fmt.Fprintf(stderr, "keyedeq-bench: unknown record %q (want engine, hom, or alloc)\n", *record)
 		return 2
 	}
 	ob, err := of.Setup(time.Now)
@@ -112,14 +114,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return verifyObsFile(*verifyObs, stdout, stderr)
 	}
 	if *verifyBench != "" {
-		if *record == "hom" {
+		switch *record {
+		case "hom":
 			return verifyHomBenchFile(*verifyBench, stdout, stderr)
+		case "alloc":
+			return verifyAllocBenchFile(*verifyBench, stdout, stderr)
 		}
 		return verifyBenchFile(*verifyBench, stdout, stderr)
 	}
 	if *jsonOut != "" {
-		if *record == "hom" {
+		switch *record {
+		case "hom":
 			return writeHomBenchFile(*jsonOut, *full, ob.Obs, stdout, stderr)
+		case "alloc":
+			return writeAllocBenchFile(*jsonOut, stdout, stderr)
 		}
 		return writeBenchFile(*jsonOut, *full, *parallel, *cacheSize, ob.Obs, stdout, stderr)
 	}
@@ -284,6 +292,95 @@ func verifyHomBenchFile(path string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%s: ok (speedup %.2fx, wide node ratio %.1fx, mismatches %d)\n",
 		path, res.Speedup, res.WideNodeRatio, res.Mismatches)
 	return 0
+}
+
+// writeAllocBenchFile runs the A1 hot-path allocation benchmark and
+// writes its regression record.
+func writeAllocBenchFile(path string, stdout, stderr io.Writer) int {
+	table, res := exp.A1AllocBench()
+	fmt.Fprintln(stdout, table)
+	if len(res.Cases) != len(exp.AllocCaseNames()) {
+		fmt.Fprintf(stderr, "keyedeq-bench: alloc record incomplete (%d of %d cases ran)\n",
+			len(res.Cases), len(exp.AllocCaseNames()))
+		return 2
+	}
+	if writeJSON(path, res, stderr) != 0 {
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return 0
+}
+
+// allocHeadroom is the slack the alloc gate grants a fresh measurement
+// over the committed record: allocation counts on these deterministic
+// workloads barely move, but map-growth timing can shift a handful of
+// allocations between runs.
+const allocHeadroom = 1.10
+
+// verifyAllocBenchFile is the CI gate over the A1 record: the committed
+// file must parse and carry every case at or under its pre-fix seed,
+// and a fresh in-process measurement must come in at or under
+// allocHeadroom times the committed allocs/op — so hot-path allocation
+// regressions fail CI even when they slip past the static rules.
+func verifyAllocBenchFile(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
+	var rec exp.AllocBenchResult
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %s: %v\n", path, err)
+		return 2
+	}
+	table, fresh := exp.A1AllocBench()
+	fmt.Fprintln(stdout, table)
+	problems := compareAllocRecords(&rec, fresh)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(stderr, "keyedeq-bench: %s: %s\n", path, p)
+		}
+		return 1
+	}
+	for _, name := range exp.AllocCaseNames() {
+		c, _ := rec.Case(name)
+		f, _ := fresh.Case(name)
+		fmt.Fprintf(stdout, "%s: %s ok (measured %d allocs/op, committed %d, seed %d)\n",
+			path, name, f.AllocsPerOp, c.AllocsPerOp, c.SeedAllocsPerOp)
+	}
+	return 0
+}
+
+// compareAllocRecords checks a fresh A1 measurement against the
+// committed record, returning the list of gate violations.
+func compareAllocRecords(committed, fresh *exp.AllocBenchResult) []string {
+	var problems []string
+	for _, name := range exp.AllocCaseNames() {
+		c, ok := committed.Case(name)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("case %s missing from record", name))
+			continue
+		}
+		if c.AllocsPerOp <= 0 {
+			problems = append(problems, fmt.Sprintf("%s: non-positive allocs/op %d recorded", name, c.AllocsPerOp))
+			continue
+		}
+		if c.AllocsPerOp > c.SeedAllocsPerOp {
+			problems = append(problems, fmt.Sprintf("%s: recorded %d allocs/op exceeds the pre-fix seed %d",
+				name, c.AllocsPerOp, c.SeedAllocsPerOp))
+		}
+		f, ok := fresh.Case(name)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: fresh measurement failed", name))
+			continue
+		}
+		limit := int64(float64(c.AllocsPerOp) * allocHeadroom)
+		if f.AllocsPerOp > limit {
+			problems = append(problems, fmt.Sprintf("%s: measured %d allocs/op, over the committed %d (limit %d)",
+				name, f.AllocsPerOp, c.AllocsPerOp, limit))
+		}
+	}
+	return problems
 }
 
 // obsOverheadBudget is the gate on what metrics collection may cost

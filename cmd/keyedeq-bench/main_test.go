@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"keyedeq/internal/exp"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string) {
@@ -109,5 +111,38 @@ func TestVerifyBenchRejectsGarbage(t *testing.T) {
 	}
 	if code := run([]string{"-verify-bench", filepath.Join(dir, "missing.json")}, &out, &errb); code != 2 {
 		t.Fatalf("missing file exit = %d, want 2", code)
+	}
+}
+
+// TestCompareAllocRecords pins the alloc gate's verdicts without
+// running the benchmark: a clean pair passes; a missing case, a record
+// over its seed, and a fresh measurement over the headroom each fail.
+func TestCompareAllocRecords(t *testing.T) {
+	rec := func(chaseAllocs, searchAllocs int64) *exp.AllocBenchResult {
+		return &exp.AllocBenchResult{Cases: []exp.AllocCaseResult{
+			{Name: "chase/rows-1000", AllocsPerOp: chaseAllocs, SeedAllocsPerOp: 2891},
+			{Name: "search/clique-4", AllocsPerOp: searchAllocs, SeedAllocsPerOp: 271},
+		}}
+	}
+	if problems := compareAllocRecords(rec(882, 258), rec(900, 258)); len(problems) != 0 {
+		t.Errorf("clean pair flagged: %v", problems)
+	}
+	if problems := compareAllocRecords(rec(882, 258), rec(1000, 258)); len(problems) != 1 {
+		t.Errorf("fresh chase over 110%% headroom: got %v, want 1 problem", problems)
+	}
+	if problems := compareAllocRecords(rec(3000, 258), rec(882, 258)); len(problems) != 1 {
+		t.Errorf("record over pre-fix seed: got %v, want 1 problem", problems)
+	}
+	missing := &exp.AllocBenchResult{Cases: []exp.AllocCaseResult{
+		{Name: "chase/rows-1000", AllocsPerOp: 882, SeedAllocsPerOp: 2891},
+	}}
+	if problems := compareAllocRecords(missing, rec(882, 258)); len(problems) != 1 {
+		t.Errorf("missing committed case: got %v, want 1 problem", problems)
+	}
+	if problems := compareAllocRecords(rec(882, 258), missing); len(problems) != 1 {
+		t.Errorf("missing fresh case: got %v, want 1 problem", problems)
+	}
+	if problems := compareAllocRecords(rec(0, 258), rec(882, 258)); len(problems) != 1 {
+		t.Errorf("non-positive recorded allocs: got %v, want 1 problem", problems)
 	}
 }

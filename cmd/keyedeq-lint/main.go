@@ -1,7 +1,9 @@
 // Command keyedeq-lint runs the repo's static analyzer over the module
-// and reports violations of its determinism, error-discipline, and
-// concurrency invariants (see internal/analysis for the rule
-// catalogue).
+// and reports violations of its determinism, error-discipline,
+// concurrency, and hot-path allocation invariants (see internal/analysis
+// for the rule catalogue; the allocation rules — hotalloc, preallocate,
+// iface-box, mapkey, escapes — run over functions marked with
+// //keyedeq:hot and everything they call in-package).
 //
 // Usage:
 //
@@ -194,8 +196,12 @@ func emitSARIF(w io.Writer, sum analysis.Summary) error {
 			rules = append(rules, sarifRule{ID: r.Name()})
 		}
 	}
-	if ruleIDs["directive"] {
-		rules = append(rules, sarifRule{ID: "directive"})
+	// The pseudo-rules have no catalogue entry but still need metadata
+	// when they produced results.
+	for _, pseudo := range []string{"baddirective", "directive"} {
+		if ruleIDs[pseudo] {
+			rules = append(rules, sarifRule{ID: pseudo})
+		}
 	}
 
 	log := map[string]any{

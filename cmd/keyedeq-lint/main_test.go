@@ -266,3 +266,166 @@ func TestRepoStaysClean(t *testing.T) {
 		t.Fatalf("keyedeq-lint on this repo: exit = %d, want 0; output:\n%s", code, out)
 	}
 }
+
+// hotModuleFiles is a module tripping every allocation rule at least
+// once inside one hot function, plus a misattached directive, so the
+// output-format tests below exercise the full new-rule surface.
+func hotModuleFiles() map[string]string {
+	return map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"internal/hot/hot.go": `package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type sink struct{ vals []any }
+
+func (s *sink) add(v any) { s.vals = append(s.vals, v) }
+
+//keyedeq:hot -- test module: trips every allocation rule once
+func Scan(r *rel, s *sink) ([]int, map[string]int) {
+	var sizes []int
+	m := make(map[string]int)
+	for i, t := range r.tuples {
+		b := make([]byte, 0, len(t))
+		_ = b
+		sizes = append(sizes, len(t))
+		s.add(i)
+		k := fmt.Sprintf("t%d", i)
+		m[k] = i
+		c := make([]int, len(t))
+		copy(c, t)
+		sort.Ints(c)
+	}
+	return sizes, m
+}
+
+//keyedeq:hot -- misattached: a var declaration marks nothing hot
+var knob = 1
+`,
+		"internal/other/other.go": `package other
+
+func MustThing() {
+	panic("raw")
+}
+`,
+	}
+}
+
+// TestFindingOrderIsDeterministic loads a multi-package module twice
+// per output format and asserts byte-identical reports: the concurrent
+// LoadModule schedule must not leak into finding order.
+func TestFindingOrderIsDeterministic(t *testing.T) {
+	dir := writeModule(t, hotModuleFiles())
+	for _, format := range []string{"text", "json", "sarif", "github"} {
+		first := ""
+		for run := 0; run < 2; run++ {
+			code, out := runCLI(t, "-C", dir, "-format", format)
+			if code != 1 {
+				t.Fatalf("%s run %d: exit = %d, want 1; output:\n%s", format, run, code, out)
+			}
+			if run == 0 {
+				first = out
+			} else if out != first {
+				t.Errorf("%s output differs between runs:\n--- first ---\n%s--- second ---\n%s", format, first, out)
+			}
+		}
+	}
+}
+
+// TestSARIFGoldenForHotRules validates the SARIF required fields —
+// ruleId, level, physicalLocation — for the allocation rules and the
+// baddirective pseudo-rule.
+func TestSARIFGoldenForHotRules(t *testing.T) {
+	dir := writeModule(t, hotModuleFiles())
+	code, out := runCLI(t, "-C", dir, "-format", "sarif")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want a single run:\n%s", out)
+	}
+	run := log.Runs[0]
+
+	seen := map[string]int{}
+	for _, res := range run.Results {
+		seen[res.RuleID]++
+		if res.Level != "error" {
+			t.Errorf("result %q level = %q, want error", res.RuleID, res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %q has an empty message", res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result %q has %d locations, want 1", res.RuleID, len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		wantURI := "internal/hot/hot.go"
+		if res.RuleID == "panicgate" {
+			wantURI = "internal/other/other.go"
+		}
+		if loc.ArtifactLocation.URI != wantURI {
+			t.Errorf("result %q at %q, want %q", res.RuleID, loc.ArtifactLocation.URI, wantURI)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("result %q has unpositioned region %+v", res.RuleID, loc.Region)
+		}
+	}
+	for _, rule := range []string{"hotalloc", "preallocate", "iface-box", "mapkey", "escapes", "baddirective", "panicgate"} {
+		if seen[rule] == 0 {
+			t.Errorf("no SARIF result for rule %q; got %v", rule, seen)
+		}
+	}
+	var ruleIDs []string
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs = append(ruleIDs, r.ID)
+	}
+	for _, rule := range []string{"hotalloc", "preallocate", "iface-box", "mapkey", "escapes", "baddirective"} {
+		found := false
+		for _, id := range ruleIDs {
+			found = found || id == rule
+		}
+		if !found {
+			t.Errorf("driver rule metadata missing %q; got %v", rule, ruleIDs)
+		}
+	}
+}

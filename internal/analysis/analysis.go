@@ -22,6 +22,22 @@
 //	lockorder   Lock/Unlock balance on every path, acyclic nesting order
 //	goroleak    every spawned goroutine has a join or cancel path
 //
+// and five allocation/escape-discipline invariants that run only over
+// functions reachable from a //keyedeq:hot directive (see hot.go for
+// the marking and propagation; DESIGN.md §13 maps each rule to the
+// interning ROADMAP item it guards):
+//
+//	hotalloc    no per-iteration composite literals, make/new, string
+//	            concatenation, or fmt.* calls in hot loops
+//	preallocate append targets grown in a loop of known trip count must
+//	            be presized
+//	iface-box   no boxing of non-pointer concrete values into
+//	            interfaces inside hot loops
+//	mapkey      no per-iteration string/struct key materialization for
+//	            map access in hot loops when a dense ID is available
+//	escapes     loop-local allocations must not escape (address taken,
+//	            stored to heap, or passed to an unknown callee)
+//
 // A finding can be suppressed — the justification after “--” is
 // mandatory — by a directive comment on the flagged line or the line
 // above it:
@@ -30,7 +46,10 @@
 //
 // A directive without a justification, or naming no known rule, is
 // itself a finding (rule "directive"), and suppressions are counted so
-// CI output shows how much is being waved through.
+// CI output shows how much is being waved through.  A well-formed
+// directive that cannot take effect — an allow with no code on its line
+// or the line below, a hot marker outside a function's doc comment — is
+// reported under the pseudo-rule "baddirective".
 //
 // The driver is cmd/keyedeq-lint.
 package analysis
@@ -58,6 +77,12 @@ type Package struct {
 	Types *types.Package
 	// Info holds type information for expressions in Files.
 	Info *types.Info
+
+	// Hot-set memo (see hot.go): resolved once per package, shared by
+	// the five allocation rules and the directive accounting.
+	hotDone bool
+	hotSet  map[*types.Func]bool
+	hotBad  []Diagnostic
 }
 
 // Diagnostic is one rule finding.
@@ -85,6 +110,7 @@ func AllRules() []Rule {
 	return []Rule{
 		DetMap{}, NoRand{}, NoWallClock{}, PanicGate{}, ErrDrop{},
 		CtxPoll{}, MergeOnly{}, NoCacheErr{}, SpanBalance{}, LockOrder{}, GoroLeak{},
+		HotAlloc{}, Preallocate{}, IfaceBox{}, MapKey{}, Escapes{},
 	}
 }
 
@@ -112,6 +138,7 @@ func RunSummary(pkgs []*Package, rules []Rule) Summary {
 	for _, p := range pkgs {
 		allow, bad := collectAllows(p)
 		sum.Diagnostics = append(sum.Diagnostics, bad...)
+		sum.Diagnostics = append(sum.Diagnostics, p.hotDirectiveFindings()...)
 		for _, r := range rules {
 			for _, d := range r.Check(p) {
 				if allow.covers(r.Name(), d.Pos) {
@@ -123,6 +150,11 @@ func RunSummary(pkgs []*Package, rules []Rule) Summary {
 		}
 	}
 	out := sum.Diagnostics
+	// The full (file, line, col, rule, message) key makes the order a
+	// pure function of the findings: package check order varies with the
+	// concurrent load schedule, and two findings can share a position
+	// and rule, so every comparator field short of the message would
+	// leave sort.Slice (unstable) free to flip them between runs.
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -134,7 +166,10 @@ func RunSummary(pkgs []*Package, rules []Rule) Summary {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return sum
 }
@@ -180,14 +215,37 @@ func knownRuleNames() map[string]bool {
 	return out
 }
 
+// codeStartLines collects the lines on which a non-comment declaration,
+// statement, or expression begins — the only lines a finding can land
+// on.  An allow directive whose own line and next line carry no such
+// node can never suppress anything; collectAllows reports it as
+// misattached instead of letting it rot silently.
+func codeStartLines(p *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[p.Fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}
+
 // collectAllows gathers //keyedeq:allow <rules> -- <reason> directives,
 // returning the suppression set plus a finding for every malformed
-// directive (missing justification, or no known rule named).
+// directive (missing justification, or no known rule named) and every
+// orphaned one (no code on its line or the line below — the directive
+// suppresses nothing where it stands).
 func collectAllows(p *Package) (allowSet, []Diagnostic) {
 	out := make(allowSet)
 	var bad []Diagnostic
 	known := knownRuleNames()
 	for _, f := range p.Files {
+		code := codeStartLines(p, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				names, reason, ok := ParseAllowDirective(c.Text)
@@ -214,6 +272,13 @@ func collectAllows(p *Package) (allowSet, []Diagnostic) {
 						Rule:    "directive",
 						Pos:     pos,
 						Message: fmt.Sprintf("suppression names no known rule (got %q)", strings.Join(names, " ")),
+					})
+					continue
+				case !code[pos.Line] && !code[pos.Line+1]:
+					bad = append(bad, Diagnostic{
+						Rule:    "baddirective",
+						Pos:     pos,
+						Message: "//keyedeq:allow suppresses findings on its line or the line below, and neither holds code here; move it onto the flagged statement",
 					})
 					continue
 				}

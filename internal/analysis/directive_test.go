@@ -26,6 +26,29 @@ func TestMalformedDirectivesAreFindings(t *testing.T) {
 	expectFindings(t, "directive_bad.go", got, append(wantPanic, wantDir...))
 }
 
+// TestMisattachedDirectivesAreFindings checks that well-formed
+// directives that can take no effect — a hot marker outside a function
+// doc comment, an allow with no code on its line or the next — are
+// reported under the pseudo-rule "baddirective", while a correctly
+// attached hot marker stays silent.
+func TestMisattachedDirectivesAreFindings(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "directive_badattach.go", PanicGate{})
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "directive_badattach.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantLines(string(src), "baddirective")
+	if len(want) != 3 {
+		t.Fatalf("fixture declares %d baddirective want-lines, want 3", len(want))
+	}
+	expectFindings(t, "directive_badattach.go", got, want)
+	for _, d := range got {
+		if d.Rule != "baddirective" {
+			t.Errorf("finding under rule %q, want baddirective: %s", d.Rule, d)
+		}
+	}
+}
+
 // FuzzAllowDirective checks the directive parser never panics and
 // upholds its contract on arbitrary comment text.
 func FuzzAllowDirective(f *testing.F) {
@@ -66,6 +89,51 @@ func FuzzAllowDirective(f *testing.F) {
 			if !ok2 || reason2 != reason || strings.Join(rules2, " ") != strings.Join(rules, " ") {
 				t.Fatalf("round trip of %q via %q gave rules=%v reason=%q ok=%v",
 					s, rebuilt, rules2, reason2, ok2)
+			}
+		}
+	})
+}
+
+// FuzzHotDirective checks the hot-marker parser never panics and
+// upholds its contract on arbitrary comment text, mirroring
+// FuzzAllowDirective.
+func FuzzHotDirective(f *testing.F) {
+	f.Add("//keyedeq:hot -- per-wave worklist drain")
+	f.Add("//keyedeq:hot")
+	f.Add("//keyedeq:hot ")
+	f.Add("//keyedeq:hotter -- not a directive")
+	f.Add("// keyedeq:hot -- not a directive either")
+	f.Add("//keyedeq:hot stray args -- args are malformed")
+	f.Add("//keyedeq:hot -- reason -- with -- dashes")
+	f.Add("//keyedeq:hot\t--\ttabbed reason")
+	f.Add("//keyedeq:hot --")
+	f.Fuzz(func(t *testing.T, s string) {
+		args, reason, ok := ParseHotDirective(s)
+		if !ok {
+			if len(args) != 0 || reason != "" {
+				t.Fatalf("non-directive %q returned args=%v reason=%q", s, args, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(s, "//keyedeq:hot") {
+			t.Fatalf("%q accepted as a directive without the prefix", s)
+		}
+		for _, a := range args {
+			if a == "" || strings.ContainsAny(a, " \t\n") || strings.Contains(a, "--") {
+				t.Fatalf("%q produced malformed arg %q", s, a)
+			}
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("%q produced untrimmed reason %q", s, reason)
+		}
+		// A well-formed marker rebuilt from its parts must parse back to
+		// the same parts.
+		if len(args) == 0 && reason != "" && !strings.ContainsAny(reason, "\n\r") && !strings.Contains(reason, "--") {
+			rebuilt := "//keyedeq:hot -- " + reason
+			args2, reason2, ok2 := ParseHotDirective(rebuilt)
+			if !ok2 || len(args2) != 0 || reason2 != reason {
+				t.Fatalf("round trip of %q via %q gave args=%v reason=%q ok=%v",
+					s, rebuilt, args2, reason2, ok2)
 			}
 		}
 	})

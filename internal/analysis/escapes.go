@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Escapes is the escape-lite analysis over hot loops: a loop-local
+// allocation (x := make/new/&T{...}, or a composite value whose address
+// is taken) must stay loop-private.  The moment it is stored somewhere
+// that outlives the iteration — an outer variable, a struct field, a
+// map or slice element, a channel — or handed to a callee the analyzer
+// cannot see into (another package, a dynamic call), the compiler's
+// escape analysis reaches the same verdict and the allocation moves to
+// the heap, once per iteration.  Same-package callees are exempt:
+// hotness propagation already walks into them, and the compiler can
+// often prove they do not leak.  Stores inside return statements are
+// exempt (one escape on the way out is the function's result, not a
+// per-iteration leak).
+type Escapes struct{}
+
+func (Escapes) Name() string { return "escapes" }
+
+// escKind distinguishes how a tracked variable references fresh memory.
+type escKind int
+
+const (
+	escRef escKind = iota // x := make(...) / new(...) / &T{...}
+	escVal                // x := T{...}: escapes only via &x
+)
+
+// escVar is one tracked loop-local allocation.
+type escVar struct {
+	kind escKind
+	// loop is the innermost loop enclosing the declaration; a store
+	// target declared outside it outlives the iteration.
+	loop ast.Stmt
+}
+
+func (Escapes) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(p, func(fd *ast.FuncDecl) {
+		cold := coldSpans(fd.Body)
+		tracked := make(map[*types.Var]escVar)
+		flag := func(n ast.Node, name, how string) {
+			diags = append(diags, Diagnostic{
+				Rule:    "escapes",
+				Pos:     p.Fset.Position(n.Pos()),
+				Message: fmt.Sprintf("loop-local allocation %s escapes the hot loop (%s), forcing a heap allocation per iteration; hoist it or keep it loop-private", name, how),
+			})
+		}
+		w := &hotWalk{p: p}
+		w.walk(fd.Body, func(n ast.Node, hot bool) bool {
+			if !hot || posInSpans(cold, n.Pos()) {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					for i, lhs := range x.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || i >= len(x.Rhs) {
+							continue
+						}
+						kind, isAlloc := allocKind(p, x.Rhs[i])
+						if !isAlloc {
+							continue
+						}
+						if v, ok := p.Info.Defs[id].(*types.Var); ok && v != nil {
+							tracked[v] = escVar{kind: kind, loop: w.innermostLoop()}
+						}
+					}
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					for _, esc := range escapingRefs(p, tracked, rhs) {
+						if target, outlives := storeOutlivesLoop(p, x.Lhs[i], tracked[esc.v].loop); outlives {
+							flag(x, esc.name, "stored to "+target)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				for _, esc := range escapingRefs(p, tracked, x.Value) {
+					flag(x, esc.name, "sent on a channel")
+				}
+			case *ast.CallExpr:
+				if retainer, unknown := unknownCallee(p, x); unknown {
+					for _, arg := range x.Args {
+						for _, esc := range escapingRefs(p, tracked, arg) {
+							flag(x, esc.name, "passed to "+retainer+", which may retain it")
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// allocKind classifies e as a fresh allocation for tracking.
+func allocKind(p *Package, e ast.Expr) (escKind, bool) {
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, isLit := x.X.(*ast.CompositeLit); isLit {
+				return escRef, true
+			}
+		}
+	case *ast.CompositeLit:
+		if allocatingLit(p, x) {
+			return escRef, true // slice/map literal: x holds the reference
+		}
+		return escVal, true
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") && isBuiltin(p.Info, id) {
+			return escRef, true
+		}
+	}
+	return 0, false
+}
+
+// escRefUse is one appearance of a tracked variable in escape position.
+type escRefUse struct {
+	v    *types.Var
+	name string
+}
+
+// escapingRefs finds tracked variables that e would leak if e reaches a
+// heap-bound destination: x itself (reference kinds), &x (any kind), a
+// composite literal carrying either, or append(..., x, ...).  Reading
+// an element of x, slicing it, or passing it to len/cap stays private
+// and is deliberately not matched.
+func escapingRefs(p *Package, tracked map[*types.Var]escVar, e ast.Expr) []escRefUse {
+	var out []escRefUse
+	add := func(id *ast.Ident, needAddr bool) {
+		v, _ := p.Info.Uses[id].(*types.Var)
+		if v == nil {
+			return
+		}
+		ev, ok := tracked[v]
+		if !ok || (ev.kind == escVal && !needAddr) {
+			return
+		}
+		name := id.Name
+		if needAddr {
+			name = "&" + name
+		}
+		out = append(out, escRefUse{v: v, name: name})
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		add(x, false)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if id, ok := x.X.(*ast.Ident); ok {
+				add(id, true)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			out = append(out, escapingRefs(p, tracked, elt)...)
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(p.Info, id) {
+			for _, arg := range x.Args[1:] {
+				out = append(out, escapingRefs(p, tracked, arg)...)
+			}
+		}
+	}
+	return out
+}
+
+// storeOutlivesLoop decides whether assigning into lhs escapes the
+// given loop: struct fields, dereferences, and map/slice elements are
+// heap-reachable, and a plain variable outlives the iteration when its
+// declaration precedes the loop.
+func storeOutlivesLoop(p *Package, lhs ast.Expr, loop ast.Stmt) (string, bool) {
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr:
+		return "field " + exprKey(x), true
+	case *ast.IndexExpr:
+		return "element of " + exprKey(x.X), true
+	case *ast.StarExpr:
+		return "dereference of " + exprKey(x.X), true
+	case *ast.Ident:
+		v, _ := p.Info.Uses[x].(*types.Var)
+		if v == nil {
+			return "", false
+		}
+		if loop == nil || !enclosesPos(loop, v.Pos()) {
+			return "outer variable " + x.Name, true
+		}
+	}
+	return "", false
+}
+
+// unknownCallee reports whether the call's target is outside the
+// analyzer's view — a function from another package, or a dynamic call
+// through a func value or interface — returning a printable name.
+// Builtins and type conversions are known quantities and exempt.
+func unknownCallee(p *Package, call *ast.CallExpr) (string, bool) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return "", false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(p.Info, id) {
+		return "", false
+	}
+	callee := calleeOf(p.Info, call)
+	if callee == nil {
+		return "a dynamic call " + exprKey(call.Fun), true
+	}
+	if callee.Pkg() != nil && p.Types != nil && callee.Pkg() == p.Types {
+		return "", false
+	}
+	return callee.FullName(), true
+}

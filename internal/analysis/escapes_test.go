@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestEscapesFlagsLeakedLoopLocals(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "escapes/bad.go", Escapes{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "escapes/bad.go", got, want)
+}
+
+func TestEscapesAcceptsLoopPrivateAndHoisted(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "escapes/good.go", Escapes{})
+	expectFindings(t, "escapes/good.go", got, nil)
+}

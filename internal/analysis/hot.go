@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the hot-path marking the allocation-discipline
+// rules (hotalloc, preallocate, iface-box, mapkey, escapes) build on.
+//
+// A function is declared hot by a //keyedeq:hot directive in its doc
+// comment — the justification after "--" is mandatory, exactly as for
+// //keyedeq:allow:
+//
+//	//keyedeq:hot -- per-wave worklist drain of the semi-naive chase
+//	func (t *Tableau) RunCtx(...)
+//
+// Hotness then propagates caller-to-callee through the same-package
+// static call graph to a fixpoint (the interprocedural-lite machinery
+// the poll summaries use): everything a hot function reaches inside its
+// package is hot too, so helpers factored out of a hot loop stay under
+// the allocation rules without their own annotations.
+//
+// A bare //keyedeq:hot (no justification) or one carrying arguments is
+// a malformed directive, reported under the pseudo-rule "directive".  A
+// well-formed hot directive attached to anything but a function
+// declaration — a var/const/type declaration, or orphaned between
+// declarations — is reported under the pseudo-rule "baddirective"
+// instead of being silently ignored.
+
+// ParseHotDirective parses one comment's text as a //keyedeq:hot
+// directive.  It returns any stray arguments before "--" (a hot marker
+// takes none; their presence is a malformation) and the justification
+// after it, with ok reporting whether the comment is a hot directive at
+// all.
+func ParseHotDirective(comment string) (args []string, reason string, ok bool) {
+	text, ok := strings.CutPrefix(comment, "//keyedeq:hot")
+	if !ok {
+		return nil, "", false
+	}
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		// "//keyedeq:hotter" is not a directive.
+		return nil, "", false
+	}
+	before, reason, _ := strings.Cut(text, "--")
+	return strings.Fields(before), strings.TrimSpace(reason), true
+}
+
+// hotFuncs returns the package's hot-function set: directive-marked
+// declarations plus everything they transitively call inside the
+// package.  The result is memoized on the Package; the companion
+// directive findings are served by hotDirectiveFindings.  Not safe for
+// concurrent use (rules run sequentially over a package).
+func (p *Package) hotFuncs() map[*types.Func]bool {
+	p.ensureHot()
+	return p.hotSet
+}
+
+// hotDirectiveFindings returns the malformation/misattachment findings
+// collected while resolving //keyedeq:hot directives.
+func (p *Package) hotDirectiveFindings() []Diagnostic {
+	p.ensureHot()
+	return p.hotBad
+}
+
+func (p *Package) ensureHot() {
+	if p.hotDone {
+		return
+	}
+	p.hotDone = true
+	p.hotSet, p.hotBad = computeHot(p)
+}
+
+// computeHot resolves the hot directives and runs the caller-to-callee
+// fixpoint over the same-package call graph.
+func computeHot(p *Package) (map[*types.Func]bool, []Diagnostic) {
+	decls := funcDecls(p)
+	seeds, bad := collectHotMarks(p, decls)
+
+	// Same-package static call edges, caller -> callees.
+	calls := make(map[*types.Func][]*types.Func, len(decls))
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(p.Info, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	hot := seeds
+	// Fixpoint: hotness flows from caller to callee — the opposite
+	// direction of the poll summaries, whose property (reaching a poll)
+	// flows callee to caller.  The call graphs here are tiny.
+	for changed := true; changed; {
+		changed = false
+		for obj, callees := range calls {
+			if !hot[obj] {
+				continue
+			}
+			for _, c := range callees {
+				if !hot[c] {
+					hot[c] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return hot, bad
+}
+
+// collectHotMarks gathers the //keyedeq:hot seeds and the findings for
+// malformed or misattached directives.
+func collectHotMarks(p *Package, decls map[*types.Func]*ast.FuncDecl) (map[*types.Func]bool, []Diagnostic) {
+	seeds := make(map[*types.Func]bool)
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		funcDocOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		otherDoc := make(map[*ast.CommentGroup]string)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					funcDocOf[d.Doc] = d
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					otherDoc[d.Doc] = d.Tok.String() + " declaration"
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				args, reason, ok := ParseHotDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				switch {
+				case reason == "":
+					bad = append(bad, Diagnostic{
+						Rule:    "directive",
+						Pos:     pos,
+						Message: "hot marker without justification; write //keyedeq:hot -- <why this path is hot>",
+					})
+					continue
+				case len(args) > 0:
+					bad = append(bad, Diagnostic{
+						Rule:    "directive",
+						Pos:     pos,
+						Message: fmt.Sprintf("hot marker takes no arguments (got %q); write //keyedeq:hot -- <reason>", strings.Join(args, " ")),
+					})
+					continue
+				}
+				fd, attached := funcDocOf[cg]
+				if !attached {
+					where := "orphaned between declarations"
+					if kind, onDecl := otherDoc[cg]; onDecl {
+						where = "attached to a " + kind
+					}
+					bad = append(bad, Diagnostic{
+						Rule:    "baddirective",
+						Pos:     pos,
+						Message: fmt.Sprintf("//keyedeq:hot must be in a function declaration's doc comment (%s); it marks no code hot here", where),
+					})
+					continue
+				}
+				if obj, isFn := p.Info.Defs[fd.Name].(*types.Func); isFn {
+					seeds[obj] = true
+				}
+			}
+		}
+	}
+	return seeds, bad
+}
+
+// hotWalk is the shared traversal the allocation rules use: it walks a
+// hot function's body tracking the enclosing-loop chain and reports,
+// for every node, whether it lies in an allocation-hot region.  A
+// region is hot when some enclosing loop either ranges over
+// tuple/relation data or is itself nested inside another loop; a single
+// non-tuple loop at a function's top level is setup-shaped (one pass
+// per dependency, per atom, per component) and allocation there is
+// proportional to the problem description, not the data.
+//
+// Function literals break the chain: their bodies run when called, not
+// per enclosing-loop iteration, so a literal's interior starts cold —
+// but the literal node itself is still reported with the enclosing
+// region's hotness (creating a closure per iteration is an allocation).
+type hotWalk struct {
+	p *Package
+	// loops is the chain of enclosing loop statements.
+	loops []ast.Stmt
+	// tupleDepth counts enclosing loops that range over tuple data.
+	tupleDepth int
+}
+
+// regionHot reports whether the current position is allocation-hot.
+func (w *hotWalk) regionHot() bool {
+	return len(w.loops) >= 2 || w.tupleDepth > 0
+}
+
+// walk visits n and its children, calling visit(node, hot) for every
+// node.  visit returning false prunes the subtree (the loop/literal
+// bookkeeping still applies to pruned loops' children — pruning is for
+// claimed nodes, which have no loops under them in practice).
+func (w *hotWalk) walk(n ast.Node, visit func(n ast.Node, hot bool) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		switch x := c.(type) {
+		case *ast.ForStmt:
+			if !visit(x, w.regionHot()) {
+				return false
+			}
+			w.loops = append(w.loops, x)
+			if x.Init != nil {
+				w.walk(x.Init, visit)
+			}
+			if x.Cond != nil {
+				w.walk(x.Cond, visit)
+			}
+			if x.Post != nil {
+				w.walk(x.Post, visit)
+			}
+			w.walk(x.Body, visit)
+			w.loops = w.loops[:len(w.loops)-1]
+			return false
+		case *ast.RangeStmt:
+			if !visit(x, w.regionHot()) {
+				return false
+			}
+			w.walk(x.X, visit)
+			w.loops = append(w.loops, x)
+			tuples := rangesOverTuples(w.p, x)
+			if tuples {
+				w.tupleDepth++
+			}
+			w.walk(x.Body, visit)
+			if tuples {
+				w.tupleDepth--
+			}
+			w.loops = w.loops[:len(w.loops)-1]
+			return false
+		case *ast.FuncLit:
+			if !visit(x, w.regionHot()) {
+				return false
+			}
+			inner := &hotWalk{p: w.p}
+			inner.walk(x.Body, visit)
+			return false
+		}
+		return visit(c, w.regionHot())
+	})
+}
+
+// innermostLoop returns the closest enclosing loop statement, or nil.
+func (w *hotWalk) innermostLoop() ast.Stmt {
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+// enclosesPos reports whether node n's source span contains pos.
+func enclosesPos(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos <= n.End()
+}
+
+// eachHotFunc visits every declared function of the package that the
+// hot set marks, in file order.
+func eachHotFunc(p *Package, visit func(fd *ast.FuncDecl)) {
+	hot := p.hotFuncs()
+	if len(hot) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, isFn := p.Info.Defs[fd.Name].(*types.Func); isFn && hot[obj] {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// pointerShaped reports whether values of t fit in one machine word
+// when stored in an interface (pointers, maps, channels, functions):
+// converting them to an interface type copies the word and allocates
+// nothing.  Everything else is boxed onto the heap.
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// coldSpans collects the source spans of return statements under body.
+// An allocation inside a return runs at most once before control leaves
+// the loop (the error-exit shape), so the per-iteration rules skip
+// those spans.
+func coldSpans(body *ast.BlockStmt) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			spans = append(spans, [2]token.Pos{r.Pos(), r.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// posInSpans reports whether pos falls inside any collected span.
+func posInSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if s[0] <= pos && pos <= s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPkgCall reports whether call is pkgBase.<anything>(...) for an
+// imported package whose name is pkgBase (lenient: an unresolved
+// identifier spelled like the package still counts, matching the
+// resolvesToPkg convention).
+func isPkgCall(p *Package, call *ast.CallExpr, pkgBase string, paths ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgBase {
+		return false
+	}
+	return resolvesToPkg(p.Info, id, paths...)
+}

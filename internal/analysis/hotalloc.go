@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc forbids per-iteration heap allocation in hot loops (see
+// hot.go for what "hot" means): composite literals that allocate
+// (&T{...}, slice and map literals — struct values are copies, not
+// allocations, and stay legal), make/new, string concatenation, and any
+// fmt.* call.  Each of these is one hidden malloc per tuple, which is
+// exactly the class of regression the interning work (flat arrays,
+// reused scratch buffers, appendInt-style key building) exists to
+// eliminate.  Allocation inside a return statement is exempt: it runs
+// once on the way out, not per iteration.
+type HotAlloc struct{}
+
+func (HotAlloc) Name() string { return "hotalloc" }
+
+func (HotAlloc) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(p, func(fd *ast.FuncDecl) {
+		cold := coldSpans(fd.Body)
+		flag := func(n ast.Node, msg string) {
+			diags = append(diags, Diagnostic{
+				Rule:    "hotalloc",
+				Pos:     p.Fset.Position(n.Pos()),
+				Message: msg + " in a hot loop allocates per iteration; hoist it or reuse a scratch value",
+			})
+		}
+		w := &hotWalk{p: p}
+		w.walk(fd.Body, func(n ast.Node, hot bool) bool {
+			if !hot || posInSpans(cold, n.Pos()) {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, isLit := x.X.(*ast.CompositeLit); isLit {
+						flag(x, "taking the address of a composite literal")
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				if allocatingLit(p, x) {
+					flag(x, "a slice/map literal")
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") && isBuiltin(p.Info, id) {
+					flag(x, id.Name)
+					return true
+				}
+				if isPkgCall(p, x, "fmt", "fmt") {
+					flag(x, "a fmt call")
+					return true
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD && isStringType(p.Info.TypeOf(x)) {
+					flag(x, "string concatenation")
+					return false
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(p.Info.TypeOf(x.Lhs[0])) {
+					flag(x, "string concatenation")
+					return false
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// allocatingLit reports whether the composite literal heap-allocates:
+// slice and map literals do, struct and array values do not.  With
+// incomplete type info the syntax decides (an explicit []T or map type,
+// or an ellipsis-length array, which is a slice-shaped spelling only in
+// fixtures).
+func allocatingLit(p *Package, lit *ast.CompositeLit) bool {
+	if t := p.Info.TypeOf(lit); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+	switch tt := lit.Type.(type) {
+	case *ast.ArrayType:
+		return tt.Len == nil
+	case *ast.MapType:
+		return true
+	}
+	return false
+}

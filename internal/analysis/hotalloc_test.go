@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestHotAllocFlagsPerIterationAllocation(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "hotalloc/bad.go", HotAlloc{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "hotalloc/bad.go", got, want)
+}
+
+func TestHotAllocAcceptsScratchReuseAndColdCode(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "hotalloc/good.go", HotAlloc{})
+	expectFindings(t, "hotalloc/good.go", got, nil)
+}

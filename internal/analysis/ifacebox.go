@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// IfaceBox forbids boxing non-pointer concrete values into interfaces
+// inside hot loops: converting an int, string, struct, or slice to an
+// interface type copies the value onto the heap (one allocation per
+// conversion), whereas pointer-shaped values (pointers, maps, channels,
+// funcs) ride in the interface word for free.  The two conversion sites
+// that matter are call arguments whose parameter is interface-typed and
+// assignments (including map/slice element stores) to interface-typed
+// destinations.  Constants are exempt — small-value boxing of constants
+// is resolved statically by the runtime's shared boxes.  This is the
+// exact boxing the interning milestone replaces with dense uint32 IDs.
+type IfaceBox struct{}
+
+func (IfaceBox) Name() string { return "iface-box" }
+
+func (IfaceBox) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(p, func(fd *ast.FuncDecl) {
+		cold := coldSpans(fd.Body)
+		flag := func(e ast.Expr, dst types.Type) {
+			t := p.Info.TypeOf(e)
+			diags = append(diags, Diagnostic{
+				Rule:    "iface-box",
+				Pos:     p.Fset.Position(e.Pos()),
+				Message: fmt.Sprintf("boxing %s into %s allocates per iteration in a hot loop; keep the concrete type or use a dense interned ID", typeName(p, t), typeName(p, dst)),
+			})
+		}
+		w := &hotWalk{p: p}
+		w.walk(fd.Body, func(n ast.Node, hot bool) bool {
+			if !hot || posInSpans(cold, n.Pos()) {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sig, ok := p.Info.TypeOf(x.Fun).(*types.Signature)
+				if !ok || x.Ellipsis.IsValid() {
+					return true
+				}
+				for i, arg := range x.Args {
+					pt := paramType(sig, i)
+					if isInterface(pt) && boxes(p, arg) {
+						flag(arg, pt)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					lt := p.Info.TypeOf(lhs)
+					if isInterface(lt) && boxes(p, x.Rhs[i]) {
+						flag(x.Rhs[i], lt)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// paramType resolves the type of argument i against sig, spreading the
+// variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether storing e into an interface destination heap-
+// allocates: its static type is a concrete non-pointer-shaped type and
+// the value is not a compile-time constant (and not nil).
+func boxes(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil || isInterface(t) || pointerShaped(t) {
+		return false
+	}
+	if b, isBasic := t.(*types.Basic); isBasic && b.Info()&types.IsUntyped != 0 {
+		return false
+	}
+	return true
+}
+
+// typeName renders t relative to the package for diagnostics.
+func typeName(p *Package, t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, types.RelativeTo(p.Types))
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestIfaceBoxFlagsConcreteToInterface(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "ifacebox/bad.go", IfaceBox{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "ifacebox/bad.go", got, want)
+}
+
+func TestIfaceBoxAcceptsPointersAndConstants(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "ifacebox/good.go", IfaceBox{})
+	expectFindings(t, "ifacebox/good.go", got, nil)
+}

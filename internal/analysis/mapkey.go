@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapKey forbids probing maps in hot loops with keys materialized per
+// iteration: a string built by concatenation, fmt, a []byte→string
+// conversion bound to a variable, a same-package key-builder function
+// that returns a fresh string, or a struct composite literal.  Every
+// such probe pays a key construction per tuple, where the planned
+// per-(relation,positions) index work wants a dense ID (or at least the
+// compiler's zero-alloc m[string(bytes)] read probe — an *inline*
+// conversion in the index expression is deliberately legal, and so is
+// the insert side of a probe-then-insert, which materializes the key
+// once per distinct key rather than once per iteration).
+type MapKey struct{}
+
+func (MapKey) Name() string { return "mapkey" }
+
+func (MapKey) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	fresh := freshStringFuncs(p)
+	eachHotFunc(p, func(fd *ast.FuncDecl) {
+		cold := coldSpans(fd.Body)
+		// keyVars maps loop-assigned variables to how their fresh string
+		// was built, for diagnostics.
+		keyVars := make(map[*types.Var]string)
+		w := &hotWalk{p: p}
+		w.walk(fd.Body, func(n ast.Node, hot bool) bool {
+			if !hot || posInSpans(cold, n.Pos()) {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if how := freshStringExpr(p, fresh, x.Rhs[i], true); how != "" {
+						if v := definedOrUsedVar(p, id); v != nil {
+							keyVars[v] = how
+						}
+					}
+				}
+			case *ast.IndexExpr:
+				if t := p.Info.TypeOf(x.X); t == nil {
+					return true
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				switch k := x.Index.(type) {
+				case *ast.Ident:
+					v := definedOrUsedVar(p, k)
+					if v == nil {
+						return true
+					}
+					if how, tracked := keyVars[v]; tracked {
+						diags = append(diags, Diagnostic{
+							Rule:    "mapkey",
+							Pos:     p.Fset.Position(x.Pos()),
+							Message: fmt.Sprintf("map probed with %s built per iteration via %s; intern a dense ID or probe with an inline string(bytes) conversion", k.Name, how),
+						})
+					}
+				case *ast.CompositeLit:
+					diags = append(diags, Diagnostic{
+						Rule:    "mapkey",
+						Pos:     p.Fset.Position(x.Pos()),
+						Message: "map probed with a composite-literal key built per iteration; intern the components into a dense ID",
+					})
+				default:
+					// An inline string(bytes) conversion is the sanctioned
+					// zero-alloc probe, so conversions are exempt here.
+					if how := freshStringExpr(p, fresh, x.Index, false); how != "" {
+						diags = append(diags, Diagnostic{
+							Rule:    "mapkey",
+							Pos:     p.Fset.Position(x.Pos()),
+							Message: fmt.Sprintf("map probed with a key built per iteration via %s; intern a dense ID instead", how),
+						})
+					}
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// definedOrUsedVar resolves id to its variable object on either side of
+// a define/use.
+func definedOrUsedVar(p *Package, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// freshStringExpr classifies e as an expression that materializes a new
+// string each evaluation, returning a short description or "".  When
+// countConversions is false, plain string(x) conversions are not
+// counted (the inline map-probe exemption).
+func freshStringExpr(p *Package, fresh map[*types.Func]bool, e ast.Expr, countConversions bool) string {
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && isStringType(p.Info.TypeOf(x)) {
+			return "string concatenation"
+		}
+	case *ast.CallExpr:
+		if isPkgCall(p, x, "fmt", "fmt") {
+			return "a fmt call"
+		}
+		if callee := calleeOf(p.Info, x); callee != nil && fresh[callee] {
+			return callee.Name() + " (returns a fresh string)"
+		}
+		if countConversions && isStringConversion(p, x) {
+			return "a string conversion"
+		}
+	}
+	return ""
+}
+
+// isStringConversion reports whether call is string(x) over a byte or
+// rune slice — the conversion that copies into a new string.
+func isStringConversion(p *Package, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isStringType(tv.Type) {
+		return false
+	}
+	at := p.Info.TypeOf(call.Args[0])
+	if at == nil {
+		return true // lenient: assume the copying case
+	}
+	s, isSlice := at.Underlying().(*types.Slice)
+	if !isSlice {
+		return false
+	}
+	b, isBasic := s.Elem().Underlying().(*types.Basic)
+	return isBasic && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// freshStringFuncs computes, to a same-package fixpoint, the functions
+// that return a freshly materialized string (concatenation, fmt, a
+// copying conversion, or a call to another fresh-string function) — the
+// projKey-style key builders whose results must not feed hot map
+// probes.
+func freshStringFuncs(p *Package) map[*types.Func]bool {
+	decls := funcDecls(p)
+	fresh := make(map[*types.Func]bool, len(decls))
+	returnsCallTo := make(map[*types.Func][]*types.Func)
+	//keyedeq:allow detmap -- per-function summary collection is order-insensitive
+	for obj, fd := range decls {
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Results().Len() != 1 || !isStringType(sig.Results().At(0).Type()) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			switch x := ret.Results[0].(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD && isStringType(p.Info.TypeOf(x)) {
+					fresh[obj] = true
+				}
+			case *ast.CallExpr:
+				if isPkgCall(p, x, "fmt", "fmt") || isStringConversion(p, x) {
+					fresh[obj] = true
+				} else if callee := calleeOf(p.Info, x); callee != nil {
+					if _, local := decls[callee]; local {
+						returnsCallTo[obj] = append(returnsCallTo[obj], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		//keyedeq:allow detmap -- fixpoint iteration converges to the same set in any order
+		for obj, callees := range returnsCallTo {
+			if fresh[obj] {
+				continue
+			}
+			for _, c := range callees {
+				if fresh[c] {
+					fresh[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestMapKeyFlagsPerIterationKeys(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "mapkey/bad.go", MapKey{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "mapkey/bad.go", got, want)
+}
+
+func TestMapKeyAcceptsDenseIDsAndInlineProbes(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "mapkey/good.go", MapKey{})
+	expectFindings(t, "mapkey/good.go", got, nil)
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Preallocate flags appends in hot loops that grow a slice whose final
+// size was knowable up front: the slice is a local declared empty with
+// no capacity (var s []T, s := []T{}, make([]T, 0)) outside the loop,
+// and the loop between the declaration and the append ranges over a
+// slice, array, or map — so make(..., 0, len(ranged)) was available.
+// Growing such a slice by doubling re-allocates and copies log(n)
+// times per pass, the classic worklist mistake the chase's wave buffers
+// exist to avoid.  Appends to struct fields are exempt: a field buffer
+// is the cross-call reuse pattern itself (truncate, refill, keep the
+// capacity).
+type Preallocate struct{}
+
+func (Preallocate) Name() string { return "preallocate" }
+
+func (Preallocate) Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(p, func(fd *ast.FuncDecl) {
+		cold := coldSpans(fd.Body)
+		unsized := unsizedSliceDecls(p, fd)
+		w := &hotWalk{p: p}
+		w.walk(fd.Body, func(n ast.Node, hot bool) bool {
+			if !hot || posInSpans(cold, n.Pos()) {
+				return true
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, _ := p.Info.Uses[lhs].(*types.Var)
+			if obj == nil || !unsized[obj] {
+				return true
+			}
+			if !isSelfAppend(p, as.Rhs[0], obj) {
+				return true
+			}
+			// The growth is per-iteration only if the declaration sits
+			// outside some enclosing loop, and the capacity is derivable
+			// only if such a loop ranges over sized data.
+			ranged := sizedRangeBetween(p, w.loops, obj.Pos())
+			if ranged == "" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Rule:    "preallocate",
+				Pos:     p.Fset.Position(as.Pos()),
+				Message: fmt.Sprintf("%s grows per iteration but was declared without capacity; presize with make(..., 0, len(%s))", lhs.Name, ranged),
+			})
+			return true
+		})
+	})
+	return diags
+}
+
+// unsizedSliceDecls collects the function's local slice variables
+// declared empty with no capacity hint: var s []T, s := []T{},
+// s := make([]T, 0).  Anything initialized with elements, a length, a
+// capacity, or an arbitrary expression is presumed sized.
+func unsizedSliceDecls(p *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	mark := func(id *ast.Ident) {
+		if v, ok := p.Info.Defs[id].(*types.Var); ok && v != nil {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) {
+					continue
+				}
+				if emptyNoCapacity(p, x.Rhs[i]) {
+					mark(id)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Values) == 0 {
+				for _, id := range x.Names {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// emptyNoCapacity reports whether e builds an empty slice with no
+// capacity: []T{} or make([]T, 0).
+func emptyNoCapacity(p *Package, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0 && allocatingLit(p, x)
+	case *ast.CallExpr:
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || !isBuiltin(p.Info, id) || len(x.Args) != 2 {
+			return false
+		}
+		lit, ok := x.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+// isSelfAppend reports whether e is append(obj, ...).
+func isSelfAppend(p *Package, e ast.Expr, obj *types.Var) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || !isBuiltin(p.Info, id) {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && p.Info.Uses[first] == obj
+}
+
+// sizedRangeBetween scans the enclosing-loop chain for a range loop
+// that (a) starts after the variable's declaration, so the slice grows
+// across its iterations, and (b) ranges over len()-able data (slice,
+// array, or map), returning a printable name for the ranged expression
+// — the evidence that the capacity was derivable.
+func sizedRangeBetween(p *Package, loops []ast.Stmt, declPos token.Pos) string {
+	for _, l := range loops {
+		rs, ok := l.(*ast.RangeStmt)
+		if !ok || rs.Pos() <= declPos {
+			continue
+		}
+		if t := p.Info.TypeOf(rs.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+			default:
+				continue
+			}
+		}
+		return exprKey(rs.X)
+	}
+	return ""
+}

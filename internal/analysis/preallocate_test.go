@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestPreallocateFlagsUnsizedGrowth(t *testing.T) {
+	got, want := checkFixture(t, "keyedeq/internal/fixture", "preallocate/bad.go", Preallocate{})
+	if len(want) == 0 {
+		t.Fatal("bad fixture declares no want-lines")
+	}
+	expectFindings(t, "preallocate/bad.go", got, want)
+}
+
+func TestPreallocateAcceptsPresizedAndFieldBuffers(t *testing.T) {
+	got, _ := checkFixture(t, "keyedeq/internal/fixture", "preallocate/good.go", Preallocate{})
+	expectFindings(t, "preallocate/good.go", got, nil)
+}

@@ -15,3 +15,14 @@ func unknownRule() {
 	//keyedeq:allow nosuchrule -- justified but misnamed // want directive
 	panic("still reported") // want panicgate
 }
+
+// bareHot carries a hot marker with no justification: reported, and it
+// seeds nothing.
+//
+//keyedeq:hot // want directive
+func bareHot() {}
+
+// hotWithArgs passes arguments to a marker that takes none.
+//
+//keyedeq:hot chase search -- markers take no arguments // want directive
+func hotWithArgs() {}

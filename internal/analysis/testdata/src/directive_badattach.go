@@ -1,0 +1,20 @@
+// Fixture for well-formed directives attached where they can take no
+// effect: reported under the pseudo-rule "baddirective" instead of
+// rotting silently.
+package fixture
+
+//keyedeq:hot -- hot markers belong on functions, not var decls // want baddirective
+var knobs = 3
+
+//keyedeq:hot -- orphaned between declarations // want baddirective
+
+// Scan is properly hot; its own directive is fine and the orphan above
+// does not attach to it.
+//
+//keyedeq:hot -- fixture: a correctly attached marker stays silent
+func Scan() int { return knobs }
+
+//keyedeq:allow detmap -- orphaned: no code on this line or the next // want baddirective
+
+// tail keeps the orphaned allow two lines away from any code.
+var tail = 4

@@ -1,0 +1,54 @@
+// Fixtures that MUST trigger escapes: loop-local allocations that leak
+// past the iteration and so heap-allocate every pass.
+package fixture
+
+import "sort"
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type keeper struct{ last []byte }
+
+type pair struct{ a, b int }
+
+//keyedeq:hot -- fixture: loop-local buffer stored to a field outlives
+// the iteration
+func Store(r *rel, k *keeper) {
+	for _, t := range r.tuples {
+		b := make([]byte, 0, len(t))
+		for _, v := range t {
+			b = append(b, byte(v))
+		}
+		k.last = b // want escapes
+	}
+}
+
+//keyedeq:hot -- fixture: loop-local handed to an unknown callee
+func Sorted(r *rel) {
+	for _, t := range r.tuples {
+		c := make([]int, len(t))
+		copy(c, t)
+		sort.Ints(c) // want escapes
+	}
+}
+
+//keyedeq:hot -- fixture: address of a loop-local value stored outside
+func Addr(r *rel, out []*pair) {
+	for i, t := range r.tuples {
+		pe := pair{i, len(t)}
+		out[i] = &pe // want escapes
+	}
+}
+
+//keyedeq:hot -- fixture: appended into an outer slice, the backing
+// array must survive the loop
+func Leak(r *rel) [][]byte {
+	var out [][]byte
+	for _, t := range r.tuples {
+		b := make([]byte, len(t))
+		out = append(out, b) // want escapes
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Fixtures that MUST NOT trigger escapes: hoisted scratch, loop-private
+// allocations, same-package callees, and result returns.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type hasher struct{ buf []byte }
+
+//keyedeq:hot -- fixture: hoisted scratch reused across iterations
+func (h *hasher) Sum(r *rel) int {
+	n := 0
+	for _, t := range r.tuples {
+		h.buf = h.buf[:0]
+		for _, v := range t {
+			h.buf = append(h.buf, byte(v))
+		}
+		n += len(h.buf)
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: loop-private allocation never leaves the loop
+func Private(r *rel) int {
+	n := 0
+	for _, t := range r.tuples {
+		seen := map[int]bool{}
+		for _, v := range t {
+			seen[v] = true
+		}
+		n += len(seen)
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: same-package callees are inside the analysis
+func Local(r *rel) int {
+	n := 0
+	for _, t := range r.tuples {
+		c := []int{len(t)}
+		n += consume(c, t)
+	}
+	return n
+}
+
+func consume(c []int, t Tuple) int { return len(c) + len(t) }
+
+//keyedeq:hot -- fixture: returning the result is the function's job,
+// not a per-iteration leak
+func FirstCopy(r *rel) []int {
+	for _, t := range r.tuples {
+		if len(t) > 0 {
+			c := make([]int, len(t))
+			copy(c, t)
+			return c
+		}
+	}
+	return nil
+}

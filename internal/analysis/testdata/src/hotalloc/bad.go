@@ -1,0 +1,51 @@
+// Fixtures that MUST trigger hotalloc: per-iteration allocation inside
+// hot loops, including in helpers reached only through propagation.
+package fixture
+
+import "fmt"
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+//keyedeq:hot -- fixture: the tuple scan is the hot loop under test
+func ScanAlloc(r *rel) int {
+	n := 0
+	for _, t := range r.tuples {
+		b := make([]byte, 0, len(t)) // want hotalloc
+		_ = b
+		ids := []int{len(t)} // want hotalloc
+		_ = ids
+		n += len(t)
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: string building per tuple
+func Keys(r *rel) []string {
+	var out []string
+	for _, t := range r.tuples {
+		k := fmt.Sprintf("%d", len(t)) // want hotalloc
+		k = k + "x"                    // want hotalloc
+		out = append(out, k)
+	}
+	return out
+}
+
+// helper carries no directive: hotness must reach it through the
+// same-package call graph from Caller.
+func helper(t Tuple) int {
+	n := 0
+	for range t {
+		for range t {
+			p := &rel{} // want hotalloc
+			_ = p
+			n++
+		}
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: propagation root for helper
+func Caller(t Tuple) int { return helper(t) }

@@ -1,0 +1,60 @@
+// Fixtures that MUST NOT trigger hotalloc: scratch reuse, struct-value
+// copies, error exits, cold code, and setup-shaped loops.
+package fixture
+
+import "fmt"
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type scanner struct{ buf []byte }
+
+//keyedeq:hot -- fixture: reuses a hoisted scratch buffer per iteration
+func (s *scanner) Scan(r *rel) int {
+	n := 0
+	for _, t := range r.tuples {
+		s.buf = s.buf[:0]
+		for _, v := range t {
+			s.buf = append(s.buf, byte(v))
+		}
+		// A struct value is a copy, not an allocation.
+		it := struct{ a, b int }{len(t), n}
+		n += it.a + len(s.buf)
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: allocation on the error exit runs once
+func First(r *rel) (Tuple, error) {
+	for _, t := range r.tuples {
+		if len(t) > 0 {
+			return t, fmt.Errorf("stopped after a %d-ary tuple", len(t))
+		}
+	}
+	return nil, nil
+}
+
+// coldAlloc allocates per iteration but carries no directive and has no
+// hot caller: the rule must stay silent.
+func coldAlloc(r *rel) []Tuple {
+	var out []Tuple
+	for _, t := range r.tuples {
+		c := make(Tuple, len(t))
+		copy(c, t)
+		out = append(out, c)
+	}
+	return out
+}
+
+//keyedeq:hot -- fixture: a single top-level non-tuple loop is setup,
+// and setup may allocate proportionally to the problem description
+func SetupLoop(deps []int) int {
+	n := 0
+	for _, d := range deps {
+		buf := make([]int, d)
+		n += len(buf)
+	}
+	return n
+}

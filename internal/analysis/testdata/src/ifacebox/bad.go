@@ -1,0 +1,32 @@
+// Fixtures that MUST trigger iface-box: non-pointer concrete values
+// boxed into interfaces inside hot loops.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type sink struct{ vals []any }
+
+func (s *sink) add(v any) { s.vals = append(s.vals, v) }
+
+type pair struct{ a, b int }
+
+//keyedeq:hot -- fixture: ints, slices, and structs box per tuple
+func Box(r *rel, s *sink) {
+	for i, t := range r.tuples {
+		s.add(i) // want iface-box
+		var v any
+		v = t // want iface-box
+		_ = v
+		s.add(pair{i, len(t)}) // want iface-box
+	}
+}
+
+//keyedeq:hot -- fixture: interface-typed map stores box their values
+func Stash(r *rel, m map[int]any) {
+	for i, t := range r.tuples {
+		m[i] = len(t) // want iface-box
+	}
+}

@@ -1,0 +1,41 @@
+// Fixtures that MUST NOT trigger iface-box: pointer-shaped values,
+// constants, interface-to-interface moves, and cold code.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type sink struct{ vals []any }
+
+func (s *sink) add(v any) { s.vals = append(s.vals, v) }
+
+//keyedeq:hot -- fixture: pointers ride the interface word for free
+func PtrBox(r *rel, s *sink) {
+	for i := range r.tuples {
+		s.add(&r.tuples[i])
+	}
+}
+
+//keyedeq:hot -- fixture: constants resolve to shared static boxes
+func ConstBox(r *rel, s *sink) {
+	for range r.tuples {
+		s.add(1)
+	}
+}
+
+//keyedeq:hot -- fixture: interface-to-interface assignment does not box
+func Pass(r *rel, s *sink, vs []any) {
+	for i := range r.tuples {
+		s.add(vs[i%len(vs)])
+	}
+}
+
+// coldBox is unannotated and unreached from hot code: boxing is legal.
+func coldBox(r *rel, s *sink) {
+	for i, t := range r.tuples {
+		s.add(i)
+		_ = t
+	}
+}

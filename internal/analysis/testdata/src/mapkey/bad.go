@@ -1,0 +1,62 @@
+// Fixtures that MUST trigger mapkey: map probes keyed by strings or
+// structs materialized once per iteration.
+package fixture
+
+import "fmt"
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+// projKey is a key-builder returning a fresh string; the rule must see
+// through this one level of same-package calls.
+func projKey(t Tuple) string {
+	b := make([]byte, 0, len(t))
+	for _, v := range t {
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+//keyedeq:hot -- fixture: per-tuple projection keys into the bucket map
+func Buckets(r *rel) map[string]int {
+	m := make(map[string]int)
+	for i, t := range r.tuples {
+		k := projKey(t)
+		m[k] = i // want mapkey
+	}
+	return m
+}
+
+//keyedeq:hot -- fixture: concatenated and formatted keys
+func Grouped(r *rel, names []string) map[string]int {
+	m := make(map[string]int)
+	for i, t := range r.tuples {
+		m[names[i%len(names)]+"|"] += len(t) // want mapkey
+		m[fmt.Sprintf("g%d", i)] += len(t)   // want mapkey
+	}
+	return m
+}
+
+type pair struct{ a, b int }
+
+//keyedeq:hot -- fixture: struct keys materialized per tuple
+func Pairs(r *rel) map[pair]int {
+	m := make(map[pair]int)
+	for i, t := range r.tuples {
+		m[pair{i, len(t)}]++ // want mapkey
+	}
+	return m
+}
+
+//keyedeq:hot -- fixture: a conversion bound to a variable defeats the
+// compiler's zero-alloc probe optimization
+func Bound(r *rel, buf []byte) map[string]int {
+	m := make(map[string]int)
+	for range r.tuples {
+		k := string(buf)
+		m[k]++ // want mapkey
+	}
+	return m
+}

@@ -1,0 +1,53 @@
+// Fixtures that MUST NOT trigger mapkey: dense integer keys, the
+// inline-conversion probe, insert-side materialization, and cold code.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+//keyedeq:hot -- fixture: dense integer IDs are the sanctioned key
+func Dense(r *rel, ids []int) map[int]int {
+	m := make(map[int]int)
+	for i, t := range r.tuples {
+		m[ids[i%len(ids)]] += len(t)
+	}
+	return m
+}
+
+//keyedeq:hot -- fixture: an inline conversion in the index expression
+// is the compiler's zero-alloc read probe
+func Probe(r *rel, buf []byte, m map[string]int) int {
+	n := 0
+	for range r.tuples {
+		n += m[string(buf)]
+	}
+	return n
+}
+
+//keyedeq:hot -- fixture: probe-then-insert materializes the key once
+// per distinct key, not once per iteration
+func Intern(r *rel, buf []byte, m map[string]int) int {
+	next := 0
+	for range r.tuples {
+		id, ok := m[string(buf)]
+		if !ok {
+			id = next
+			next++
+			m[string(buf)] = id
+		}
+		_ = id
+	}
+	return next
+}
+
+// coldKeys builds string keys outside any hot function: legal.
+func coldKeys(r *rel, names []string) map[string]int {
+	m := make(map[string]int)
+	for i, t := range r.tuples {
+		k := names[i%len(names)] + ":"
+		m[k] = len(t)
+	}
+	return m
+}

@@ -1,0 +1,40 @@
+// Fixtures that MUST trigger preallocate: slices grown per iteration
+// whose capacity was derivable from a ranged-over length.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+//keyedeq:hot -- fixture: var-declared worklist grown without capacity
+func Collect(r *rel) []int {
+	var sizes []int
+	for _, t := range r.tuples {
+		sizes = append(sizes, len(t)) // want preallocate
+	}
+	return sizes
+}
+
+//keyedeq:hot -- fixture: an empty literal is still unsized
+func Flatten(r *rel) []int {
+	out := []int{}
+	for _, t := range r.tuples {
+		for _, v := range t {
+			out = append(out, v) // want preallocate
+		}
+	}
+	return out
+}
+
+//keyedeq:hot -- fixture: make with zero length and no capacity; the
+// conditional append still has len(r.tuples) as its upper bound
+func Ids(r *rel) []int {
+	ids := make([]int, 0)
+	for _, t := range r.tuples {
+		if len(t) > 0 {
+			ids = append(ids, t[0]) // want preallocate
+		}
+	}
+	return ids
+}

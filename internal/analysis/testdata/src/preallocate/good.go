@@ -1,0 +1,46 @@
+// Fixtures that MUST NOT trigger preallocate: presized slices, field
+// buffers, setup loops, and ranges with no derivable length.
+package fixture
+
+// Tuple mirrors the engine's tuple shape.
+type Tuple []int
+
+type rel struct{ tuples []Tuple }
+
+type acc struct{ ids []int }
+
+//keyedeq:hot -- fixture: presized with the ranged length
+func Collect(r *rel) []int {
+	sizes := make([]int, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		sizes = append(sizes, len(t))
+	}
+	return sizes
+}
+
+//keyedeq:hot -- fixture: a field buffer is the reuse pattern, exempt
+func (a *acc) Gather(r *rel) {
+	a.ids = a.ids[:0]
+	for _, t := range r.tuples {
+		a.ids = append(a.ids, len(t))
+	}
+}
+
+//keyedeq:hot -- fixture: a channel range has no derivable length
+func Drain(ch chan Tuple) []int {
+	var out []int
+	for t := range ch {
+		out = append(out, len(t))
+	}
+	return out
+}
+
+//keyedeq:hot -- fixture: a single top-level non-tuple loop is setup,
+// outside the hot region
+func Setup(deps []int) []int {
+	var out []int
+	for _, d := range deps {
+		out = append(out, d)
+	}
+	return out
+}

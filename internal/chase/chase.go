@@ -28,6 +28,11 @@ import (
 	"keyedeq/internal/value"
 )
 
+// cancelCheckMask bounds how often straight-line scans over tableau
+// rows poll their context: once every cancelCheckMask+1 rows, matching
+// the search's polling contract in internal/cq.
+const cancelCheckMask = 0x3ff
+
 // Term identifies a tableau term: a labeled null or a constant, managed by
 // the Tableau that created it.
 type Term int
@@ -262,6 +267,8 @@ func (t *Tableau) Run(deps []fd.FD) (Stats, error) {
 // mentioning one can never be produced — stale entries are unreachable,
 // not wrong.  The full-rescan fixpoint remains as RunNaiveCtx for
 // differential testing.
+//
+//keyedeq:hot -- the per-wave worklist drain dominates every chase-backed decision procedure
 func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 	egds, err := t.compileEGDs(deps)
 	if err != nil {
@@ -278,8 +285,25 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 		egd, row int32
 	}
 	// Seed: every (dependency, row) pair of the dependency's relation.
+	// The worklist's exact size is the sum over dependencies of their
+	// relation's row count; tally it first so the seeding scan appends
+	// into place instead of growing by doubling.
+	rowsPerRel := make([]int, len(t.Schema.Relations))
+	for ri := range t.rows {
+		if ri&cancelCheckMask == cancelCheckMask {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+		}
+		rowsPerRel[t.rows[ri].rel]++
+	}
+	seedCount := 0
+	for _, e := range egds {
+		seedCount += rowsPerRel[e.rel]
+	}
 	queued := make([][]bool, len(egds))
-	var cur, next []item
+	cur := make([]item, 0, seedCount)
+	var next []item
 	for ei := range egds {
 		// Seeding scans every (dependency, row) pair; poll once per
 		// dependency so a huge tableau cannot outlive its deadline
@@ -343,10 +367,20 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 
 	// buckets[e] maps an LHS key to the first row seen with it; later
 	// rows with the same key merge their RHS cells into that row's.
+	// Single-position LHSs — the common key shape — key directly on the
+	// union-find root, a dense int32.  Multi-position LHSs project into
+	// a reused scratch buffer and materialize a string key only on first
+	// insert (the read probe's inline conversion does not allocate).
+	buckets1 := make([]map[int32]int32, len(egds))
 	buckets := make([]map[string]int32, len(egds))
-	for ei := range buckets {
-		buckets[ei] = make(map[string]int32)
+	for ei := range egds {
+		if len(egds[ei].x) == 1 {
+			buckets1[ei] = make(map[int32]int32)
+		} else {
+			buckets[ei] = make(map[string]int32)
+		}
 	}
+	var keyBuf []byte
 	for len(cur) > 0 && !t.failed {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -359,12 +393,23 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 			queued[it.egd][it.row] = false
 			e := &egds[it.egd]
 			r := t.rows[it.row]
-			key := t.projKey(r, e.x)
 			stats.Revisited++
-			first, ok := buckets[it.egd][key]
-			if !ok {
-				buckets[it.egd][key] = it.row
-				continue
+			var first int32
+			var ok bool
+			if len(e.x) == 1 {
+				root := int32(t.find(int(r.cells[e.x[0]])))
+				first, ok = buckets1[it.egd][root]
+				if !ok {
+					buckets1[it.egd][root] = it.row
+					continue
+				}
+			} else {
+				keyBuf = t.appendProj(keyBuf[:0], r, e.x)
+				first, ok = buckets[it.egd][string(keyBuf)]
+				if !ok {
+					buckets[it.egd][string(keyBuf)] = it.row
+					continue
+				}
 			}
 			if first == it.row {
 				continue
@@ -481,15 +526,23 @@ func (t *Tableau) classCount() int {
 	return n
 }
 
-// projKey renders the representatives of the projected cells as a map key.
-func (t *Tableau) projKey(r row, positions []int) string {
-	b := make([]byte, 0, len(positions)*4)
+// appendProj appends the representatives of the projected cells to b
+// as a delimiter-separated byte key, reusing b's capacity.
+func (t *Tableau) appendProj(b []byte, r row, positions []int) []byte {
 	for _, p := range positions {
 		rep := t.find(int(r.cells[p]))
 		b = appendInt(b, rep)
 		b = append(b, ',')
 	}
-	return string(b)
+	return b
+}
+
+// projKey renders the representatives of the projected cells as a map
+// key.  Only the naive reference chase uses it; the semi-naive hot path
+// keys single-position dependencies on the root directly and builds
+// multi-position keys in a reused scratch buffer via appendProj.
+func (t *Tableau) projKey(r row, positions []int) string {
+	return string(t.appendProj(make([]byte, 0, len(positions)*4), r, positions))
 }
 
 func appendInt(b []byte, n int) []byte {

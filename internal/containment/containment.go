@@ -111,6 +111,8 @@ func ContainedUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, 
 // ContainedUnderCtxMode is ContainedUnderCtx with an explicit
 // homomorphism search mode; the naive mode drives the differential tests
 // and the planned-vs-naive benchmark record.
+//
+//keyedeq:hot -- freeze-chase-search is the decision procedure every engine verdict runs
 func ContainedUnderCtxMode(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode cq.SearchMode) (bool, Stats, error) {
 	var stats Stats
 	if err := CheckComparable(q1, q2, s); err != nil {

@@ -196,7 +196,11 @@ func buildPlan(q *Query, rels []*instance.Relation, eq *EqClasses, pres []prebin
 		rel *instance.Relation
 		sig string
 	}
-	var slots []indexID
+	nsteps := 0
+	for ci := range plan.comps {
+		nsteps += len(plan.comps[ci].steps)
+	}
+	slots := make([]indexID, 0, nsteps)
 	for ci := range plan.comps {
 		for si := range plan.comps[ci].steps {
 			st := &plan.comps[ci].steps[si]

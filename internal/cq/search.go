@@ -47,14 +47,24 @@ type searcher struct {
 	bound    []bool
 	stats    *EvalStats
 	canceled error
-	// indexes holds one lazily built bucket map per plan index slot;
+	// indexes1 holds one lazily built bucket map per plan index slot;
 	// steps sharing a slot share the index.  Single-position keys use
-	// indexes1 (keyed by the value itself, no encoding); wider keys use
-	// indexes with an encoded byte-string key.
+	// indexes1 (keyed by the value itself, no encoding).  Wider keys use
+	// a two-level index: keyIDs maps the encoded byte-string key to a
+	// dense bucket id — the string is materialized once per distinct
+	// key, and every probe goes through the compiler's zero-alloc
+	// inline string(bytes) conversion — and buckets[slot][id] holds that
+	// key's tuples.
 	indexes1 []map[value.Value][]instance.Tuple
-	indexes  []map[string][]instance.Tuple
+	keyIDs   []map[string]int32
+	buckets  [][][]instance.Tuple
 	// keyBuf is the reusable scratch for probe-key encoding.
 	keyBuf []byte
+	// addedStack records newly bound class ids in binding order, shared
+	// by every recursion level: tryBind pushes, unbindTo truncates back
+	// to a caller's mark.  One reusable stack replaces a fresh slice per
+	// node visit.
+	addedStack []int32
 }
 
 func newSearcher(ctx context.Context, plan *searchPlan, stats *EvalStats) *searcher {
@@ -65,7 +75,8 @@ func newSearcher(ctx context.Context, plan *searchPlan, stats *EvalStats) *searc
 		bound:    make([]bool, plan.numClasses),
 		stats:    stats,
 		indexes1: make([]map[value.Value][]instance.Tuple, plan.numSlots),
-		indexes:  make([]map[string][]instance.Tuple, plan.numSlots),
+		keyIDs:   make([]map[string]int32, plan.numSlots),
+		buckets:  make([][][]instance.Tuple, plan.numSlots),
 	}
 }
 
@@ -166,9 +177,10 @@ func (s *searcher) candidates(st *planStep) []instance.Tuple {
 		}
 		return idx[s.binding[st.roots[p]]]
 	}
-	idx := s.indexes[st.indexSlot]
-	if idx == nil {
-		idx = make(map[string][]instance.Tuple, st.rel.Len())
+	ids := s.keyIDs[st.indexSlot]
+	if ids == nil {
+		ids = make(map[string]int32, st.rel.Len())
+		bks := make([][]instance.Tuple, 0, st.rel.Len())
 		for i, t := range st.rel.Tuples() {
 			if i&cancelCheckMask == cancelCheckMask {
 				if err := s.ctx.Err(); err != nil {
@@ -176,46 +188,62 @@ func (s *searcher) candidates(st *planStep) []instance.Tuple {
 					return nil
 				}
 			}
-			b := make([]byte, 0, len(st.keyPos)*8)
+			// Encode into the shared scratch and resolve the key through
+			// the zero-alloc inline probe; the key string is materialized
+			// only on first insert — once per distinct key, not per tuple.
+			b := s.keyBuf[:0]
 			for _, p := range st.keyPos {
 				b = appendValue(b, t[p])
 			}
-			k := string(b)
-			idx[k] = append(idx[k], t)
+			s.keyBuf = b
+			bid, ok := ids[string(b)]
+			if !ok {
+				bid = int32(len(bks))
+				ids[string(b)] = bid
+				bks = append(bks, nil)
+			}
+			bks[bid] = append(bks[bid], t)
 		}
-		s.indexes[st.indexSlot] = idx
+		s.keyIDs[st.indexSlot] = ids
+		s.buckets[st.indexSlot] = bks
 	}
 	b := s.keyBuf[:0]
 	for _, p := range st.keyPos {
 		b = appendValue(b, s.binding[st.roots[p]])
 	}
 	s.keyBuf = b
-	return idx[string(b)]
+	bid, ok := ids[string(b)]
+	if !ok {
+		return nil
+	}
+	return s.buckets[st.indexSlot][bid]
 }
 
-// tryBind extends the binding with tuple t at step st.  It returns the
-// newly bound class ids and whether every position was consistent; on
-// inconsistency the caller unwinds the partial adds.
-func (s *searcher) tryBind(st *planStep, t instance.Tuple) ([]int32, bool) {
-	var added []int32
+// tryBind extends the binding with tuple t at step st, pushing each
+// newly bound class id onto addedStack.  It reports whether every
+// position was consistent; either way the caller unwinds the partial
+// adds with unbindTo(mark) using the stack length it saved beforehand.
+func (s *searcher) tryBind(st *planStep, t instance.Tuple) bool {
 	for p, id := range st.roots {
 		if s.bound[id] {
 			if s.binding[id] != t[p] {
-				return added, false
+				return false
 			}
 			continue
 		}
 		s.binding[id] = t[p]
 		s.bound[id] = true
-		added = append(added, id)
+		s.addedStack = append(s.addedStack, id)
 	}
-	return added, true
+	return true
 }
 
-func (s *searcher) unbind(added []int32) {
-	for _, id := range added {
+// unbindTo unwinds every binding pushed since the caller's mark.
+func (s *searcher) unbindTo(mark int) {
+	for _, id := range s.addedStack[mark:] {
 		s.bound[id] = false
 	}
+	s.addedStack = s.addedStack[:mark]
 }
 
 // countNode advances the node counter and polls the context once every
@@ -250,11 +278,11 @@ func (s *searcher) findFrom(steps []planStep, i int) bool {
 		if !s.countNode() {
 			return false
 		}
-		added, ok := s.tryBind(st, t)
-		if ok && s.findFrom(steps, i+1) {
+		mark := len(s.addedStack)
+		if s.tryBind(st, t) && s.findFrom(steps, i+1) {
 			return true
 		}
-		s.unbind(added)
+		s.unbindTo(mark)
 	}
 	return false
 }
@@ -271,12 +299,12 @@ func (s *searcher) eachMatch(steps []planStep, i int, emit func() bool) bool {
 		if !s.countNode() {
 			return false
 		}
-		added, ok := s.tryBind(st, t)
-		if ok && !s.eachMatch(steps, i+1, emit) {
-			s.unbind(added)
+		mark := len(s.addedStack)
+		if s.tryBind(st, t) && !s.eachMatch(steps, i+1, emit) {
+			s.unbindTo(mark)
 			return false
 		}
-		s.unbind(added)
+		s.unbindTo(mark)
 	}
 	return true
 }
@@ -284,6 +312,8 @@ func (s *searcher) eachMatch(steps []planStep, i int, emit func() bool) bool {
 // findAnswerPlanned is the planned-search implementation behind
 // FindAnswerBindingCtx: pre-bind the wanted head values, then satisfy
 // each join-graph component independently.
+//
+//keyedeq:hot -- the homomorphism search is the inner loop of every containment check
 func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
 	var stats EvalStats
 	eq := NewEqClasses(q)
@@ -354,6 +384,8 @@ func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want
 // head-free components are checked for a single match, and the answer is
 // the cross product — so independent components never multiply each
 // other's backtracking.
+//
+//keyedeq:hot -- full-enumeration evaluation visits every match of every component
 func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *instance.Relation) (EvalStats, error) {
 	var stats EvalStats
 	eq := NewEqClasses(q)

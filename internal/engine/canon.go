@@ -487,6 +487,7 @@ func (c *canonizer) writeClass(st *encState, ci int, b *strings.Builder) {
 // candidates, and records the lexicographically least complete encoding
 // in best.  It returns false when the budget ran out before the branch
 // space was exhausted.
+//keyedeq:hot -- budgeted branch-and-bound over candidate atom orders; every canonical key pays for it
 func (c *canonizer) search(st *encState, best *[]string, budget *int) bool {
 	exact := true
 	for {

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/chase"
+	"keyedeq/internal/containment"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/gen"
+	"keyedeq/internal/schema"
+)
+
+// Seed baselines: allocations per operation of the two kernel
+// benchmarks as measured before the hot-path allocation fixes driven by
+// the keyedeq-lint allocation rules (dense chase bucket keys, the
+// two-level search index, the shared tryBind stack).  The alloc gate
+// fails any record that drifts back above these — the discipline the
+// rules enforce statically, re-checked dynamically.
+const (
+	// seedChaseAllocs is BenchmarkT4Chase/rows-1000 pre-fix.
+	seedChaseAllocs = 2891
+	// seedSearchAllocs is BenchmarkT3Containment/clique-4 pre-fix.
+	seedSearchAllocs = 271
+)
+
+// AllocCaseResult is one kernel's steady-state allocation measurement.
+type AllocCaseResult struct {
+	Name        string `json:"name"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// SeedAllocsPerOp is the pre-fix baseline the gate compares against;
+	// it rides in the record so the file documents the improvement.
+	SeedAllocsPerOp int64 `json:"seed_allocs_per_op"`
+}
+
+// AllocBenchResult is the hot-path allocation regression record written
+// to BENCH_alloc.json by `keyedeq-bench -record alloc -json`.
+type AllocBenchResult struct {
+	Cases []AllocCaseResult `json:"cases"`
+}
+
+// Case returns the named case, if recorded.
+func (r *AllocBenchResult) Case(name string) (AllocCaseResult, bool) {
+	for _, c := range r.Cases {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return AllocCaseResult{}, false
+}
+
+// AllocCaseNames lists the cases every complete record must carry.
+func AllocCaseNames() []string {
+	return []string{"chase/rows-1000", "search/clique-4"}
+}
+
+// A1AllocBench measures allocations per operation of the two hot-path
+// kernels the allocation lint rules police — one semi-naive chase run
+// and one freeze-chase-search containment check — via testing.Benchmark
+// with the exact workloads of BenchmarkT4Chase/rows-1000 and
+// BenchmarkT3Containment/clique-4.  A case that fails to run is noted
+// in the table and omitted from the record, which the verify gate then
+// rejects as incomplete.
+func A1AllocBench() (*Table, *AllocBenchResult) {
+	t := &Table{
+		ID:      "A1",
+		Title:   "hot-path allocations per operation (chase + homomorphism search)",
+		Columns: []string{"case", "allocs/op", "bytes/op", "seed allocs/op"},
+	}
+	res := &AllocBenchResult{}
+	for _, c := range []struct {
+		name string
+		seed int64
+		run  func(b *testing.B) error
+	}{
+		{"chase/rows-1000", seedChaseAllocs, allocChaseRun},
+		{"search/clique-4", seedSearchAllocs, allocSearchRun},
+	} {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			runErr = c.run(b)
+		})
+		if runErr != nil {
+			t.Note("%s: %v", c.name, runErr)
+			continue
+		}
+		cr := AllocCaseResult{
+			Name:            c.name,
+			AllocsPerOp:     r.AllocsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			SeedAllocsPerOp: c.seed,
+		}
+		res.Cases = append(res.Cases, cr)
+		t.Add(cr.Name, cr.AllocsPerOp, cr.BytesPerOp, cr.SeedAllocsPerOp)
+	}
+	return t, res
+}
+
+// allocChaseRun is the BenchmarkT4Chase/rows-1000 workload: 1000 rows
+// over a single keyed relation with a third as many key nulls, chased
+// to its fixpoint.  Tableau construction happens with the timer (and
+// allocation accounting) stopped, so the measurement isolates the chase.
+func allocChaseRun(b *testing.B) error {
+	s := schema.MustParse("R(k*:T1, a:T2, b:T3)")
+	deps := fd.KeyFDs(s)
+	rng := rand.New(rand.NewSource(1))
+	const rows = 1000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := chase.NewTableau(s)
+		nKeys := rows/3 + 1
+		keys := make([]chase.Term, nKeys)
+		for j := range keys {
+			keys[j] = tb.NewNull(1)
+		}
+		for j := 0; j < rows; j++ {
+			cells := []chase.Term{keys[rng.Intn(nKeys)], tb.NewNull(2), tb.NewNull(3)}
+			if err := tb.AddRow("R", cells); err != nil {
+				return err
+			}
+		}
+		b.StartTimer()
+		if _, err := tb.Run(deps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocSearchRun is the BenchmarkT3Containment/clique-4 workload: the
+// containment curve's most expensive point, freeze + planned search per
+// operation.
+func allocSearchRun(b *testing.B) error {
+	gs := gen.GraphSchema()
+	q1 := gen.CliqueQuery(4)
+	q1.Head = q1.Head[:1]
+	q2 := gen.CliqueQuery(3)
+	q2.Head = q2.Head[:1]
+	for i := 0; i < b.N; i++ {
+		ok, _, err := containment.ContainedUnder(q1, q2, gs, nil)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("clique-4 containment unexpectedly false")
+		}
+	}
+	return nil
+}
