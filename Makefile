@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify obs-verify cover all
+.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify bench-intern-verify obs-verify cover all
 
 all: build vet vet-debug test lint qvet
 
@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzCanonicalKey$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzAllowDirective$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzHotDirective$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cq -run '^$$' -fuzz '^FuzzInternRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # bench writes the batch engine's machine-readable regression record
 # (engine-vs-sequential wall time, node counts, cache hit rates).
@@ -93,6 +94,18 @@ bench-alloc:
 bench-alloc-verify:
 	$(GO) run ./cmd/keyedeq-bench -record alloc -verify-bench BENCH_alloc.json
 
+# bench-intern-verify gates the interned runtime: the differential wall
+# (interned vs generic verdicts, witnesses, and chase fingerprints over
+# every corpus family) plus the allocation record, whose chase and
+# search cases must hold strictly under the pre-interning committed
+# records (882 and 258 allocs/op).
+bench-intern-verify:
+	$(GO) test ./internal/cq -run 'TestInterned|TestCancelObservedInterned' -count=1
+	$(GO) test ./internal/containment -run 'TestInterned' -count=1
+	$(GO) test ./internal/chase -run 'TestDenseChase|TestCanonicalDatabaseFreeze' -count=1
+	$(GO) test ./internal/engine -run 'TestGenericSearch' -count=1
+	$(GO) run ./cmd/keyedeq-bench -record alloc -verify-bench BENCH_alloc.json
+
 # obs-verify gates the observability layer: the reconciliation smoke
 # tests (exported metric totals must equal the summed per-job Stats)
 # plus the in-process overhead measurement (metrics collection at most
@@ -103,10 +116,10 @@ obs-verify:
 	$(GO) run ./cmd/keyedeq-bench -verify-obs BENCH_homsearch.json
 
 # cover enforces the decision-path coverage floor (engine, containment,
-# chase, and the obs layer must each stay at or above 75% statement
-# coverage).
+# chase, the obs layer, and the interning/encoding layers must each stay
+# at or above 75% statement coverage).
 COVER_FLOOR ?= 75
-COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase ./internal/obs
+COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase ./internal/obs ./internal/value ./internal/instance
 
 cover:
 	@for pkg in $(COVER_PKGS); do \

@@ -64,9 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verifyObs := fs.String("verify-obs", "", "run the observability overhead gate and cross-check node totals against this H1 record")
 	var of cli.ObsFlags
 	of.Register(fs)
+	var sf cli.SearchFlags
+	sf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	sf.Apply()
 	if *record != "engine" && *record != "hom" && *record != "alloc" {
 		fmt.Fprintf(stderr, "keyedeq-bench: unknown record %q (want engine, hom, or alloc)\n", *record)
 		return 2

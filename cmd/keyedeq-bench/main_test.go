@@ -120,29 +120,31 @@ func TestVerifyBenchRejectsGarbage(t *testing.T) {
 func TestCompareAllocRecords(t *testing.T) {
 	rec := func(chaseAllocs, searchAllocs int64) *exp.AllocBenchResult {
 		return &exp.AllocBenchResult{Cases: []exp.AllocCaseResult{
-			{Name: "chase/rows-1000", AllocsPerOp: chaseAllocs, SeedAllocsPerOp: 2891},
-			{Name: "search/clique-4", AllocsPerOp: searchAllocs, SeedAllocsPerOp: 271},
+			{Name: "chase/rows-1000", AllocsPerOp: chaseAllocs, SeedAllocsPerOp: 882},
+			{Name: "search/clique-4", AllocsPerOp: searchAllocs, SeedAllocsPerOp: 258},
+			{Name: "intern/rows-1M", AllocsPerOp: 8212, SeedAllocsPerOp: 9881004},
 		}}
 	}
-	if problems := compareAllocRecords(rec(882, 258), rec(900, 258)); len(problems) != 0 {
+	if problems := compareAllocRecords(rec(18, 228), rec(19, 228)); len(problems) != 0 {
 		t.Errorf("clean pair flagged: %v", problems)
 	}
-	if problems := compareAllocRecords(rec(882, 258), rec(1000, 258)); len(problems) != 1 {
+	if problems := compareAllocRecords(rec(18, 228), rec(100, 228)); len(problems) != 1 {
 		t.Errorf("fresh chase over 110%% headroom: got %v, want 1 problem", problems)
 	}
-	if problems := compareAllocRecords(rec(3000, 258), rec(882, 258)); len(problems) != 1 {
+	if problems := compareAllocRecords(rec(3000, 228), rec(18, 228)); len(problems) != 1 {
 		t.Errorf("record over pre-fix seed: got %v, want 1 problem", problems)
 	}
 	missing := &exp.AllocBenchResult{Cases: []exp.AllocCaseResult{
-		{Name: "chase/rows-1000", AllocsPerOp: 882, SeedAllocsPerOp: 2891},
+		{Name: "chase/rows-1000", AllocsPerOp: 18, SeedAllocsPerOp: 882},
+		{Name: "intern/rows-1M", AllocsPerOp: 8212, SeedAllocsPerOp: 9881004},
 	}}
-	if problems := compareAllocRecords(missing, rec(882, 258)); len(problems) != 1 {
+	if problems := compareAllocRecords(missing, rec(18, 228)); len(problems) != 1 {
 		t.Errorf("missing committed case: got %v, want 1 problem", problems)
 	}
-	if problems := compareAllocRecords(rec(882, 258), missing); len(problems) != 1 {
+	if problems := compareAllocRecords(rec(18, 228), missing); len(problems) != 1 {
 		t.Errorf("missing fresh case: got %v, want 1 problem", problems)
 	}
-	if problems := compareAllocRecords(rec(0, 258), rec(882, 258)); len(problems) != 1 {
+	if problems := compareAllocRecords(rec(0, 228), rec(18, 228)); len(problems) != 1 {
 		t.Errorf("non-positive recorded allocs: got %v, want 1 problem", problems)
 	}
 }

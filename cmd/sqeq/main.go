@@ -60,9 +60,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache", 0, "verdict cache entries for -search (0 = default, <0 = disable)")
 	var of cli.ObsFlags
 	of.Register(fs)
+	var sf cli.SearchFlags
+	sf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	sf.Apply()
 
 	fail := cli.Fail(stderr, "sqeq")
 	ob, err := of.Setup(time.Now)

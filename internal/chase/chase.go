@@ -320,11 +320,25 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 		}
 	}
 
-	// rowsOfRoot maps a union-find root to the work items whose LHS key
-	// mentions a term of that class.  When the class is absorbed in a
-	// merge those items' keys change, so they are requeued and the list
-	// transfers to the winning root.
-	rowsOfRoot := make(map[int][]item)
+	// Per-root entry lists replace the old map[int][]item: every work
+	// item whose LHS key mentions a term of a class is one node in that
+	// class representative's singly linked list, laid out in three flat
+	// arrays (entries, entryNext, rootHead/rootTail) with the exact
+	// total entry count presized.  When a class is absorbed in a merge
+	// its items' keys change, so they are requeued and the whole list
+	// splices onto the winning root in O(1) — no per-merge slice
+	// growth, no map churn, and the same append order as before.
+	entryCount := 0
+	for _, e := range egds {
+		entryCount += rowsPerRel[e.rel] * len(e.x)
+	}
+	entries := make([]item, 0, entryCount)
+	entryNext := make([]int32, 0, entryCount)
+	rootHead := make([]int32, len(t.parent))
+	rootTail := make([]int32, len(t.parent))
+	for i := range rootHead {
+		rootHead[i] = -1
+	}
 	for ei := range egds {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -335,7 +349,15 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 			}
 			for _, p := range egds[ei].x {
 				root := t.find(int(t.rows[ri].cells[p]))
-				rowsOfRoot[root] = append(rowsOfRoot[root], item{int32(ei), int32(ri)})
+				idx := int32(len(entries))
+				entries = append(entries, item{int32(ei), int32(ri)})
+				entryNext = append(entryNext, -1)
+				if rootHead[root] < 0 {
+					rootHead[root] = idx
+				} else {
+					entryNext[rootTail[root]] = idx
+				}
+				rootTail[root] = idx
 			}
 		}
 	}
@@ -354,33 +376,66 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 		if winner == rb {
 			loser = ra
 		}
-		for _, it := range rowsOfRoot[loser] {
+		for e := rootHead[loser]; e >= 0; e = entryNext[e] {
+			it := entries[e]
 			if !queued[it.egd][it.row] {
 				queued[it.egd][it.row] = true
 				next = append(next, it)
 			}
 		}
-		rowsOfRoot[winner] = append(rowsOfRoot[winner], rowsOfRoot[loser]...)
-		delete(rowsOfRoot, loser)
+		if rootHead[loser] >= 0 {
+			if rootHead[winner] < 0 {
+				rootHead[winner] = rootHead[loser]
+			} else {
+				entryNext[rootTail[winner]] = rootHead[loser]
+			}
+			rootTail[winner] = rootTail[loser]
+			rootHead[loser] = -1
+		}
 		return nil
 	}
 
 	// buckets[e] maps an LHS key to the first row seen with it; later
 	// rows with the same key merge their RHS cells into that row's.
-	// Single-position LHSs — the common key shape — key directly on the
-	// union-find root, a dense int32.  Multi-position LHSs project into
-	// a reused scratch buffer and materialize a string key only on first
-	// insert (the read probe's inline conversion does not allocate).
-	buckets1 := make([]map[int32]int32, len(egds))
-	buckets := make([]map[string]int32, len(egds))
+	// Single-position LHSs — the common key shape — index a dense
+	// per-dependency array by the union-find root (-1 = empty), one
+	// machine-word load per probe.  Multi-position LHSs fold their root
+	// IDs pairwise through an interning table (each distinct (acc, root)
+	// pair gets a dense uint32), so a key of any width becomes one
+	// uint64 — no byte encoding, no string materialization.  Fold IDs
+	// are injective by construction, so distinct projections never
+	// share a bucket key.
+	buckets1 := make([][]int32, len(egds))
+	buckets := make([]map[uint64]int32, len(egds))
+	var pairIDs map[uint64]uint32
 	for ei := range egds {
 		if len(egds[ei].x) == 1 {
-			buckets1[ei] = make(map[int32]int32)
+			b := make([]int32, len(t.parent))
+			for i := range b {
+				b[i] = -1
+			}
+			buckets1[ei] = b
 		} else {
-			buckets[ei] = make(map[string]int32)
+			buckets[ei] = make(map[uint64]int32)
+			if pairIDs == nil {
+				pairIDs = make(map[uint64]uint32)
+			}
 		}
 	}
-	var keyBuf []byte
+	foldKey := func(r row, x []int) uint64 {
+		acc := uint64(uint32(t.find(int(r.cells[x[0]]))))
+		for _, p := range x[1:] {
+			rep := uint64(uint32(t.find(int(r.cells[p]))))
+			pk := acc<<32 | rep
+			id, ok := pairIDs[pk]
+			if !ok {
+				id = uint32(len(pairIDs))
+				pairIDs[pk] = id
+			}
+			acc = uint64(id)
+		}
+		return acc
+	}
 	for len(cur) > 0 && !t.failed {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -395,21 +450,21 @@ func (t *Tableau) RunCtx(ctx context.Context, deps []fd.FD) (Stats, error) {
 			r := t.rows[it.row]
 			stats.Revisited++
 			var first int32
-			var ok bool
 			if len(e.x) == 1 {
-				root := int32(t.find(int(r.cells[e.x[0]])))
-				first, ok = buckets1[it.egd][root]
-				if !ok {
+				root := t.find(int(r.cells[e.x[0]]))
+				first = buckets1[it.egd][root]
+				if first < 0 {
 					buckets1[it.egd][root] = it.row
 					continue
 				}
 			} else {
-				keyBuf = t.appendProj(keyBuf[:0], r, e.x)
-				first, ok = buckets[it.egd][string(keyBuf)]
+				key := foldKey(r, e.x)
+				f, ok := buckets[it.egd][key]
 				if !ok {
-					buckets[it.egd][string(keyBuf)] = it.row
+					buckets[it.egd][key] = it.row
 					continue
 				}
+				first = f
 			}
 			if first == it.row {
 				continue
@@ -539,8 +594,8 @@ func (t *Tableau) appendProj(b []byte, r row, positions []int) []byte {
 
 // projKey renders the representatives of the projected cells as a map
 // key.  Only the naive reference chase uses it; the semi-naive hot path
-// keys single-position dependencies on the root directly and builds
-// multi-position keys in a reused scratch buffer via appendProj.
+// keys single-position dependencies on dense root-indexed arrays and
+// folds multi-position keys pairwise through an ID-interning table.
 func (t *Tableau) projKey(r row, positions []int) string {
 	return string(t.appendProj(make([]byte, 0, len(positions)*4), r, positions))
 }

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"flag"
+
+	"keyedeq/internal/cq"
+)
+
+// SearchFlags bundles the search-mode escape hatch the keyedeq commands
+// share:
+//
+//	-generic-search   decide with the generic planned search instead of
+//	                  the interned default
+//
+// The interned search (dense value.ID tuples over the frozen instance
+// view) is the default everywhere; the generic planned search survives
+// as the differential oracle and as this operational fallback.  Register
+// installs the flag; Apply installs the selected mode process-wide after
+// parsing, before any containment work starts.
+type SearchFlags struct {
+	Generic bool
+}
+
+// Register installs the shared flag on fs.
+func (f *SearchFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Generic, "generic-search", false,
+		"decide with the generic planned homomorphism search instead of the interned default")
+}
+
+// Apply installs the selected search mode process-wide.  Call it once,
+// after flag parsing and before any queries are decided; it is a no-op
+// when the flag was not given, leaving the interned default in place.
+func (f *SearchFlags) Apply() {
+	if f.Generic {
+		cq.SearchDefault = cq.SearchPlanned
+	}
+}

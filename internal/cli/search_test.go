@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"keyedeq/internal/cq"
+)
+
+func TestSearchFlagsApply(t *testing.T) {
+	orig := cq.SearchDefault
+	defer func() { cq.SearchDefault = orig }()
+
+	// Unset flag: Apply leaves the interned default alone.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var sf SearchFlags
+	sf.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	sf.Apply()
+	if cq.SearchDefault != orig {
+		t.Fatalf("Apply without -generic-search changed SearchDefault to %v", cq.SearchDefault)
+	}
+
+	// -generic-search: Apply flips the process default to planned.
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var sg SearchFlags
+	sg.Register(fs)
+	if err := fs.Parse([]string{"-generic-search"}); err != nil {
+		t.Fatal(err)
+	}
+	sg.Apply()
+	if cq.SearchDefault != cq.SearchPlanned {
+		t.Fatalf("Apply with -generic-search left SearchDefault at %v", cq.SearchDefault)
+	}
+}

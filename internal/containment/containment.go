@@ -103,9 +103,10 @@ func ContainedUnder(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Sta
 
 // ContainedUnderCtx is ContainedUnder with cancellation: both the chase
 // and the homomorphism search poll ctx and abort with its error when it
-// is done.
+// is done.  The search runs in cq.SearchDefault mode (interned unless a
+// command layer selected the generic fallback at startup).
 func ContainedUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
-	return ContainedUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchPlanned)
+	return ContainedUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchDefault)
 }
 
 // ContainedUnderCtxMode is ContainedUnderCtx with an explicit
@@ -200,7 +201,7 @@ func EquivalentUnderMode(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD, mode 
 
 // EquivalentUnderCtx is EquivalentUnder with cancellation via ctx.
 func EquivalentUnderCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, Stats, error) {
-	return EquivalentUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchPlanned)
+	return EquivalentUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchDefault)
 }
 
 // EquivalentUnderCtxMode is EquivalentUnderCtx with an explicit

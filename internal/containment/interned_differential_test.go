@@ -1,0 +1,115 @@
+package containment
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+)
+
+// internedPairs is the per-family corpus size for the interned-vs-generic
+// differential layer: at least 500 generated pairs per schema family must
+// be decided bit-identically by the interned search and its generic
+// oracle.
+const internedPairs = 500
+
+// internedFamilies are the schema families the interned differential
+// layer sweeps: the keyed and wide families exercise EGD-heavy chases
+// feeding the search, and the star/long graph families exercise fan-out
+// and deep-chain search shapes.
+func internedFamilies() []string {
+	return []string{"keyed", "wide", "graph-star", "graph-long"}
+}
+
+// TestInternedVsGenericVerdicts decides every corpus pair with the
+// interned search and the generic planned oracle, demanding bit-identical
+// verdicts AND bit-identical work accounting: the interned search runs
+// the same plan in the same candidate order, so search nodes and the
+// (mode-independent) chase statistics must agree exactly — any
+// divergence means the dense-ID encoding changed behavior, not just
+// representation.
+func TestInternedVsGenericVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow in -short mode")
+	}
+	for fi, fam := range internedFamilies() {
+		fam, fi := fam, fi
+		t.Run(fam, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + fi)))
+			f, err := gen.PairCorpus(rng, fam, internedPairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := 0
+			for i, p := range f.Pairs {
+				generic, stG, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchPlanned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): generic: %v", i, p.Note, err)
+				}
+				interned, stI, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchInterned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): interned: %v", i, p.Note, err)
+				}
+				if generic != interned {
+					t.Fatalf("pair %d (%s): generic=%v interned=%v\n  left  %s\n  right %s",
+						i, p.Note, generic, interned, p.Left, p.Right)
+				}
+				if stG != stI {
+					t.Fatalf("pair %d (%s): stats diverge\n  generic  %+v\n  interned %+v\n  left  %s\n  right %s",
+						i, p.Note, stG, stI, p.Left, p.Right)
+				}
+				if generic {
+					pos++
+				}
+			}
+			if pos == 0 || pos == len(f.Pairs) {
+				t.Fatalf("degenerate corpus: %d/%d positive verdicts", pos, len(f.Pairs))
+			}
+		})
+	}
+}
+
+// TestInternedVsGenericWitnesses extracts homomorphism certificates in
+// both modes for every contained corpus pair.  The interned search walks
+// the identical node sequence as the generic search, so after ID
+// decoding the two certificates must be the same homomorphism — and,
+// independently, each must verify symbolically.
+func TestInternedVsGenericWitnesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow in -short mode")
+	}
+	for fi, fam := range internedFamilies() {
+		fam, fi := fam, fi
+		t.Run(fam, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9500 + fi)))
+			f, err := gen.PairCorpus(rng, fam, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range f.Pairs {
+				homG, okG, err := FindHomomorphismMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchPlanned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): generic: %v", i, p.Note, err)
+				}
+				homI, okI, err := FindHomomorphismMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchInterned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): interned: %v", i, p.Note, err)
+				}
+				if okG != okI {
+					t.Fatalf("pair %d (%s): generic ok=%v, interned ok=%v", i, p.Note, okG, okI)
+				}
+				if !okG || homG == nil {
+					continue
+				}
+				if homG.String() != homI.String() {
+					t.Fatalf("pair %d (%s): witnesses diverge\n  generic  %s\n  interned %s",
+						i, p.Note, homG, homI)
+				}
+				if err := VerifyHomomorphism(p.Left, p.Right, homI, f.Schema, f.Deps); err != nil {
+					t.Fatalf("pair %d (%s): invalid interned witness %s: %v", i, p.Note, homI, err)
+				}
+			}
+		})
+	}
+}

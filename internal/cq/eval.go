@@ -89,6 +89,11 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation, mode Sear
 		stats, err := evalNaive(q, d, out)
 		return out, stats, err
 	}
+	// SearchInterned shares the planned path here: interning targets the
+	// single-answer decision search (the containment hot loop), while
+	// full enumeration materializes surface-value answer tuples anyway,
+	// so an ID-space enumeration would decode every emitted tuple and
+	// win nothing (DESIGN.md §14).
 	stats, err := evalPlanned(context.Background(), q, d, out)
 	return out, stats, err
 }
@@ -102,7 +107,7 @@ func evalNaive(q *Query, d *instance.Database, out *instance.Relation) (EvalStat
 	if eq.Unsatisfiable() {
 		return stats, nil
 	}
-	rels, err := resolveRelations(q, d)
+	rels, _, err := resolveRelations(q, d)
 	if err != nil {
 		return stats, err
 	}
@@ -226,8 +231,10 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 }
 
 // FindAnswerBindingCtx is FindAnswerBinding with cancellation via ctx.
+// It searches in SearchDefault mode (interned unless a command layer
+// selected the generic fallback at startup).
 func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
-	return FindAnswerBindingCtxMode(ctx, q, d, want, SearchPlanned)
+	return FindAnswerBindingCtxMode(ctx, q, d, want, SearchDefault)
 }
 
 // FindAnswerBindingMode is FindAnswerBinding with an explicit search
@@ -276,8 +283,11 @@ func findAnswer(ctx context.Context, q *Query, d *instance.Database, want instan
 	if len(q.Body) == 0 {
 		return false, nil, EvalStats{}, fmt.Errorf("cq: empty body")
 	}
-	if mode == SearchNaive {
+	switch mode {
+	case SearchNaive:
 		return findAnswerNaive(ctx, q, d, want)
+	case SearchInterned:
+		return findAnswerInterned(ctx, q, d, want)
 	}
 	return findAnswerPlanned(ctx, q, d, want)
 }

@@ -29,6 +29,10 @@ type planStep struct {
 	atom int
 	// rel is the resolved relation instance the atom matches against.
 	rel *instance.Relation
+	// relIdx is rel's index in the database's schema order, which is
+	// also its index among the frozen (interned) relation views — the
+	// interned search addresses relations by it.
+	relIdx int
 	// roots holds the class id of each position's placeholder variable.
 	roots []int32
 	// keyPos lists the positions whose class is bound before this step
@@ -68,28 +72,32 @@ type searchPlan struct {
 	numSlots int
 }
 
-// resolveRelations maps each body atom to its relation instance,
-// rejecting unknown relations and arity mismatches.
-func resolveRelations(q *Query, d *instance.Database) ([]*instance.Relation, error) {
+// resolveRelations maps each body atom to its relation instance and
+// its schema-order index, rejecting unknown relations and arity
+// mismatches.
+func resolveRelations(q *Query, d *instance.Database) ([]*instance.Relation, []int, error) {
 	rels := make([]*instance.Relation, len(q.Body))
+	idxs := make([]int, len(q.Body))
 	for i, a := range q.Body {
-		r := d.Relation(a.Rel)
-		if r == nil {
-			return nil, fmt.Errorf("cq: no relation %q in database", a.Rel)
+		ri := d.Schema.RelationIndex(a.Rel)
+		if ri < 0 {
+			return nil, nil, fmt.Errorf("cq: no relation %q in database", a.Rel)
 		}
+		r := d.Relations[ri]
 		if r.Scheme != nil && len(a.Vars) != r.Scheme.Arity() {
-			return nil, fmt.Errorf("cq: %s arity mismatch", a.Rel)
+			return nil, nil, fmt.Errorf("cq: %s arity mismatch", a.Rel)
 		}
 		rels[i] = r
+		idxs[i] = ri
 	}
-	return rels, nil
+	return rels, idxs, nil
 }
 
 // buildPlan compiles the plan for q over the resolved relations.  eq must
 // be q's equality classes; pres holds the class representatives whose
 // value is fixed before the search starts (constant-bound classes, plus
 // the head classes when searching for a specific answer tuple).
-func buildPlan(q *Query, rels []*instance.Relation, eq *EqClasses, pres []prebinding) *searchPlan {
+func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses, pres []prebinding) *searchPlan {
 	n := len(q.Body)
 	plan := &searchPlan{classOf: make(map[Var]int32, 2*n)}
 	total := 0
@@ -177,7 +185,7 @@ func buildPlan(q *Query, rels []*instance.Relation, eq *EqClasses, pres []prebin
 		rootComp[i] = -1
 	}
 	for ci, atoms := range compAtoms {
-		plan.comps[ci] = orderComponent(atoms, rels, roots, preboundID, plan.numClasses)
+		plan.comps[ci] = orderComponent(atoms, rels, relIdxs, roots, preboundID, plan.numClasses)
 		for _, ai := range atoms {
 			for _, id := range roots[ai] {
 				if !preboundID[id] {
@@ -250,7 +258,7 @@ func buildPlan(q *Query, rels []*instance.Relation, eq *EqClasses, pres []prebin
 // repeatedly pick the unplaced atom with the most bound positions,
 // breaking ties by smaller relation cardinality, then original body
 // order.  Each step records its bound positions as the index key.
-func orderComponent(atoms []int, rels []*instance.Relation, roots [][]int32, preboundID []bool, numClasses int) planComponent {
+func orderComponent(atoms []int, rels []*instance.Relation, relIdxs []int, roots [][]int32, preboundID []bool, numClasses int) planComponent {
 	bound := make([]bool, numClasses)
 	copy(bound, preboundID)
 	placed := make([]bool, len(atoms))
@@ -273,7 +281,7 @@ func orderComponent(atoms []int, rels []*instance.Relation, roots [][]int32, pre
 			}
 		}
 		placed[bestK] = true
-		step := planStep{atom: best, rel: rels[best], roots: roots[best]}
+		step := planStep{atom: best, rel: rels[best], relIdx: relIdxs[best], roots: roots[best]}
 		for p, id := range roots[best] {
 			if bound[id] {
 				step.keyPos = append(step.keyPos, p)

@@ -24,12 +24,12 @@ func chainDB(t *testing.T, n int) *instance.Database {
 func mustPlan(t *testing.T, q *Query, d *instance.Database) *searchPlan {
 	t.Helper()
 	eq := NewEqClasses(q)
-	rels, err := resolveRelations(q, d)
+	rels, relIdxs, err := resolveRelations(q, d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pres := collectConstPrebindings(q, eq, nil)
-	return buildPlan(q, rels, eq, pres)
+	return buildPlan(q, rels, relIdxs, eq, pres)
 }
 
 func TestPlanMostConstrainedFirst(t *testing.T) {
@@ -262,7 +262,8 @@ func TestPlannedEmptyRelationRefutesEarly(t *testing.T) {
 }
 
 func TestSearchModeString(t *testing.T) {
-	if SearchPlanned.String() != "planned" || SearchNaive.String() != "naive" {
-		t.Errorf("mode strings wrong: %q, %q", SearchPlanned.String(), SearchNaive.String())
+	if SearchPlanned.String() != "planned" || SearchNaive.String() != "naive" || SearchInterned.String() != "interned" {
+		t.Errorf("mode strings wrong: %q, %q, %q",
+			SearchPlanned.String(), SearchNaive.String(), SearchInterned.String())
 	}
 }

@@ -20,19 +20,36 @@ import (
 type SearchMode int
 
 const (
-	// SearchPlanned is the default: indexed matching under a
-	// most-constrained-first join order with component decomposition.
+	// SearchPlanned is the generic indexed search: most-constrained-first
+	// join order with component decomposition over value-keyed hash
+	// indexes.  It is the differential oracle for the interned search
+	// and remains selectable as the generic fallback.
 	SearchPlanned SearchMode = iota
 	// SearchNaive is the reference implementation: source-order dynamic
 	// atom picking with full relation scans.  It exists for differential
 	// testing and the planned-vs-naive benchmark record.
 	SearchNaive
+	// SearchInterned runs the planned search over the database's frozen
+	// (interned) view: dense value.ID bindings, flat ID rows, and
+	// allocation-free ID-keyed probes.  It visits exactly the nodes the
+	// generic planned search visits (same plan, same candidate order);
+	// only the tuple representation differs (search_interned.go).
+	SearchInterned
 )
 
-// String renders the mode tag used in benchmark tables.
+// SearchDefault is the mode used by every entry point that does not
+// take an explicit mode.  It is a variable so command layers can fall
+// back to the generic planned search (-generic-search); set it at
+// startup only — concurrent mutation during a run is not supported.
+var SearchDefault = SearchInterned
+
+// String renders the mode tag used in benchmark tables and spans.
 func (m SearchMode) String() string {
-	if m == SearchNaive {
+	switch m {
+	case SearchNaive:
 		return "naive"
+	case SearchInterned:
+		return "interned"
 	}
 	return "planned"
 }
@@ -320,7 +337,7 @@ func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want
 	if eq.Unsatisfiable() {
 		return false, nil, stats, nil
 	}
-	rels, err := resolveRelations(q, d)
+	rels, relIdxs, err := resolveRelations(q, d)
 	if err != nil {
 		return false, nil, stats, err
 	}
@@ -345,7 +362,7 @@ func findAnswerPlanned(ctx context.Context, q *Query, d *instance.Database, want
 	}
 	o := obs.FromContext(ctx)
 	planStart := o.Time()
-	plan := buildPlan(q, rels, eq, pres)
+	plan := buildPlan(q, rels, relIdxs, eq, pres)
 	if o.SpansOn() {
 		steps := 0
 		for ci := range plan.comps {
@@ -392,12 +409,12 @@ func evalPlanned(ctx context.Context, q *Query, d *instance.Database, out *insta
 	if eq.Unsatisfiable() {
 		return stats, nil
 	}
-	rels, err := resolveRelations(q, d)
+	rels, relIdxs, err := resolveRelations(q, d)
 	if err != nil {
 		return stats, err
 	}
 	pres := collectConstPrebindings(q, eq, nil)
-	plan := buildPlan(q, rels, eq, pres)
+	plan := buildPlan(q, rels, relIdxs, eq, pres)
 	s := newSearcher(ctx, plan, &stats)
 	s.prebind(pres)
 

@@ -128,3 +128,15 @@ func TestCancelObservedPlannedIndexed(t *testing.T) {
 func TestCancelObservedNaive(t *testing.T) {
 	testCancelObserved(t, cancelGraph(t, false), 9, SearchNaive)
 }
+
+func TestCancelObservedInternedScanFallback(t *testing.T) {
+	// 8 edges ≤ smallRelScanThreshold: every interned step scans frozen
+	// rows directly.
+	testCancelObserved(t, cancelGraph(t, false), 9, SearchInterned)
+}
+
+func TestCancelObservedInternedIndexed(t *testing.T) {
+	// 12 edges > smallRelScanThreshold: bound steps binary-search the
+	// sorted ID indexes.
+	testCancelObserved(t, cancelGraph(t, true), 12, SearchInterned)
+}

@@ -1,0 +1,308 @@
+package cq
+
+import (
+	"context"
+	"sort"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/invariant"
+	"keyedeq/internal/obs"
+	"keyedeq/internal/value"
+)
+
+// This file runs the planned homomorphism search over a database's
+// frozen (interned) view: bindings are dense value.IDs, relation bodies
+// are flat fixed-width ID rows, and every probe is an integer
+// comparison — no value structs, no byte-string keys, no per-probe
+// allocation.  The search mirrors search.go's traversal exactly — the
+// same plan, the same candidate enumeration order, the same countNode
+// polling contract — so it visits the identical node sequence and
+// returns identical verdicts and stats; only the tuple representation
+// differs.  The generic planned search remains as the differential
+// oracle (SearchPlanned), and IDs never escape this file: the witness
+// is decoded back to surface values before it is returned.
+
+// internedSearcher carries the mutable state of one interned search.
+type internedSearcher struct {
+	ctx      context.Context
+	plan     *searchPlan
+	fz       *instance.Frozen
+	binding  []value.ID
+	bound    []bool
+	stats    *EvalStats
+	canceled error
+	// idx holds one lazily built sorted row index per plan index slot:
+	// the relation's row numbers ordered by the slot's key positions
+	// (ties by row number, which keeps candidate enumeration in exactly
+	// the generic bucket order).  A probe is two binary searches over
+	// it — zero allocations, any key width.
+	idx []internedIndex
+	// addedStack mirrors searcher.addedStack: newly bound class ids in
+	// binding order, unwound by truncation to a caller's mark.
+	addedStack []int32
+	// ghostVals holds values referenced by the query (constants, wanted
+	// head values) that the frozen view never interned.  Each gets a
+	// per-search "ghost" ID from the top of the ID space — distinct
+	// from every real ID, so a ghost-bound class filters candidates
+	// exactly like a value absent from a generic hash index: every
+	// comparison misses, and the search explores the same nodes.
+	ghostVals []value.Value
+}
+
+type internedIndex struct {
+	built bool
+	rows  []int32
+}
+
+func newInternedSearcher(ctx context.Context, plan *searchPlan, fz *instance.Frozen, stats *EvalStats) *internedSearcher {
+	return &internedSearcher{
+		ctx:     ctx,
+		plan:    plan,
+		fz:      fz,
+		binding: make([]value.ID, plan.numClasses),
+		bound:   make([]bool, plan.numClasses),
+		stats:   stats,
+		idx:     make([]internedIndex, plan.numSlots),
+	}
+}
+
+// internID resolves a surface value to its frozen ID, or to a ghost ID
+// when the frozen view never saw it.  Ghosts are deduplicated per
+// distinct value so two prebindings of the same absent constant agree,
+// exactly as the generic search's value comparisons would.
+func (s *internedSearcher) internID(v value.Value) value.ID {
+	if id, ok := s.fz.Interner.Lookup(v); ok {
+		return id
+	}
+	for i, g := range s.ghostVals {
+		if g == v {
+			return ^value.ID(0) - value.ID(i)
+		}
+	}
+	s.ghostVals = append(s.ghostVals, v)
+	return ^value.ID(0) - value.ID(len(s.ghostVals)-1)
+}
+
+// decodeID is the boundary where IDs turn back into surface values.
+func (s *internedSearcher) decodeID(id value.ID) value.Value {
+	if n := len(s.ghostVals); n > 0 && id >= ^value.ID(0)-value.ID(n-1) {
+		return s.ghostVals[^value.ID(0)-id]
+	}
+	v, ok := s.fz.Interner.Decode(id)
+	invariant.Mustf(ok, "cq: interned search bound foreign ID %d", id)
+	return v
+}
+
+// buildIndex sorts the relation's row numbers by the step's key
+// positions.  The fill scan honors the same masked polling contract as
+// the generic index build; on cancellation the partial index is
+// discarded, not stored.
+func (s *internedSearcher) buildIndex(st *planStep, fr *instance.FrozenRelation) bool {
+	n := fr.NumRows()
+	rows := make([]int32, n)
+	for i := range rows {
+		if i&cancelCheckMask == cancelCheckMask {
+			if err := s.ctx.Err(); err != nil {
+				s.canceled = err
+				return false
+			}
+		}
+		rows[i] = int32(i)
+	}
+	keyPos := st.keyPos
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := int(rows[a]), int(rows[b])
+		for _, p := range keyPos {
+			ca, cb := fr.Cell(ra, p), fr.Cell(rb, p)
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return ra < rb
+	})
+	s.idx[st.indexSlot] = internedIndex{built: true, rows: rows}
+	return true
+}
+
+// probe returns the [lo, hi) range of the slot's sorted index whose key
+// cells equal the current binding at the step's key positions.
+func (s *internedSearcher) probe(st *planStep, fr *instance.FrozenRelation) (int, int) {
+	rows := s.idx[st.indexSlot].rows
+	cmp := func(ri int) int {
+		for _, p := range st.keyPos {
+			c, k := fr.Cell(ri, p), s.binding[st.roots[p]]
+			switch {
+			case c < k:
+				return -1
+			case c > k:
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(rows), func(i int) bool { return cmp(int(rows[i])) >= 0 })
+	hi := sort.Search(len(rows), func(i int) bool { return cmp(int(rows[i])) > 0 })
+	return lo, hi
+}
+
+// tryBind extends the binding with row ri at step st; the caller
+// unwinds partial adds with unbindTo(mark).
+func (s *internedSearcher) tryBind(st *planStep, fr *instance.FrozenRelation, ri int) bool {
+	row := fr.Row(ri)
+	for p, id := range st.roots {
+		if s.bound[id] {
+			if s.binding[id] != row[p] {
+				return false
+			}
+			continue
+		}
+		s.binding[id] = row[p]
+		s.bound[id] = true
+		s.addedStack = append(s.addedStack, id)
+	}
+	return true
+}
+
+// unbindTo unwinds every binding pushed since the caller's mark.
+func (s *internedSearcher) unbindTo(mark int) {
+	for _, id := range s.addedStack[mark:] {
+		s.bound[id] = false
+	}
+	s.addedStack = s.addedStack[:mark]
+}
+
+// countNode advances the shared node counter under the same polling
+// contract as the generic searcher (see searcher.countNode).
+func (s *internedSearcher) countNode() bool {
+	if s.canceled != nil {
+		return false
+	}
+	s.stats.Nodes++
+	if s.stats.Nodes&cancelCheckMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.canceled = err
+			return false
+		}
+	}
+	return true
+}
+
+// findFrom searches for one match of steps[i:] over the frozen rows,
+// leaving the successful bindings in place.
+//
+//keyedeq:hot -- the interned backtracking recursion; every probe and bind is ID arithmetic
+func (s *internedSearcher) findFrom(steps []planStep, i int) bool {
+	if i == len(steps) {
+		return true
+	}
+	st := &steps[i]
+	fr := s.fz.Relations[st.relIdx]
+	if st.indexSlot < 0 {
+		for ri, n := 0, fr.NumRows(); ri < n; ri++ {
+			if !s.countNode() {
+				return false
+			}
+			mark := len(s.addedStack)
+			if s.tryBind(st, fr, ri) && s.findFrom(steps, i+1) {
+				return true
+			}
+			s.unbindTo(mark)
+		}
+		return false
+	}
+	if !s.idx[st.indexSlot].built && !s.buildIndex(st, fr) {
+		return false
+	}
+	lo, hi := s.probe(st, fr)
+	rows := s.idx[st.indexSlot].rows
+	for k := lo; k < hi; k++ {
+		if !s.countNode() {
+			return false
+		}
+		mark := len(s.addedStack)
+		if s.tryBind(st, fr, int(rows[k])) && s.findFrom(steps, i+1) {
+			return true
+		}
+		s.unbindTo(mark)
+	}
+	return false
+}
+
+// findAnswerInterned is the interned-search implementation behind
+// FindAnswerBindingCtx: identical structure to findAnswerPlanned, with
+// bindings and probes over the database's frozen view and the witness
+// decoded back to surface values at the return boundary.
+//
+//keyedeq:hot -- the interned homomorphism search is the default inner loop of every containment check
+func findAnswerInterned(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
+	var stats EvalStats
+	eq := NewEqClasses(q)
+	if eq.Unsatisfiable() {
+		return false, nil, stats, nil
+	}
+	rels, relIdxs, err := resolveRelations(q, d)
+	if err != nil {
+		return false, nil, stats, err
+	}
+	pres := collectConstPrebindings(q, eq, make([]prebinding, 0, len(q.Head)+2))
+	// Pre-bind head variables to the wanted values; constants and
+	// already-bound classes must agree with want.  These checks run at
+	// the surface-value level, before any interning, so impossible
+	// wants short-circuit exactly as in the generic search.
+	for i, term := range q.Head {
+		if term.IsConst {
+			if term.Const != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		root := eq.Find(term.Var)
+		if bv, ok := lookupPre(pres, root); ok {
+			if bv != want[i] {
+				return false, nil, stats, nil
+			}
+			continue
+		}
+		pres = append(pres, prebinding{root: root, val: want[i]})
+	}
+	o := obs.FromContext(ctx)
+	planStart := o.Time()
+	plan := buildPlan(q, rels, relIdxs, eq, pres)
+	if o.SpansOn() {
+		steps := 0
+		for ci := range plan.comps {
+			steps += len(plan.comps[ci].steps)
+		}
+		o.EmitSpan(ctx, obs.StagePlan, planStart, nil,
+			obs.I("components", int64(len(plan.comps))),
+			obs.I("steps", int64(steps)))
+	}
+	s := newInternedSearcher(ctx, plan, d.Frozen(), &stats)
+	for _, pb := range pres {
+		if id, ok := plan.classOf[pb.root]; ok {
+			s.binding[id] = s.internID(pb.val)
+			s.bound[id] = true
+		}
+	}
+	for ci := range plan.comps {
+		before := stats.Nodes
+		found := s.findFrom(plan.comps[ci].steps, 0)
+		stats.CompNodes = append(stats.CompNodes, stats.Nodes-before)
+		if !found {
+			if s.canceled != nil {
+				return false, nil, stats, s.canceled
+			}
+			return false, nil, stats, nil
+		}
+	}
+	// Every component succeeded with its bindings left in place; decode
+	// the witness per body variable through its class representative —
+	// the boundary past which no interned ID may escape.
+	witness := make(map[Var]value.Value)
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			witness[v] = s.decodeID(s.binding[plan.classOf[eq.Find(v)]])
+		}
+	}
+	return true, witness, stats, nil
+}

@@ -1,0 +1,159 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/value"
+)
+
+// These tests pin the interned search's parity contract: it must return
+// bit-identical verdicts, stats, and (decoded) witnesses to the generic
+// planned search, because it runs the same plan in the same candidate
+// order — only the tuple representation differs.
+
+// randomGraphDB builds a random E(a,b) digraph over [0, nodes).
+func randomGraphDB(rng *rand.Rand, nodes int64, edges int) *instance.Database {
+	s := schema.MustParse("E(a:T1, b:T1)")
+	d := instance.NewDatabase(s)
+	for i := 0; i < edges; i++ {
+		d.MustInsert("E", val(1, rng.Int63n(nodes)), val(1, rng.Int63n(nodes)))
+	}
+	return d
+}
+
+// parityQueries covers the plan shapes the search distinguishes: chains
+// (indexed probes), self-loops, equality-linked components, constants,
+// cross products, and repeated relations sharing index slots.
+func parityQueries() []*Query {
+	return []*Query{
+		MustParse("V(X, Z) :- E(X, Y), E(Y, Z)."),
+		MustParse("V(X) :- E(X, X)."),
+		MustParse("V(X, W) :- E(X, Y), E(Z, W), Y = Z."),
+		MustParse("V(X, Z) :- E(X, Y), E(Y, Z), Y = T1:3."),
+		MustParse("V(X, Z) :- E(X, Y), E(Z, W)."),
+		MustParse("V(X) :- E(X, Y), E(Y, Z), E(Y, W)."),
+		MustParse("V(A, E) :- E(A, B), E(B, C), E(C, D), E(D, E)."),
+	}
+}
+
+func checkParity(t *testing.T, q *Query, d *instance.Database, want instance.Tuple, tag string) {
+	t.Helper()
+	okP, wP, esP, errP := FindAnswerBindingMode(q, d, want, SearchPlanned)
+	okI, wI, esI, errI := FindAnswerBindingMode(q, d, want, SearchInterned)
+	if (errP == nil) != (errI == nil) {
+		t.Fatalf("%s: errors diverge: planned %v, interned %v", tag, errP, errI)
+	}
+	if errP != nil {
+		return
+	}
+	if okP != okI {
+		t.Fatalf("%s: verdicts diverge: planned %v, interned %v", tag, okP, okI)
+	}
+	if esP.Nodes != esI.Nodes {
+		t.Fatalf("%s: node counts diverge: planned %d, interned %d", tag, esP.Nodes, esI.Nodes)
+	}
+	if len(esP.CompNodes) != len(esI.CompNodes) {
+		t.Fatalf("%s: component counts diverge: planned %v, interned %v", tag, esP.CompNodes, esI.CompNodes)
+	}
+	for i := range esP.CompNodes {
+		if esP.CompNodes[i] != esI.CompNodes[i] {
+			t.Fatalf("%s: component %d nodes diverge: planned %v, interned %v",
+				tag, i, esP.CompNodes, esI.CompNodes)
+		}
+	}
+	if !okP {
+		return
+	}
+	// Both searches walk the identical node sequence, so the first
+	// accepted assignment — the witness — must decode to the same
+	// surface binding, variable by variable.
+	if len(wP) != len(wI) {
+		t.Fatalf("%s: witness sizes diverge: %d vs %d", tag, len(wP), len(wI))
+	}
+	for v, pv := range wP {
+		if iv, ok := wI[v]; !ok || iv != pv {
+			t.Fatalf("%s: witness diverges at %s: planned %v, interned %v", tag, v, pv, wI[v])
+		}
+	}
+}
+
+func TestInternedMatchesPlannedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	queries := parityQueries()
+	for trial := 0; trial < 200; trial++ {
+		nodes := int64(3 + rng.Intn(6))
+		d := randomGraphDB(rng, nodes, 4+rng.Intn(30))
+		q := queries[rng.Intn(len(queries))]
+		want := make(instance.Tuple, len(q.Head))
+		for i := range want {
+			want[i] = val(1, rng.Int63n(nodes+1))
+		}
+		checkParity(t, q, d, want, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+func TestInternedGhostValuesFilterLikeMissingBuckets(t *testing.T) {
+	// The wanted values and the query constant never occur in the
+	// database, so every probe on them must come up empty — visiting
+	// exactly the nodes the generic search visits on its nil buckets.
+	rng := rand.New(rand.NewSource(42))
+	d := randomGraphDB(rng, 5, 25)
+	q := MustParse("V(X, Z) :- E(X, Y), E(Y, Z), Z = T1:99.")
+	want := instance.Tuple{val(1, 77), val(1, 99)}
+	checkParity(t, q, d, want, "ghost constants")
+
+	// Same ghost value wanted in two head positions: the per-search
+	// ghost table must deduplicate so both positions agree.
+	q2 := MustParse("V(X, Y) :- E(X, Y).")
+	want2 := instance.Tuple{val(1, 88), val(1, 88)}
+	checkParity(t, q2, d, want2, "repeated ghost")
+}
+
+func TestInternedWitnessDecodesFreshValues(t *testing.T) {
+	// Canonical databases carry labeled nulls as allocator-fresh values;
+	// a witness binding one must decode back to exactly that value.
+	s := schema.MustParse("E(a:T1, b:T1)")
+	d := instance.NewDatabase(s)
+	var alloc value.Allocator
+	alloc.Reserve(val(1, 20))
+	null := alloc.Fresh(1)
+	d.MustInsert("E", val(1, 1), null)
+	for i := int64(4); i < 20; i++ {
+		d.MustInsert("E", val(1, i), val(1, i+1))
+	}
+	q := MustParse("V(X) :- E(X, Y).")
+	ok, w, _, err := FindAnswerBindingMode(q, d, instance.Tuple{val(1, 1)}, SearchInterned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("answer not found")
+	}
+	if w["Y"] != null {
+		t.Fatalf("witness Y = %v, want the fresh value %v", w["Y"], null)
+	}
+	checkParity(t, q, d, instance.Tuple{val(1, 1)}, "fresh-value witness")
+}
+
+func TestInternedReusesFrozenViewAcrossSearches(t *testing.T) {
+	// Two searches over an unmutated database must share one frozen
+	// view — the memoization the interned mode's cost model relies on.
+	rng := rand.New(rand.NewSource(43))
+	d := randomGraphDB(rng, 6, 30)
+	q := MustParse("V(X, Z) :- E(X, Y), E(Y, Z).")
+	want := instance.Tuple{val(1, 0), val(1, 1)}
+	if _, _, _, err := FindAnswerBindingMode(q, d, want, SearchInterned); err != nil {
+		t.Fatal(err)
+	}
+	f1 := d.Frozen()
+	if _, _, _, err := FindAnswerBindingMode(q, d, want, SearchInterned); err != nil {
+		t.Fatal(err)
+	}
+	if f2 := d.Frozen(); f1 != f2 {
+		t.Fatal("frozen view rebuilt between searches over an unmutated database")
+	}
+}

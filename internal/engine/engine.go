@@ -61,6 +61,12 @@ type Options struct {
 	// carried by the caller's context is used instead; with neither the
 	// pipeline runs unobserved at near-zero cost.
 	Obs *obs.Obs
+	// GenericSearch forces the generic planned homomorphism search
+	// instead of the interned default — the escape hatch when a verdict
+	// needs re-checking against the differential oracle.  A bool (rather
+	// than a cq.SearchMode field) keeps the zero-value Options on the
+	// default interned path.
+	GenericSearch bool
 }
 
 // DefaultCacheSize is the verdict cache bound used when Options.CacheSize
@@ -143,6 +149,15 @@ func New(s *schema.Schema, deps []fd.FD, opts Options) *Engine {
 
 // Schema returns the schema the engine decides over.
 func (e *Engine) Schema() *schema.Schema { return e.s }
+
+// searchMode resolves the homomorphism search mode this engine's
+// decisions run under.
+func (e *Engine) searchMode() cq.SearchMode {
+	if e.opts.GenericSearch {
+		return cq.SearchPlanned
+	}
+	return cq.SearchDefault
+}
 
 // CacheStats snapshots the verdict cache (zero when caching is off).
 func (e *Engine) CacheStats() CacheStats {
@@ -269,9 +284,9 @@ func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) (res Resul
 		err error
 	)
 	if op == OpContained {
-		ok, st, err = containment.ContainedUnderCtx(ctx, q1, q2, e.s, e.deps)
+		ok, st, err = containment.ContainedUnderCtxMode(ctx, q1, q2, e.s, e.deps, e.searchMode())
 	} else {
-		ok, st, err = containment.EquivalentUnderCtx(ctx, q1, q2, e.s, e.deps)
+		ok, st, err = containment.EquivalentUnderCtxMode(ctx, q1, q2, e.s, e.deps, e.searchMode())
 	}
 	if err != nil {
 		// Cancellation and timeout never reach the cache: the partial
@@ -409,7 +424,7 @@ func (e *Engine) frozenOf(b *batchState, k string, q *cq.Query) *frozen {
 // containedFrom decides frozenLeft ⊑ right using the memoized canonical
 // database.  A failed chase means the left query is empty under the
 // dependencies, so containment holds vacuously.
-func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, containment.Stats, error) {
+func containedFrom(ctx context.Context, f *frozen, right *cq.Query, mode cq.SearchMode) (bool, containment.Stats, error) {
 	var st containment.Stats
 	if f.err != nil {
 		return false, st, f.err
@@ -417,7 +432,7 @@ func containedFrom(ctx context.Context, f *frozen, right *cq.Query) (bool, conta
 	if f.failed {
 		return true, containment.FailedChaseStats(), nil
 	}
-	ok, es, err := cq.HasAnswerCtx(ctx, right, f.db, f.want)
+	ok, _, es, err := cq.FindAnswerBindingCtxMode(ctx, right, f.db, f.want, mode)
 	return ok, containment.SearchStats(es.Nodes), err
 }
 
@@ -597,7 +612,7 @@ func (e *Engine) runLeader(bs *batchState, j Job, lk, rk string) Result {
 		defer cancel()
 	}
 	fl := e.frozenOf(bs, lk, j.Left)
-	ok, st, err := containedFrom(jctx, fl, j.Right)
+	ok, st, err := containedFrom(jctx, fl, j.Right, e.searchMode())
 	// Chase work is attributed to exactly one pair: the first to claim
 	// the shared artifact.  Sharers after that merge a zero value, so
 	// batch-wide sums match the chase work actually performed.
@@ -606,7 +621,7 @@ func (e *Engine) runLeader(bs *batchState, j Job, lk, rk string) Result {
 		return Result{Holds: ok, Stats: st, Err: err}
 	}
 	fr := e.frozenOf(bs, rk, j.Right)
-	ok2, st2, err := containedFrom(jctx, fr, j.Left)
+	ok2, st2, err := containedFrom(jctx, fr, j.Left, e.searchMode())
 	st.Merge(st2)
 	st.Merge(fr.claim())
 	return Result{Holds: ok2, Stats: st, Err: err}

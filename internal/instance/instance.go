@@ -96,6 +96,10 @@ type Relation struct {
 	// the sort runs once per mutation rather than once per call.
 	sortedMu sync.RWMutex
 	sorted   []Tuple
+	// version counts mutations; the database-level frozen (interned)
+	// view memoized in frozen.go compares snapshots of it to decide
+	// whether a rebuild is due.
+	version uint64
 }
 
 // NewRelation returns an empty instance of the given scheme.
@@ -149,7 +153,16 @@ func (r *Relation) Delete(t Tuple) {
 func (r *Relation) invalidateSorted() {
 	r.sortedMu.Lock()
 	r.sorted = nil
+	r.version++
 	r.sortedMu.Unlock()
+}
+
+// versionSnapshot returns the current mutation count.
+func (r *Relation) versionSnapshot() uint64 {
+	r.sortedMu.RLock()
+	v := r.version
+	r.sortedMu.RUnlock()
+	return v
 }
 
 // Tuples returns the tuples in deterministic (lexicographic) order.  The
@@ -282,6 +295,10 @@ func allPositions(n int) []int {
 type Database struct {
 	Schema    *schema.Schema
 	Relations []*Relation
+	// frozenMu guards the memoized interned view (frozen.go).
+	frozenMu   sync.Mutex
+	frozenMemo *Frozen
+	frozenVers []uint64
 }
 
 // NewDatabase returns an empty instance of s.
