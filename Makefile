@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify bench-intern-verify obs-verify cover all
+.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify bench-intern-verify bench-stream-verify obs-verify cover all
 
 all: build vet vet-debug test lint qvet
 
@@ -75,9 +75,11 @@ bench:
 bench-verify:
 	$(GO) run ./cmd/keyedeq-bench -verify-bench BENCH_engine.json
 
-# bench-hom writes the planned-vs-naive homomorphism search record;
-# bench-hom-verify is the CI gate over it: verdict agreement, planner at
-# least 1.5x faster overall, at least 5x fewer nodes on the wide family.
+# bench-hom writes the adaptive-vs-naive homomorphism search record
+# (the planned_* JSON keys name the measured default runtime);
+# bench-hom-verify is the CI gate over it: verdict agreement, at least
+# 1.5x faster overall, at least 5x fewer nodes on the wide family, and
+# no family below 1.0x — the adaptive runtime must never lose to naive.
 bench-hom:
 	$(GO) run ./cmd/keyedeq-bench -record hom -json BENCH_homsearch.json
 
@@ -106,6 +108,15 @@ bench-intern-verify:
 	$(GO) test ./internal/engine -run 'TestGenericSearch' -count=1
 	$(GO) run ./cmd/keyedeq-bench -record alloc -verify-bench BENCH_alloc.json
 
+# bench-stream-verify gates the streamed iterator runtime under the race
+# detector: the three-way differential wall (streamed vs both oracles on
+# every corpus family, verdicts + stats + witnesses), the in-package
+# parity and parallel-component suites, and the cancellation contracts.
+bench-stream-verify:
+	$(GO) test -race ./internal/cq -run 'TestStreamed|TestScanID|TestAdaptive|TestParallel|TestCancelObservedStreamed|TestCancelObservedAdaptive' -count=1
+	$(GO) test -race ./internal/containment -run 'TestStreamedVs|TestAdaptiveVs' -count=1
+	$(GO) test -race ./internal/ra -run 'TestStream|TestFromCQPlanned' -count=1
+
 # obs-verify gates the observability layer: the reconciliation smoke
 # tests (exported metric totals must equal the summed per-job Stats)
 # plus the in-process overhead measurement (metrics collection at most
@@ -116,10 +127,10 @@ obs-verify:
 	$(GO) run ./cmd/keyedeq-bench -verify-obs BENCH_homsearch.json
 
 # cover enforces the decision-path coverage floor (engine, containment,
-# chase, the obs layer, and the interning/encoding layers must each stay
-# at or above 75% statement coverage).
+# chase, the obs layer, the interning/encoding layers, and the relational
+# algebra must each stay at or above 75% statement coverage).
 COVER_FLOOR ?= 75
-COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase ./internal/obs ./internal/value ./internal/instance
+COVER_PKGS = ./internal/engine ./internal/containment ./internal/chase ./internal/obs ./internal/value ./internal/instance ./internal/ra
 
 cover:
 	@for pkg in $(COVER_PKGS); do \

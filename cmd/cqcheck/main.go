@@ -48,7 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	sf.Apply()
+	if err := sf.Apply(); err != nil {
+		fmt.Fprintf(stderr, "cqcheck: %v\n", err)
+		return 2
+	}
 
 	fail := cli.Fail(stderr, "cqcheck")
 	if *schemaText == "" || *q1Text == "" {

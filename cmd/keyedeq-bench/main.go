@@ -69,7 +69,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	sf.Apply()
+	if err := sf.Apply(); err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: %v\n", err)
+		return 2
+	}
 	if *record != "engine" && *record != "hom" && *record != "alloc" {
 		fmt.Fprintf(stderr, "keyedeq-bench: unknown record %q (want engine, hom, or alloc)\n", *record)
 		return 2
@@ -161,9 +164,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// writeBenchFile runs the E1 engine-vs-sequential benchmark and writes
-// the machine-readable regression record (ns/op, nodes, cache hit
-// rates, speedup) for CI's bench smoke gate.
+// sweepWorkerCounts are the fixed pool sizes the engine record's
+// multi-worker section measures.
+var sweepWorkerCounts = []int{1, 4, 8}
+
+// writeBenchFile runs the E1 engine-vs-sequential benchmark plus the
+// E2 worker sweep and writes the machine-readable regression record
+// (ns/op, nodes, cache hit rates, speedup, per-pool-size walls) for
+// CI's bench smoke gate.
 func writeBenchFile(path string, full bool, workers, cacheSize int, o *obs.Obs, stdout, stderr io.Writer) int {
 	pairs := 300
 	if full {
@@ -171,10 +179,18 @@ func writeBenchFile(path string, full bool, workers, cacheSize int, o *obs.Obs, 
 	}
 	table, res := exp.E1EngineBatch(pairs, workers, cacheSize, 11, o)
 	fmt.Fprintln(stdout, table)
+	sweepTable, sweep, err := exp.E1WorkerSweep(pairs, cacheSize, 11, sweepWorkerCounts)
+	if err != nil {
+		fmt.Fprintf(stderr, "keyedeq-bench: worker sweep: %v\n", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, sweepTable)
+	res.GoMaxProcs = runtime.GOMAXPROCS(0)
+	res.Sweep = sweep
 	if writeJSON(path, res, stderr) != 0 {
 		return 2
 	}
-	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx)\n", path, res.Speedup)
+	fmt.Fprintf(stdout, "wrote %s (speedup %.2fx, %d-point worker sweep)\n", path, res.Speedup, len(sweep))
 	return 0
 }
 
@@ -235,21 +251,58 @@ func verifyBenchFile(path string, stdout, stderr io.Writer) int {
 	if res.SecondPassHitRate < 1 {
 		problems = append(problems, fmt.Sprintf("second pass not fully cached (hit rate %.2f)", res.SecondPassHitRate))
 	}
+	problems = append(problems, checkWorkerSweep(&res)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(stderr, "keyedeq-bench: %s: %s\n", path, p)
 		}
 		return 1
 	}
-	fmt.Fprintf(stdout, "%s: ok (%d pairs, speedup %.2fx, second-pass hit rate %.2f)\n",
-		path, res.Eng.Pairs, res.Speedup, res.SecondPassHitRate)
+	fmt.Fprintf(stdout, "%s: ok (%d pairs, speedup %.2fx, second-pass hit rate %.2f, %d-point worker sweep)\n",
+		path, res.Eng.Pairs, res.Speedup, res.SecondPassHitRate, len(res.Sweep))
 	return 0
+}
+
+// checkWorkerSweep validates the engine record's multi-worker section:
+// every required pool size present with honest measurements, and an
+// identical work fingerprint at every size — worker count may move
+// wall time, never verdicts.  Wall-time scaling is only judged when
+// the record was taken with real parallelism available (GoMaxProcs >
+// 1); a single-core record's sweep is kept for its fingerprints alone.
+func checkWorkerSweep(res *exp.EngineBenchResult) []string {
+	var problems []string
+	if res.GoMaxProcs < 1 {
+		problems = append(problems, fmt.Sprintf("record carries gomaxprocs %d; re-record with the current tool", res.GoMaxProcs))
+	}
+	seen := map[int]exp.WorkerSweepEntry{}
+	for _, e := range res.Sweep {
+		if e.WallNs <= 0 || e.NsPerOp <= 0 {
+			problems = append(problems, fmt.Sprintf("worker sweep entry %d has no timing", e.Workers))
+		}
+		seen[e.Workers] = e
+	}
+	for _, want := range sweepWorkerCounts {
+		if _, ok := seen[want]; !ok {
+			problems = append(problems, fmt.Sprintf("worker sweep missing the %d-worker point", want))
+		}
+	}
+	for i := 1; i < len(res.Sweep); i++ {
+		a, b := res.Sweep[0], res.Sweep[i]
+		if a.Nodes != b.Nodes || a.Holding != b.Holding {
+			problems = append(problems, fmt.Sprintf(
+				"worker sweep fingerprints diverge: %d workers (%d nodes, %d holding) vs %d workers (%d nodes, %d holding)",
+				a.Workers, a.Nodes, a.Holding, b.Workers, b.Nodes, b.Holding))
+		}
+	}
+	return problems
 }
 
 // verifyHomBenchFile is the CI gate over the H1 record: the file must
 // parse, cover every corpus family including the wide one, agree on
-// every verdict, and show the planner at least 1.5x faster overall with
-// at least 5x fewer search nodes on the wide family.
+// every verdict, show the measured runtime at least 1.5x faster
+// overall with at least 5x fewer search nodes on the wide family, and
+// — the adaptive runtime's reason to exist — lose to naive on NO
+// family: every per-family speedup must be at least 1.0x.
 func verifyHomBenchFile(path string, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -272,6 +325,11 @@ func verifyHomBenchFile(path string, stdout, stderr io.Writer) int {
 		}
 		if f.Family == "wide" {
 			hasWide = true
+		}
+		if f.Speedup < 1.0 {
+			problems = append(problems, fmt.Sprintf(
+				"family %s slower than naive (speedup %.2fx); the adaptive runtime must never lose a family",
+				f.Family, f.Speedup))
 		}
 	}
 	if !hasWide {

@@ -65,7 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	sf.Apply()
+	if err := sf.Apply(); err != nil {
+		fmt.Fprintf(stderr, "sqeq: %v\n", err)
+		return 2
+	}
 
 	fail := cli.Fail(stderr, "sqeq")
 	ob, err := of.Setup(time.Now)

@@ -2,36 +2,62 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 
 	"keyedeq/internal/cq"
 )
 
-// SearchFlags bundles the search-mode escape hatch the keyedeq commands
-// share:
+// SearchFlags bundles the search-mode escape hatches the keyedeq
+// commands share:
 //
-//	-generic-search   decide with the generic planned search instead of
-//	                  the interned default
+//	-search-mode <m>  pick the homomorphism search runtime by name:
+//	                  adaptive (default), streamed, interned, planned,
+//	                  or naive
+//	-generic-search   shorthand for -search-mode planned, kept for
+//	                  compatibility with existing scripts
 //
-// The interned search (dense value.ID tuples over the frozen instance
-// view) is the default everywhere; the generic planned search survives
-// as the differential oracle and as this operational fallback.  Register
-// installs the flag; Apply installs the selected mode process-wide after
-// parsing, before any containment work starts.
+// The adaptive runtime (cost-chosen scan-vs-pipeline with parallel
+// component search) is the default everywhere; the named modes survive
+// as differential oracles and operational fallbacks.  Register
+// installs the flags; Apply installs the selected mode process-wide
+// after parsing, before any containment work starts.
 type SearchFlags struct {
 	Generic bool
+	Mode    string
 }
 
-// Register installs the shared flag on fs.
+// searchModes maps flag spellings to search modes.
+var searchModes = map[string]cq.SearchMode{
+	"adaptive": cq.SearchAdaptive,
+	"streamed": cq.SearchStreamed,
+	"interned": cq.SearchInterned,
+	"planned":  cq.SearchPlanned,
+	"naive":    cq.SearchNaive,
+}
+
+// Register installs the shared flags on fs.
 func (f *SearchFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Generic, "generic-search", false,
-		"decide with the generic planned homomorphism search instead of the interned default")
+		"decide with the generic planned homomorphism search (shorthand for -search-mode planned)")
+	fs.StringVar(&f.Mode, "search-mode", "",
+		"homomorphism search runtime: adaptive, streamed, interned, planned, or naive")
 }
 
 // Apply installs the selected search mode process-wide.  Call it once,
 // after flag parsing and before any queries are decided; it is a no-op
-// when the flag was not given, leaving the interned default in place.
-func (f *SearchFlags) Apply() {
+// when neither flag was given, leaving the adaptive default in place.
+// An unknown -search-mode value is reported, not guessed at.
+func (f *SearchFlags) Apply() error {
+	if f.Mode != "" {
+		mode, ok := searchModes[f.Mode]
+		if !ok {
+			return fmt.Errorf("unknown -search-mode %q (want adaptive, streamed, interned, planned, or naive)", f.Mode)
+		}
+		cq.SearchDefault = mode
+		return nil
+	}
 	if f.Generic {
 		cq.SearchDefault = cq.SearchPlanned
 	}
+	return nil
 }

@@ -8,33 +8,74 @@ import (
 	"keyedeq/internal/cq"
 )
 
-func TestSearchFlagsApply(t *testing.T) {
-	orig := cq.SearchDefault
-	defer func() { cq.SearchDefault = orig }()
-
-	// Unset flag: Apply leaves the interned default alone.
+// applyParsed registers SearchFlags on a fresh flag set, parses args,
+// and runs Apply, returning the error.
+func applyParsed(t *testing.T, args []string) error {
+	t.Helper()
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var sf SearchFlags
 	sf.Register(fs)
-	if err := fs.Parse(nil); err != nil {
+	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
-	sf.Apply()
+	return sf.Apply()
+}
+
+func TestSearchFlagsApply(t *testing.T) {
+	orig := cq.SearchDefault
+	defer func() { cq.SearchDefault = orig }()
+
+	// Unset flags: Apply leaves the adaptive default alone.
+	if err := applyParsed(t, nil); err != nil {
+		t.Fatal(err)
+	}
 	if cq.SearchDefault != orig {
-		t.Fatalf("Apply without -generic-search changed SearchDefault to %v", cq.SearchDefault)
+		t.Fatalf("Apply without flags changed SearchDefault to %v", cq.SearchDefault)
 	}
 
 	// -generic-search: Apply flips the process default to planned.
-	fs = flag.NewFlagSet("t", flag.ContinueOnError)
-	fs.SetOutput(io.Discard)
-	var sg SearchFlags
-	sg.Register(fs)
-	if err := fs.Parse([]string{"-generic-search"}); err != nil {
+	if err := applyParsed(t, []string{"-generic-search"}); err != nil {
 		t.Fatal(err)
 	}
-	sg.Apply()
 	if cq.SearchDefault != cq.SearchPlanned {
 		t.Fatalf("Apply with -generic-search left SearchDefault at %v", cq.SearchDefault)
+	}
+}
+
+func TestSearchFlagsModeSelector(t *testing.T) {
+	orig := cq.SearchDefault
+	defer func() { cq.SearchDefault = orig }()
+
+	for name, want := range map[string]cq.SearchMode{
+		"adaptive": cq.SearchAdaptive,
+		"streamed": cq.SearchStreamed,
+		"interned": cq.SearchInterned,
+		"planned":  cq.SearchPlanned,
+		"naive":    cq.SearchNaive,
+	} {
+		if err := applyParsed(t, []string{"-search-mode", name}); err != nil {
+			t.Fatalf("-search-mode %s: %v", name, err)
+		}
+		if cq.SearchDefault != want {
+			t.Fatalf("-search-mode %s installed %v, want %v", name, cq.SearchDefault, want)
+		}
+	}
+
+	// -search wins over -generic-search when both are given.
+	if err := applyParsed(t, []string{"-generic-search", "-search-mode", "interned"}); err != nil {
+		t.Fatal(err)
+	}
+	if cq.SearchDefault != cq.SearchInterned {
+		t.Fatalf("-search must take precedence, got %v", cq.SearchDefault)
+	}
+
+	// Unknown mode: an error, and the default untouched.
+	cq.SearchDefault = orig
+	if err := applyParsed(t, []string{"-search-mode", "quantum"}); err == nil {
+		t.Fatal("unknown -search mode must be rejected")
+	}
+	if cq.SearchDefault != orig {
+		t.Fatalf("failed Apply changed SearchDefault to %v", cq.SearchDefault)
 	}
 }

@@ -1,0 +1,175 @@
+package containment
+
+import (
+	"math/rand"
+	"testing"
+
+	"keyedeq/internal/cq"
+	"keyedeq/internal/gen"
+)
+
+// This file is the iterator runtime's differential wall: the streamed
+// pipeline must decide every corpus pair bit-identically — verdicts,
+// work accounting, and witnesses — against BOTH prior oracles, the
+// generic planned search and the interned recursive search.  The two
+// oracle comparisons are deliberately redundant: a bug that slipped
+// into one oracle since its own differential layer landed would
+// surface here as a three-way disagreement.
+
+// streamedPairs is the per-family corpus size for the verdict sweep.
+const streamedPairs = 500
+
+// TestStreamedVsOraclesVerdicts decides every corpus pair with the
+// streamed iterator pipeline and both oracles, demanding bit-identical
+// verdicts and bit-identical statistics: the pipeline replays the same
+// plan in the same candidate order, so any divergence means the
+// iterative cursor driver changed behavior, not just control flow.
+func TestStreamedVsOraclesVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow in -short mode")
+	}
+	for fi, fam := range internedFamilies() {
+		fam, fi := fam, fi
+		t.Run(fam, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + fi)))
+			f, err := gen.PairCorpus(rng, fam, streamedPairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := 0
+			for i, p := range f.Pairs {
+				generic, stG, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchPlanned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): generic: %v", i, p.Note, err)
+				}
+				interned, stI, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchInterned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): interned: %v", i, p.Note, err)
+				}
+				streamed, stS, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchStreamed)
+				if err != nil {
+					t.Fatalf("pair %d (%s): streamed: %v", i, p.Note, err)
+				}
+				if generic != streamed || interned != streamed {
+					t.Fatalf("pair %d (%s): generic=%v interned=%v streamed=%v\n  left  %s\n  right %s",
+						i, p.Note, generic, interned, streamed, p.Left, p.Right)
+				}
+				if stG != stS {
+					t.Fatalf("pair %d (%s): stats diverge\n  generic  %+v\n  streamed %+v\n  left  %s\n  right %s",
+						i, p.Note, stG, stS, p.Left, p.Right)
+				}
+				if stI != stS {
+					t.Fatalf("pair %d (%s): stats diverge\n  interned %+v\n  streamed %+v\n  left  %s\n  right %s",
+						i, p.Note, stI, stS, p.Left, p.Right)
+				}
+				if generic {
+					pos++
+				}
+			}
+			if pos == 0 || pos == len(f.Pairs) {
+				t.Fatalf("degenerate corpus: %d/%d positive verdicts", pos, len(f.Pairs))
+			}
+		})
+	}
+}
+
+// TestStreamedVsOraclesWitnesses extracts homomorphism certificates in
+// all three modes for every contained corpus pair: after ID decoding
+// the streamed certificate must equal both oracles', and it must
+// verify symbolically on its own.
+func TestStreamedVsOraclesWitnesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow in -short mode")
+	}
+	for fi, fam := range internedFamilies() {
+		fam, fi := fam, fi
+		t.Run(fam, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9500 + fi)))
+			f, err := gen.PairCorpus(rng, fam, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range f.Pairs {
+				homG, okG, err := FindHomomorphismMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchPlanned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): generic: %v", i, p.Note, err)
+				}
+				homI, okI, err := FindHomomorphismMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchInterned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): interned: %v", i, p.Note, err)
+				}
+				homS, okS, err := FindHomomorphismMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchStreamed)
+				if err != nil {
+					t.Fatalf("pair %d (%s): streamed: %v", i, p.Note, err)
+				}
+				if okG != okS || okI != okS {
+					t.Fatalf("pair %d (%s): generic ok=%v, interned ok=%v, streamed ok=%v",
+						i, p.Note, okG, okI, okS)
+				}
+				if !okG || homG == nil {
+					continue
+				}
+				if homG.String() != homS.String() {
+					t.Fatalf("pair %d (%s): witnesses diverge\n  generic  %s\n  streamed %s",
+						i, p.Note, homG, homS)
+				}
+				if homI.String() != homS.String() {
+					t.Fatalf("pair %d (%s): witnesses diverge\n  interned %s\n  streamed %s",
+						i, p.Note, homI, homS)
+				}
+				if err := VerifyHomomorphism(p.Left, p.Right, homS, f.Schema, f.Deps); err != nil {
+					t.Fatalf("pair %d (%s): invalid streamed witness %s: %v", i, p.Note, homS, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveVsGenericVerdicts decides a corpus slice per family with
+// the adaptive default.  The adaptive runtime chooses its arm per
+// query, so node counts legitimately differ from the planned oracle —
+// but verdicts never may.
+func TestAdaptiveVsGenericVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow in -short mode")
+	}
+	for fi, fam := range internedFamilies() {
+		fam, fi := fam, fi
+		t.Run(fam, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9700 + fi)))
+			f, err := gen.PairCorpus(rng, fam, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := 0
+			for i, p := range f.Pairs {
+				generic, stG, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchPlanned)
+				if err != nil {
+					t.Fatalf("pair %d (%s): generic: %v", i, p.Note, err)
+				}
+				adaptive, stA, err := EquivalentUnderMode(p.Left, p.Right, f.Schema, f.Deps, cq.SearchAdaptive)
+				if err != nil {
+					t.Fatalf("pair %d (%s): adaptive: %v", i, p.Note, err)
+				}
+				if generic != adaptive {
+					t.Fatalf("pair %d (%s): generic=%v adaptive=%v\n  left  %s\n  right %s",
+						i, p.Note, generic, adaptive, p.Left, p.Right)
+				}
+				// Chase work is mode-independent even when search work
+				// is not.
+				if stG.ChaseIterations != stA.ChaseIterations || stG.ChaseMerges != stA.ChaseMerges ||
+					stG.ChaseRevisited != stA.ChaseRevisited || stG.ChaseFailed != stA.ChaseFailed ||
+					stG.Searches != stA.Searches {
+					t.Fatalf("pair %d (%s): mode-independent stats diverge\n  generic  %+v\n  adaptive %+v",
+						i, p.Note, stG, stA)
+				}
+				if generic {
+					pos++
+				}
+			}
+			if pos == 0 || pos == len(f.Pairs) {
+				t.Fatalf("degenerate corpus: %d/%d positive verdicts", pos, len(f.Pairs))
+			}
+		})
+	}
+}

@@ -89,11 +89,12 @@ func evalCore(q *Query, d *instance.Database, scheme *schema.Relation, mode Sear
 		stats, err := evalNaive(q, d, out)
 		return out, stats, err
 	}
-	// SearchInterned shares the planned path here: interning targets the
-	// single-answer decision search (the containment hot loop), while
-	// full enumeration materializes surface-value answer tuples anyway,
-	// so an ID-space enumeration would decode every emitted tuple and
-	// win nothing (DESIGN.md §14).
+	// SearchInterned, SearchStreamed, and SearchAdaptive all share the
+	// planned path here: the ID-native runtimes target the single-answer
+	// decision search (the containment hot loop), while full enumeration
+	// materializes surface-value answer tuples anyway, so an ID-space
+	// enumeration would decode every emitted tuple and win nothing
+	// (DESIGN.md §14).
 	stats, err := evalPlanned(context.Background(), q, d, out)
 	return out, stats, err
 }
@@ -231,8 +232,8 @@ func FindAnswerBinding(q *Query, d *instance.Database, want instance.Tuple) (boo
 }
 
 // FindAnswerBindingCtx is FindAnswerBinding with cancellation via ctx.
-// It searches in SearchDefault mode (interned unless a command layer
-// selected the generic fallback at startup).
+// It searches in SearchDefault mode (adaptive unless a command layer
+// pinned another runtime at startup).
 func FindAnswerBindingCtx(ctx context.Context, q *Query, d *instance.Database, want instance.Tuple) (bool, map[Var]value.Value, EvalStats, error) {
 	return FindAnswerBindingCtxMode(ctx, q, d, want, SearchDefault)
 }
@@ -288,6 +289,10 @@ func findAnswer(ctx context.Context, q *Query, d *instance.Database, want instan
 		return findAnswerNaive(ctx, q, d, want)
 	case SearchInterned:
 		return findAnswerInterned(ctx, q, d, want)
+	case SearchStreamed:
+		return findAnswerStreamed(ctx, q, d, want)
+	case SearchAdaptive:
+		return findAnswerAdaptive(ctx, q, d, want)
 	}
 	return findAnswerPlanned(ctx, q, d, want)
 }

@@ -93,10 +93,40 @@ func resolveRelations(q *Query, d *instance.Database) ([]*instance.Relation, []i
 	return rels, idxs, nil
 }
 
+// ufFind is the path-halving find of buildPlan's union-find over atoms.
+func ufFind(parent []int, i int) int {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// equalPos reports whether two key-position lists are identical.
+func equalPos(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, p := range a {
+		if p != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // buildPlan compiles the plan for q over the resolved relations.  eq must
 // be q's equality classes; pres holds the class representatives whose
 // value is fixed before the search starts (constant-bound classes, plus
 // the head classes when searching for a specific answer tuple).
+//
+// Plan compilation is the adaptive runtime's cold-path setup cost, paid
+// once per (frozen database, query) and amortized by the prepared-plan
+// cache — but on single-shot containment checks there is nothing to
+// amortize against, so the compile itself stays lean: two arenas (one
+// int, one bool) back every scratch table and every step's key-position
+// list, and index-slot sharing compares position lists directly instead
+// of building signature strings.
 func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses, pres []prebinding) *searchPlan {
 	n := len(q.Body)
 	plan := &searchPlan{classOf: make(map[Var]int32, 2*n)}
@@ -104,7 +134,7 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 	for _, a := range q.Body {
 		total += len(a.Vars)
 	}
-	backing := make([]int32, total)
+	backing := make([]int32, 2*total)
 	roots := make([][]int32, n)
 	for i, a := range q.Body {
 		roots[i], backing = backing[:len(a.Vars):len(a.Vars)], backing[len(a.Vars):]
@@ -119,7 +149,15 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 			roots[i][p] = id
 		}
 	}
-	preboundID := make([]bool, plan.numClasses)
+	nc := plan.numClasses
+	// Bool arena: the prebound set, the head-dedup set, the ordering
+	// bound scratch (rewritten whole per component by a copy), and one
+	// placed flag per atom (carved disjointly per component).
+	bools := make([]bool, 3*nc+n)
+	preboundID := bools[:nc:nc]
+	seen := bools[nc : 2*nc : 2*nc]
+	boundScratch := bools[2*nc : 3*nc : 3*nc]
+	placedArena := bools[3*nc:]
 	for _, pb := range pres {
 		if id, ok := plan.classOf[pb.root]; ok {
 			preboundID[id] = true
@@ -129,20 +167,16 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 	// Union-find over atoms: two atoms connect when they share an
 	// unbound class.  Classes fixed before the search carry no join
 	// constraint between atoms — each atom filters against the fixed
-	// value independently.
-	parent := make([]int, n)
+	// value independently.  The int arena backs the union-find, the
+	// component grouping (CSR: comp ci's atoms are atomList
+	// [compStart[ci]:compStart[ci+1]], in body order), and the steps'
+	// key-position lists.
+	ints := make([]int, 5*n+nc+total+1)
+	parent, ints := ints[:n:n], ints[n:]
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]]
-			i = parent[i]
-		}
-		return i
-	}
-	firstAtomOf := make([]int, plan.numClasses)
+	firstAtomOf, ints := ints[:nc:nc], ints[nc:]
 	for i := range firstAtomOf {
 		firstAtomOf[i] = -1
 	}
@@ -152,7 +186,7 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 				continue
 			}
 			if j := firstAtomOf[id]; j >= 0 {
-				ri, rj := find(i), find(j)
+				ri, rj := ufFind(parent, i), ufFind(parent, j)
 				if ri != rj {
 					parent[ri] = rj
 				}
@@ -162,30 +196,47 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 		}
 	}
 
-	// Group atoms into components ordered by first appearance.
-	compOf := make([]int, n)
+	// Group atoms into components ordered by first appearance: number
+	// the component roots, count, prefix-sum, place.
+	compOf, ints := ints[:n:n], ints[n:]
 	for i := range compOf {
 		compOf[i] = -1
 	}
-	var compAtoms [][]int
+	ncomps := 0
 	for i := 0; i < n; i++ {
-		root := find(i)
-		ci := compOf[root]
-		if ci < 0 {
-			ci = len(compAtoms)
-			compOf[root] = ci
-			compAtoms = append(compAtoms, nil)
+		if root := ufFind(parent, i); compOf[root] < 0 {
+			compOf[root] = ncomps
+			ncomps++
 		}
-		compAtoms[ci] = append(compAtoms[ci], i)
 	}
+	compStart, ints := ints[:ncomps+1:ncomps+1], ints[ncomps+1:]
+	for i := 0; i < n; i++ {
+		compStart[compOf[ufFind(parent, i)]+1]++
+	}
+	for ci := 0; ci < ncomps; ci++ {
+		compStart[ci+1] += compStart[ci]
+	}
+	atomList, ints := ints[:n:n], ints[n:]
+	next, ints := ints[:ncomps:ncomps], ints[ncomps:]
+	copy(next, compStart[:ncomps])
+	for i := 0; i < n; i++ {
+		ci := compOf[ufFind(parent, i)]
+		atomList[next[ci]] = i
+		next[ci]++
+	}
+	keyArena := ints
 
-	plan.comps = make([]planComponent, len(compAtoms))
-	rootComp := make([]int32, plan.numClasses)
+	plan.comps = make([]planComponent, ncomps)
+	stepsArena := make([]planStep, n)
+	rootComp := backing[:nc]
 	for i := range rootComp {
 		rootComp[i] = -1
 	}
-	for ci, atoms := range compAtoms {
-		plan.comps[ci] = orderComponent(atoms, rels, relIdxs, roots, preboundID, plan.numClasses)
+	for ci := 0; ci < ncomps; ci++ {
+		atoms := atomList[compStart[ci]:compStart[ci+1]]
+		plan.comps[ci], keyArena = orderComponent(atoms, rels, relIdxs, roots, preboundID,
+			boundScratch, placedArena[compStart[ci]:compStart[ci+1]],
+			stepsArena[compStart[ci]:compStart[ci]:compStart[ci+1]], keyArena)
 		for _, ai := range atoms {
 			for _, id := range roots[ai] {
 				if !preboundID[id] {
@@ -200,15 +251,7 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 	// probe path is a slice access.  Relations at or under
 	// smallRelScanThreshold tuples scan instead — walking a handful of
 	// tuples is cheaper than building a bucket map for them.
-	type indexID struct {
-		rel *instance.Relation
-		sig string
-	}
-	nsteps := 0
-	for ci := range plan.comps {
-		nsteps += len(plan.comps[ci].steps)
-	}
-	slots := make([]indexID, 0, nsteps)
+	slotSteps := make([]*planStep, 0, n)
 	for ci := range plan.comps {
 		for si := range plan.comps[ci].steps {
 			st := &plan.comps[ci].steps[si]
@@ -216,24 +259,22 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 				st.indexSlot = -1
 				continue
 			}
-			id := indexID{rel: st.rel, sig: posSig(st.keyPos)}
 			st.indexSlot = -1
-			for slot, have := range slots {
-				if have == id {
+			for slot, have := range slotSteps {
+				if have.rel == st.rel && equalPos(have.keyPos, st.keyPos) {
 					st.indexSlot = slot
 					break
 				}
 			}
 			if st.indexSlot < 0 {
-				st.indexSlot = len(slots)
-				slots = append(slots, id)
+				st.indexSlot = len(slotSteps)
+				slotSteps = append(slotSteps, st)
 			}
 		}
 	}
-	plan.numSlots = len(slots)
+	plan.numSlots = len(slotSteps)
 
 	// Assign head classes to the component that determines them.
-	seen := make([]bool, plan.numClasses)
 	for _, t := range q.Head {
 		if t.IsConst {
 			continue
@@ -258,11 +299,17 @@ func buildPlan(q *Query, rels []*instance.Relation, relIdxs []int, eq *EqClasses
 // repeatedly pick the unplaced atom with the most bound positions,
 // breaking ties by smaller relation cardinality, then original body
 // order.  Each step records its bound positions as the index key.
-func orderComponent(atoms []int, rels []*instance.Relation, relIdxs []int, roots [][]int32, preboundID []bool, numClasses int) planComponent {
-	bound := make([]bool, numClasses)
+// bound is scratch rewritten whole by the preboundID copy; placed and
+// steps are this component's disjoint carvings of the caller's arenas;
+// keyArena backs the steps' key-position lists, with the unconsumed
+// tail returned.
+func orderComponent(atoms []int, rels []*instance.Relation, relIdxs []int, roots [][]int32, preboundID []bool,
+	bound, placed []bool, steps []planStep, keyArena []int) (planComponent, []int) {
 	copy(bound, preboundID)
-	placed := make([]bool, len(atoms))
-	comp := planComponent{steps: make([]planStep, 0, len(atoms))}
+	for k := range placed {
+		placed[k] = false
+	}
+	comp := planComponent{steps: steps}
 	for len(comp.steps) < len(atoms) {
 		best, bestK, bestBound, bestCard := -1, -1, -1, 0
 		for k, ai := range atoms {
@@ -282,6 +329,13 @@ func orderComponent(atoms []int, rels []*instance.Relation, relIdxs []int, roots
 		}
 		placed[bestK] = true
 		step := planStep{atom: best, rel: rels[best], relIdx: relIdxs[best], roots: roots[best]}
+		nk := 0
+		for _, id := range roots[best] {
+			if bound[id] {
+				nk++
+			}
+		}
+		step.keyPos, keyArena = keyArena[:0:nk], keyArena[nk:]
 		for p, id := range roots[best] {
 			if bound[id] {
 				step.keyPos = append(step.keyPos, p)
@@ -292,5 +346,5 @@ func orderComponent(atoms []int, rels []*instance.Relation, relIdxs []int, roots
 		}
 		comp.steps = append(comp.steps, step)
 	}
-	return comp
+	return comp, keyArena
 }

@@ -35,13 +35,27 @@ const (
 	// generic planned search visits (same plan, same candidate order);
 	// only the tuple representation differs (search_interned.go).
 	SearchInterned
+	// SearchStreamed runs the plan as a pipeline of composable
+	// streaming iterators over the frozen view — positional scans,
+	// pre-sized hash-index lookups, and mark-unwound hash-join binds
+	// driven by an explicit cursor stack (iter.go).  It is bit-identical
+	// to SearchPlanned and SearchInterned in verdicts, EvalStats, and
+	// witnesses; the oracles differ only in candidate machinery.
+	SearchStreamed
+	// SearchAdaptive layers a cost model over SearchStreamed: per query
+	// and database it chooses between the streamed pipeline and the
+	// dense ID scan (the naive search's dynamic atom order over frozen
+	// rows — scan_id.go), and searches the pipeline's connected
+	// components in parallel when the estimated work justifies it
+	// (cost.go, adaptive.go).  It is the default.
+	SearchAdaptive
 )
 
 // SearchDefault is the mode used by every entry point that does not
-// take an explicit mode.  It is a variable so command layers can fall
-// back to the generic planned search (-generic-search); set it at
-// startup only — concurrent mutation during a run is not supported.
-var SearchDefault = SearchInterned
+// take an explicit mode.  It is a variable so command layers can pin a
+// specific runtime (-search, -generic-search); set it at startup only —
+// concurrent mutation during a run is not supported.
+var SearchDefault = SearchAdaptive
 
 // String renders the mode tag used in benchmark tables and spans.
 func (m SearchMode) String() string {
@@ -50,6 +64,10 @@ func (m SearchMode) String() string {
 		return "naive"
 	case SearchInterned:
 		return "interned"
+	case SearchStreamed:
+		return "streamed"
+	case SearchAdaptive:
+		return "adaptive"
 	}
 	return "planned"
 }
@@ -140,17 +158,6 @@ func (s *searcher) prebind(pres []prebinding) {
 			s.bound[id] = true
 		}
 	}
-}
-
-// posSig encodes a key-position list for index-slot sharing (plan time
-// only; the search itself probes by slot number).
-func posSig(pos []int) string {
-	b := make([]byte, 0, len(pos)*3)
-	for _, p := range pos {
-		b = strconv.AppendInt(b, int64(p), 10)
-		b = append(b, ',')
-	}
-	return string(b)
 }
 
 // appendValue encodes one value into an index key.

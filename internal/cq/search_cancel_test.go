@@ -140,3 +140,34 @@ func TestCancelObservedInternedIndexed(t *testing.T) {
 	// sorted ID indexes.
 	testCancelObserved(t, cancelGraph(t, true), 12, SearchInterned)
 }
+
+func TestCancelObservedStreamedScanFallback(t *testing.T) {
+	// 8 edges ≤ smallRelScanThreshold: every streamed cursor scans
+	// frozen rows directly.
+	testCancelObserved(t, cancelGraph(t, false), 9, SearchStreamed)
+}
+
+func TestCancelObservedStreamedIndexed(t *testing.T) {
+	// 12 edges > smallRelScanThreshold: bound cursors walk pre-built
+	// hash buckets.
+	testCancelObserved(t, cancelGraph(t, true), 12, SearchStreamed)
+}
+
+func TestCancelObservedAdaptiveScanArm(t *testing.T) {
+	// 8 edges ≤ smallRelScanThreshold: tier 0 routes to the dense ID
+	// scan, which polls inside its own recursion.
+	testCancelObserved(t, cancelGraph(t, false), 9, SearchAdaptive)
+}
+
+func TestCancelObservedAdaptivePipeline(t *testing.T) {
+	// Above the threshold the adaptive mode plans; force the pipeline
+	// choice so the poll point under test is the cursor driver's.
+	cfg := defaultCostConfig
+	cfg.planOverhead = 0
+	cfg.indexBuildPerRow = 0
+	cfg.nodeCost = 0
+	orig := costCfg
+	costCfg = cfg
+	defer func() { costCfg = orig }()
+	testCancelObserved(t, cancelGraph(t, true), 12, SearchAdaptive)
+}

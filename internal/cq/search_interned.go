@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"keyedeq/internal/instance"
-	"keyedeq/internal/invariant"
 	"keyedeq/internal/obs"
 	"keyedeq/internal/value"
 )
@@ -22,31 +21,19 @@ import (
 // oracle (SearchPlanned), and IDs never escape this file: the witness
 // is decoded back to surface values before it is returned.
 
-// internedSearcher carries the mutable state of one interned search.
+// internedSearcher carries the mutable state of one interned search:
+// the shared ID-search core (bindings, ghosts, unwind stack, node
+// counter — idcore.go) plus the sorted-row index machinery particular
+// to this runtime.
 type internedSearcher struct {
-	ctx      context.Context
-	plan     *searchPlan
-	fz       *instance.Frozen
-	binding  []value.ID
-	bound    []bool
-	stats    *EvalStats
-	canceled error
+	idSearchCore
+	plan *searchPlan
 	// idx holds one lazily built sorted row index per plan index slot:
 	// the relation's row numbers ordered by the slot's key positions
 	// (ties by row number, which keeps candidate enumeration in exactly
 	// the generic bucket order).  A probe is two binary searches over
 	// it — zero allocations, any key width.
 	idx []internedIndex
-	// addedStack mirrors searcher.addedStack: newly bound class ids in
-	// binding order, unwound by truncation to a caller's mark.
-	addedStack []int32
-	// ghostVals holds values referenced by the query (constants, wanted
-	// head values) that the frozen view never interned.  Each gets a
-	// per-search "ghost" ID from the top of the ID space — distinct
-	// from every real ID, so a ghost-bound class filters candidates
-	// exactly like a value absent from a generic hash index: every
-	// comparison misses, and the search explores the same nodes.
-	ghostVals []value.Value
 }
 
 type internedIndex struct {
@@ -56,41 +43,16 @@ type internedIndex struct {
 
 func newInternedSearcher(ctx context.Context, plan *searchPlan, fz *instance.Frozen, stats *EvalStats) *internedSearcher {
 	return &internedSearcher{
-		ctx:     ctx,
-		plan:    plan,
-		fz:      fz,
-		binding: make([]value.ID, plan.numClasses),
-		bound:   make([]bool, plan.numClasses),
-		stats:   stats,
-		idx:     make([]internedIndex, plan.numSlots),
+		idSearchCore: idSearchCore{
+			ctx:     ctx,
+			fz:      fz,
+			binding: make([]value.ID, plan.numClasses),
+			bound:   make([]bool, plan.numClasses),
+			stats:   stats,
+		},
+		plan: plan,
+		idx:  make([]internedIndex, plan.numSlots),
 	}
-}
-
-// internID resolves a surface value to its frozen ID, or to a ghost ID
-// when the frozen view never saw it.  Ghosts are deduplicated per
-// distinct value so two prebindings of the same absent constant agree,
-// exactly as the generic search's value comparisons would.
-func (s *internedSearcher) internID(v value.Value) value.ID {
-	if id, ok := s.fz.Interner.Lookup(v); ok {
-		return id
-	}
-	for i, g := range s.ghostVals {
-		if g == v {
-			return ^value.ID(0) - value.ID(i)
-		}
-	}
-	s.ghostVals = append(s.ghostVals, v)
-	return ^value.ID(0) - value.ID(len(s.ghostVals)-1)
-}
-
-// decodeID is the boundary where IDs turn back into surface values.
-func (s *internedSearcher) decodeID(id value.ID) value.Value {
-	if n := len(s.ghostVals); n > 0 && id >= ^value.ID(0)-value.ID(n-1) {
-		return s.ghostVals[^value.ID(0)-id]
-	}
-	v, ok := s.fz.Interner.Decode(id)
-	invariant.Mustf(ok, "cq: interned search bound foreign ID %d", id)
-	return v
 }
 
 // buildIndex sorts the relation's row numbers by the step's key
@@ -143,48 +105,6 @@ func (s *internedSearcher) probe(st *planStep, fr *instance.FrozenRelation) (int
 	lo := sort.Search(len(rows), func(i int) bool { return cmp(int(rows[i])) >= 0 })
 	hi := sort.Search(len(rows), func(i int) bool { return cmp(int(rows[i])) > 0 })
 	return lo, hi
-}
-
-// tryBind extends the binding with row ri at step st; the caller
-// unwinds partial adds with unbindTo(mark).
-func (s *internedSearcher) tryBind(st *planStep, fr *instance.FrozenRelation, ri int) bool {
-	row := fr.Row(ri)
-	for p, id := range st.roots {
-		if s.bound[id] {
-			if s.binding[id] != row[p] {
-				return false
-			}
-			continue
-		}
-		s.binding[id] = row[p]
-		s.bound[id] = true
-		s.addedStack = append(s.addedStack, id)
-	}
-	return true
-}
-
-// unbindTo unwinds every binding pushed since the caller's mark.
-func (s *internedSearcher) unbindTo(mark int) {
-	for _, id := range s.addedStack[mark:] {
-		s.bound[id] = false
-	}
-	s.addedStack = s.addedStack[:mark]
-}
-
-// countNode advances the shared node counter under the same polling
-// contract as the generic searcher (see searcher.countNode).
-func (s *internedSearcher) countNode() bool {
-	if s.canceled != nil {
-		return false
-	}
-	s.stats.Nodes++
-	if s.stats.Nodes&cancelCheckMask == 0 {
-		if err := s.ctx.Err(); err != nil {
-			s.canceled = err
-			return false
-		}
-	}
-	return true
 }
 
 // findFrom searches for one match of steps[i:] over the frozen rows,

@@ -5,15 +5,29 @@ import (
 	"math/rand"
 	"testing"
 
+	"keyedeq/internal/cq"
 	"keyedeq/internal/gen"
 )
 
-// TestGenericSearchOptionMatchesInterned pins the Options.GenericSearch
-// escape hatch: an engine forced onto the generic planned search must
-// return exactly the verdicts and work accounting of the interned
-// default — same jobs, same batch machinery, different search
-// representation only.
-func TestGenericSearchOptionMatchesInterned(t *testing.T) {
+// withDefaultSearch pins the process-wide default search mode for the
+// duration of one test body.
+func withDefaultSearch(t *testing.T, mode cq.SearchMode, body func()) {
+	t.Helper()
+	orig := cq.SearchDefault
+	cq.SearchDefault = mode
+	defer func() { cq.SearchDefault = orig }()
+	body()
+}
+
+// TestGenericSearchOptionMatchesStreamed pins the Options.GenericSearch
+// escape hatch against the streamed iterator runtime: an engine forced
+// onto the generic planned search must return exactly the verdicts and
+// work accounting of an engine on the streamed pipeline — same jobs,
+// same batch machinery, bit-identical stats; only the candidate
+// machinery differs.  (The adaptive default is covered separately
+// below: it may legitimately visit different node counts because it
+// chooses not to plan.)
+func TestGenericSearchOptionMatchesStreamed(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	f, err := gen.PairCorpus(rng, "keyed", 120)
 	if err != nil {
@@ -25,25 +39,28 @@ func TestGenericSearchOptionMatchesInterned(t *testing.T) {
 	}
 	// Caches off so every pair is decided by an actual search in both
 	// engines, and Workers 1 so result order is deterministic.
-	def := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true})
-	gen := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true, GenericSearch: true})
-	repD := def.Run(context.Background(), jobs)
-	repG := gen.Run(context.Background(), jobs)
+	var repD, repG *Report
+	withDefaultSearch(t, cq.SearchStreamed, func() {
+		def := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true})
+		gn := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true, GenericSearch: true})
+		repD = def.Run(context.Background(), jobs)
+		repG = gn.Run(context.Background(), jobs)
+	})
 	for i := range repD.Results {
 		rd, rg := repD.Results[i], repG.Results[i]
 		if rd.Err != nil || rg.Err != nil {
-			t.Fatalf("job %d errored: interned %v, generic %v", i, rd.Err, rg.Err)
+			t.Fatalf("job %d errored: streamed %v, generic %v", i, rd.Err, rg.Err)
 		}
 		if rd.Holds != rg.Holds {
-			t.Fatalf("job %d: interned holds=%v, generic holds=%v\n  left  %s\n  right %s",
+			t.Fatalf("job %d: streamed holds=%v, generic holds=%v\n  left  %s\n  right %s",
 				i, rd.Holds, rg.Holds, jobs[i].Left, jobs[i].Right)
 		}
 		if rd.Stats != rg.Stats {
-			t.Fatalf("job %d: stats diverge\n  interned %+v\n  generic  %+v", i, rd.Stats, rg.Stats)
+			t.Fatalf("job %d: stats diverge\n  streamed %+v\n  generic  %+v", i, rd.Stats, rg.Stats)
 		}
 	}
 	if repD.Nodes != repG.Nodes || repD.Holding != repG.Holding {
-		t.Fatalf("batch totals diverge: interned (%d nodes, %d holding), generic (%d nodes, %d holding)",
+		t.Fatalf("batch totals diverge: streamed (%d nodes, %d holding), generic (%d nodes, %d holding)",
 			repD.Nodes, repD.Holding, repG.Nodes, repG.Holding)
 	}
 	if repD.Holding == 0 || repD.Holding == repD.Pairs {
@@ -51,25 +68,66 @@ func TestGenericSearchOptionMatchesInterned(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDefaultMatchesGenericVerdicts covers the shipping default
+// (SearchAdaptive): the cost model may pick a different runtime per
+// pair, so node counts can differ from the generic oracle, but every
+// verdict — and therefore the batch holding count — must agree.
+func TestAdaptiveDefaultMatchesGenericVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	f, err := gen.PairCorpus(rng, "keyed", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 0, len(f.Pairs))
+	for _, p := range f.Pairs {
+		jobs = append(jobs, Job{Left: p.Left, Right: p.Right, Op: OpEquivalent})
+	}
+	var repD, repG *Report
+	withDefaultSearch(t, cq.SearchAdaptive, func() {
+		def := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true})
+		gn := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true, GenericSearch: true})
+		repD = def.Run(context.Background(), jobs)
+		repG = gn.Run(context.Background(), jobs)
+	})
+	for i := range repD.Results {
+		rd, rg := repD.Results[i], repG.Results[i]
+		if rd.Err != nil || rg.Err != nil {
+			t.Fatalf("job %d errored: adaptive %v, generic %v", i, rd.Err, rg.Err)
+		}
+		if rd.Holds != rg.Holds {
+			t.Fatalf("job %d: adaptive holds=%v, generic holds=%v\n  left  %s\n  right %s",
+				i, rd.Holds, rg.Holds, jobs[i].Left, jobs[i].Right)
+		}
+	}
+	if repD.Holding != repG.Holding {
+		t.Fatalf("holding diverges: adaptive %d, generic %d", repD.Holding, repG.Holding)
+	}
+	if repD.Holding == 0 || repD.Holding == repD.Pairs {
+		t.Fatalf("degenerate corpus: %d/%d holding", repD.Holding, repD.Pairs)
+	}
+}
+
 // TestGenericSearchOptionDecide covers the single-pair entry point with
-// the fallback on.
+// the fallback on, against the streamed runtime.
 func TestGenericSearchOptionDecide(t *testing.T) {
 	rng := rand.New(rand.NewSource(2025))
 	f, err := gen.PairCorpus(rng, "graph-star", 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	def := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true})
-	gn := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true, GenericSearch: true})
-	for i, p := range f.Pairs {
-		rd := def.Decide(context.Background(), p.Left, p.Right, OpContained)
-		rg := gn.Decide(context.Background(), p.Left, p.Right, OpContained)
-		if rd.Err != nil || rg.Err != nil {
-			t.Fatalf("pair %d errored: %v / %v", i, rd.Err, rg.Err)
+	withDefaultSearch(t, cq.SearchStreamed, func() {
+		def := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true})
+		gn := New(f.Schema, f.Deps, Options{Workers: 1, DisableCache: true, GenericSearch: true})
+		for i, p := range f.Pairs {
+			rd := def.Decide(context.Background(), p.Left, p.Right, OpContained)
+			rg := gn.Decide(context.Background(), p.Left, p.Right, OpContained)
+			if rd.Err != nil || rg.Err != nil {
+				t.Fatalf("pair %d errored: %v / %v", i, rd.Err, rg.Err)
+			}
+			if rd.Holds != rg.Holds || rd.Stats != rg.Stats {
+				t.Fatalf("pair %d diverges: streamed (%v, %+v), generic (%v, %+v)",
+					i, rd.Holds, rd.Stats, rg.Holds, rg.Stats)
+			}
 		}
-		if rd.Holds != rg.Holds || rd.Stats != rg.Stats {
-			t.Fatalf("pair %d diverges: interned (%v, %+v), generic (%v, %+v)",
-				i, rd.Holds, rd.Stats, rg.Holds, rg.Stats)
-		}
-	}
+	})
 }

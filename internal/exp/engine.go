@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"keyedeq/internal/containment"
@@ -27,6 +28,19 @@ type EngineModeResult struct {
 	Workers         int     `json:"workers"`
 }
 
+// WorkerSweepEntry is one worker count's measurement in the engine
+// record's multi-worker section: a fresh engine (cold caches) deciding
+// the same corpus with the pool pinned to Workers goroutines.
+type WorkerSweepEntry struct {
+	Workers int   `json:"workers"`
+	WallNs  int64 `json:"wall_ns"`
+	NsPerOp int64 `json:"ns_per_op"`
+	// Nodes and Holding fingerprint the work done: every entry must
+	// report identical values, or the pool size changed verdicts.
+	Nodes   int64 `json:"nodes"`
+	Holding int   `json:"holding"`
+}
+
 // EngineBenchResult is the full regression record: both modes plus the
 // derived speedup.  CI's bench smoke gate parses this and fails when the
 // engine is slower than the sequential baseline.
@@ -39,6 +53,13 @@ type EngineBenchResult struct {
 	// SecondPassHitRate is the engine cache hit rate when the same
 	// corpus is decided a second time (1.0 when every pair hits).
 	SecondPassHitRate float64 `json:"second_pass_hit_rate"`
+	// GoMaxProcs records the parallelism available when the record was
+	// taken: the sweep below is only a scaling claim when it exceeds
+	// one, so the gate reads this before judging wall times.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Sweep is the multi-worker section: the same corpus decided at
+	// several fixed pool sizes.
+	Sweep []WorkerSweepEntry `json:"worker_sweep"`
 }
 
 // E1EngineBatch compares the batch engine (parallel + canonical cache)
@@ -149,4 +170,66 @@ func E1EngineBatch(pairsPerFamily, workers, cacheSize, seed int, o *obs.Obs) (*T
 		totalSeq.Round(time.Millisecond), totalEng.Round(time.Millisecond),
 		res.Speedup, res.SecondPassHitRate)
 	return t, res
+}
+
+// E1WorkerSweep decides the same generated corpus once per worker
+// count, each time on a fresh engine (cold verdict cache, cold
+// canonical dedup), and reports wall time and the work fingerprint per
+// count.  Every entry must land on identical Nodes and Holding totals:
+// the pool size may move wall time, never verdicts.  The caller stores
+// the sweep next to runtime.GOMAXPROCS(0) — on a single-core runner
+// the wall times are honest but carry no scaling information.
+func E1WorkerSweep(pairsPerFamily, cacheSize, seed int, counts []int) (*Table, []WorkerSweepEntry, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "engine worker sweep (same corpus, fixed pool sizes)",
+		Columns: []string{"workers", "wall", "ns/op", "nodes", "holding"},
+	}
+	type famJobs struct {
+		f    *gen.Family
+		jobs []engine.Job
+	}
+	var fams []famJobs
+	totalPairs := 0
+	for fi, fam := range gen.FamilyNames() {
+		rng := rand.New(rand.NewSource(int64(seed + fi)))
+		f, err := gen.PairCorpus(rng, fam, pairsPerFamily)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs := make([]engine.Job, len(f.Pairs))
+		for i, p := range f.Pairs {
+			jobs[i] = engine.Job{Left: p.Left, Right: p.Right, Op: engine.OpEquivalent}
+		}
+		fams = append(fams, famJobs{f: f, jobs: jobs})
+		totalPairs += len(jobs)
+	}
+	var sweep []WorkerSweepEntry
+	for _, workers := range counts {
+		entry := WorkerSweepEntry{Workers: workers}
+		start := time.Now()
+		for _, fj := range fams {
+			size := cacheSize
+			if size == 0 {
+				size = 4 * pairsPerFamily
+			}
+			e := engine.New(fj.f.Schema, fj.f.Deps, engine.Options{
+				Workers:      workers,
+				CacheSize:    size,
+				DisableCache: cacheSize < 0,
+				Now:          time.Now,
+			})
+			rep := e.Run(context.Background(), fj.jobs)
+			entry.Nodes += rep.Nodes
+			entry.Holding += rep.Holding
+		}
+		entry.WallNs = time.Since(start).Nanoseconds()
+		if totalPairs > 0 {
+			entry.NsPerOp = entry.WallNs / int64(totalPairs)
+		}
+		sweep = append(sweep, entry)
+		t.Add(entry.Workers, time.Duration(entry.WallNs), entry.NsPerOp, entry.Nodes, entry.Holding)
+	}
+	t.Note("gomaxprocs %d, %d pairs per pass", runtime.GOMAXPROCS(0), totalPairs)
+	return t, sweep, nil
 }

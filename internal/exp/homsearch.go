@@ -112,13 +112,33 @@ func PrepareHomCases(f *gen.Family) ([]HomCase, error) {
 	return cases, nil
 }
 
+// homTrials is how many interleaved timing trials H1 runs per family,
+// and homPassesPerSample how many consecutive passes one timed sample
+// covers.  Each arm's reported wall is the minimum sample over the
+// trials, divided back to one pass: scheduler and GC interference on
+// a shared box is strictly additive, so the minimum converges to the
+// true cost of each arm (the same argument ObsOverheadGate
+// documents), and longer samples keep interruptions small relative to
+// what is measured — a single measured pass swings with whatever
+// noise hit it, far too unstable to gate per-family speedup floors
+// on.
+const (
+	homTrials          = 5
+	homPassesPerSample = 3
+)
+
 // H1HomSearch prepares the homomorphism search instances behind the
 // generated pair corpus of every schema family (freeze + chase, shared
-// across modes) and runs each search twice — once with the naive
-// full-scan backtracking search and once with the planned, indexed
-// search — reporting wall time, search nodes, and verdict agreement.
-// A non-nil o observes the planned arm only, so exported search totals
-// line up with the record's planned_nodes.
+// across modes) and runs each search with the naive full-scan
+// backtracking search and with the adaptive runtime (the process
+// default: cost-chosen scan-vs-pipeline with parallel component
+// search) — reporting wall time, search nodes, and verdict agreement.
+// Timing interleaves homTrials trials of each arm and keeps the
+// minima, so neither arm is systematically charged for cache warmup
+// or drift.  The record keeps the historical planned_* JSON keys: the
+// measured arm is whatever the default runtime is, and the naive arm
+// is the fixed reference.  A non-nil o observes the measured arm only,
+// so exported search totals line up with the record's planned_nodes.
 func H1HomSearch(pairsPerFamily, seed int, o *obs.Obs) (*Table, *HomBenchResult) {
 	plannedCtx := obs.NewContext(context.Background(), o)
 	t := &Table{
@@ -143,34 +163,70 @@ func H1HomSearch(pairsPerFamily, seed int, o *obs.Obs) (*Table, *HomBenchResult)
 		fr := HomFamilyResult{Family: fam, Pairs: len(f.Pairs), Searches: len(cases)}
 		verdicts := make([]bool, len(cases))
 
-		naiveWall := timed(func() {
-			for i, c := range cases {
-				ok, _, st, err := cq.FindAnswerBindingMode(c.Q, c.DB, c.Want, cq.SearchNaive)
-				if err != nil {
-					t.Note("%s: naive: %v", fam, err)
-					continue
-				}
-				verdicts[i] = ok
-				fr.NaiveNodes += st.Nodes
+		// Untimed warmup passes record node totals, verdicts, and any
+		// mismatch, and pay one-time memoization (sorted tuple views)
+		// so the timed trials below compare steady-state arms.
+		for i, c := range cases {
+			ok, _, st, err := cq.FindAnswerBindingMode(c.Q, c.DB, c.Want, cq.SearchNaive)
+			if err != nil {
+				t.Note("%s: naive: %v", fam, err)
+				continue
 			}
-		})
-		plannedWall := timed(func() {
-			for i, c := range cases {
-				ok, _, st, err := cq.FindAnswerBindingCtxMode(plannedCtx, c.Q, c.DB, c.Want, cq.SearchPlanned)
-				if err != nil {
-					t.Note("%s: planned: %v", fam, err)
-					continue
-				}
-				if ok != verdicts[i] {
-					res.Mismatches++
-					t.Note("%s: VERDICT MISMATCH on search %d", fam, i)
-				}
-				if ok {
-					fr.Holding++
-				}
-				fr.PlannedNodes += st.Nodes
+			verdicts[i] = ok
+			fr.NaiveNodes += st.Nodes
+		}
+		for i, c := range cases {
+			ok, _, st, err := cq.FindAnswerBindingCtxMode(plannedCtx, c.Q, c.DB, c.Want, cq.SearchAdaptive)
+			if err != nil {
+				t.Note("%s: planned: %v", fam, err)
+				continue
 			}
-		})
+			if ok != verdicts[i] {
+				res.Mismatches++
+				t.Note("%s: VERDICT MISMATCH on search %d", fam, i)
+			}
+			if ok {
+				fr.Holding++
+			}
+			fr.PlannedNodes += st.Nodes
+		}
+
+		runNaive := func() time.Duration {
+			return timed(func() {
+				for p := 0; p < homPassesPerSample; p++ {
+					for _, c := range cases {
+						_, _, _, _ = cq.FindAnswerBindingMode(c.Q, c.DB, c.Want, cq.SearchNaive)
+					}
+				}
+			})
+		}
+		runPlanned := func() time.Duration {
+			return timed(func() {
+				for p := 0; p < homPassesPerSample; p++ {
+					for _, c := range cases {
+						_, _, _, _ = cq.FindAnswerBindingCtxMode(plannedCtx, c.Q, c.DB, c.Want, cq.SearchAdaptive)
+					}
+				}
+			})
+		}
+		var naiveWall, plannedWall time.Duration
+		for trial := 0; trial < homTrials; trial++ {
+			// Alternate which arm goes first so per-trial drift cannot
+			// systematically favor one of them.
+			var nw, pw time.Duration
+			if trial%2 == 0 {
+				nw, pw = runNaive(), runPlanned()
+			} else {
+				pw, nw = runPlanned(), runNaive()
+			}
+			nw, pw = nw/homPassesPerSample, pw/homPassesPerSample
+			if trial == 0 || nw < naiveWall {
+				naiveWall = nw
+			}
+			if trial == 0 || pw < plannedWall {
+				plannedWall = pw
+			}
+		}
 
 		fr.NaiveWallNs = naiveWall.Nanoseconds()
 		fr.PlannedWallNs = plannedWall.Nanoseconds()

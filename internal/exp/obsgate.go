@@ -13,7 +13,8 @@ import (
 )
 
 // ObsGateResult is the observability overhead gate's machine-readable
-// record: the same planned searches are timed with a plain context and
+// record: the same default-runtime (adaptive) searches are timed with a
+// plain context and
 // with metrics collection enabled, interleaved, and the minima
 // compared.  Node totals are tracked per family so the gate can also
 // prove the instrumentation did not change search behavior against the
@@ -45,8 +46,10 @@ type ObsGateResult struct {
 	Reconciled bool `json:"reconciled"`
 }
 
-// ObsOverheadGate measures what metrics collection costs the planned
-// homomorphism search, the hottest instrumented path.  It prepares the
+// ObsOverheadGate measures what metrics collection costs the default
+// (adaptive) homomorphism search, the hottest instrumented path.  It
+// must run the same mode as H1HomSearch's measured arm, or the
+// FamilyNodes cross-check against the committed record breaks.  It prepares the
 // same corpus H1HomSearch uses (same seed convention), then alternates
 // trials of the full case list between a plain context (the unobserved
 // fast path) and a metrics-only observer (counters and histograms, no
@@ -82,7 +85,7 @@ func ObsOverheadGate(pairsPerFamily, seed, trials int) (*Table, *ObsGateResult, 
 		for _, fc := range fams {
 			var famTotal int64
 			for _, c := range fc.cases {
-				_, _, st, err := cq.FindAnswerBindingCtxMode(ctx, c.Q, c.DB, c.Want, cq.SearchPlanned)
+				_, _, st, err := cq.FindAnswerBindingCtxMode(ctx, c.Q, c.DB, c.Want, cq.SearchAdaptive)
 				if err != nil {
 					return 0, fmt.Errorf("%s: %v", fc.name, err)
 				}

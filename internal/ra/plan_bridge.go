@@ -1,0 +1,63 @@
+package ra
+
+import (
+	"keyedeq/internal/cq"
+	"keyedeq/internal/instance"
+)
+
+// FromCQPlanned compiles q to an optimized algebra expression whose
+// join tree follows the adaptive planner's executed atom order for d
+// (cq.ExplainPlan): body atoms are reordered component by component
+// before the FromCQ/Optimize pipeline runs, so the left-deep join tree
+// Optimize produces joins atoms in the same order the streamed
+// pipeline binds them.  When the planner chooses the scan strategy its
+// atom order is dynamic, and the source order is kept.  The reordering
+// never changes semantics — a conjunctive body is order-independent —
+// only the shape of the compiled plan.
+func FromCQPlanned(q *cq.Query, d *instance.Database) (Expr, *cq.PlanInfo, error) {
+	info, err := cq.ExplainPlan(q, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	ordered := q
+	if len(info.AtomOrder) == len(q.Body) {
+		body := make([]cq.Atom, 0, len(q.Body))
+		seen := make([]bool, len(q.Body))
+		for _, ai := range info.AtomOrder {
+			body = append(body, q.Body[ai])
+			seen[ai] = true
+		}
+		// Atoms the plan never steps through (fully prebound ones) keep
+		// their source positions at the end.
+		for ai := range q.Body {
+			if !seen[ai] {
+				body = append(body, q.Body[ai])
+			}
+		}
+		ordered = &cq.Query{Head: q.Head, Body: body, Eqs: q.Eqs}
+	}
+	e, err := FromCQ(ordered, d.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := Optimize(e, d.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return opt, info, nil
+}
+
+// EvalPlanned is FromCQPlanned followed by streaming evaluation: the
+// algebra-side mirror of one adaptive pipeline run, usable as a
+// differential oracle for the cq runtime's result sets.
+func EvalPlanned(q *cq.Query, d *instance.Database) (*instance.Relation, *cq.PlanInfo, error) {
+	e, info, err := FromCQPlanned(q, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Eval(e, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, info, err
+}

@@ -207,13 +207,17 @@ func checkCol(i, n int) error {
 }
 
 // Eval evaluates the expression over d, returning the result with a
-// synthesized scheme.
+// synthesized scheme.  It runs the streaming iterator evaluator
+// (stream.go): selections and projections pass rows through without
+// materializing, and joins hash their build side into a pre-sized
+// table.  evalMaterialize is the recursive reference it is tested
+// against.
 func Eval(e Expr, d *instance.Database) (*instance.Relation, error) {
 	ts, err := e.Type(d.Schema)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := eval(e, d)
+	rows, err := drain(e, d)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +234,11 @@ func Eval(e Expr, d *instance.Database) (*instance.Relation, error) {
 	return out, nil
 }
 
-func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
+// evalMaterialize is the original recursive evaluator: every operator
+// materializes its full input before producing output.  It is kept as
+// the semantics reference — the streaming evaluator must produce the
+// same rows in the same order on every expression.
+func evalMaterialize(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 	switch e := e.(type) {
 	case *Rel:
 		r := d.Relation(e.Name)
@@ -239,7 +247,7 @@ func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 		}
 		return r.Tuples(), nil
 	case *SelectEq:
-		in, err := eval(e.E, d)
+		in, err := evalMaterialize(e.E, d)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +259,7 @@ func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 		}
 		return out, nil
 	case *SelectConst:
-		in, err := eval(e.E, d)
+		in, err := evalMaterialize(e.E, d)
 		if err != nil {
 			return nil, err
 		}
@@ -263,11 +271,11 @@ func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 		}
 		return out, nil
 	case *Product:
-		lt, err := eval(e.L, d)
+		lt, err := evalMaterialize(e.L, d)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := eval(e.R, d)
+		rt, err := evalMaterialize(e.R, d)
 		if err != nil {
 			return nil, err
 		}
@@ -279,11 +287,11 @@ func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 		}
 		return out, nil
 	case *Join:
-		lt, err := eval(e.L, d)
+		lt, err := evalMaterialize(e.L, d)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := eval(e.R, d)
+		rt, err := evalMaterialize(e.R, d)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +305,7 @@ func eval(e Expr, d *instance.Database) ([]instance.Tuple, error) {
 		}
 		return out, nil
 	case *Project:
-		in, err := eval(e.E, d)
+		in, err := evalMaterialize(e.E, d)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,214 @@
+package ra
+
+import (
+	"fmt"
+
+	"keyedeq/internal/instance"
+	"keyedeq/internal/value"
+)
+
+// This file is the algebra's streaming evaluator: each operator is a
+// pull iterator, so selections and projections never materialize their
+// input, and an equijoin materializes only its build side — into a
+// hash table pre-sized to the build cardinality, mirroring the cq
+// pipeline's pre-sized stream indexes.  Eval drives this evaluator;
+// the recursive materializing walk it replaced survives as
+// evalMaterialize, the differential reference the tests replay every
+// expression through.
+
+// rowIter is a pull iterator over tuples.  next returns the next row
+// and true, or false at exhaustion.  Construction (open) reports the
+// only possible errors — unknown relations — so next itself is
+// error-free.
+type rowIter interface {
+	next() (instance.Tuple, bool)
+}
+
+// sliceIter streams a materialized tuple slice — the leaf scan, and
+// the fallback for build sides.
+type sliceIter struct {
+	rows []instance.Tuple
+	pos  int
+}
+
+func (it *sliceIter) next() (instance.Tuple, bool) {
+	if it.pos >= len(it.rows) {
+		return nil, false
+	}
+	t := it.rows[it.pos]
+	it.pos++
+	return t, true
+}
+
+// filterIter streams the rows of in that pass keep.
+type filterIter struct {
+	in   rowIter
+	keep func(instance.Tuple) bool
+}
+
+func (it *filterIter) next() (instance.Tuple, bool) {
+	for {
+		t, ok := it.in.next()
+		if !ok {
+			return nil, false
+		}
+		if it.keep(t) {
+			return t, true
+		}
+	}
+}
+
+// projectIter maps each input row through the projection columns.
+type projectIter struct {
+	in   rowIter
+	cols []ProjCol
+}
+
+func (it *projectIter) next() (instance.Tuple, bool) {
+	t, ok := it.in.next()
+	if !ok {
+		return nil, false
+	}
+	row := make(instance.Tuple, len(it.cols))
+	for i, c := range it.cols {
+		if c.IsConst {
+			row[i] = c.Const
+		} else {
+			row[i] = t[c.Col]
+		}
+	}
+	return row, true
+}
+
+// hashJoinIter materializes the right input into a hash table keyed by
+// its join column (pre-sized to the build cardinality), then streams
+// the left input, emitting one concatenated row per bucket match.
+// Bucket fill order is input order, so output order matches the
+// nested-loop reference row for row.
+type hashJoinIter struct {
+	left       rowIter
+	lcol       int
+	table      map[value.Value][]instance.Tuple
+	cur        instance.Tuple
+	bucket     []instance.Tuple
+	nextInWide int
+}
+
+func newHashJoinIter(left rowIter, lcol int, build []instance.Tuple, rcol int) *hashJoinIter {
+	table := make(map[value.Value][]instance.Tuple, len(build))
+	for _, r := range build {
+		table[r[rcol]] = append(table[r[rcol]], r)
+	}
+	return &hashJoinIter{left: left, lcol: lcol, table: table}
+}
+
+func (it *hashJoinIter) next() (instance.Tuple, bool) {
+	for {
+		if it.nextInWide < len(it.bucket) {
+			r := it.bucket[it.nextInWide]
+			it.nextInWide++
+			return append(append(make(instance.Tuple, 0, len(it.cur)+len(r)), it.cur...), r...), true
+		}
+		t, ok := it.left.next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = t
+		it.bucket = it.table[t[it.lcol]]
+		it.nextInWide = 0
+	}
+}
+
+// productIter streams the left input against a materialized right side.
+type productIter struct {
+	left  rowIter
+	right []instance.Tuple
+	cur   instance.Tuple
+	pos   int
+}
+
+func (it *productIter) next() (instance.Tuple, bool) {
+	for {
+		if it.cur != nil && it.pos < len(it.right) {
+			r := it.right[it.pos]
+			it.pos++
+			return append(append(make(instance.Tuple, 0, len(it.cur)+len(r)), it.cur...), r...), true
+		}
+		t, ok := it.left.next()
+		if !ok {
+			return nil, false
+		}
+		it.cur = t
+		it.pos = 0
+	}
+}
+
+// open builds the iterator tree for e over d.
+func open(e Expr, d *instance.Database) (rowIter, error) {
+	switch e := e.(type) {
+	case *Rel:
+		r := d.Relation(e.Name)
+		if r == nil {
+			return nil, fmt.Errorf("ra: unknown relation %q", e.Name)
+		}
+		return &sliceIter{rows: r.Tuples()}, nil
+	case *SelectEq:
+		in, err := open(e.E, d)
+		if err != nil {
+			return nil, err
+		}
+		l, r := e.Left, e.Right
+		return &filterIter{in: in, keep: func(t instance.Tuple) bool { return t[l] == t[r] }}, nil
+	case *SelectConst:
+		in, err := open(e.E, d)
+		if err != nil {
+			return nil, err
+		}
+		col, c := e.Col, e.Const
+		return &filterIter{in: in, keep: func(t instance.Tuple) bool { return t[col] == c }}, nil
+	case *Join:
+		left, err := open(e.L, d)
+		if err != nil {
+			return nil, err
+		}
+		build, err := drain(e.R, d)
+		if err != nil {
+			return nil, err
+		}
+		return newHashJoinIter(left, e.LCol, build, e.RCol), nil
+	case *Product:
+		left, err := open(e.L, d)
+		if err != nil {
+			return nil, err
+		}
+		right, err := drain(e.R, d)
+		if err != nil {
+			return nil, err
+		}
+		return &productIter{left: left, right: right}, nil
+	case *Project:
+		in, err := open(e.E, d)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{in: in, cols: e.Cols}, nil
+	default:
+		return nil, fmt.Errorf("ra: unknown expression %T", e)
+	}
+}
+
+// drain opens e and pulls it to exhaustion.
+func drain(e Expr, d *instance.Database) ([]instance.Tuple, error) {
+	it, err := open(e, d)
+	if err != nil {
+		return nil, err
+	}
+	var out []instance.Tuple
+	for {
+		t, ok := it.next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
