@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify bench-intern-verify bench-stream-verify obs-verify cover all
+.PHONY: build test debug race lint lint-json lint-hot qvet fuzz-smoke vet vet-debug bench bench-verify bench-hom bench-hom-verify bench-alloc bench-alloc-verify bench-intern-verify bench-stream-verify obs-verify serve-smoke cover all
 
 all: build vet vet-debug test lint qvet
 
@@ -125,6 +125,12 @@ bench-stream-verify:
 obs-verify:
 	$(GO) test ./internal/obs -run 'TestBatchMetricsReconcile|TestMetamorphicComponentNodes' -count=1
 	$(GO) run ./cmd/keyedeq-bench -verify-obs BENCH_homsearch.json
+
+# serve-smoke gates the daemon end to end: boot with a verdict store,
+# decide over HTTP, kill -9, restart on the same store and require the
+# verdict back as a warm cache hit; plus the SIGTERM graceful-drain path.
+serve-smoke:
+	$(GO) test ./cmd/keyedeqd -run 'TestServeSmoke|TestDrainSmoke' -count=1 -v
 
 # cover enforces the decision-path coverage floor (engine, containment,
 # chase, the obs layer, the interning/encoding layers, and the relational

@@ -186,6 +186,7 @@ func writeBenchFile(path string, full bool, workers, cacheSize int, o *obs.Obs, 
 	}
 	fmt.Fprintln(stdout, sweepTable)
 	res.GoMaxProcs = runtime.GOMAXPROCS(0)
+	res.NumCPU = runtime.NumCPU()
 	res.Sweep = sweep
 	if writeJSON(path, res, stderr) != 0 {
 		return 2
@@ -257,6 +258,13 @@ func verifyBenchFile(path string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "keyedeq-bench: %s: %s\n", path, p)
 		}
 		return 1
+	}
+	if res.GoMaxProcs <= 1 {
+		// Not a failure: the sweep's fingerprints are still checked, but
+		// every wall-time claim in the record was measured without real
+		// parallelism, so say so loudly.
+		fmt.Fprintf(stderr, "keyedeq-bench: WARNING: %s was recorded with gomaxprocs %d (machine has %d CPUs); its wall-time speedups are not a scaling claim — re-record on a multi-core runner for those\n",
+			path, res.GoMaxProcs, res.NumCPU)
 	}
 	fmt.Fprintf(stdout, "%s: ok (%d pairs, speedup %.2fx, second-pass hit rate %.2f, %d-point worker sweep)\n",
 		path, res.Eng.Pairs, res.Speedup, res.SecondPassHitRate, len(res.Sweep))

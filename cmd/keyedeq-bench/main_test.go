@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -148,3 +149,48 @@ func TestCompareAllocRecords(t *testing.T) {
 		t.Errorf("non-positive recorded allocs: got %v, want 1 problem", problems)
 	}
 }
+
+// TestVerifyBenchSingleCoreWarning pins the gomaxprocs stamp handling
+// with synthetic records: a single-core record still verifies (its
+// fingerprints are real) but warns loudly that its wall times carry no
+// scaling claim; a multi-core record verifies silently.
+func TestVerifyBenchSingleCoreWarning(t *testing.T) {
+	dir := t.TempDir()
+	record := func(gmp, ncpu int) string {
+		sweep := `[{"workers":1,"wall_ns":100,"ns_per_op":10,"nodes":5,"holding":2},` +
+			`{"workers":4,"wall_ns":90,"ns_per_op":9,"nodes":5,"holding":2},` +
+			`{"workers":8,"wall_ns":80,"ns_per_op":8,"nodes":5,"holding":2}]`
+		return `{"families":["graph-chain"],"sequential":{"pairs":10},"engine":{"pairs":10},` +
+			`"speedup":1.5,"second_pass_hit_rate":1,` +
+			`"gomaxprocs":` + itoa(gmp) + `,"num_cpu":` + itoa(ncpu) + `,"worker_sweep":` + sweep + `}`
+	}
+
+	single := filepath.Join(dir, "single.json")
+	if err := os.WriteFile(single, []byte(record(1, 16)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-verify-bench", single}, &out, &errb); code != 0 {
+		t.Fatalf("single-core record must still verify, exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "WARNING") ||
+		!strings.Contains(errb.String(), "gomaxprocs 1") ||
+		!strings.Contains(errb.String(), "16 CPUs") {
+		t.Errorf("missing single-core warning, stderr: %q", errb.String())
+	}
+
+	multi := filepath.Join(dir, "multi.json")
+	if err := os.WriteFile(multi, []byte(record(8, 8)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-verify-bench", multi}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if strings.Contains(errb.String(), "WARNING") {
+		t.Errorf("unexpected warning on multi-core record: %q", errb.String())
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

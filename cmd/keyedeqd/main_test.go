@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the daemon binary once per test into a temp dir.
+// The smoke tests exercise the real process boundary — signals, kill
+// -9, stdout — which an in-process run(...) call cannot.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "keyedeqd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon launches bin and parses the listen address off stdout.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			// Drain the rest of stdout so the child never blocks on a
+			// full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return &daemon{cmd: cmd, addr: strings.TrimSpace(line[i+len("listening on "):])}
+		}
+	}
+	t.Fatalf("daemon exited before announcing its address (scan err %v)", sc.Err())
+	return nil
+}
+
+const smokePair = `{"schema":"edge(src:T1, dst:T1)","unkeyed":true,` +
+	`"left":"V(X) :- edge(X, Y), edge(W, Z), Y = W.",` +
+	`"right":"V(A) :- edge(A, B), edge(C, D), B = C."}`
+
+func decide(t *testing.T, addr string) map[string]interface{} {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := http.Post("http://"+addr+"/v1/decide", "application/json", strings.NewReader(smokePair))
+		if err != nil {
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("decide status %d", resp.StatusCode)
+		}
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	t.Fatalf("daemon never became reachable: %v", lastErr)
+	return nil
+}
+
+// TestServeSmoke is the end-to-end durability check CI runs via `make
+// serve-smoke`: boot with a store, decide a pair, kill -9, restart on
+// the same store, and require the verdict to come back as a warm cache
+// hit.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon; skipped in -short")
+	}
+	bin := buildDaemon(t)
+	storePath := filepath.Join(t.TempDir(), "verdicts.log")
+
+	d1 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-store", storePath, "-sync-every", "1")
+	first := decide(t, d1.addr)
+	if first["holds"] != true || first["cache_hit"] == true {
+		t.Fatalf("first decision: %v", first)
+	}
+	// Health endpoints respond while serving.
+	resp, err := http.Get("http://" + d1.addr + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// kill -9: no drain, no sync beyond the per-append fsync.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	d2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-store", storePath, "-sync-every", "1")
+	again := decide(t, d2.addr)
+	if again["cache_hit"] != true {
+		t.Fatalf("decision after kill -9 restart not a warm cache hit: %v", again)
+	}
+	if again["holds"] != first["holds"] {
+		t.Fatalf("verdict drifted across restart: %v vs %v", first, again)
+	}
+	if fmt.Sprint(again["stats"]) != fmt.Sprint(first["stats"]) {
+		t.Fatalf("work stats not frozen across restart: %v vs %v", first["stats"], again["stats"])
+	}
+}
+
+// TestDrainSmoke checks the SIGTERM path: graceful exit 0 after
+// draining, and the store stays replayable.
+func TestDrainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon; skipped in -short")
+	}
+	bin := buildDaemon(t)
+	storePath := filepath.Join(t.TempDir(), "verdicts.log")
+	d := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-store", storePath, "-sync-every", "-1")
+	if out := decide(t, d.addr); out["holds"] != true {
+		t.Fatalf("decide: %v", out)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited dirty after SIGTERM: %v", err)
+	}
+	// Drain synced the log even with implicit syncs off: a restart sees
+	// the verdict.
+	d2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-store", storePath)
+	if again := decide(t, d2.addr); again["cache_hit"] != true {
+		t.Fatalf("post-drain restart not a warm hit: %v", again)
+	}
+}

@@ -32,10 +32,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"keyedeq"
@@ -124,16 +127,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// The mapping search decides many candidate view pairs over the
 		// same two schemas — exactly the batch shape the engine's
 		// canonical-query cache deduplicates, so route its equivalence
-		// calls through an engine pool.
+		// calls through an engine pool.  Ctrl-C cancels the context,
+		// which stops the pair loop and aborts in-flight chases instead
+		// of letting a long search run to completion.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		pool := keyedeq.NewEnginePool(keyedeq.EngineOptions{
 			Workers:      *parallel,
 			CacheSize:    *cacheSize,
 			DisableCache: *cacheSize < 0,
 			Obs:          ob.Obs,
 		})
-		found, stats, err := keyedeq.SearchEquivalenceOpts(s1, s2, b, keyedeq.SearchOptions{
-			Workers: *parallel,
-			Equiv:   pool.Equiv,
+		found, stats, err := keyedeq.SearchEquivalenceCtx(ctx, s1, s2, b, keyedeq.SearchOptions{
+			Workers:  *parallel,
+			EquivCtx: pool.EquivCtx,
 		})
 		if err != nil {
 			return fail(err)

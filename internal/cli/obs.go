@@ -2,14 +2,11 @@ package cli
 
 import (
 	"errors"
-	"expvar"
 	"flag"
 	"io"
 	"net"
 	"net/http"
-	httppprof "net/http/pprof"
 	"os"
-	"sync"
 	"time"
 
 	"keyedeq/internal/obs"
@@ -64,10 +61,6 @@ type ObsSetup struct {
 // the listener.
 func (s *ObsSetup) Addr() string { return s.addr }
 
-// expvarOnce guards the process-global expvar name, which panics on
-// double publication (tests call Setup repeatedly).
-var expvarOnce sync.Once
-
 // Setup builds the observability state the parsed flags ask for.  The
 // clock is injected by the command layer (library code stays
 // wall-clock-free); it may be nil when no flag needs timestamps.
@@ -90,22 +83,8 @@ func (f *ObsFlags) Setup(now func() time.Time) (*ObsSetup, error) {
 	}
 
 	if f.PprofAddr != "" {
-		expvarOnce.Do(func() {
-			expvar.Publish("keyedeq", expvar.Func(func() interface{} {
-				return s.reg.Snapshot()
-			}))
-		})
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			s.reg.WritePrometheus(w)
-		})
-		mux.Handle("/debug/vars", expvar.Handler())
-		mux.HandleFunc("/debug/pprof/", httppprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		obs.MountHTTP(mux, s.reg)
 		ln, err := net.Listen("tcp", f.PprofAddr)
 		if err != nil {
 			s.Close(io.Discard)

@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"testing"
 
 	"keyedeq/internal/instance"
@@ -291,4 +292,71 @@ func TestExplainPlanStrategies(t *testing.T) {
 			t.Fatalf("priced-out pipeline: got %+v, want scan with estimates", info)
 		}
 	})
+}
+
+// TestCostModelCliqueMisprediction is a known-failure probe, not a
+// regression test.  On the triangle (clique-3) query over a clique-4
+// digraph the tier-1 estimate strongly prefers the pipeline (~84 vs
+// ~588 estimated candidate visits), yet both runtimes visit exactly the
+// same candidates: the per-column distinct counts of a clique make the
+// frontier-product walk believe the indexes filter hard, when in fact
+// every probe bucket is nearly the whole relation.  The pipeline's
+// setup — planOverhead plus an index build over every edge — is pure
+// loss, so under the model's own weights the scan wins the run the
+// model gave to the pipeline.
+//
+// While the misprediction stands, the probe skips with the measured
+// numbers.  If a cost-model change fixes it (either the estimate stops
+// picking the pipeline here, or the pipeline starts actually saving
+// enough visits to cover its setup), the probe fails loudly so it gets
+// promoted to a real regression test.
+func TestCostModelCliqueMisprediction(t *testing.T) {
+	// Clique-4: complete digraph on 4 nodes, no self-loops (12 edges,
+	// above scanMaxCard so tier 0 cannot rescue the model).
+	var edges [][2]int64
+	for a := int64(1); a <= 4; a++ {
+		for b := int64(1); b <= 4; b++ {
+			if a != b {
+				edges = append(edges, [2]int64{a, b})
+			}
+		}
+	}
+	d := edgeDB(t, edges)
+	if len(edges) <= defaultCostConfig.scanMaxCard {
+		t.Fatalf("clique-4 has %d edges, at or under tier-0 bound %d; probe needs tier 1", len(edges), defaultCostConfig.scanMaxCard)
+	}
+
+	// Clique-3 in the paper's placeholder-distinct syntax: the triangle
+	// closes through the equality list.
+	q := MustParse("V() :- E(A, B), E(C, D), E(F, G), B = C, D = F, G = A.")
+	cfg := defaultCostConfig
+	plan := costPlanFor(t, q, d)
+	choice := choosePlan(d.Frozen(), plan, &cfg)
+
+	pipeOK, _, pipeStats, err := FindAnswerBindingCtxMode(context.Background(), q, d, instance.Tuple{}, SearchStreamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanOK, _, scanStats, err := FindAnswerBindingCtxMode(context.Background(), q, d, instance.Tuple{}, SearchInterned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipeOK != scanOK {
+		t.Fatalf("runtimes disagree on the verdict: streamed=%v interned=%v", pipeOK, scanOK)
+	}
+
+	// Price the measured runs with the model's own weights.  The scan
+	// arm has no setup; the pipeline pays plan compilation and the index
+	// builds the plan requested.
+	actualPipeCost := cfg.planOverhead + choice.buildRows*cfg.indexBuildPerRow + float64(pipeStats.Nodes)*cfg.nodeCost
+	actualScanCost := float64(scanStats.Nodes) * cfg.scanNodeCost
+
+	mispredicted := choice.usePipeline && actualPipeCost >= actualScanCost
+	if mispredicted {
+		t.Skipf("known failure: model picked pipeline (est %.0f vs %.0f nodes) but measured costs are pipeline %.0f vs scan %.0f (visits: pipeline %d, scan %d, index-build rows %.0f)",
+			choice.pipeNodes, choice.scanNodes, actualPipeCost, actualScanCost,
+			pipeStats.Nodes, scanStats.Nodes, choice.buildRows)
+	}
+	t.Fatalf("clique-3/clique-4 misprediction no longer reproduces (usePipeline=%v, measured pipeline %.0f vs scan %.0f): promote this probe to a regression test",
+		choice.usePipeline, actualPipeCost, actualScanCost)
 }

@@ -1,6 +1,7 @@
 package dominance
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -277,6 +278,20 @@ type SearchOptions struct {
 	// Equiv, when non-nil, decides the per-relation CQ equivalences of
 	// the identity test — e.g. the batch engine pool's cached decider.
 	Equiv mapping.EquivFunc
+	// EquivCtx is Equiv with a context threaded through (e.g. the
+	// pool's EquivCtx); when both are set, EquivCtx wins.  Only through
+	// it do the ctx-threaded search entry points propagate cancellation
+	// into the underlying chase and homomorphism searches.
+	EquivCtx mapping.EquivCtxFunc
+}
+
+// decider resolves the options' equivalence decider to the ctx-threaded
+// shape (nil means the mapping package's default sequential path).
+func (o SearchOptions) decider() mapping.EquivCtxFunc {
+	if o.EquivCtx != nil {
+		return o.EquivCtx
+	}
+	return mapping.DropCtx(o.Equiv)
 }
 
 // SearchDominance searches for a pair (α, β) establishing S1 ≼ S2 within
@@ -290,6 +305,14 @@ func SearchDominance(s1, s2 *schema.Schema, b SearchBounds) (*Witness, bool, Sea
 // SearchDominanceOpts is SearchDominance with a parallel pair loop and a
 // pluggable equivalence decider.
 func SearchDominanceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (*Witness, bool, SearchStats, error) {
+	return SearchDominanceOptsCtx(context.Background(), s1, s2, b, opts)
+}
+
+// SearchDominanceOptsCtx is SearchDominanceOpts with a context threaded
+// through every certificate check.  Cancelling ctx stops the pair loop
+// (sequential or parallel) and, when the decider is ctx-aware (EquivCtx
+// or the default), aborts the chase and homomorphism searches mid-pair.
+func SearchDominanceOptsCtx(ctx context.Context, s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (*Witness, bool, SearchStats, error) {
 	var stats SearchStats
 	alphas := EnumerateMappings(s1, s2, b, &stats, 0)
 	betas := EnumerateMappings(s2, s1, b, &stats, 1)
@@ -335,10 +358,15 @@ func SearchDominanceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptio
 		}
 	}
 
+	decide := opts.decider()
+
 	if opts.Workers <= 1 {
 		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, false, stats, err
+			}
 			stats.PairsChecked++
-			ok, err := mapping.RoundTripIsIdentityWith(p.a, p.b, opts.Equiv)
+			ok, err := mapping.RoundTripIsIdentityCtx(ctx, p.a, p.b, decide)
 			if err != nil {
 				return nil, false, stats, err
 			}
@@ -368,6 +396,14 @@ func SearchDominanceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptio
 				if i >= len(pairs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				stop := firstErr != nil || (best >= 0 && best < i)
 				mu.Unlock()
@@ -375,7 +411,7 @@ func SearchDominanceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptio
 					return
 				}
 				checked.Add(1)
-				ok, err := mapping.RoundTripIsIdentityWith(pairs[i].a, pairs[i].b, opts.Equiv)
+				ok, err := mapping.RoundTripIsIdentityCtx(ctx, pairs[i].a, pairs[i].b, decide)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -406,12 +442,18 @@ func SearchEquivalence(s1, s2 *schema.Schema, b SearchBounds) (bool, SearchStats
 // SearchEquivalenceOpts is SearchEquivalence with SearchOptions applied
 // to both directions.
 func SearchEquivalenceOpts(s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
-	w1, ok1, st1, err := SearchDominanceOpts(s1, s2, b, opts)
+	return SearchEquivalenceOptsCtx(context.Background(), s1, s2, b, opts)
+}
+
+// SearchEquivalenceOptsCtx is SearchEquivalenceOpts with a context
+// threaded through both directional searches.
+func SearchEquivalenceOptsCtx(ctx context.Context, s1, s2 *schema.Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
+	w1, ok1, st1, err := SearchDominanceOptsCtx(ctx, s1, s2, b, opts)
 	if err != nil || !ok1 {
 		return false, st1, err
 	}
 	_ = w1
-	_, ok2, st2, err := SearchDominanceOpts(s2, s1, b, opts)
+	_, ok2, st2, err := SearchDominanceOptsCtx(ctx, s2, s1, b, opts)
 	st := st1
 	st.PairsChecked += st2.PairsChecked
 	st.AlphaCandidates += st2.AlphaCandidates

@@ -1,8 +1,14 @@
 package dominance
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/fd"
 	"keyedeq/internal/gen"
 	"keyedeq/internal/schema"
 	"keyedeq/internal/value"
@@ -237,5 +243,62 @@ func TestHullTheoremUnkeyedMini(t *testing.T) {
 				t.Errorf("Hull's theorem violated on\n%s\nvs\n%s\niso=%v eq=%v", s1, s2, iso, eq)
 			}
 		}
+	}
+}
+
+// TestSearchCancellation pins the ctx threading: a cancelled context
+// must abort the pair loop with the context's error instead of running
+// the bounded search to completion (the pre-fix search had no ctx entry
+// point at all).
+func TestSearchCancellation(t *testing.T) {
+	s1 := schema.MustParse("R(a*:T1, b:T2)")
+	s2 := schema.MustParse("P(x:T2, y*:T1)")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, found, _, err := SearchDominanceOptsCtx(ctx, s1, s2, smallBounds(), SearchOptions{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if found {
+			t.Fatalf("workers=%d: witness reported under cancelled ctx", workers)
+		}
+	}
+	if _, _, err := SearchEquivalenceOptsCtx(ctx, s1, s2, smallBounds(), SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchEquivalenceOptsCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchCtxDeciderWins checks the decider resolution order: EquivCtx
+// beats Equiv, and a plain Equiv still works through the ctx path.
+func TestSearchCtxDeciderWins(t *testing.T) {
+	s1 := schema.MustParse("R(a*:T1, b:T2)")
+	s2 := schema.MustParse("P(x:T2, y*:T1)")
+	var viaCtx, viaPlain atomic.Int64
+	opts := SearchOptions{
+		Equiv: func(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+			viaPlain.Add(1)
+			return containment.EquivalentUnder(q1, q2, s, deps)
+		},
+		EquivCtx: func(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+			viaCtx.Add(1)
+			return containment.EquivalentUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchDefault)
+		},
+	}
+	_, found, _, err := SearchDominanceOptsCtx(context.Background(), s1, s2, smallBounds(), opts)
+	if err != nil || !found {
+		t.Fatalf("search: found=%v err=%v", found, err)
+	}
+	if viaCtx.Load() == 0 || viaPlain.Load() != 0 {
+		t.Fatalf("decider resolution: EquivCtx calls %d, Equiv calls %d; want EquivCtx to win", viaCtx.Load(), viaPlain.Load())
+	}
+
+	opts.EquivCtx = nil
+	_, found, _, err = SearchDominanceOptsCtx(context.Background(), s1, s2, smallBounds(), opts)
+	if err != nil || !found {
+		t.Fatalf("search with plain Equiv: found=%v err=%v", found, err)
+	}
+	if viaPlain.Load() == 0 {
+		t.Fatal("plain Equiv never called through the ctx path")
 	}
 }

@@ -61,6 +61,66 @@ func TestCacheEvictsLRUPerShard(t *testing.T) {
 	}
 }
 
+func TestCacheNonDivisibleCapacity(t *testing.T) {
+	// 100 does not divide by the 16 shards: the remainder must be
+	// distributed, not silently dropped (the pre-fix cache held 16*6=96
+	// entries while reporting capacity 100).
+	c := newVerdictCache(100)
+	var total int
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	if total != 100 {
+		t.Fatalf("shard capacities sum to %d, want the configured 100", total)
+	}
+	if got := c.stats().Capacity; got != 100 {
+		t.Fatalf("stats capacity = %d, want 100", got)
+	}
+	// Saturate every shard: with far more distinct keys than capacity,
+	// Entries must be able to reach Capacity exactly.
+	for i := 0; i < 10000; i++ {
+		c.put(fmt.Sprintf("key-%d", i), Verdict{})
+	}
+	st := c.stats()
+	if st.Entries != st.Capacity {
+		t.Fatalf("entries %d != capacity %d after saturation", st.Entries, st.Capacity)
+	}
+}
+
+func TestCacheShardDistribution(t *testing.T) {
+	// The first capacity%shardCount shards carry the remainder; all
+	// shards hold at least capacity/shardCount.
+	c := newVerdictCache(cacheShardCount*3 + 5)
+	for i := range c.shards {
+		want := 3
+		if i < 5 {
+			want = 4
+		}
+		if c.shards[i].cap != want {
+			t.Fatalf("shard %d cap = %d, want %d", i, c.shards[i].cap, want)
+		}
+	}
+}
+
+// TestCacheSteadyStateZeroAllocs pins the hot path: get and put on a
+// resident key must not allocate — no hasher construction, no
+// hash.Hash64 boxing, no []byte conversion of the key.
+func TestCacheSteadyStateZeroAllocs(t *testing.T) {
+	c := newVerdictCache(64)
+	key := "equ\x1ecanonical-left\x1fcanonical-right"
+	v := Verdict{Holds: true}
+	c.put(key, v)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.put(key, v)
+		if _, ok := c.get(key); !ok {
+			t.Fatal("resident key missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state get+put allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestCacheMinimumCapacity(t *testing.T) {
 	c := newVerdictCache(1)
 	if c.capacity < cacheShardCount {

@@ -67,6 +67,22 @@ type Options struct {
 	// than a cq.SearchMode field) keeps the zero-value Options on the
 	// default interned path.
 	GenericSearch bool
+	// Store, when set (and caching is enabled), receives every freshly
+	// computed verdict at the moment it enters the cache — never cache
+	// hits, batch dedups, warm loads, or errored pairs — so a daemon
+	// can persist decisions and replay them into the cache on restart.
+	// Append failures are counted (CStoreAppendErrors) and otherwise
+	// ignored: persistence is best-effort relative to serving.
+	Store VerdictStore
+}
+
+// VerdictStore receives computed verdicts for persistence.  The engine
+// calls Put from its worker goroutines, so implementations must be safe
+// for concurrent use.  It is defined here (rather than importing the
+// store package) so the engine stays decoupled from any one on-disk
+// format.
+type VerdictStore interface {
+	Put(key string, v Verdict) error
 }
 
 // DefaultCacheSize is the verdict cache bound used when Options.CacheSize
@@ -167,6 +183,32 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.stats()
 }
 
+// Warm preloads the cache with a previously computed verdict — a store
+// replay at boot — without touching the store or the hit/miss
+// accounting.  A no-op when caching is disabled.
+func (e *Engine) Warm(key string, v Verdict) {
+	if e.cache == nil {
+		return
+	}
+	e.cache.put(key, v)
+}
+
+// cachePut enters a freshly computed verdict into the cache and
+// forwards it to the persistence store, counting appends and append
+// failures.  Call sites guard on e.cache != nil, so a disabled cache
+// also disables persistence (nothing could be warm-loaded back anyway).
+func (e *Engine) cachePut(o *obs.Obs, key string, v Verdict) {
+	e.cache.put(key, v)
+	if e.opts.Store == nil {
+		return
+	}
+	if err := e.opts.Store.Put(key, v); err != nil {
+		o.C(obs.CStoreAppendErrors).Add(1)
+		return
+	}
+	o.C(obs.CStoreAppends).Add(1)
+}
+
 // pairKey builds the cache key for a pair.  Equivalence is symmetric,
 // so its two canonical keys are sorted to double the hit rate; the
 // schema/dependency fingerprint is not included because the cache is
@@ -253,6 +295,13 @@ func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) (res Resul
 		countResult(o, &res)
 		emitVerify(ctx, o, start, &res)
 	}()
+	// An already-cancelled or expired context never starts work (small
+	// decisions can otherwise finish before the search polls ctx, which
+	// would make cancellation nondeterministic for callers like the
+	// daemon's admission path).
+	if err := ctx.Err(); err != nil {
+		return Result{Err: err}
+	}
 	if err := containment.CheckComparable(q1, q2, e.s); err != nil {
 		return Result{Err: err}
 	}
@@ -269,7 +318,7 @@ func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) (res Resul
 	// the verdict is immediate for both ops.
 	if k1 == k2 {
 		if e.cache != nil {
-			e.cache.put(key, Verdict{Holds: true})
+			e.cachePut(o, key, Verdict{Holds: true})
 		}
 		return Result{Holds: true, PairKey: key}
 	}
@@ -294,7 +343,7 @@ func (e *Engine) Decide(ctx context.Context, q1, q2 *cq.Query, op Op) (res Resul
 		return Result{Err: err, Stats: st, PairKey: key}
 	}
 	if e.cache != nil {
-		e.cache.put(key, Verdict{Holds: ok, Stats: st})
+		e.cachePut(o, key, Verdict{Holds: ok, Stats: st})
 		if o != nil {
 			o.G(obs.GCacheEntries).Set(int64(e.cache.stats().Entries))
 		}
@@ -540,7 +589,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) *Report {
 				// Cancellation and timeout never reach the cache: the
 				// partial verdict would shadow a real decision on retry.
 				if res.Err == nil && e.cache != nil {
-					e.cache.put(pk, Verdict{Holds: res.Holds, Stats: res.Stats})
+					e.cachePut(o, pk, Verdict{Holds: res.Holds, Stats: res.Stats})
 				}
 				emitVerify(ctx, o, start, &res)
 				for _, i := range g.indexes[1:] {

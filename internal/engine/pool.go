@@ -41,18 +41,36 @@ func (p *Pool) For(s *schema.Schema, deps []fd.FD) *Engine {
 	return e
 }
 
-// Equiv decides q1 ≡ q2 over s under deps through the pool's cached
-// engines.  Its signature matches containment.EquivalentUnder (and hence
-// mapping.EquivFunc), so it is a drop-in accelerated replacement.
-func (p *Pool) Equiv(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
-	r := p.For(s, deps).Decide(context.Background(), q1, q2, OpEquivalent)
+// EquivCtx decides q1 ≡ q2 over s under deps through the pool's cached
+// engines, honoring ctx cancellation and deadlines.  Its signature
+// matches mapping.EquivCtxFunc, so callers that serve requests — the
+// keyedeqd daemon, the dominance search — keep per-request timeouts all
+// the way into the homomorphism searches.
+func (p *Pool) EquivCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	r := p.For(s, deps).Decide(ctx, q1, q2, OpEquivalent)
 	return r.Holds, r.Stats, r.Err
 }
 
-// Contains decides q1 ⊑ q2 through the pool's cached engines.
-func (p *Pool) Contains(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
-	r := p.For(s, deps).Decide(context.Background(), q1, q2, OpContained)
+// ContainsCtx decides q1 ⊑ q2 through the pool's cached engines,
+// honoring ctx cancellation and deadlines.
+func (p *Pool) ContainsCtx(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	r := p.For(s, deps).Decide(ctx, q1, q2, OpContained)
 	return r.Holds, r.Stats, r.Err
+}
+
+// Equiv decides q1 ≡ q2 over s under deps through the pool's cached
+// engines.  Its signature matches containment.EquivalentUnder (and hence
+// mapping.EquivFunc), so it is a drop-in accelerated replacement;
+// callers with a context should prefer EquivCtx, which this delegates
+// to with a background context.
+func (p *Pool) Equiv(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	return p.EquivCtx(context.Background(), q1, q2, s, deps)
+}
+
+// Contains decides q1 ⊑ q2 through the pool's cached engines; callers
+// with a context should prefer ContainsCtx.
+func (p *Pool) Contains(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	return p.ContainsCtx(context.Background(), q1, q2, s, deps)
 }
 
 // Stats sums cache statistics over every engine the pool created.

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"keyedeq/internal/gen"
+)
+
+// TestPoolEquivCtxCancelled pins the ctx plumbing: a cancelled context
+// handed to the pool must reach the engine's decision path and abort it.
+// The pre-fix pool hardcoded context.Background(), so cancellation (and
+// per-request deadlines) silently never propagated.
+func TestPoolEquivCtxCancelled(t *testing.T) {
+	p := NewPool(Options{})
+	s := gen.GraphSchema()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := p.EquivCtx(ctx, gen.ChainQuery(2), gen.ChainQuery(3), s, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EquivCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	_, _, err = p.ContainsCtx(ctx, gen.ChainQuery(2), gen.ChainQuery(3), s, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ContainsCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// Cancelled decisions must not poison the cache: the same pair under
+	// a live context decides normally.
+	ok, _, err := p.EquivCtx(context.Background(), gen.ChainQuery(2), gen.ChainQuery(2), s, nil)
+	if err != nil || !ok {
+		t.Fatalf("EquivCtx after cancellation: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPoolEquivDelegates locks the compatibility contract: the ctx-free
+// methods remain available (mapping.EquivFunc-shaped) and agree with
+// their ctx variants.
+func TestPoolEquivDelegates(t *testing.T) {
+	p := NewPool(Options{})
+	s := gen.GraphSchema()
+	ok1, _, err1 := p.Equiv(gen.ChainQuery(2), gen.ChainQuery(2), s, nil)
+	ok2, _, err2 := p.EquivCtx(context.Background(), gen.ChainQuery(2), gen.ChainQuery(2), s, nil)
+	if err1 != nil || err2 != nil || ok1 != ok2 {
+		t.Fatalf("Equiv/EquivCtx disagree: %v/%v err %v/%v", ok1, ok2, err1, err2)
+	}
+}

@@ -57,6 +57,11 @@ type EngineBenchResult struct {
 	// taken: the sweep below is only a scaling claim when it exceeds
 	// one, so the gate reads this before judging wall times.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU records the machine's logical CPU count alongside
+	// GoMaxProcs, so a record taken with an artificially lowered
+	// GOMAXPROCS is distinguishable from one taken on a genuinely
+	// single-core machine.
+	NumCPU int `json:"num_cpu"`
 	// Sweep is the multi-worker section: the same corpus decided at
 	// several fixed pool sizes.
 	Sweep []WorkerSweepEntry `json:"worker_sweep"`

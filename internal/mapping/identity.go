@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"keyedeq/internal/chase"
@@ -16,6 +17,25 @@ import (
 // assignability without this package importing them.
 type EquivFunc func(q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error)
 
+// EquivCtxFunc is EquivFunc with a context threaded through, so
+// cancellation and per-request deadlines reach the underlying chase and
+// homomorphism searches.  The engine pool's EquivCtx matches it.
+type EquivCtxFunc func(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error)
+
+// DropCtx adapts a context-free decider to EquivCtxFunc.  The returned
+// function ignores ctx — it exists so the ctx-threaded code paths have
+// a single shape; callers that care about cancellation supply a real
+// EquivCtxFunc instead.  A nil equiv yields nil, preserving "use the
+// default decider" through the adaptation.
+func DropCtx(equiv EquivFunc) EquivCtxFunc {
+	if equiv == nil {
+		return nil
+	}
+	return func(_ context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+		return equiv(q1, q2, s, deps)
+	}
+}
+
 // IsIdentityOn reports whether m (a mapping S → S, possibly with Src and
 // Dst structurally equal) is the identity on every instance of its source
 // satisfying deps: each view is CQ-equivalent to the identity query of
@@ -28,20 +48,37 @@ func (m *Mapping) IsIdentityOn(deps []fd.FD) (bool, error) {
 // IsIdentityOnWith is IsIdentityOn with the equivalence decision routed
 // through equiv (nil falls back to containment.EquivalentUnder).
 func (m *Mapping) IsIdentityOnWith(deps []fd.FD, equiv EquivFunc) (bool, error) {
+	var ec EquivCtxFunc
+	if equiv != nil {
+		ec = DropCtx(equiv)
+	}
+	return m.IsIdentityOnCtx(context.Background(), deps, ec)
+}
+
+// IsIdentityOnCtx is IsIdentityOnWith with a context threaded into the
+// per-relation equivalence decisions (nil equiv falls back to the
+// ctx-aware containment.EquivalentUnderCtxMode on the default search
+// runtime).  Cancelling ctx aborts between and inside decisions.
+func (m *Mapping) IsIdentityOnCtx(ctx context.Context, deps []fd.FD, equiv EquivCtxFunc) (bool, error) {
 	if equiv == nil {
-		equiv = containment.EquivalentUnder
+		equiv = func(ctx context.Context, q1, q2 *cq.Query, s *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+			return containment.EquivalentUnderCtxMode(ctx, q1, q2, s, deps, cq.SearchDefault)
+		}
 	}
 	if len(m.Src.Relations) != len(m.Dst.Relations) {
 		return false, nil
 	}
 	for i, q := range m.Queries {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		src := m.Src.Relations[i]
 		dst := m.Dst.Relations[i]
 		if !schema.SameType(src, dst) {
 			return false, nil
 		}
 		id := cq.Identity(src)
-		ok, _, err := equiv(q, id, m.Src, deps)
+		ok, _, err := equiv(ctx, q, id, m.Src, deps)
 		if err != nil {
 			return false, fmt.Errorf("mapping: identity test for %q: %v", dst.Name, err)
 		}
@@ -63,11 +100,22 @@ func RoundTripIsIdentity(alpha, beta *Mapping) (bool, error) {
 // RoundTripIsIdentityWith is RoundTripIsIdentity with the equivalence
 // decision routed through equiv (nil falls back to the sequential path).
 func RoundTripIsIdentityWith(alpha, beta *Mapping, equiv EquivFunc) (bool, error) {
+	var ec EquivCtxFunc
+	if equiv != nil {
+		ec = DropCtx(equiv)
+	}
+	return RoundTripIsIdentityCtx(context.Background(), alpha, beta, ec)
+}
+
+// RoundTripIsIdentityCtx is RoundTripIsIdentityWith with a context
+// threaded into every per-relation equivalence decision, so a caller's
+// cancellation or deadline stops the symbolic verification mid-pair.
+func RoundTripIsIdentityCtx(ctx context.Context, alpha, beta *Mapping, equiv EquivCtxFunc) (bool, error) {
 	comp, err := Compose(beta, alpha)
 	if err != nil {
 		return false, err
 	}
-	return comp.IsIdentityOnWith(fd.KeyFDs(alpha.Src), equiv)
+	return comp.IsIdentityOnCtx(ctx, fd.KeyFDs(alpha.Src), equiv)
 }
 
 // IsValid reports whether the mapping is valid in the paper's sense: it

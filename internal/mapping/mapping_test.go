@@ -1,6 +1,8 @@
 package mapping
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -472,5 +474,25 @@ Q2(B) :- S(B).
 		if _, err := Parse(s1, s2, text); err == nil {
 			t.Errorf("bad mapping %d accepted", i)
 		}
+	}
+}
+
+// TestRoundTripIdentityCtxCancelled pins the ctx threading through the
+// symbolic round-trip verification: a cancelled context aborts with the
+// context's error instead of silently deciding on context.Background().
+func TestRoundTripIdentityCtxCancelled(t *testing.T) {
+	m := IdentityMapping(src2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RoundTripIsIdentityCtx(ctx, m, IdentityMapping(src2), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RoundTripIsIdentityCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := m.IsIdentityOnCtx(ctx, fd.KeyFDs(src2), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IsIdentityOnCtx: err = %v, want context.Canceled", err)
+	}
+	// The ctx-free delegates still work.
+	ok, err := RoundTripIsIdentity(m, IdentityMapping(src2))
+	if err != nil || !ok {
+		t.Fatalf("RoundTripIsIdentity: ok=%v err=%v", ok, err)
 	}
 }

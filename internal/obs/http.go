@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar name, which panics on
+// double publication (tests mount repeatedly, and a process may mount
+// both a CLI pprof server and a daemon mux).
+var expvarOnce sync.Once
+
+// expvarReg is the registry the process-global "keyedeq" expvar reads
+// from: the first registry mounted.  Later mounts keep their own
+// /metrics endpoint but share this expvar (the name is global and can
+// only be published once).
+var expvarReg *Registry
+
+// MountHTTP installs the observability endpoints on mux, all reading
+// from reg:
+//
+//	/metrics         Prometheus text exposition
+//	/debug/vars      expvar (including a "keyedeq" snapshot map)
+//	/debug/pprof/... the standard pprof handlers
+//
+// Both the CLI -pprof-http server and the keyedeqd daemon mux mount
+// through here, so the endpoint set cannot drift between them.
+func MountHTTP(mux *http.ServeMux, reg *Registry) {
+	expvarOnce.Do(func() {
+		expvarReg = reg
+		expvar.Publish("keyedeq", expvar.Func(func() interface{} {
+			return expvarReg.Snapshot()
+		}))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}

@@ -46,6 +46,23 @@ const (
 	CChaseRevisited
 	// CChaseFailed counts failing chases (unsatisfiable tableaux).
 	CChaseFailed
+	// CServeRequests counts HTTP decision requests accepted by the
+	// daemon (decide, batch lines, schema checks).
+	CServeRequests
+	// CServeRejected counts requests turned away by admission control
+	// (in-flight limit, per-client quota, draining).
+	CServeRejected
+	// CStoreAppends counts verdicts appended to the persistent store.
+	CStoreAppends
+	// CStoreAppendErrors counts failed store appends (serving keeps
+	// going; persistence is best-effort).
+	CStoreAppendErrors
+	// CStoreReplayed counts verdicts replayed from the store at boot.
+	CStoreReplayed
+	// CStoreCompactions counts store compaction runs.
+	CStoreCompactions
+	// CStoreTruncatedBytes totals bytes dropped from torn store tails.
+	CStoreTruncatedBytes
 
 	numCounterIDs
 )
@@ -66,6 +83,14 @@ var counterNames = [numCounterIDs]string{
 	CChaseMerges:     "keyedeq_chase_merges_total",
 	CChaseRevisited:  "keyedeq_chase_revisited_total",
 	CChaseFailed:     "keyedeq_chase_failed_total",
+
+	CServeRequests:       "keyedeq_serve_requests_total",
+	CServeRejected:       "keyedeq_serve_rejected_total",
+	CStoreAppends:        "keyedeq_store_appends_total",
+	CStoreAppendErrors:   "keyedeq_store_append_errors_total",
+	CStoreReplayed:       "keyedeq_store_replayed_total",
+	CStoreCompactions:    "keyedeq_store_compactions_total",
+	CStoreTruncatedBytes: "keyedeq_store_truncated_bytes_total",
 }
 
 // GaugeID names a standard pipeline gauge.
@@ -74,12 +99,19 @@ type GaugeID int
 const (
 	// GCacheEntries is the verdict cache's current entry count.
 	GCacheEntries GaugeID = iota
+	// GServeInFlight is the daemon's current in-flight request count.
+	GServeInFlight
+	// GServeDraining is 1 while the daemon is draining (refusing new
+	// work, finishing in-flight requests), else 0.
+	GServeDraining
 
 	numGaugeIDs
 )
 
 var gaugeNames = [numGaugeIDs]string{
-	GCacheEntries: "keyedeq_cache_entries",
+	GCacheEntries:  "keyedeq_cache_entries",
+	GServeInFlight: "keyedeq_serve_in_flight",
+	GServeDraining: "keyedeq_serve_draining",
 }
 
 // HistID names a standard pipeline histogram.

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"keyedeq/internal/containment"
+	"keyedeq/internal/cq"
+	"keyedeq/internal/engine"
+	"keyedeq/internal/fd"
+	"keyedeq/internal/obs"
+	"keyedeq/internal/schema"
+	"keyedeq/internal/store"
+)
+
+// fpSep joins a schema/dependency fingerprint to an engine pair key in
+// store record keys.  The fingerprint uses "\x00" internally and pair
+// keys use "\x1e"/"\x1f", so "\x1d" never collides with either side.
+const fpSep = "\x1d"
+
+// storeAdapter satisfies engine.VerdictStore for one engine by
+// prefixing its pair keys with the engine's fingerprint before
+// appending, so one shared log serves every schema the daemon sees.
+type storeAdapter struct {
+	log *store.Log
+	fp  string
+}
+
+func (a storeAdapter) Put(key string, v engine.Verdict) error {
+	return a.log.Append(store.Record{Key: a.fp + fpSep + key, Holds: v.Holds, Stats: v.Stats})
+}
+
+// engineSet lazily creates one engine per (schema, deps) fingerprint —
+// like engine.Pool, but each engine gets a fingerprint-prefixed store
+// adapter and a warm-start preload of the verdicts replayed from the
+// log at boot.  That pairing is why the daemon cannot use engine.Pool
+// directly.
+type engineSet struct {
+	base engine.Options
+	log  *store.Log // nil disables persistence
+	obs  *obs.Obs
+
+	mu      sync.Mutex
+	engines map[string]*engine.Engine
+	// warm holds replayed verdicts not yet loaded into an engine, keyed
+	// by fingerprint then pair key (later log records supersede earlier
+	// ones by plain map assignment during replay).
+	warm map[string]map[string]store.Record
+}
+
+func newEngineSet(base engine.Options, log *store.Log, o *obs.Obs) *engineSet {
+	base.Obs = o
+	return &engineSet{
+		base:    base,
+		log:     log,
+		obs:     o,
+		engines: make(map[string]*engine.Engine),
+		warm:    make(map[string]map[string]store.Record),
+	}
+}
+
+// replay loads the log into the warm map and returns the total record
+// count and the per-key live set size.  Call once at boot, before any
+// engine exists.
+func (s *engineSet) replay() (total, live int, err error) {
+	if s.log == nil {
+		return 0, 0, nil
+	}
+	err = s.log.Replay(func(r store.Record) error {
+		total++
+		fp, pk, ok := strings.Cut(r.Key, fpSep)
+		if !ok {
+			// A key without a fingerprint separator cannot be routed;
+			// skip it rather than failing boot (it round-trips through
+			// compaction untouched only if the caller keeps it, and we
+			// deliberately drop it from the live set).
+			return nil
+		}
+		m := s.warm[fp]
+		if m == nil {
+			m = make(map[string]store.Record)
+			s.warm[fp] = m
+		}
+		m[pk] = r
+		return nil
+	})
+	for _, m := range s.warm {
+		live += len(m)
+	}
+	return total, live, err
+}
+
+// liveRecords flattens the warm map for compaction.
+func (s *engineSet) liveRecords() []store.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []store.Record
+	for _, m := range s.warm {
+		for _, r := range m {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// engine returns the set's engine for (sch, deps), creating and
+// warm-loading it on first use.
+func (s *engineSet) engine(sch *schema.Schema, deps []fd.FD) *engine.Engine {
+	fp := engine.Fingerprint(sch, deps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.engines[fp]
+	if !ok {
+		opts := s.base
+		if s.log != nil {
+			opts.Store = storeAdapter{log: s.log, fp: fp}
+		}
+		e = engine.New(sch, deps, opts)
+		for pk, r := range s.warm[fp] {
+			e.Warm(pk, engine.Verdict{Holds: r.Holds, Stats: r.Stats})
+		}
+		s.engines[fp] = e
+	}
+	return e
+}
+
+// EquivCtx decides q1 ≡ q2 through the set's cached, persisted engines.
+// Its signature matches mapping.EquivCtxFunc, so the schema-dominance
+// endpoint's round-trip verification runs through the verdict store
+// like every other decision.
+func (s *engineSet) EquivCtx(ctx context.Context, q1, q2 *cq.Query, sch *schema.Schema, deps []fd.FD) (bool, containment.Stats, error) {
+	r := s.engine(sch, deps).Decide(ctx, q1, q2, engine.OpEquivalent)
+	return r.Holds, r.Stats, r.Err
+}
+
+// cacheStats sums engine cache statistics across the set.
+func (s *engineSet) cacheStats() engine.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out engine.CacheStats
+	for _, e := range s.engines {
+		cs := e.CacheStats()
+		out.Hits += cs.Hits
+		out.Misses += cs.Misses
+		out.Evictions += cs.Evictions
+		out.Entries += cs.Entries
+		out.Capacity += cs.Capacity
+	}
+	return out
+}

@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"keyedeq/internal/obs"
+	"keyedeq/internal/store"
+)
+
+const graphSchema = "edge(src:T1, dst:T1)"
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// postJSON drives a handler directly (no network) and decodes the
+// response when out is non-nil.
+func postJSON(t *testing.T, s *Server, path string, body interface{}, out interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(b)))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func decideBody(left, right string) decideRequest {
+	return decideRequest{Schema: graphSchema, Unkeyed: true, Left: left, Right: right}
+}
+
+func TestDecideEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var resp decideResponse
+	rec := postJSON(t, s, "/v1/decide", decideBody(
+		"V(X) :- edge(X, Y).",
+		"V(A) :- edge(A, B).",
+	), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("decide status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !resp.Holds || resp.PairKey == "" {
+		t.Fatalf("decide response %+v, want holds with a pair key", resp)
+	}
+	if resp.CacheHit {
+		t.Fatal("first decision reported a cache hit")
+	}
+	var resp2 decideResponse
+	postJSON(t, s, "/v1/decide", decideBody(
+		"V(X) :- edge(X, Y).",
+		"V(A) :- edge(A, B).",
+	), &resp2)
+	if !resp2.CacheHit {
+		t.Fatalf("second decision not a cache hit: %+v", resp2)
+	}
+
+	// contains op, asymmetric pair.
+	var sub decideResponse
+	req := decideBody("V(X) :- edge(X, Y), edge(W, Z), Y = W.", "V(X) :- edge(X, Y).")
+	req.Op = "contains"
+	rec = postJSON(t, s, "/v1/decide", req, &sub)
+	if rec.Code != http.StatusOK || !sub.Holds {
+		t.Fatalf("contains: status %d resp %+v", rec.Code, sub)
+	}
+}
+
+func TestDecideBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body decideRequest
+	}{
+		{"bad schema", decideRequest{Schema: "not a schema", Left: "V(X) :- e(X).", Right: "V(X) :- e(X)."}},
+		{"bad left", func() decideRequest { r := decideBody("nope", "V(X) :- edge(X, Y)."); return r }()},
+		{"bad op", func() decideRequest {
+			r := decideBody("V(X) :- edge(X, Y).", "V(X) :- edge(X, Y).")
+			r.Op = "xor"
+			return r
+		}()},
+	}
+	for _, tc := range cases {
+		if rec := postJSON(t, s, "/v1/decide", tc.body, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
+		}
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader("{"))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"schema":%q,"unkeyed":true}`+"\n", graphSchema)
+	b.WriteString(`{"left":"V(X) :- edge(X, Y).","right":"V(A) :- edge(A, B)."}` + "\n")
+	b.WriteString(`{"left":"V(X) :- edge(X, Y).","right":"V(A) :- edge(A, B)."}` + "\n") // same pair: cache/dedup
+	b.WriteString(`{"left":"broken","right":"V(A) :- edge(A, B)."}` + "\n")
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(b.String()))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	sc := bufio.NewScanner(rec.Body)
+	var results []batchResult
+	var sum batchSummary
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"summary":true`) {
+			if err := json.Unmarshal(sc.Bytes(), &sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var br batchResult
+		if err := json.Unmarshal(sc.Bytes(), &br); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, br)
+	}
+	if len(results) != 3 {
+		t.Fatalf("batch returned %d result lines, want 3: %s", len(results), rec.Body.String())
+	}
+	if !results[0].Holds || results[0].Error != "" {
+		t.Fatalf("line 0: %+v", results[0])
+	}
+	if !results[1].CacheHit {
+		t.Fatalf("line 1 should hit the cache: %+v", results[1])
+	}
+	if results[2].Error == "" {
+		t.Fatalf("line 2 should carry a parse error: %+v", results[2])
+	}
+	if sum.Pairs != 3 || sum.Errors != 1 || sum.Holding != 2 || sum.CacheHits != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestSchemaEquivEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var resp schemaEquivResponse
+	rec := postJSON(t, s, "/v1/schema/equiv", schemaEquivRequest{
+		Schema1: "employee(ss*:T1, name:T2)",
+		Schema2: "emp(id*:T1, nm:T2)",
+		Witness: true,
+	}, &resp)
+	if rec.Code != http.StatusOK || !resp.Equivalent {
+		t.Fatalf("status %d resp %+v", rec.Code, resp)
+	}
+	if resp.Alpha == "" || resp.Beta == "" {
+		t.Fatalf("witness missing: %+v", resp)
+	}
+	var neq schemaEquivResponse
+	postJSON(t, s, "/v1/schema/equiv", schemaEquivRequest{
+		Schema1: "r(a*:T1)",
+		Schema2: "r(a*:T1, b:T2)",
+	}, &neq)
+	if neq.Equivalent {
+		t.Fatalf("inequivalent schemas reported equivalent: %+v", neq)
+	}
+	if neq.Explanation == "" {
+		t.Fatal("no explanation for inequivalence")
+	}
+}
+
+func TestSchemaDominanceEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var resp schemaDominanceResponse
+	rec := postJSON(t, s, "/v1/schema/dominance", schemaDominanceRequest{
+		Schema1: "r(a*:T1)",
+		Schema2: "p(a*:T1, b:T1)",
+		Alpha:   "p(X, X) :- r(X).",
+		Beta:    "r(X) :- p(X, Y).",
+	}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !resp.Dominates || !resp.AlphaValid || !resp.BetaValid || !resp.RoundTripIdentity {
+		t.Fatalf("dominance response %+v, want all true", resp)
+	}
+	// The round-trip equivalences went through the engine set, so the
+	// same check again is answered from the verdict cache.
+	postJSON(t, s, "/v1/schema/dominance", schemaDominanceRequest{
+		Schema1: "r(a*:T1)",
+		Schema2: "p(a*:T1, b:T1)",
+		Alpha:   "p(X, X) :- r(X).",
+		Beta:    "r(X) :- p(X, Y).",
+	}, &resp)
+	if cs := s.engines.cacheStats(); cs.Hits == 0 {
+		t.Fatalf("dominance decisions bypassed the cache: %+v", cs)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status %d", path, rec.Code)
+		}
+	}
+	postJSON(t, s, "/v1/decide", decideBody("V(X) :- edge(X, Y).", "V(A) :- edge(A, B)."), nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Entries == 0 {
+		t.Fatalf("stats after a decision: %+v", st)
+	}
+}
+
+func TestMetricsMounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Obs: &obs.Obs{Reg: reg}})
+	postJSON(t, s, "/v1/decide", decideBody("V(X) :- edge(X, Y).", "V(A) :- edge(A, B)."), nil)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "keyedeq_serve_requests_total 1") {
+		t.Fatalf("/metrics: status %d body %.2000s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPerClientQuota(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{PerClientInFlight: 1, Obs: &obs.Obs{Reg: reg}})
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	s.decideHook = func() {
+		entered <- struct{}{}
+		<-unblock
+	}
+	body, _ := json.Marshal(decideBody("V(X) :- edge(X, Y).", "V(A) :- edge(A, B)."))
+	done := make(chan int)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+		req.Header.Set("X-API-Key", "alice")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		done <- rec.Code
+	}()
+	<-entered // first request holds its slot inside the hook
+
+	// Same client: over quota → 429 with Retry-After.
+	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+	req.Header.Set("X-API-Key", "alice")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("same-client second request: status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// A different client is unaffected.
+	s.decideHook = nil
+	req = httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+	req.Header.Set("X-API-Key", "bob")
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("other-client request: status %d, want 200", rec.Code)
+	}
+
+	close(unblock)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", code)
+	}
+	if got := reg.C(obs.CServeRejected).Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+func TestGlobalInFlightBound(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, PerClientInFlight: 8})
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	s.decideHook = func() {
+		entered <- struct{}{}
+		<-unblock
+	}
+	body, _ := json.Marshal(decideBody("V(X) :- edge(X, Y).", "V(A) :- edge(A, B)."))
+	done := make(chan int)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+		req.Header.Set("X-API-Key", "alice")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		done <- rec.Code
+	}()
+	<-entered
+
+	// Different client, but the global bound is saturated.
+	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+	req.Header.Set("X-API-Key", "bob")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: status %d, want 429", rec.Code)
+	}
+	close(unblock)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", code)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	s.decideHook = func() {
+		entered <- struct{}{}
+		<-unblock
+	}
+	body, _ := json.Marshal(decideBody("V(X) :- edge(X, Y).", "V(A) :- edge(A, B)."))
+	inFlight := make(chan int)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/decide", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		resp.Body.Close()
+		inFlight <- resp.StatusCode
+	}()
+	<-entered // request is in flight on the real server
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Wait until the drain flag is visible, then assert new work is
+	// refused at the handler level while the in-flight request is still
+	// parked.
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("request during drain: status %d, want 429", rec.Code)
+	}
+	rdy := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rrec, rdy)
+	if rrec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", rrec.Code)
+	}
+
+	close(unblock)
+	if code := <-inFlight; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestRestartWarmStart is the core persistence contract: decisions made
+// before a restart come back as cache hits afterwards, with the
+// original work stats frozen and no new engine work performed.
+func TestRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "verdicts.log")
+	log, err := store.Open(logPath, store.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestServer(t, Config{Log: log})
+	var first decideResponse
+	rec := postJSON(t, s1, "/v1/decide", decideBody(
+		"V(X) :- edge(X, Y), edge(W, Z), Y = W.",
+		"V(A) :- edge(A, B), edge(C, D), B = C.",
+	), &first)
+	if rec.Code != http.StatusOK || first.CacheHit {
+		t.Fatalf("first decision: status %d resp %+v", rec.Code, first)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := store.Open(logPath, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	reg := obs.NewRegistry()
+	s2 := newTestServer(t, Config{Log: log2, Obs: &obs.Obs{Reg: reg}})
+	var again decideResponse
+	rec = postJSON(t, s2, "/v1/decide", decideBody(
+		"V(X) :- edge(X, Y), edge(W, Z), Y = W.",
+		"V(A) :- edge(A, B), edge(C, D), B = C.",
+	), &again)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("restart decision: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !again.CacheHit {
+		t.Fatalf("decision after restart not a cache hit: %+v", again)
+	}
+	if again.Holds != first.Holds || again.Stats != first.Stats {
+		t.Fatalf("warm verdict drifted: first %+v, again %+v", first, again)
+	}
+	// Frozen work counters: the warm hit computed nothing new.
+	if got := reg.C(obs.CPairsComputed).Value(); got != 0 {
+		t.Fatalf("pairs computed after restart = %d, want 0", got)
+	}
+	if got := reg.C(obs.CCacheHits).Value(); got != 1 {
+		t.Fatalf("cache hits after restart = %d, want 1", got)
+	}
+	if got := reg.C(obs.CStoreReplayed).Value(); got == 0 {
+		t.Fatal("no records counted as replayed")
+	}
+}
+
+// TestBootCompaction drives the append history far past the live set
+// and checks boot rewrites the log.
+func TestBootCompaction(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "verdicts.log")
+	log, err := store.Open(logPath, store.Options{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2048 appends over 4 distinct keys: total ≫ 2·live.
+	for i := 0; i < 2048; i++ {
+		rec := store.Record{Key: fmt.Sprintf("fp%s%d", fpSep, i%4), Holds: i%2 == 0}
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := store.Open(logPath, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	reg := obs.NewRegistry()
+	newTestServer(t, Config{Log: log2, Obs: &obs.Obs{Reg: reg}})
+	if got := log2.Records(); got != 4 {
+		t.Fatalf("records after boot compaction = %d, want 4", got)
+	}
+	if got := reg.C(obs.CStoreCompactions).Value(); got != 1 {
+		t.Fatalf("compaction counter = %d, want 1", got)
+	}
+	if got := reg.C(obs.CStoreReplayed).Value(); got != 2048 {
+		t.Fatalf("replayed counter = %d, want 2048", got)
+	}
+}

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"keyedeq/internal/containment"
+)
+
+func openT(t *testing.T, path string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{SyncEvery: 1})
+	recs := []Record{
+		{Key: "fp\x1dequ\x1ea\x1fb", Holds: true, Stats: containment.SearchStats(42)},
+		{Key: "fp\x1dcon\x1ec\x1fd", Holds: false},
+		{Key: "fp\x1dequ\x1ea\x1fb", Holds: true}, // supersedes the first
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, path, Options{})
+	if rs := l2.RecoveryStats(); rs.Records != 3 || rs.TruncatedBytes != 0 {
+		t.Fatalf("recovery stats %+v, want 3 records, 0 truncated", rs)
+	}
+	got := collect(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Key != recs[i].Key || r.Holds != recs[i].Holds || r.Stats != recs[i].Stats {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{SyncEvery: 1})
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Record{Key: fmt.Sprintf("k%d", i), Holds: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Simulate a crash mid-append: a partial frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x30, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openT(t, path, Options{})
+	rs := l2.RecoveryStats()
+	if rs.Records != 5 || rs.TruncatedBytes != 6 {
+		t.Fatalf("recovery stats %+v, want 5 records and 6 truncated bytes", rs)
+	}
+	if got := collect(t, l2); len(got) != 5 {
+		t.Fatalf("replayed %d records after torn tail, want 5", len(got))
+	}
+	// The log is appendable again and the new record survives reopen.
+	if err := l2.Append(Record{Key: "after", Holds: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := openT(t, path, Options{})
+	got := collect(t, l3)
+	if len(got) != 6 || got[5].Key != "after" {
+		t.Fatalf("after truncate+append: %d records, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+func TestCorruptRecordTruncatesFromThere(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{SyncEvery: 1})
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		if err := l.Append(Record{Key: fmt.Sprintf("k%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, l.size)
+	}
+	l.Close()
+	// Flip one payload byte in the third record: CRC now mismatches, so
+	// recovery keeps records 0-1 and drops 2-3 (framing is sequential;
+	// nothing after a damaged frame is trustworthy).
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, offsets[1]+frameHeaderLen+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openT(t, path, Options{})
+	rs := l2.RecoveryStats()
+	if rs.Records != 2 || rs.TruncatedBytes == 0 {
+		t.Fatalf("recovery stats %+v, want 2 records and a truncated tail", rs)
+	}
+	got := collect(t, l2)
+	if len(got) != 2 || got[0].Key != "k0" || got[1].Key != "k1" {
+		t.Fatalf("replay after corruption: %+v", got)
+	}
+}
+
+func TestBadMagicIsFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-log")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a file with the wrong magic")
+	}
+}
+
+func TestValidFrameGarbagePayload(t *testing.T) {
+	// A frame whose CRC matches but whose payload is not a JSON record
+	// is still a torn tail, not a crash.
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{SyncEvery: 1})
+	if err := l.Append(Record{Key: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	payload := []byte("not json")
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openT(t, path, Options{})
+	if rs := l2.RecoveryStats(); rs.Records != 1 || rs.TruncatedBytes != int64(len(frame)) {
+		t.Fatalf("recovery stats %+v, want 1 record and %d truncated bytes", rs, len(frame))
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{SyncEvery: 1})
+	for i := 0; i < 100; i++ {
+		if err := l.Append(Record{Key: fmt.Sprintf("k%d", i%10), Holds: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]Record, 0, 10)
+	for i := 0; i < 10; i++ {
+		live = append(live, Record{Key: fmt.Sprintf("k%d", i), Holds: true})
+	}
+	if err := l.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if l.Records() != 10 {
+		t.Fatalf("Records() = %d after compaction, want 10", l.Records())
+	}
+	// The handle keeps working post-rename, and the result survives
+	// reopen.
+	if err := l.Append(Record{Key: "post-compact"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, path, Options{})
+	got := collect(t, l2)
+	if len(got) != 11 || got[10].Key != "post-compact" {
+		t.Fatalf("after compact+append+reopen: %d records, last %+v", len(got), got[len(got)-1])
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after compaction, want only the log", len(entries))
+	}
+}
+
+func TestEmptyLogReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{})
+	if got := collect(t, l); len(got) != 0 {
+		t.Fatalf("empty log replayed %d records", len(got))
+	}
+	if l.Records() != 0 {
+		t.Fatalf("Records() = %d on empty log", l.Records())
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	l := openT(t, path, Options{})
+	l.Close()
+	if err := l.Append(Record{Key: "late"}); err == nil {
+		t.Fatal("Append succeeded on a closed log")
+	}
+	if err := l.Compact(nil); err == nil {
+		t.Fatal("Compact succeeded on a closed log")
+	}
+}

@@ -30,6 +30,8 @@
 package keyedeq
 
 import (
+	"context"
+
 	"keyedeq/internal/acyclic"
 	"keyedeq/internal/bag"
 	"keyedeq/internal/chase"
@@ -136,6 +138,13 @@ type (
 	SearchOptions = dominance.SearchOptions
 	// ContainmentStats reports homomorphism/chase work.
 	ContainmentStats = containment.Stats
+
+	// EquivFunc is the pluggable context-free equivalence decider shape
+	// (SearchOptions.Equiv); EquivCtxFunc threads a context through
+	// (SearchOptions.EquivCtx, EnginePool.EquivCtx).
+	EquivFunc = mapping.EquivFunc
+	// EquivCtxFunc is EquivFunc with a context for cancellation.
+	EquivCtxFunc = mapping.EquivCtxFunc
 
 	// Engine is the parallel batch equivalence/containment engine with
 	// canonical-query caching.
@@ -426,6 +435,15 @@ func SearchEquivalence(s1, s2 *Schema, b SearchBounds) (bool, SearchStats, error
 // and a pluggable equivalence decider (see SearchOptions).
 func SearchEquivalenceOpts(s1, s2 *Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
 	return dominance.SearchEquivalenceOpts(s1, s2, b, opts)
+}
+
+// SearchEquivalenceCtx is SearchEquivalenceOpts with a context threaded
+// through every certificate check, so cancellation and deadlines reach
+// the underlying chase and homomorphism searches (set
+// SearchOptions.EquivCtx — e.g. an EnginePool's EquivCtx — to keep
+// cancellation live inside cached decisions too).
+func SearchEquivalenceCtx(ctx context.Context, s1, s2 *Schema, b SearchBounds, opts SearchOptions) (bool, SearchStats, error) {
+	return dominance.SearchEquivalenceOptsCtx(ctx, s1, s2, b, opts)
 }
 
 // DefaultSearchBounds are suitable for small schema spaces.
